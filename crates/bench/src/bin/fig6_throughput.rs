@@ -1,0 +1,54 @@
+//! Figure 6: overall kernel throughput of CuAsmRL vs Triton vs the
+//! PyTorch / reference-library / Cutlass baselines, normalized to Triton = 1.
+
+use bench::{harness_config, harness_measure, optimize_kernel, DEFAULT_SCALE};
+use gpusim::GpuConfig;
+use kernels::{
+    baseline_runtime_us, generate, BaselineSystem, KernelKind, KernelSpec, ScheduleStyle,
+};
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let gpu = GpuConfig::a100();
+    let opts = harness_measure();
+    println!("Figure 6 — normalized kernel throughput (Triton = 1.00), scale=1/{scale}");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "kernel", "Torch", "Triton", "CuAsmRL", "Ref", "Cutlass"
+    );
+    let mut geo = 1.0f64;
+    let mut n = 0u32;
+    for kind in KernelKind::all() {
+        let spec = KernelSpec::scaled(kind, scale);
+        let config = harness_config(kind);
+        let triton = generate(&spec, &config, ScheduleStyle::Baseline);
+        let triton_us =
+            gpusim::measure(&gpu, &triton.program, &triton.launch, &opts).mean_us;
+        let report = optimize_kernel(kind, scale, 48);
+        assert!(report.verified, "{kind:?} failed probabilistic verification");
+        let cuasmrl_us = triton_us * report.optimized_us / report.baseline_us;
+        let torch = baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Torch, &opts);
+        let reference =
+            baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Reference, &opts);
+        let cutlass = baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Cutlass, &opts);
+        let norm = |us: Option<f64>| us.map_or("-".to_string(), |u| format!("{:.2}", triton_us / u));
+        println!(
+            "{:<16} {:>8} {:>8.2} {:>8.2} {:>8} {:>9}",
+            kind.name(),
+            norm(torch),
+            1.0,
+            triton_us / cuasmrl_us,
+            norm(reference),
+            norm(cutlass),
+        );
+        geo *= triton_us / cuasmrl_us;
+        n += 1;
+    }
+    println!(
+        "geometric-mean CuAsmRL speedup over Triton: {:.3}x (paper: 1.09x)",
+        geo.powf(1.0 / f64::from(n))
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 7: percentages of stall-count dependencies resolved by the
+//! built-in table (db), inferred by the analysis pass, or denylisted, over
+//! the evaluated kernel suite.
+
+use bench::{harness_config, DEFAULT_SCALE};
+use cuasmrl::{analyze, StallTable};
+use kernels::{generate, KernelKind, KernelSpec, ScheduleStyle};
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let table = StallTable::builtin_a100();
+    println!("Figure 7 — stall-count dependency resolution (percent of memory instructions)");
+    println!(
+        "{:<16} {:>8} {:>12} {:>10}",
+        "kernel", "db", "infer-only", "denylist"
+    );
+    let mut totals = (0.0, 0.0, 0.0);
+    for kind in KernelKind::all() {
+        let spec = KernelSpec::scaled(kind, scale);
+        let kernel = generate(&spec, &harness_config(kind), ScheduleStyle::Baseline);
+        let analysis = analyze(&kernel.program, &table);
+        let (db, infer, deny) = analysis.breakdown.percentages();
+        println!("{:<16} {db:>7.1}% {infer:>11.1}% {deny:>9.1}%", kind.name());
+        totals.0 += db;
+        totals.1 += infer;
+        totals.2 += deny;
+    }
+    let n = KernelKind::all().len() as f64;
+    println!(
+        "{:<16} {:>7.1}% {:>11.1}% {:>9.1}%   (paper averages: 41.7% / 29.2% / rest)",
+        "average",
+        totals.0 / n,
+        totals.1 / n,
+        totals.2 / n
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 8 (hyperparameter sensitivity) and Figure 12 (training statistics
+//! time series): train the PPO agent on the fused GEMM + LeakyReLU assembly
+//! game under several learning rates and batch sizes and report episodic
+//! returns, approximate KL divergence and policy entropy.
+
+use bench::{harness_config, harness_measure};
+use cuasmrl::{AssemblyGame, GameConfig, StallTable};
+use gpusim::GpuConfig;
+use kernels::{generate, KernelKind, KernelSpec, ScheduleStyle};
+use rl::{Env, PpoConfig, PpoTrainer};
+
+fn train_once(lr: f32, batch: usize, total_steps: usize) -> rl::TrainingStats {
+    let kind = KernelKind::MatmulLeakyRelu;
+    let spec = KernelSpec::scaled(kind, 16);
+    let kernel = generate(&spec, &harness_config(kind), ScheduleStyle::Baseline);
+    let mut game = AssemblyGame::new(
+        GpuConfig::a100(),
+        kernel.program,
+        kernel.launch,
+        StallTable::builtin_a100(),
+        GameConfig {
+            episode_length: 32,
+            measure: harness_measure(),
+        },
+    );
+    let config = PpoConfig {
+        learning_rate: lr,
+        rollout_steps: batch,
+        total_steps,
+        channels: 16,
+        kernel: 5,
+        anneal_lr: true,
+        ..PpoConfig::default()
+    };
+    let mut trainer = PpoTrainer::new(config, game.observation_features(), game.action_count());
+    trainer.train(&mut game)
+}
+
+fn main() {
+    let total_steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    println!("Figure 8 — episodic returns under different hyperparameters ({total_steps} steps each)");
+    println!(
+        "{:<24} {:>16} {:>14}",
+        "setting", "final return", "best episode"
+    );
+    for (label, lr, batch) in [
+        ("default (2.5e-4, 64)", 2.5e-4f32, 64usize),
+        ("lr=1e-3", 1e-3, 64),
+        ("lr=1e-4", 1e-4, 64),
+        ("batch=32", 2.5e-4, 32),
+        ("batch=128", 2.5e-4, 128),
+    ] {
+        let stats = train_once(lr, batch, total_steps);
+        let best = stats
+            .episodic_returns
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        println!(
+            "{label:<24} {:>16.3} {:>14.3}",
+            stats.final_return(10),
+            if best.is_finite() { best } else { 0.0 }
+        );
+    }
+
+    println!("\nFigure 12 — training statistics time series (default setting)");
+    let stats = train_once(2.5e-4, 64, total_steps);
+    println!("{:>6} {:>12} {:>10}", "update", "approx KL", "entropy");
+    for (i, (kl, h)) in stats.approx_kl.iter().zip(&stats.entropy).enumerate() {
+        println!("{i:>6} {kl:>12.6} {h:>10.4}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared helpers for the reproduction harness binaries and Criterion
+//! benches. Each table/figure of the paper has a dedicated binary under
+//! `src/bin/`; the Criterion benches in `benches/` time the hot paths.
+
+use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy};
+use gpusim::{GpuConfig, MeasureOptions};
+use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+
+/// Scale factor applied to the paper's problem shapes so that every harness
+/// binary finishes in seconds on a laptop. Set to 1 to run the full shapes.
+pub const DEFAULT_SCALE: usize = 8;
+
+/// The tuned configuration used for a kernel kind in the harness (a fixed,
+/// reasonable configuration so that harness runs are comparable; the
+/// autotuner itself is exercised by `fig6_throughput`).
+#[must_use]
+pub fn harness_config(kind: KernelKind) -> KernelConfig {
+    if kind.is_compute_bound() {
+        KernelConfig {
+            block_m: 64,
+            block_n: 64,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        }
+    } else {
+        KernelConfig {
+            block_m: 1,
+            block_n: 1024,
+            block_k: 1,
+            num_warps: 4,
+            num_stages: 1,
+        }
+    }
+}
+
+/// Fast measurement protocol used by the harness (the paper uses 100+100
+/// iterations; the simulator is deterministic so a handful suffices).
+#[must_use]
+pub fn harness_measure() -> MeasureOptions {
+    MeasureOptions {
+        warmup: 0,
+        repeats: 3,
+        noise_std: 0.0,
+        seed: 0,
+    }
+}
+
+/// Optimizes one kernel of the suite on the A100-like device, returning the
+/// report (used by several figures).
+///
+/// The harness defaults to the (1+1) evolutionary searcher over the same
+/// masked assembly game: single adjacent swaps often change the runtime of a
+/// barrier-bound loop by nothing at all until several copies have been
+/// hoisted, so a searcher that evaluates whole move sequences escapes those
+/// plateaus far faster than greedy hill climbing, while staying cheap enough
+/// for CI. `Strategy::Rl` (the paper's default) is exercised by the
+/// `fig8_hyperparams` harness and the `train_rl_agent` example.
+#[must_use]
+pub fn optimize_kernel(kind: KernelKind, scale: usize, budget_moves: usize) -> OptimizationReport {
+    let spec = KernelSpec::scaled(kind, scale);
+    let config = harness_config(kind);
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    let game = GameConfig {
+        episode_length: budget_moves.max(32),
+        measure: harness_measure(),
+    };
+    let optimizer = CuAsmRl::new(
+        GpuConfig::a100(),
+        Strategy::Evolutionary {
+            generations: budget_moves.max(8),
+            mutation_length: 24,
+            seed: 0,
+        },
+    )
+    .with_game_config(game);
+    optimizer.optimize_program(&kernel.name, kernel.program, kernel.launch)
+}

@@ -1,0 +1,333 @@
+//! The action space and dependence-preserving action masking (§3.5).
+//!
+//! An action selects one (movable) memory instruction and a direction: swap
+//! it with the instruction directly above or below. Before an action is
+//! offered to the agent it is checked against:
+//!
+//! * **register dependences** — the swap may not cross a def-use pair,
+//! * **barrier dependences** — a waiter may not move above the setter of a
+//!   barrier it waits on (and vice versa for downward moves),
+//! * **stall-count dependences** — Algorithm 1 of the paper: after the swap,
+//!   every consumer of a fixed-latency producer must still accumulate at
+//!   least the producer's minimum stall count,
+//! * **additional heuristic rules** — no moves across labels or
+//!   barrier/synchronisation instructions, denylisted instructions never
+//!   move, and two `LDGSTS` of the same ascending group never reorder.
+
+use sass::{Instruction, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::Analysis;
+use crate::stall_table::StallTable;
+
+/// The direction of a reordering action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Swap the selected instruction with the one above it.
+    Up,
+    /// Swap the selected instruction with the one below it.
+    Down,
+}
+
+/// A decoded action: which movable-memory slot, and which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    /// Index into the movable-memory-instruction list.
+    pub slot: usize,
+    /// Swap direction.
+    pub direction: Direction,
+}
+
+impl Action {
+    /// Decodes a flat action id (`slot * 2 + direction`).
+    #[must_use]
+    pub fn from_id(id: usize) -> Self {
+        Action {
+            slot: id / 2,
+            direction: if id % 2 == 0 {
+                Direction::Up
+            } else {
+                Direction::Down
+            },
+        }
+    }
+
+    /// Encodes the action as a flat id.
+    #[must_use]
+    pub fn to_id(self) -> usize {
+        self.slot * 2
+            + match self.direction {
+                Direction::Up => 0,
+                Direction::Down => 1,
+            }
+    }
+}
+
+fn same_ldgsts_group(a: &Instruction, b: &Instruction) -> bool {
+    let base = |inst: &Instruction| {
+        (*inst.opcode().base() == sass::Mnemonic::Ldgsts)
+            .then(|| {
+                inst.operands()
+                    .iter()
+                    .find_map(sass::Operand::as_mem)
+                    .and_then(|m| m.base.map(|r| r.reg))
+            })
+            .flatten()
+    };
+    matches!((base(a), base(b)), (Some(x), Some(y)) if x == y)
+}
+
+/// Checks whether swapping adjacent instructions `upper` (at `upper_idx`)
+/// and `lower` preserves every dependence. `program` is the *current*
+/// schedule (before the swap).
+fn swap_is_legal(
+    program: &Program,
+    upper_idx: usize,
+    analysis: &Analysis,
+    stalls: &StallTable,
+) -> bool {
+    let lower_idx = upper_idx + 1;
+    let instructions: Vec<&Instruction> = program.instructions().collect();
+    let (Some(upper), Some(lower)) = (
+        instructions.get(upper_idx).copied(),
+        instructions.get(lower_idx).copied(),
+    ) else {
+        return false;
+    };
+    // Never move across (or move) scheduling fences.
+    if upper.opcode().is_scheduling_fence() || lower.opcode().is_scheduling_fence() {
+        return false;
+    }
+    // Both instructions must be in the same basic block (no label between
+    // them — guaranteed by adjacency and the fence check above, but labels
+    // sit between items, so verify through block membership).
+    let Some(block) = program.block_of(upper_idx) else {
+        return false;
+    };
+    if !block.contains(lower_idx) {
+        return false;
+    }
+    // Register dependences (RAW, WAR, WAW).
+    let upper_defs = upper.defs();
+    let upper_uses = upper.uses();
+    let lower_defs = lower.defs();
+    let lower_uses = lower.uses();
+    if lower_uses.iter().any(|r| upper_defs.contains(r))
+        || lower_defs.iter().any(|r| upper_uses.contains(r))
+        || lower_defs.iter().any(|r| upper_defs.contains(r))
+    {
+        return false;
+    }
+    // Barrier dependences: the lower instruction may not wait on a barrier
+    // set by the upper one (it would move above its setter), and the upper
+    // instruction may not wait on a barrier set by the lower one (the setter
+    // would move above the waiter only in the other direction, but after the
+    // swap the waiter would precede the setter).
+    let sets = |inst: &Instruction| {
+        [inst.control().read_barrier(), inst.control().write_barrier()]
+            .into_iter()
+            .flatten()
+            .collect::<Vec<u8>>()
+    };
+    if sets(upper).iter().any(|&b| lower.control().waits_on(b)) {
+        return false;
+    }
+    if sets(lower).iter().any(|&b| upper.control().waits_on(b)) {
+        return false;
+    }
+    // Heuristic rule: never reorder two LDGSTS of the same ascending group.
+    if same_ldgsts_group(upper, lower) {
+        return false;
+    }
+    // Stall-count dependences (Algorithm 1), evaluated on the hypothetical
+    // post-swap schedule for every consumer in the block at or below the
+    // swap point.
+    let mut swapped = program.clone();
+    if swapped.swap_instructions(upper_idx, lower_idx).is_err() {
+        return false;
+    }
+    stall_counts_satisfied(&swapped, block.start, block.end, upper_idx, analysis, stalls)
+}
+
+/// Verifies that every fixed-latency def-use pair whose distance may have
+/// been affected by a swap at `swap_at` still accumulates enough stall
+/// cycles (Algorithm 1 of the paper, applied to the affected window).
+fn stall_counts_satisfied(
+    program: &Program,
+    block_start: usize,
+    block_end: usize,
+    swap_at: usize,
+    analysis: &Analysis,
+    stalls: &StallTable,
+) -> bool {
+    let instructions: Vec<&Instruction> = program.instructions().collect();
+    for consumer_idx in swap_at..block_end {
+        let consumer = instructions[consumer_idx];
+        for reg in consumer.uses() {
+            let mut accumulated: u64 = 0;
+            for producer_idx in (block_start..consumer_idx).rev() {
+                let producer = instructions[producer_idx];
+                accumulated += u64::from(producer.control().stall()).max(1);
+                if producer.defs().contains(&reg) {
+                    if producer.opcode().latency_class() == sass::LatencyClass::Fixed {
+                        let required = stalls
+                            .lookup(&producer.opcode().full_name())
+                            .or_else(|| analysis.stalls.lookup(&producer.opcode().full_name()))
+                            .unwrap_or(4);
+                        if accumulated < u64::from(required) {
+                            return false;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Computes the mask over the flat action space: `mask[slot * 2 + dir]` is
+/// true when the corresponding swap preserves all dependences.
+#[must_use]
+pub fn action_mask(
+    program: &Program,
+    movable: &[usize],
+    analysis: &Analysis,
+    stalls: &StallTable,
+) -> Vec<bool> {
+    let count = program.instruction_count();
+    let mut mask = vec![false; movable.len() * 2];
+    for (slot, &index) in movable.iter().enumerate() {
+        if analysis.denylist.contains(&index) {
+            continue;
+        }
+        if index > 0 {
+            mask[slot * 2] = swap_is_legal(program, index - 1, analysis, stalls);
+        }
+        if index + 1 < count {
+            mask[slot * 2 + 1] = swap_is_legal(program, index, analysis, stalls);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    const SAMPLE: &str = "\
+[B------:R-:W-:-:S04] MOV R4, 0x100 ;
+[B------:R-:W-:-:S04] MOV R8, 0x200 ;
+[B------:R-:W-:-:S04] IADD3 R6, R4, 0x1, RZ ;
+[B------:R-:W0:-:S02] LDG.E R2, [R8] ;
+[B0-----:R-:W-:-:S04] IADD3 R7, R2, 0x1, RZ ;
+[B------:R-:W-:-:S02] STG.E [R4], R7 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+    fn setup() -> (Program, Analysis, StallTable) {
+        let program: Program = SAMPLE.parse().unwrap();
+        let table = StallTable::builtin_a100();
+        let analysis = analyze(&program, &table);
+        (program, analysis, table)
+    }
+
+    #[test]
+    fn action_encoding_round_trips() {
+        for id in 0..10 {
+            assert_eq!(Action::from_id(id).to_id(), id);
+        }
+        assert_eq!(Action::from_id(3).direction, Direction::Down);
+        assert_eq!(Action::from_id(4).slot, 2);
+    }
+
+    #[test]
+    fn register_dependences_are_masked() {
+        let (program, analysis, table) = setup();
+        let movable = analysis.movable_memory_indices();
+        let mask = action_mask(&program, &movable, &analysis, &table);
+        // The LDG (index 3) cannot move down: the IADD3 below consumes R2.
+        let ldg_slot = movable.iter().position(|&i| i == 3).unwrap();
+        assert!(!mask[ldg_slot * 2 + 1]);
+        // It can move up past the unrelated IADD3 R6 (no shared registers).
+        assert!(mask[ldg_slot * 2]);
+    }
+
+    #[test]
+    fn stall_count_violations_are_masked() {
+        // Moving the STG up right below its producer chain would shrink the
+        // accumulated stall below the IADD3 latency.
+        let text = "\
+[B------:R-:W-:-:S04] MOV R4, 0x100 ;
+[B------:R-:W-:-:S02] IADD3 R7, R4, 0x1, RZ ;
+[B------:R-:W-:-:S01] NOP ;
+[B------:R-:W-:-:S01] NOP ;
+[B------:R-:W-:-:S02] STG.E [R4], R7 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let program: Program = text.parse().unwrap();
+        let table = StallTable::builtin_a100();
+        let analysis = analyze(&program, &table);
+        let movable = analysis.movable_memory_indices();
+        let stg_slot = movable.iter().position(|&i| i == 4).unwrap();
+        let mask = action_mask(&program, &movable, &analysis, &table);
+        // Moving up once (above one NOP) leaves accumulated 2+1 = 3 < 4.
+        assert!(!mask[stg_slot * 2], "stall-count violation must be masked");
+    }
+
+    #[test]
+    fn fences_and_boundaries_are_masked() {
+        let (program, analysis, table) = setup();
+        let movable = analysis.movable_memory_indices();
+        let mask = action_mask(&program, &movable, &analysis, &table);
+        // The STG (last memory instruction) cannot move down into EXIT.
+        let stg_slot = movable.iter().position(|&i| i == 5).unwrap();
+        assert!(!mask[stg_slot * 2 + 1]);
+    }
+
+    #[test]
+    fn ldgsts_group_members_never_reorder() {
+        let text = "\
+[B------:R-:W-:-:S04] MOV R74, 0x0 ;
+[B------:R-:W-:-:S04] MOV R10, 0x1000 ;
+[B------:R-:W0:-:S02] LDGSTS.E.128 [R74+0x0], desc[UR16][R10.64] ;
+[B------:R-:W0:-:S02] LDGSTS.E.128 [R74+0x100], desc[UR16][R10.64+0x200] ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let program: Program = text.parse().unwrap();
+        let table = StallTable::builtin_a100();
+        let analysis = analyze(&program, &table);
+        let movable = analysis.movable_memory_indices();
+        let mask = action_mask(&program, &movable, &analysis, &table);
+        let second_slot = movable.iter().position(|&i| i == 3).unwrap();
+        assert!(!mask[second_slot * 2], "group members must not reorder");
+    }
+
+    #[test]
+    fn masked_actions_keep_the_simulation_hazard_free() {
+        // Apply every legal action once and verify the simulator agrees.
+        use gpusim::{simulate_launch, GpuConfig, LaunchConfig};
+        let (program, analysis, table) = setup();
+        let movable = analysis.movable_memory_indices();
+        let mask = action_mask(&program, &movable, &analysis, &table);
+        let launch = LaunchConfig::default();
+        let baseline = simulate_launch(&GpuConfig::small(), &program, &launch);
+        for (id, allowed) in mask.iter().enumerate() {
+            if !allowed {
+                continue;
+            }
+            let action = Action::from_id(id);
+            let index = movable[action.slot];
+            let mut mutated = program.clone();
+            let (a, b) = match action.direction {
+                Direction::Up => (index - 1, index),
+                Direction::Down => (index, index + 1),
+            };
+            mutated.swap_instructions(a, b).unwrap();
+            let run = simulate_launch(&GpuConfig::small(), &mutated, &launch);
+            assert_eq!(run.sm.hazards, 0, "legal action {id} must stay hazard-free");
+            assert_eq!(run.sm.output_digest, baseline.sm.output_digest);
+        }
+    }
+}

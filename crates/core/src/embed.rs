@@ -1,0 +1,121 @@
+//! State embedding (§3.4).
+//!
+//! Each SASS instruction is embedded into a fixed-width vector: the control
+//! code fields (wait mask, read/write barrier, yield, stall), a memory /
+//! non-memory opcode flag, and the operand register indices normalized by
+//! the size of the register table, padded with `-1` to the maximum operand
+//! count of the kernel. The whole schedule becomes a matrix with one row per
+//! instruction — the observation consumed by the RL agent.
+
+use nn::Matrix;
+use sass::Program;
+
+use crate::analysis::Analysis;
+
+/// Number of fixed (non-operand) features per instruction.
+pub const FIXED_FEATURES: usize = 11;
+
+/// Embeds one instruction into `features` values.
+fn embed_instruction(
+    inst: &sass::Instruction,
+    analysis: &Analysis,
+    features: usize,
+) -> Vec<f32> {
+    let mut row = Vec::with_capacity(features);
+    let cc = inst.control();
+    for b in 0..6u8 {
+        row.push(if cc.waits_on(b) { 1.0 } else { -1.0 });
+    }
+    row.push(cc.read_barrier().map_or(-1.0, f32::from));
+    row.push(cc.write_barrier().map_or(-1.0, f32::from));
+    row.push(if cc.yield_flag() { 1.0 } else { -1.0 });
+    row.push(f32::from(cc.stall()) / 15.0);
+    row.push(if inst.opcode().is_memory() { 1.0 } else { -1.0 });
+    let table_len = analysis.register_table.len().max(1) as f32;
+    for operand in inst.operands().iter().take(analysis.max_operands) {
+        let value = operand
+            .registers()
+            .first()
+            .and_then(|r| analysis.register_table.get(r))
+            .map_or(-1.0, |idx| *idx as f32 / table_len);
+        row.push(value);
+    }
+    while row.len() < features {
+        row.push(-1.0);
+    }
+    row
+}
+
+/// Embeds the whole schedule as a `[instructions x features]` matrix.
+#[must_use]
+pub fn embed_program(program: &Program, analysis: &Analysis) -> Matrix {
+    let features = FIXED_FEATURES + analysis.max_operands;
+    let rows: Vec<Vec<f32>> = program
+        .instructions()
+        .map(|inst| embed_instruction(inst, analysis, features))
+        .collect();
+    let mut matrix = Matrix::zeros(rows.len(), features);
+    for (r, row) in rows.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            matrix.set(r, c, *v);
+        }
+    }
+    matrix
+}
+
+/// Number of embedding features for a program analysed with `analysis`.
+#[must_use]
+pub fn feature_count(analysis: &Analysis) -> usize {
+    FIXED_FEATURES + analysis.max_operands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::stall_table::StallTable;
+
+    const SAMPLE: &str = "\
+[B------:R-:W2:Y:S02] LDG.E R0, [R2.64] ;
+[B--2---:R-:W-:-:S04] IADD3 R4, R0, 0x1, RZ ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+    #[test]
+    fn embedding_has_one_row_per_instruction_and_fixed_width() {
+        let program: Program = SAMPLE.parse().unwrap();
+        let analysis = analyze(&program, &StallTable::builtin_a100());
+        let m = embed_program(&program, &analysis);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), feature_count(&analysis));
+        // First instruction: memory flag is +1, write barrier is 2, yield set.
+        let row = m.row(0);
+        assert_eq!(row[7], 2.0);
+        assert_eq!(row[8], 1.0);
+        assert_eq!(row[10], 1.0);
+        // Second instruction: non-memory flag is -1 and it waits on barrier 2.
+        assert_eq!(m.row(1)[10], -1.0);
+        assert_eq!(m.row(1)[2], 1.0);
+    }
+
+    #[test]
+    fn missing_operands_are_padded_with_minus_one() {
+        let program: Program = SAMPLE.parse().unwrap();
+        let analysis = analyze(&program, &StallTable::builtin_a100());
+        let m = embed_program(&program, &analysis);
+        let exit_row = m.row(2);
+        assert!(exit_row[FIXED_FEATURES..].iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn operand_indices_are_normalized() {
+        let program: Program = SAMPLE.parse().unwrap();
+        let analysis = analyze(&program, &StallTable::builtin_a100());
+        let m = embed_program(&program, &analysis);
+        for r in 0..m.rows() {
+            for &v in &m.row(r)[FIXED_FEATURES..] {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

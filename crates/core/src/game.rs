@@ -1,0 +1,305 @@
+//! The assembly game (§3.3–§3.6): the Gym-like environment the RL agent
+//! plays to optimize a SASS schedule.
+
+use gpusim::{measure, GpuConfig, LaunchConfig, MeasureOptions};
+use nn::Matrix;
+use rl::{Env, Step};
+use sass::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::action::{action_mask, Action, Direction};
+use crate::analysis::{analyze, Analysis};
+use crate::embed::{embed_program, feature_count};
+use crate::stall_table::StallTable;
+
+/// Game configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameConfig {
+    /// Episode length (number of actions per episode); 32 in the paper.
+    pub episode_length: usize,
+    /// Measurement protocol for the reward signal.
+    pub measure: MeasureOptions,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            episode_length: 32,
+            measure: MeasureOptions {
+                warmup: 0,
+                repeats: 5,
+                noise_std: 0.0,
+                seed: 0,
+            },
+        }
+    }
+}
+
+/// One recorded move of an episode, used for the optimization-move traces of
+/// §5.7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Move {
+    /// Instruction index that was moved.
+    pub instruction: usize,
+    /// Direction of the move.
+    pub direction: Direction,
+    /// The moved instruction's text.
+    pub text: String,
+    /// Reward received for the move.
+    pub reward: f32,
+}
+
+/// The assembly game environment.
+#[derive(Debug, Clone)]
+pub struct AssemblyGame {
+    gpu: GpuConfig,
+    launch: LaunchConfig,
+    config: GameConfig,
+    stalls: StallTable,
+    initial: Program,
+    initial_runtime: f64,
+    initial_digest: u64,
+    current: Program,
+    current_runtime: f64,
+    analysis: Analysis,
+    movable: Vec<usize>,
+    steps_in_episode: usize,
+    best: Program,
+    best_runtime: f64,
+    action_slots: usize,
+    trace: Vec<Move>,
+}
+
+impl AssemblyGame {
+    /// Creates a game from the `-O3` schedule the compiler produced.
+    #[must_use]
+    pub fn new(
+        gpu: GpuConfig,
+        program: Program,
+        launch: LaunchConfig,
+        stalls: StallTable,
+        config: GameConfig,
+    ) -> Self {
+        let analysis = analyze(&program, &stalls);
+        let movable = analysis.movable_memory_indices();
+        let measurement = measure(&gpu, &program, &launch, &config.measure);
+        let runtime = measurement.mean_us;
+        let digest = measurement.run.sm.output_digest;
+        let action_slots = movable.len();
+        AssemblyGame {
+            gpu,
+            launch,
+            config,
+            stalls,
+            initial: program.clone(),
+            initial_runtime: runtime,
+            initial_digest: digest,
+            current: program.clone(),
+            current_runtime: runtime,
+            analysis,
+            movable,
+            steps_in_episode: 0,
+            best: program,
+            best_runtime: runtime,
+            action_slots,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Runtime of the unmodified `-O3` schedule in microseconds.
+    #[must_use]
+    pub fn initial_runtime_us(&self) -> f64 {
+        self.initial_runtime
+    }
+
+    /// The best schedule found so far and its runtime in microseconds.
+    #[must_use]
+    pub fn best(&self) -> (&Program, f64) {
+        (&self.best, self.best_runtime)
+    }
+
+    /// The output digest of the unmodified schedule (used by probabilistic
+    /// testing).
+    #[must_use]
+    pub fn initial_digest(&self) -> u64 {
+        self.initial_digest
+    }
+
+    /// The static analysis of the initial schedule.
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The moves applied since the last reset (inference-mode trace, §5.7).
+    #[must_use]
+    pub fn trace(&self) -> &[Move] {
+        &self.trace
+    }
+
+    /// Measures a program with the game's protocol.
+    fn measure_program(&self, program: &Program) -> (f64, u64, u64) {
+        let m = measure(&self.gpu, program, &self.launch, &self.config.measure);
+        (m.mean_us, m.run.sm.hazards, m.run.sm.output_digest)
+    }
+
+    fn refresh_state(&mut self) {
+        self.analysis = analyze(&self.current, &self.stalls);
+        self.movable = self.analysis.movable_memory_indices();
+    }
+}
+
+impl Env for AssemblyGame {
+    fn reset(&mut self) -> Matrix {
+        self.current = self.initial.clone();
+        self.current_runtime = self.initial_runtime;
+        self.steps_in_episode = 0;
+        self.trace.clear();
+        self.refresh_state();
+        embed_program(&self.current, &self.analysis)
+    }
+
+    fn step(&mut self, action_id: usize) -> Step {
+        let action = Action::from_id(action_id);
+        self.steps_in_episode += 1;
+        let mut reward = 0.0;
+        if let Some(&index) = self.movable.get(action.slot) {
+            let moved_text = self
+                .current
+                .instruction(index)
+                .map(ToString::to_string)
+                .unwrap_or_default();
+            let (a, b) = match action.direction {
+                Direction::Up => (index.saturating_sub(1), index),
+                Direction::Down => (index, index + 1),
+            };
+            if a != b && self.current.swap_instructions(a, b).is_ok() {
+                let (runtime, hazards, digest) = self.measure_program(&self.current);
+                // Reward (equation 3): relative improvement scaled by 100.
+                reward = ((self.current_runtime - runtime) / self.initial_runtime * 100.0) as f32;
+                if hazards > 0 || digest != self.initial_digest {
+                    // A corrupted schedule (should be prevented by masking):
+                    // revert and punish.
+                    let _ = self.current.swap_instructions(a, b);
+                    reward = -10.0;
+                } else {
+                    self.current_runtime = runtime;
+                    let moved = match action.direction {
+                        Direction::Up => b,
+                        Direction::Down => a,
+                    };
+                    self.trace.push(Move {
+                        instruction: moved,
+                        direction: action.direction,
+                        text: moved_text,
+                        reward,
+                    });
+                    if runtime < self.best_runtime {
+                        self.best_runtime = runtime;
+                        self.best = self.current.clone();
+                    }
+                }
+                self.refresh_state();
+            }
+        }
+        let done = self.steps_in_episode >= self.config.episode_length
+            || !self.action_mask().iter().any(|&m| m);
+        Step {
+            observation: embed_program(&self.current, &self.analysis),
+            reward,
+            done,
+        }
+    }
+
+    fn action_count(&self) -> usize {
+        (self.action_slots * 2).max(1)
+    }
+
+    fn action_mask(&self) -> Vec<bool> {
+        let mut mask = action_mask(&self.current, &self.movable, &self.analysis, &self.stalls);
+        mask.resize(self.action_count(), false);
+        mask
+    }
+
+    fn observation_features(&self) -> usize {
+        feature_count(&self.analysis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+
+    fn small_game() -> AssemblyGame {
+        let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+        let config = KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        };
+        let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+        AssemblyGame::new(
+            GpuConfig::small(),
+            kernel.program,
+            kernel.launch,
+            StallTable::builtin_a100(),
+            GameConfig::default(),
+        )
+    }
+
+    #[test]
+    fn reset_produces_an_observation_matching_the_schedule() {
+        let mut game = small_game();
+        let obs = game.reset();
+        assert_eq!(obs.cols(), game.observation_features());
+        assert!(obs.rows() > 20);
+        assert!(game.action_count() >= 2);
+        assert_eq!(game.action_mask().len(), game.action_count());
+    }
+
+    #[test]
+    fn greedy_exploration_improves_the_schedule_without_corruption() {
+        let mut game = small_game();
+        let _ = game.reset();
+        let initial = game.initial_runtime_us();
+        // Greedily take the first few legal actions that yield positive
+        // reward; the game must never accept a corrupted schedule.
+        let mut improved = 0;
+        for _ in 0..12 {
+            let mask = game.action_mask();
+            let Some(action) = mask.iter().position(|&m| m) else {
+                break;
+            };
+            let step = game.step(action);
+            if step.reward > 0.0 {
+                improved += 1;
+            }
+            if step.done {
+                break;
+            }
+        }
+        let (_, best_runtime) = game.best();
+        assert!(best_runtime <= initial);
+        assert!(!game.trace().is_empty() || improved == 0);
+    }
+
+    #[test]
+    fn episode_terminates_after_the_configured_length() {
+        let mut game = small_game();
+        let _ = game.reset();
+        let mut steps = 0;
+        loop {
+            let mask = game.action_mask();
+            let action = mask.iter().position(|&m| m).unwrap_or(0);
+            steps += 1;
+            if game.step(action).done {
+                break;
+            }
+            assert!(steps <= 64, "episode must terminate");
+        }
+        assert!(steps <= GameConfig::default().episode_length);
+    }
+}

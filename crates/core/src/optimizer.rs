@@ -1,0 +1,417 @@
+//! The CuAsmRL optimizer: hierarchical search (§3.1), Triton-pipeline
+//! integration (§4.1), the offline-search / deploy-time-lookup workflow
+//! (§4.2), probabilistic verification, and the non-RL search baselines the
+//! paper discusses in §7.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use gpusim::{measure, GpuConfig, MeasureOptions};
+use kernels::{Autotuner, ConfigSpace, KernelSpec, TritonPipeline};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rl::{Env, PpoConfig, PpoTrainer};
+use sass::{Cubin, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::game::{AssemblyGame, GameConfig, Move};
+use crate::stall_table::StallTable;
+
+/// The search strategy used to play the assembly game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Proximal policy optimization (the paper's default).
+    Rl(PpoConfig),
+    /// Greedy hill climbing: repeatedly apply the best immediately-improving
+    /// action.
+    Greedy {
+        /// Maximum number of moves.
+        max_moves: usize,
+    },
+    /// Uniform random search over legal actions.
+    Random {
+        /// Number of random actions to try.
+        steps: usize,
+        /// Random seed.
+        seed: u64,
+    },
+    /// (1+1) evolutionary search: mutate the best schedule by a short random
+    /// action sequence and keep the mutant if it is faster (§7).
+    Evolutionary {
+        /// Number of generations.
+        generations: usize,
+        /// Moves per mutation.
+        mutation_length: usize,
+        /// Random seed.
+        seed: u64,
+    },
+}
+
+/// Result of optimizing one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// Kernel name (cubin symbol).
+    pub kernel: String,
+    /// Runtime of the `-O3` (Triton) schedule, in microseconds.
+    pub baseline_us: f64,
+    /// Runtime of the best schedule found, in microseconds.
+    pub optimized_us: f64,
+    /// `baseline_us / optimized_us`.
+    pub speedup: f64,
+    /// Whether the optimized schedule passed probabilistic verification.
+    pub verified: bool,
+    /// The optimized schedule (text form).
+    pub optimized_listing: String,
+    /// The reordering trace that produced the best schedule.
+    pub moves: Vec<Move>,
+}
+
+/// The CuAsmRL optimizer.
+#[derive(Debug, Clone)]
+pub struct CuAsmRl {
+    gpu: GpuConfig,
+    stalls: StallTable,
+    game_config: GameConfig,
+    strategy: Strategy,
+    cache_dir: Option<PathBuf>,
+}
+
+impl CuAsmRl {
+    /// Creates an optimizer with the built-in stall table and default game
+    /// settings.
+    #[must_use]
+    pub fn new(gpu: GpuConfig, strategy: Strategy) -> Self {
+        CuAsmRl {
+            gpu,
+            stalls: StallTable::builtin_a100(),
+            game_config: GameConfig::default(),
+            strategy,
+            cache_dir: None,
+        }
+    }
+
+    /// Overrides the stall table (e.g. with a freshly micro-benchmarked one).
+    #[must_use]
+    pub fn with_stall_table(mut self, stalls: StallTable) -> Self {
+        self.stalls = stalls;
+        self
+    }
+
+    /// Overrides the game configuration.
+    #[must_use]
+    pub fn with_game_config(mut self, config: GameConfig) -> Self {
+        self.game_config = config;
+        self
+    }
+
+    /// Enables the deploy-time lookup cache in the given directory (§4.2).
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    fn cache_path(&self, kernel: &str) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}_{kernel}.json", self.gpu.name)))
+    }
+
+    /// Looks up a previously optimized kernel in the cache.
+    #[must_use]
+    pub fn lookup(&self, kernel: &str) -> Option<OptimizationReport> {
+        let path = self.cache_path(kernel)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn store(&self, report: &OptimizationReport) {
+        if let Some(path) = self.cache_path(&report.kernel) {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Ok(text) = serde_json::to_string_pretty(report) {
+                let _ = std::fs::write(path, text);
+            }
+        }
+    }
+
+    /// Full hierarchical optimization (§3.1): autotune the kernel
+    /// configuration, compile with the Triton-like pipeline, intercept the
+    /// cubin, play the assembly game, and write the optimized kernel section
+    /// back into the cubin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled cubin does not contain the expected kernel
+    /// (which would be a pipeline bug).
+    pub fn optimize_spec(
+        &self,
+        spec: &KernelSpec,
+        space: &ConfigSpace,
+        tune_options: &MeasureOptions,
+    ) -> (OptimizationReport, Cubin) {
+        let tuner = Autotuner::new(self.gpu.clone()).with_options(tune_options.clone());
+        let tuning = tuner.tune(spec, space);
+        let pipeline = TritonPipeline::new(self.gpu.clone());
+        let compiled = pipeline.compile(spec, &tuning.best);
+        if let Some(hit) = self.lookup(&compiled.name) {
+            let mut cubin = compiled.cubin.clone();
+            if let Ok(program) = hit.optimized_listing.parse::<Program>() {
+                let _ = cubin.replace_kernel_section(&compiled.name, &program);
+            }
+            return (hit, cubin);
+        }
+        let program = compiled
+            .cubin
+            .kernel_program(&compiled.name)
+            .expect("compiled cubin must contain the kernel");
+        let report = self.optimize_program(&compiled.name, program, compiled.launch.clone());
+        let mut cubin = compiled.cubin;
+        if let Ok(optimized) = report.optimized_listing.parse::<Program>() {
+            let _ = cubin.replace_kernel_section(&compiled.name, &optimized);
+        }
+        self.store(&report);
+        (report, cubin)
+    }
+
+    /// Optimizes an already-compiled SASS schedule.
+    pub fn optimize_program(
+        &self,
+        kernel: &str,
+        program: Program,
+        launch: gpusim::LaunchConfig,
+    ) -> OptimizationReport {
+        let mut game = AssemblyGame::new(
+            self.gpu.clone(),
+            program,
+            launch.clone(),
+            self.stalls.clone(),
+            self.game_config.clone(),
+        );
+        let baseline_us = game.initial_runtime_us();
+        let moves = match &self.strategy {
+            Strategy::Rl(config) => run_rl(&mut game, config.clone()),
+            Strategy::Greedy { max_moves } => run_greedy(&mut game, *max_moves),
+            Strategy::Random { steps, seed } => run_random(&mut game, *steps, *seed),
+            Strategy::Evolutionary {
+                generations,
+                mutation_length,
+                seed,
+            } => run_evolutionary(&mut game, *generations, *mutation_length, *seed),
+        };
+        let (best, optimized_us) = game.best();
+        let best = best.clone();
+        // Probabilistic testing (§4.1): the optimized schedule must produce
+        // the same outputs as the original and run without hazards.
+        let verification = measure(&self.gpu, &best, &launch, &self.game_config.measure);
+        let verified = verification.run.sm.hazards == 0
+            && verification.run.sm.output_digest == game.initial_digest();
+        OptimizationReport {
+            kernel: kernel.to_string(),
+            baseline_us,
+            optimized_us,
+            speedup: baseline_us / optimized_us.max(1e-9),
+            verified,
+            optimized_listing: best.to_string(),
+            moves,
+        }
+    }
+}
+
+fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> Vec<Move> {
+    let features = game.observation_features();
+    let actions = game.action_count();
+    let mut trainer = PpoTrainer::new(config, features, actions);
+    let _stats = trainer.train(game);
+    // Deterministic, seeded inference pass (§5.7) to recover the move trace.
+    let mut observation = game.reset();
+    let mut moves = Vec::new();
+    for _ in 0..32 {
+        let mask = game.action_mask();
+        let Some(action) = trainer.policy().act_greedy(&observation, &mask) else {
+            break;
+        };
+        let step = game.step(action);
+        moves = game.trace().to_vec();
+        observation = step.observation;
+        if step.done {
+            break;
+        }
+    }
+    moves
+}
+
+fn run_greedy(game: &mut AssemblyGame, max_moves: usize) -> Vec<Move> {
+    let _ = game.reset();
+    let mut best_trace = Vec::new();
+    for _ in 0..max_moves {
+        let mask = game.action_mask();
+        // Try each legal action, keep the best improvement.
+        let mut best: Option<(usize, f32)> = None;
+        for (action, &legal) in mask.iter().enumerate() {
+            if !legal {
+                continue;
+            }
+            let mut probe = game.clone();
+            let step = probe.step(action);
+            if step.reward > best.map_or(0.0, |(_, r)| r) {
+                best = Some((action, step.reward));
+            }
+        }
+        let Some((action, _)) = best else { break };
+        let step = game.step(action);
+        best_trace = game.trace().to_vec();
+        if step.done {
+            break;
+        }
+    }
+    best_trace
+}
+
+fn run_random(game: &mut AssemblyGame, steps: usize, seed: u64) -> Vec<Move> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let _ = game.reset();
+    let mut best_trace = Vec::new();
+    let mut best_runtime = game.best().1;
+    for _ in 0..steps {
+        let mask = game.action_mask();
+        let legal: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect();
+        if legal.is_empty() {
+            let _ = game.reset();
+            continue;
+        }
+        let action = legal[rng.gen_range(0..legal.len())];
+        let step = game.step(action);
+        if game.best().1 < best_runtime {
+            best_runtime = game.best().1;
+            best_trace = game.trace().to_vec();
+        }
+        if step.done {
+            let _ = game.reset();
+        }
+    }
+    best_trace
+}
+
+fn run_evolutionary(
+    game: &mut AssemblyGame,
+    generations: usize,
+    mutation_length: usize,
+    seed: u64,
+) -> Vec<Move> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best_sequence: Vec<usize> = Vec::new();
+    let mut best_runtime = game.initial_runtime_us();
+    let mut best_trace = Vec::new();
+    for _ in 0..generations {
+        // Mutate: replay the best sequence, then append random legal moves.
+        let _ = game.reset();
+        let mut candidate = Vec::new();
+        for &action in &best_sequence {
+            if *game.action_mask().get(action).unwrap_or(&false) {
+                let _ = game.step(action);
+                candidate.push(action);
+            }
+        }
+        for _ in 0..mutation_length {
+            let mask = game.action_mask();
+            let legal: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| m.then_some(i))
+                .collect();
+            if legal.is_empty() {
+                break;
+            }
+            let action = legal[rng.gen_range(0..legal.len())];
+            let _ = game.step(action);
+            candidate.push(action);
+        }
+        if game.best().1 < best_runtime {
+            best_runtime = game.best().1;
+            best_sequence = candidate;
+            best_trace = game.trace().to_vec();
+        }
+    }
+    best_trace
+}
+
+/// Per-strategy speedups on one kernel, used by the search-strategy ablation
+/// bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyComparison {
+    /// Strategy label → speedup over the `-O3` baseline.
+    pub speedups: HashMap<String, f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::{generate, KernelConfig, KernelKind, ScheduleStyle};
+
+    fn small_kernel() -> (String, Program, gpusim::LaunchConfig) {
+        let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+        let config = KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        };
+        let k = generate(&spec, &config, ScheduleStyle::Baseline);
+        (k.name, k.program, k.launch)
+    }
+
+    #[test]
+    fn greedy_search_finds_a_verified_speedup() {
+        let (name, program, launch) = small_kernel();
+        let optimizer = CuAsmRl::new(GpuConfig::small(), Strategy::Greedy { max_moves: 12 });
+        let report = optimizer.optimize_program(&name, program, launch);
+        assert!(report.verified, "optimized schedule must verify");
+        assert!(
+            report.speedup >= 1.0,
+            "greedy search must not regress: {}",
+            report.speedup
+        );
+        assert!(report.speedup > 1.01, "expected a measurable speedup");
+        assert!(!report.moves.is_empty());
+        assert!(!report.optimized_listing.is_empty());
+    }
+
+    #[test]
+    fn evolutionary_and_random_search_never_regress() {
+        let (name, program, launch) = small_kernel();
+        for strategy in [
+            Strategy::Random { steps: 16, seed: 1 },
+            Strategy::Evolutionary {
+                generations: 4,
+                mutation_length: 4,
+                seed: 1,
+            },
+        ] {
+            let optimizer = CuAsmRl::new(GpuConfig::small(), strategy);
+            let report = optimizer.optimize_program(&name, program.clone(), launch.clone());
+            assert!(report.speedup >= 1.0);
+            assert!(report.verified);
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_reports() {
+        let dir = std::env::temp_dir().join(format!("cuasmrl-cache-test-{}", std::process::id()));
+        let (name, program, launch) = small_kernel();
+        let optimizer = CuAsmRl::new(GpuConfig::small(), Strategy::Greedy { max_moves: 4 })
+            .with_cache_dir(&dir);
+        assert!(optimizer.lookup(&name).is_none());
+        let report = optimizer.optimize_program(&name, program, launch);
+        optimizer.store(&report);
+        let hit = optimizer.lookup(&name).expect("cache hit after store");
+        assert_eq!(hit.kernel, report.kernel);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based test of the central safety invariant: any action admitted
+//! by the mask keeps the simulated execution hazard-free and preserves the
+//! kernel's outputs.
+
+use cuasmrl::{action_mask, analyze, Action, Direction, StallTable};
+use gpusim::{simulate_launch, GpuConfig};
+use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Random walks through the masked action space never corrupt the kernel.
+    #[test]
+    fn masked_random_walks_preserve_correctness(seed in 0u64..1000) {
+        let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+        let config = KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        };
+        let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+        let gpu = GpuConfig::small();
+        let table = StallTable::builtin_a100();
+        let baseline = simulate_launch(&gpu, &kernel.program, &kernel.launch);
+        let mut program = kernel.program.clone();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..6 {
+            let analysis = analyze(&program, &table);
+            let movable = analysis.movable_memory_indices();
+            let mask = action_mask(&program, &movable, &analysis, &table);
+            let legal: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| m.then_some(i))
+                .collect();
+            if legal.is_empty() {
+                break;
+            }
+            let action = Action::from_id(legal[rng.gen_range(0..legal.len())]);
+            let index = movable[action.slot];
+            let (a, b) = match action.direction {
+                Direction::Up => (index - 1, index),
+                Direction::Down => (index, index + 1),
+            };
+            program.swap_instructions(a, b).unwrap();
+        }
+        let run = simulate_launch(&gpu, &program, &kernel.launch);
+        prop_assert_eq!(run.sm.hazards, 0);
+        prop_assert_eq!(run.sm.output_digest, baseline.sm.output_digest);
+    }
+}

@@ -1,0 +1,196 @@
+//! Device configuration: clocks, pipe widths, memory latencies and sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// The "ground-truth" pipeline latencies of the simulated device.
+///
+/// These numbers play the role of the undocumented instruction latencies of
+/// a real Ampere GPU: the simulator uses them to decide when a destination
+/// register is actually ready, while the CuAsmRL optimizer only ever sees
+/// what it can recover through micro-benchmarking (§4.3) or the static
+/// analysis pass (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Latency of the common single-cycle-issue integer/FP ALU instructions
+    /// (`IADD3`, `MOV`, `SEL`, `FADD`, ...): 4 cycles on A100.
+    pub alu: u64,
+    /// Latency of wide integer multiply-add (`IMAD.WIDE`): 5 cycles on A100.
+    pub imad_wide: u64,
+    /// Latency of a tensor-core MMA instruction.
+    pub mma: u64,
+    /// Latency of the special-function unit (`MUFU`).
+    pub sfu: u64,
+    /// Latency of `S2R` special-register reads.
+    pub s2r: u64,
+    /// Shared-memory load-to-use latency.
+    pub shared: u64,
+    /// L1 hit latency for global accesses.
+    pub l1_hit: u64,
+    /// L2 hit latency for global accesses.
+    pub l2_hit: u64,
+    /// DRAM (L2 miss) latency for global accesses.
+    pub dram: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            alu: 4,
+            imad_wide: 5,
+            mma: 16,
+            sfu: 16,
+            s2r: 12,
+            shared: 22,
+            l1_hit: 32,
+            l2_hit: 190,
+            dram: 470,
+        }
+    }
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Number of lines.
+    pub lines: usize,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.line_bytes * self.lines as u64
+    }
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Marketing name, used to key the deploy-time lookup cache.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Instructions the warp scheduler can issue per cycle per SM.
+    pub issue_width: usize,
+    /// Maximum warps resident on one SM.
+    pub max_warps_per_sm: usize,
+    /// Memory (load/store unit) instructions accepted per cycle.
+    pub lsu_width: usize,
+    /// Maximum outstanding memory requests per SM.
+    pub lsu_queue_depth: usize,
+    /// Tensor-core MMA instructions accepted per cycle.
+    pub tensor_width: usize,
+    /// Number of register file banks (operand collectors).
+    pub register_banks: usize,
+    /// Peak DRAM bandwidth in GB/s (A100 80GB PCIe: ~1935 GB/s).
+    pub dram_bandwidth_gbs: f64,
+    /// L1 data cache geometry (per SM).
+    pub l1: CacheConfig,
+    /// L2 cache geometry (device wide, modelled per SM slice).
+    pub l2: CacheConfig,
+    /// Pipeline latencies.
+    pub latency: LatencyModel,
+}
+
+impl GpuConfig {
+    /// An A100-80GB-PCIe-like configuration, the device used in the paper's
+    /// evaluation (§5.1).
+    #[must_use]
+    pub fn a100() -> Self {
+        GpuConfig {
+            name: "sim-a100-80gb-pcie".to_string(),
+            sm_count: 108,
+            clock_ghz: 1.41,
+            issue_width: 1,
+            max_warps_per_sm: 64,
+            lsu_width: 1,
+            lsu_queue_depth: 64,
+            tensor_width: 1,
+            register_banks: 4,
+            dram_bandwidth_gbs: 1935.0,
+            l1: CacheConfig {
+                line_bytes: 128,
+                lines: 1536, // 192 KiB combined L1/shared
+            },
+            l2: CacheConfig {
+                line_bytes: 128,
+                lines: 32768, // 4 MiB slice per simulated SM context
+            },
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A small configuration for fast unit tests: identical mechanisms,
+    /// smaller structures and shorter latencies.
+    #[must_use]
+    pub fn small() -> Self {
+        GpuConfig {
+            name: "sim-small".to_string(),
+            sm_count: 4,
+            clock_ghz: 1.0,
+            issue_width: 1,
+            max_warps_per_sm: 8,
+            lsu_width: 1,
+            lsu_queue_depth: 24,
+            tensor_width: 1,
+            register_banks: 4,
+            dram_bandwidth_gbs: 100.0,
+            l1: CacheConfig {
+                line_bytes: 128,
+                lines: 64,
+            },
+            l2: CacheConfig {
+                line_bytes: 128,
+                lines: 512,
+            },
+            latency: LatencyModel {
+                alu: 4,
+                imad_wide: 5,
+                mma: 8,
+                sfu: 8,
+                s2r: 6,
+                shared: 10,
+                l1_hit: 16,
+                l2_hit: 60,
+                dram: 150,
+            },
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_defaults_match_paper_table1_ground_truth() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.latency.alu, 4);
+        assert_eq!(cfg.latency.imad_wide, 5);
+        assert_eq!(cfg.sm_count, 108);
+    }
+
+    #[test]
+    fn cache_capacity() {
+        let cfg = CacheConfig {
+            line_bytes: 128,
+            lines: 64,
+        };
+        assert_eq!(cfg.capacity(), 8192);
+    }
+
+    #[test]
+    fn default_is_a100() {
+        assert_eq!(GpuConfig::default(), GpuConfig::a100());
+    }
+}

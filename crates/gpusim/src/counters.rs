@@ -1,0 +1,143 @@
+//! Nsight-Compute-style derived counters.
+//!
+//! The paper's Table 3 and the Appendix-B memory charts are produced with
+//! NVIDIA Nsight Compute. The simulator tracks the underlying events
+//! directly; this module turns a [`KernelRun`] into the same derived
+//! quantities so that the reproduction harness can print the same rows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::launch::KernelRun;
+
+/// The "Compute Workload Analysis" / "Memory Workload Analysis" rows of
+/// Nsight Compute used in Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadAnalysis {
+    /// Executed instructions per cycle over active cycles.
+    pub ipc_active: f64,
+    /// Executed instructions per cycle over elapsed cycles.
+    pub ipc_elapsed: f64,
+    /// Fraction of cycles the SM issued at least one instruction, in percent.
+    pub sm_busy_pct: f64,
+    /// Achieved device memory throughput in GB/s.
+    pub memory_throughput_gbs: f64,
+    /// Fraction of cycles the memory pipelines were busy, in percent.
+    pub mem_busy_pct: f64,
+    /// Achieved fraction of peak DRAM bandwidth, in percent.
+    pub max_bandwidth_pct: f64,
+}
+
+impl WorkloadAnalysis {
+    /// Derives the analysis from a kernel run on a given device.
+    #[must_use]
+    pub fn from_run(config: &GpuConfig, run: &KernelRun) -> Self {
+        WorkloadAnalysis {
+            ipc_active: run.sm.ipc_active(),
+            ipc_elapsed: run.sm.ipc_elapsed(),
+            sm_busy_pct: run.sm.sm_busy() * 100.0,
+            memory_throughput_gbs: run.memory_throughput_gbs,
+            mem_busy_pct: run.sm.mem_busy() * 100.0,
+            max_bandwidth_pct: (run.memory_throughput_gbs / config.dram_bandwidth_gbs) * 100.0,
+        }
+    }
+}
+
+/// The memory chart of Nsight Compute (Figures 10 and 11 of the paper):
+/// bytes moved between the kernel, the caches, shared memory and DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryChart {
+    /// Bytes loaded from global memory into registers.
+    pub global_load_bytes: u64,
+    /// Bytes stored from registers to global memory.
+    pub global_store_bytes: u64,
+    /// Bytes copied asynchronously from global to shared memory (`LDGSTS`).
+    pub global_to_shared_bytes: u64,
+    /// Bytes loaded from shared memory.
+    pub shared_load_bytes: u64,
+    /// Bytes stored to shared memory (excluding the asynchronous copy path).
+    pub shared_store_bytes: u64,
+    /// L1 hit rate over global accesses, in percent.
+    pub l1_hit_rate_pct: f64,
+    /// L2 hit rate over L1 misses, in percent.
+    pub l2_hit_rate_pct: f64,
+    /// Global-to-shared-memory throughput in GB/s (the quantity the paper
+    /// highlights as significantly improved by CuAsmRL).
+    pub global_to_shared_gbs: f64,
+}
+
+impl MemoryChart {
+    /// Derives the chart from a kernel run.
+    #[must_use]
+    pub fn from_run(run: &KernelRun) -> Self {
+        let seconds = run.runtime_us * 1e-6;
+        let per_block = run.sm.mem;
+        let grid_scale = run.waves as f64;
+        let gts_bytes_total = per_block.global_to_shared_bytes as f64 * grid_scale;
+        MemoryChart {
+            global_load_bytes: per_block.global_load_bytes,
+            global_store_bytes: per_block.global_store_bytes,
+            global_to_shared_bytes: per_block.global_to_shared_bytes,
+            shared_load_bytes: per_block.shared_load_bytes,
+            shared_store_bytes: per_block.shared_store_bytes,
+            l1_hit_rate_pct: per_block.l1_hit_rate() * 100.0,
+            l2_hit_rate_pct: per_block.l2_hit_rate() * 100.0,
+            global_to_shared_gbs: if seconds > 0.0 {
+                gts_bytes_total / seconds / 1e9
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{simulate_launch, LaunchConfig};
+
+    const SAMPLE: &str = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W-:-:S04] MOV R74, 0x100 ;
+[B------:R0:W-:-:S02] LDGSTS.E.128 [R74], desc[UR18][R4.64] ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+    fn run() -> (GpuConfig, KernelRun) {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let launch = LaunchConfig {
+            grid_blocks: 64,
+            warps_per_block: 4,
+            blocks_per_sm: 1,
+            work_per_block: 100.0,
+            ..LaunchConfig::default()
+        };
+        let run = simulate_launch(&cfg, &program, &launch);
+        (cfg, run)
+    }
+
+    #[test]
+    fn workload_analysis_is_derived_consistently() {
+        let (cfg, run) = run();
+        let analysis = WorkloadAnalysis::from_run(&cfg, &run);
+        assert!(analysis.ipc_active >= analysis.ipc_elapsed);
+        assert!(analysis.sm_busy_pct > 0.0 && analysis.sm_busy_pct <= 100.0);
+        assert!(analysis.mem_busy_pct > 0.0 && analysis.mem_busy_pct <= 100.0);
+        assert!(analysis.max_bandwidth_pct >= 0.0);
+    }
+
+    #[test]
+    fn memory_chart_reports_traffic_by_path() {
+        let (_cfg, run) = run();
+        let chart = MemoryChart::from_run(&run);
+        assert_eq!(chart.global_to_shared_bytes, 16 * 4);
+        assert!(chart.global_load_bytes > 0);
+        assert!(chart.global_store_bytes > 0);
+        assert!(chart.global_to_shared_gbs > 0.0);
+        assert!(chart.l1_hit_rate_pct <= 100.0);
+    }
+}

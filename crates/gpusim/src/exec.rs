@@ -1,0 +1,600 @@
+//! Functional execution of a single SASS instruction.
+//!
+//! Integer/address arithmetic, moves, predicates and memory operations have
+//! real semantics so that the addresses the timing model sees are the
+//! addresses a real kernel would generate. Floating-point and tensor-core
+//! instructions use a deterministic value-mixing semantics: their results are
+//! a hash of their inputs, which is enough to make the outputs of a kernel
+//! depend on every value that flows into them — a schedule that breaks a
+//! dependence produces a different (wrong) output.
+
+use std::collections::HashMap;
+
+use sass::{Guard, Instruction, MemorySpace, Mnemonic, Operand, Register};
+
+use crate::memory::{splitmix64, MemorySubsystem};
+use crate::regfile::RegisterFile;
+
+/// Per-issue context needed to evaluate operands.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// Index of the executing warp within its thread block.
+    pub warp_id: usize,
+    /// Index of the thread block.
+    pub block_id: usize,
+    /// Current cycle (read by `CS2R SR_CLOCKLO`).
+    pub cycle: u64,
+    /// Kernel parameter constant bank: `(bank, offset) -> value`.
+    pub constants: &'a HashMap<(u32, u32), u64>,
+}
+
+/// A memory access produced by executing an instruction, consumed by the
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The memory space accessed.
+    pub space: MemorySpace,
+    /// The (byte) address accessed.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u64,
+    /// True for loads (data flows toward the SM), false for stores.
+    pub is_load: bool,
+    /// True if the access bypasses L1 (`LDGSTS.BYPASS`).
+    pub bypass_l1: bool,
+}
+
+/// The architectural effects of one instruction execution.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Register writes `(register, value)`; the caller decides *when* each
+    /// becomes visible (fixed latency vs memory completion).
+    pub writes: Vec<(Register, u64)>,
+    /// Memory access for the timing model, if any.
+    pub access: Option<MemAccess>,
+    /// Branch target label if a branch was taken.
+    pub branch_to: Option<String>,
+    /// True if the program should terminate this warp (`EXIT`).
+    pub exit: bool,
+    /// True if the instruction was skipped because its guard evaluated false.
+    pub predicated_off: bool,
+}
+
+/// Evaluates the guard predicate of an instruction.
+fn guard_passes(guard: Option<&Guard>, regs: &mut RegisterFile, cycle: u64) -> bool {
+    match guard {
+        None => true,
+        Some(g) => {
+            let v = regs.read(g.pred, cycle) != 0;
+            if g.negated {
+                !v
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Memory access width implied by the opcode modifiers.
+fn access_bytes(inst: &Instruction) -> u64 {
+    for m in inst.opcode().modifiers() {
+        match m.as_str() {
+            "128" | "LTC128B" => return 16,
+            "64" => return 8,
+            "32" => return 4,
+            "16" | "U16" | "S16" => return 2,
+            "8" | "U8" | "S8" => return 1,
+            _ => {}
+        }
+    }
+    4
+}
+
+fn special_register(name: &str, ctx: &ExecContext<'_>) -> u64 {
+    match name {
+        "SR_CLOCKLO" => ctx.cycle,
+        "SR_TID.X" | "SR_TID" => (ctx.warp_id * 32) as u64,
+        "SR_CTAID.X" | "SR_CTAID" => ctx.block_id as u64,
+        "SR_LANEID" => 0,
+        "SR_WARPID" => ctx.warp_id as u64,
+        other => splitmix64(other.len() as u64 ^ 0x5352),
+    }
+}
+
+/// Evaluates a source operand to a 64-bit value, recording stale-read
+/// hazards through the register file.
+fn operand_value(
+    operand: &Operand,
+    regs: &mut RegisterFile,
+    ctx: &ExecContext<'_>,
+) -> u64 {
+    match operand {
+        Operand::Reg(r) => {
+            let mut v = regs.read(r.reg, ctx.cycle);
+            if r.reg.is_predicate() {
+                if r.not {
+                    v = u64::from(v == 0);
+                }
+                return v;
+            }
+            if r.negated {
+                v = v.wrapping_neg();
+            }
+            if r.absolute {
+                v = (v as i64).unsigned_abs();
+            }
+            v
+        }
+        Operand::Imm(v) => *v as u64,
+        Operand::FImm(v) => v.to_bits(),
+        Operand::Const { bank, offset } => ctx
+            .constants
+            .get(&(*bank, *offset))
+            .copied()
+            .unwrap_or_else(|| splitmix64(u64::from(*bank) << 32 | u64::from(*offset))),
+        Operand::Mem(_) => 0,
+        Operand::Special(name) => special_register(name, ctx),
+        Operand::Label(_) => 0,
+    }
+}
+
+/// Computes the effective byte address of a memory reference operand.
+fn memref_address(
+    operand: &Operand,
+    regs: &mut RegisterFile,
+    ctx: &ExecContext<'_>,
+) -> u64 {
+    let Operand::Mem(m) = operand else { return 0 };
+    let mut addr = 0u64;
+    if let Some(desc) = m.descriptor {
+        // Descriptor-based addressing: the uniform register holds the base
+        // of the (virtual) buffer descriptor.
+        addr = addr.wrapping_add(regs.read(desc, ctx.cycle));
+    }
+    if let Some(base) = &m.base {
+        addr = addr.wrapping_add(regs.read(base.reg, ctx.cycle));
+    }
+    addr.wrapping_add(m.offset as u64)
+}
+
+fn mix_values(opcode_tag: u64, values: &[u64]) -> u64 {
+    let mut acc = splitmix64(opcode_tag);
+    for &v in values {
+        acc = splitmix64(acc ^ v.rotate_left(17));
+    }
+    acc
+}
+
+fn compare(modifier: Option<&String>, a: i64, b: i64) -> bool {
+    match modifier.map(String::as_str) {
+        Some("GE") => a >= b,
+        Some("GT") => a > b,
+        Some("LE") => a <= b,
+        Some("LT") => a < b,
+        Some("EQ") => a == b,
+        Some("NE") => a != b,
+        _ => a != b,
+    }
+}
+
+/// Executes one instruction functionally.
+///
+/// Register reads go through [`RegisterFile::read`] at the issue cycle, so
+/// any premature read (a schedule hazard) both records a hazard event and
+/// propagates the stale value into the result.
+pub fn execute(
+    inst: &Instruction,
+    regs: &mut RegisterFile,
+    mem: &mut MemorySubsystem,
+    ctx: &ExecContext<'_>,
+) -> Outcome {
+    let mut outcome = Outcome::default();
+    if !guard_passes(inst.guard(), regs, ctx.cycle) {
+        outcome.predicated_off = true;
+        return outcome;
+    }
+    let opcode = inst.opcode();
+    let n_dest = inst.dest_operand_count();
+    let dests: Vec<&Operand> = inst.operands().iter().take(n_dest).collect();
+    let sources: Vec<&Operand> = inst.operands().iter().skip(n_dest).collect();
+    let source_values: Vec<u64> = sources
+        .iter()
+        .map(|o| operand_value(o, regs, ctx))
+        .collect();
+    let opcode_tag = splitmix64(opcode.full_name().len() as u64 ^ 0xC0DE);
+    let first_dest_reg = dests.first().and_then(|o| o.as_reg()).map(|r| r.reg);
+
+    match opcode.base() {
+        Mnemonic::Mov => {
+            if let Some(reg) = first_dest_reg {
+                outcome.writes.push((reg, source_values.first().copied().unwrap_or(0)));
+            }
+        }
+        Mnemonic::Iadd3 | Mnemonic::Lea => {
+            if let Some(reg) = first_dest_reg {
+                let sum = source_values
+                    .iter()
+                    .fold(0u64, |acc, v| acc.wrapping_add(*v));
+                outcome.writes.push((reg, sum));
+            }
+            // Carry-out predicates (if any) are set to zero.
+            for dest in dests.iter().skip(1) {
+                if let Some(r) = dest.as_reg() {
+                    outcome.writes.push((r.reg, 0));
+                }
+            }
+        }
+        Mnemonic::Imad => {
+            if let Some(reg) = first_dest_reg {
+                let a = source_values.first().copied().unwrap_or(0);
+                let b = source_values.get(1).copied().unwrap_or(0);
+                let c = source_values.get(2).copied().unwrap_or(0);
+                outcome.writes.push((reg, a.wrapping_mul(b).wrapping_add(c)));
+            }
+        }
+        Mnemonic::Sel | Mnemonic::Fsel => {
+            if let Some(reg) = first_dest_reg {
+                // Last source is the predicate selecting between the first two.
+                let pred = source_values.last().copied().unwrap_or(1);
+                let a = source_values.first().copied().unwrap_or(0);
+                let b = source_values.get(1).copied().unwrap_or(0);
+                outcome.writes.push((reg, if pred != 0 { a } else { b }));
+            }
+        }
+        Mnemonic::Iabs => {
+            if let Some(reg) = first_dest_reg {
+                let v = source_values.first().copied().unwrap_or(0) as i64;
+                outcome.writes.push((reg, v.unsigned_abs()));
+            }
+        }
+        Mnemonic::Shf => {
+            if let Some(reg) = first_dest_reg {
+                let a = source_values.first().copied().unwrap_or(0);
+                let sh = source_values.get(1).copied().unwrap_or(0) & 63;
+                let dir_right = opcode.has_modifier("R");
+                let v = if dir_right { a >> sh } else { a << sh };
+                outcome.writes.push((reg, v));
+            }
+        }
+        Mnemonic::Imnmx => {
+            if let Some(reg) = first_dest_reg {
+                let a = source_values.first().copied().unwrap_or(0) as i64;
+                let b = source_values.get(1).copied().unwrap_or(0) as i64;
+                outcome.writes.push((reg, a.min(b) as u64));
+            }
+        }
+        Mnemonic::Isetp | Mnemonic::Fsetp | Mnemonic::Hsetp2 => {
+            let a = source_values.first().copied().unwrap_or(0) as i64;
+            let b = source_values.get(1).copied().unwrap_or(0) as i64;
+            let result = compare(opcode.modifiers().first(), a, b);
+            for dest in &dests {
+                if let Some(r) = dest.as_reg() {
+                    outcome.writes.push((r.reg, u64::from(result)));
+                }
+            }
+        }
+        Mnemonic::Cs2r | Mnemonic::S2r => {
+            if let Some(reg) = first_dest_reg {
+                let value = match sources.first() {
+                    Some(Operand::Special(name)) => special_register(name, ctx),
+                    _ => source_values.first().copied().unwrap_or(0),
+                };
+                outcome.writes.push((reg, value));
+            }
+        }
+        Mnemonic::Ldg | Mnemonic::Ld | Mnemonic::Ldc => {
+            let addr_operand = sources.iter().find(|o| o.as_mem().is_some());
+            let addr = addr_operand.map_or(0, |o| memref_address(o, regs, ctx));
+            let bytes = access_bytes(inst);
+            let value = mem.load_global(addr);
+            mem.record_global_load(bytes);
+            if let Some(reg) = first_dest_reg {
+                outcome.writes.push((reg, value));
+            }
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::Global,
+                addr,
+                bytes,
+                is_load: true,
+                bypass_l1: false,
+            });
+        }
+        Mnemonic::Lds | Mnemonic::Ldsm => {
+            let addr_operand = sources.iter().find(|o| o.as_mem().is_some());
+            let addr = addr_operand.map_or(0, |o| memref_address(o, regs, ctx));
+            let bytes = access_bytes(inst);
+            let value = mem.load_shared(addr);
+            mem.record_shared_load(bytes);
+            if let Some(reg) = first_dest_reg {
+                outcome.writes.push((reg, value));
+            }
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::Shared,
+                addr,
+                bytes,
+                is_load: true,
+                bypass_l1: false,
+            });
+        }
+        Mnemonic::Stg | Mnemonic::St | Mnemonic::Red | Mnemonic::Atomg | Mnemonic::Atom => {
+            // Destination address is operand 0 (a memory reference), data is
+            // the following operand.
+            let addr = inst
+                .operands()
+                .iter()
+                .find(|o| o.as_mem().is_some())
+                .map_or(0, |o| memref_address(o, regs, ctx));
+            let data = inst
+                .operands()
+                .iter()
+                .filter(|o| o.as_mem().is_none())
+                .next_back()
+                .map_or(0, |o| operand_value(o, regs, ctx));
+            let bytes = access_bytes(inst);
+            mem.store_global(addr, data, bytes);
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::Global,
+                addr,
+                bytes,
+                is_load: false,
+                bypass_l1: false,
+            });
+        }
+        Mnemonic::Sts | Mnemonic::Stl | Mnemonic::Atoms => {
+            let addr = inst
+                .operands()
+                .iter()
+                .find(|o| o.as_mem().is_some())
+                .map_or(0, |o| memref_address(o, regs, ctx));
+            let data = inst
+                .operands()
+                .iter()
+                .filter(|o| o.as_mem().is_none())
+                .next_back()
+                .map_or(0, |o| operand_value(o, regs, ctx));
+            let bytes = access_bytes(inst);
+            mem.store_shared(addr, data, bytes);
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::Shared,
+                addr,
+                bytes,
+                is_load: false,
+                bypass_l1: false,
+            });
+        }
+        Mnemonic::Ldgsts => {
+            // Asynchronous copy: operand 0 is the shared-memory destination,
+            // the following memory operand is the global source.
+            let mut mems = inst.operands().iter().filter(|o| o.as_mem().is_some());
+            let shared_dst = mems.next().map_or(0, |o| memref_address(o, regs, ctx));
+            let global_src = mems.next().map_or(0, |o| memref_address(o, regs, ctx));
+            let bytes = access_bytes(inst);
+            let value = mem.load_global(global_src);
+            mem.store_shared(shared_dst, value, bytes);
+            mem.record_global_to_shared(bytes);
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::GlobalToShared,
+                addr: global_src,
+                bytes,
+                is_load: true,
+                bypass_l1: opcode.has_modifier("BYPASS"),
+            });
+        }
+        Mnemonic::Ldl => {
+            let addr_operand = sources.iter().find(|o| o.as_mem().is_some());
+            let addr = addr_operand.map_or(0, |o| memref_address(o, regs, ctx));
+            let value = mem.load_global(addr ^ 0x4c4f43414c); // distinct local window
+            if let Some(reg) = first_dest_reg {
+                outcome.writes.push((reg, value));
+            }
+            outcome.access = Some(MemAccess {
+                space: MemorySpace::Local,
+                addr,
+                bytes: access_bytes(inst),
+                is_load: true,
+                bypass_l1: false,
+            });
+        }
+        Mnemonic::Bra | Mnemonic::Brx | Mnemonic::Jmp => {
+            if let Some(Operand::Label(name)) = inst
+                .operands()
+                .iter()
+                .find(|o| matches!(o, Operand::Label(_)))
+            {
+                outcome.branch_to = Some(name.clone());
+            }
+        }
+        Mnemonic::Exit | Mnemonic::Ret => {
+            outcome.exit = true;
+        }
+        Mnemonic::Nop
+        | Mnemonic::Bar
+        | Mnemonic::Depbar
+        | Mnemonic::Ldgdepbar
+        | Mnemonic::Membar
+        | Mnemonic::Errbar
+        | Mnemonic::Cctl
+        | Mnemonic::Fence
+        | Mnemonic::Bssy
+        | Mnemonic::Bsync
+        | Mnemonic::Warpsync
+        | Mnemonic::Yield
+        | Mnemonic::Nanosleep => {}
+        // Everything else (floating point, tensor core, unknown opcodes):
+        // deterministic value mixing.
+        _ => {
+            for dest in &dests {
+                if let Some(r) = dest.as_reg() {
+                    outcome
+                        .writes
+                        .push((r.reg, mix_values(opcode_tag ^ r.reg.to_string().len() as u64, &source_values)));
+                }
+            }
+        }
+    }
+    // Writes to the zero/true registers are architecturally discarded.
+    outcome.writes.retain(|(reg, _)| !reg.is_zero_or_true());
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn setup() -> (RegisterFile, MemorySubsystem, HashMap<(u32, u32), u64>) {
+        (
+            RegisterFile::new(),
+            MemorySubsystem::new(&GpuConfig::small()),
+            HashMap::new(),
+        )
+    }
+
+    fn ctx<'a>(constants: &'a HashMap<(u32, u32), u64>, cycle: u64) -> ExecContext<'a> {
+        ExecContext {
+            warp_id: 0,
+            block_id: 0,
+            cycle,
+            constants,
+        }
+    }
+
+    fn run(text: &str, regs: &mut RegisterFile, mem: &mut MemorySubsystem, cycle: u64) -> Outcome {
+        let constants = HashMap::new();
+        let inst: Instruction = text.parse().unwrap();
+        execute(&inst, regs, mem, &ctx(&constants, cycle))
+    }
+
+    #[test]
+    fn mov_and_iadd3_have_integer_semantics() {
+        let (mut regs, mut mem, _) = setup();
+        let out = run("MOV R1, 0x7 ;", &mut regs, &mut mem, 0);
+        assert_eq!(out.writes, vec![(Register::Gpr(1), 7)]);
+        regs.write(Register::Gpr(1), 7, 0);
+        regs.write(Register::Gpr(2), 5, 0);
+        let out = run("IADD3 R3, R1, R2, RZ ;", &mut regs, &mut mem, 0);
+        assert_eq!(out.writes, vec![(Register::Gpr(3), 12)]);
+    }
+
+    #[test]
+    fn imad_multiplies_and_accumulates() {
+        let (mut regs, mut mem, _) = setup();
+        regs.write(Register::Gpr(4), 3, 0);
+        regs.write(Register::Gpr(5), 10, 0);
+        regs.write(Register::Gpr(6), 1, 0);
+        let out = run("IMAD R7, R4, R5, R6 ;", &mut regs, &mut mem, 0);
+        assert_eq!(out.writes, vec![(Register::Gpr(7), 31)]);
+    }
+
+    #[test]
+    fn isetp_compares_and_branch_follows_predicate() {
+        let (mut regs, mut mem, _) = setup();
+        regs.write(Register::Gpr(4), 20, 0);
+        let out = run("ISETP.GE.AND P0, PT, R4, 0x10, PT ;", &mut regs, &mut mem, 0);
+        assert_eq!(out.writes, vec![(Register::Pred(0), 1)]);
+        regs.write(Register::Pred(0), 1, 0);
+        let out = run("@P0 BRA `(.L_loop) ;", &mut regs, &mut mem, 0);
+        assert_eq!(out.branch_to.as_deref(), Some(".L_loop"));
+        regs.write(Register::Pred(0), 0, 0);
+        let out = run("@P0 BRA `(.L_loop) ;", &mut regs, &mut mem, 0);
+        assert!(out.predicated_off);
+        assert!(out.branch_to.is_none());
+    }
+
+    #[test]
+    fn predicated_off_instruction_has_no_effects() {
+        let (mut regs, mut mem, _) = setup();
+        let out = run("@!PT LDS.U.128 R76, [R156] ;", &mut regs, &mut mem, 0);
+        assert!(out.predicated_off);
+        assert!(out.writes.is_empty());
+        assert!(out.access.is_none());
+    }
+
+    #[test]
+    fn store_then_load_round_trips_through_global_memory() {
+        let (mut regs, mut mem, _) = setup();
+        regs.write(Register::Gpr(4), 0x1000, 0);
+        regs.write(Register::Gpr(15), 0xdead, 0);
+        let out = run("STG.E [R4], R15 ;", &mut regs, &mut mem, 0);
+        assert_eq!(
+            out.access,
+            Some(MemAccess {
+                space: MemorySpace::Global,
+                addr: 0x1000,
+                bytes: 4,
+                is_load: false,
+                bypass_l1: false,
+            })
+        );
+        let out = run("LDG.E R8, [R4] ;", &mut regs, &mut mem, 1);
+        assert_eq!(out.writes, vec![(Register::Gpr(8), 0xdead)]);
+    }
+
+    #[test]
+    fn ldgsts_copies_global_to_shared() {
+        let (mut regs, mut mem, _) = setup();
+        regs.write(Register::Gpr(10), 0x4000, 0); // global source
+        regs.write(Register::Gpr(74), 0x100, 0); // shared destination
+        mem.store_global(0x4000, 0xabcd, 8);
+        let out = run(
+            "LDGSTS.E.BYPASS.128 [R74], desc[UR18][R10.64] ;",
+            &mut regs,
+            &mut mem,
+            0,
+        );
+        let access = out.access.unwrap();
+        assert_eq!(access.space, MemorySpace::GlobalToShared);
+        assert!(access.bypass_l1);
+        assert_eq!(access.bytes, 16);
+        assert_eq!(mem.load_shared(0x100), 0xabcd);
+        assert_eq!(mem.counters().global_to_shared_bytes, 16);
+    }
+
+    #[test]
+    fn exit_sets_exit_flag() {
+        let (mut regs, mut mem, _) = setup();
+        assert!(run("EXIT ;", &mut regs, &mut mem, 0).exit);
+    }
+
+    #[test]
+    fn cs2r_reads_the_clock() {
+        let (mut regs, mut mem, _) = setup();
+        let out = run("CS2R R2, SR_CLOCKLO ;", &mut regs, &mut mem, 1234);
+        assert_eq!(out.writes, vec![(Register::Gpr(2), 1234)]);
+    }
+
+    #[test]
+    fn constants_come_from_the_parameter_bank() {
+        let mut regs = RegisterFile::new();
+        let mut mem = MemorySubsystem::new(&GpuConfig::small());
+        let mut constants = HashMap::new();
+        constants.insert((0u32, 0x160u32), 0x8000u64);
+        let inst: Instruction = "MOV R1, c[0x0][0x160] ;".parse().unwrap();
+        let out = execute(&inst, &mut regs, &mut mem, &ctx(&constants, 0));
+        assert_eq!(out.writes, vec![(Register::Gpr(1), 0x8000)]);
+    }
+
+    #[test]
+    fn premature_read_produces_stale_result() {
+        let (mut regs, mut mem, _) = setup();
+        // R1 is written with value 7 but only ready at cycle 10.
+        regs.write(Register::Gpr(1), 7, 10);
+        let out = run("IADD3 R2, R1, 0x1, RZ ;", &mut regs, &mut mem, 5);
+        // The stale value of R1 (0) is consumed: result is 1, not 8.
+        assert_eq!(out.writes, vec![(Register::Gpr(2), 1)]);
+        assert_eq!(regs.hazard_count(), 1);
+    }
+
+    #[test]
+    fn fp_ops_mix_deterministically() {
+        let (mut regs, mut mem, _) = setup();
+        regs.write(Register::Gpr(1), 3, 0);
+        regs.write(Register::Gpr(2), 4, 0);
+        let a = run("FFMA R3, R1, R2, R3 ;", &mut regs, &mut mem, 0);
+        let b = run("FFMA R3, R1, R2, R3 ;", &mut regs, &mut mem, 0);
+        assert_eq!(a.writes, b.writes);
+        regs.write(Register::Gpr(1), 99, 0);
+        let c = run("FFMA R3, R1, R2, R3 ;", &mut regs, &mut mem, 0);
+        assert_ne!(a.writes, c.writes, "result must depend on inputs");
+    }
+}

@@ -1,0 +1,271 @@
+//! Kernel-level launch model: grids of thread blocks over many SMs, and the
+//! CUDA-events-style measurement protocol.
+
+use std::collections::HashMap;
+
+use sass::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::sm::{SmReport, SmSimulator};
+
+/// A kernel launch configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Warps per thread block.
+    pub warps_per_block: usize,
+    /// Thread blocks co-resident on one SM (occupancy).
+    pub blocks_per_sm: usize,
+    /// Kernel parameters placed in constant bank 0: `(offset, value)`.
+    pub params: Vec<(u32, u64)>,
+    /// Useful work per thread block, used to convert runtime into
+    /// throughput (FLOPs for compute-bound kernels, bytes for memory-bound
+    /// kernels).
+    pub work_per_block: f64,
+    /// Simulation cycle limit per resident batch.
+    pub max_cycles: u64,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            grid_blocks: 1,
+            warps_per_block: 4,
+            blocks_per_sm: 1,
+            params: Vec::new(),
+            work_per_block: 1.0,
+            max_cycles: 4_000_000,
+        }
+    }
+}
+
+impl LaunchConfig {
+    /// Builds the constant-bank map consumed by the executor.
+    #[must_use]
+    pub fn constant_bank(&self) -> HashMap<(u32, u32), u64> {
+        self.params
+            .iter()
+            .map(|&(offset, value)| ((0u32, offset), value))
+            .collect()
+    }
+}
+
+/// The result of simulating a kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Per-SM report of one resident batch.
+    pub sm: SmReport,
+    /// Number of sequential "waves" of blocks needed to drain the grid.
+    pub waves: u64,
+    /// Total kernel runtime in microseconds.
+    pub runtime_us: f64,
+    /// Throughput in units of `work_per_block` per second.
+    pub throughput: f64,
+    /// Achieved device memory bandwidth in GB/s.
+    pub memory_throughput_gbs: f64,
+}
+
+/// Simulates a full kernel launch on the device.
+///
+/// All thread blocks execute the same instruction stream, so one resident
+/// batch (one SM's worth of co-resident blocks) is simulated cycle by cycle
+/// and the grid-level runtime is obtained by multiplying by the number of
+/// waves needed to drain the grid over all SMs.
+#[must_use]
+pub fn simulate_launch(config: &GpuConfig, program: &Program, launch: &LaunchConfig) -> KernelRun {
+    let simulator = SmSimulator::new(config.clone());
+    let resident_warps = (launch.warps_per_block * launch.blocks_per_sm.max(1))
+        .min(config.max_warps_per_sm)
+        .max(1);
+    let constants = launch.constant_bank();
+    let output = simulator.run(program, resident_warps, 0, &constants, launch.max_cycles);
+    let report = output.report;
+
+    let blocks_per_wave = (config.sm_count * launch.blocks_per_sm.max(1)) as u64;
+    let waves = launch.grid_blocks.div_ceil(blocks_per_wave).max(1);
+    let total_cycles = report.cycles.max(1) * waves;
+    let runtime_us = total_cycles as f64 / (config.clock_ghz * 1e3);
+    let total_work = launch.work_per_block * launch.grid_blocks as f64;
+    let throughput = if runtime_us > 0.0 {
+        total_work / (runtime_us * 1e-6)
+    } else {
+        0.0
+    };
+    // Device-level memory throughput: bytes moved by the whole grid over the
+    // runtime (each simulated block moves `device_bytes`).
+    let grid_bytes = report.mem.device_bytes() as f64 / launch.blocks_per_sm.max(1) as f64
+        * launch.grid_blocks as f64;
+    let memory_throughput_gbs = if runtime_us > 0.0 {
+        grid_bytes / (runtime_us * 1e-6) / 1e9
+    } else {
+        0.0
+    };
+    KernelRun {
+        sm: report,
+        waves,
+        runtime_us,
+        throughput,
+        memory_throughput_gbs,
+    }
+}
+
+/// Options for the CUDA-events-style measurement protocol of §3.6 / §5.1:
+/// warm-up iterations followed by measured iterations, L2 cleared between
+/// iterations, with a small Gaussian measurement noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureOptions {
+    /// Warm-up iterations (not measured).
+    pub warmup: usize,
+    /// Measured iterations.
+    pub repeats: usize,
+    /// Relative standard deviation of the measurement noise (the paper
+    /// observes individual measurements within 1% of each other).
+    pub noise_std: f64,
+    /// Seed for the measurement-noise generator.
+    pub seed: u64,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            warmup: 100,
+            repeats: 100,
+            noise_std: 0.003,
+            seed: 0,
+        }
+    }
+}
+
+/// A kernel-runtime measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Mean runtime over the measured iterations, in microseconds.
+    pub mean_us: f64,
+    /// Standard deviation of the measured iterations, in microseconds.
+    pub std_us: f64,
+    /// The underlying noise-free launch simulation.
+    pub run: KernelRun,
+}
+
+/// Measures the runtime of a kernel following the paper's protocol.
+///
+/// The simulator is deterministic, so the warm-up iterations only serve to
+/// mirror the protocol; the measured iterations differ only by the injected
+/// measurement noise.
+#[must_use]
+pub fn measure(
+    config: &GpuConfig,
+    program: &Program,
+    launch: &LaunchConfig,
+    options: &MeasureOptions,
+) -> Measurement {
+    use rand::{Rng, SeedableRng};
+    let run = simulate_launch(config, program, launch);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+        options.seed ^ run.sm.output_digest ^ run.sm.cycles,
+    );
+    let mut samples = Vec::with_capacity(options.repeats.max(1));
+    for _ in 0..options.repeats.max(1) {
+        // Box-Muller style noise via two uniform draws, clamped to a few
+        // standard deviations to keep measurements realistic.
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let noise = (u + v) * 0.5 * options.noise_std * 3.0_f64.sqrt();
+        samples.push(run.runtime_us * (1.0 + noise));
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / samples.len() as f64;
+    Measurement {
+        mean_us: mean,
+        std_us: var.sqrt(),
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+    fn launch() -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: 432,
+            warps_per_block: 4,
+            blocks_per_sm: 2,
+            params: vec![(0x160, 0x10000)],
+            work_per_block: 1024.0,
+            max_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn launch_scales_with_grid_size() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let small_grid = simulate_launch(&cfg, &program, &LaunchConfig { grid_blocks: 4, ..launch() });
+        let big_grid = simulate_launch(&cfg, &program, &LaunchConfig { grid_blocks: 4000, ..launch() });
+        assert!(big_grid.runtime_us > small_grid.runtime_us);
+        assert!(big_grid.waves > small_grid.waves);
+    }
+
+    #[test]
+    fn throughput_is_work_over_time() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let run = simulate_launch(&cfg, &program, &launch());
+        let expected = launch().work_per_block * launch().grid_blocks as f64 / (run.runtime_us * 1e-6);
+        assert!((run.throughput - expected).abs() / expected < 1e-9);
+        assert!(run.memory_throughput_gbs > 0.0);
+    }
+
+    #[test]
+    fn constant_bank_reaches_the_kernel() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = "\
+[B------:R-:W-:-:S04] MOV R4, c[0x0][0x160] ;
+[B------:R-:W-:-:S04] STG.E [R4], R4 ;
+[B------:R-:W-:-:S05] EXIT ;
+"
+        .parse()
+        .unwrap();
+        let run = simulate_launch(&cfg, &program, &launch());
+        assert_eq!(run.sm.hazards, 0);
+        assert!(run.sm.mem.global_store_bytes > 0);
+    }
+
+    #[test]
+    fn measurement_noise_is_small_and_centered() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let options = MeasureOptions::default();
+        let m = measure(&cfg, &program, &launch(), &options);
+        assert!((m.mean_us - m.run.runtime_us).abs() / m.run.runtime_us < 0.01);
+        assert!(m.std_us / m.mean_us < 0.01, "std should be within 1%");
+    }
+
+    #[test]
+    fn measurement_is_reproducible_for_a_fixed_seed() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let options = MeasureOptions {
+            seed: 7,
+            ..MeasureOptions::default()
+        };
+        let a = measure(&cfg, &program, &launch(), &options);
+        let b = measure(&cfg, &program, &launch(), &options);
+        assert_eq!(a.mean_us, b.mean_us);
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-warp register state: values, readiness times, bank conflicts and the
+//! operand-reuse cache.
+
+use sass::Register;
+
+/// Number of general-purpose registers per warp context.
+const NUM_GPR: usize = 256;
+/// Number of uniform registers per warp context.
+const NUM_UR: usize = 64;
+/// Number of predicate registers per warp context.
+const NUM_PRED: usize = 8;
+
+/// A stale-read event: an instruction consumed a register value before its
+/// producer had completed.
+///
+/// On real hardware this is exactly the failure mode the stall-count and
+/// barrier dependencies of §3.5 protect against; in the simulator it is both
+/// recorded as a hazard and *propagated* (the stale value is returned), so
+/// that corrupted schedules produce observably wrong outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleRead {
+    /// The register that was read too early.
+    pub register: Register,
+    /// Cycle at which the premature read happened.
+    pub cycle: u64,
+    /// Cycle at which the value would have become ready.
+    pub ready_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// Value visible once `ready_at` has passed.
+    value: u64,
+    /// Value visible before `ready_at` (the previous contents).
+    stale: u64,
+    /// Cycle at which `value` becomes architecturally visible.
+    ready_at: u64,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            value: 0,
+            stale: 0,
+            ready_at: 0,
+        }
+    }
+}
+
+/// The register file of one warp.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    gpr: Vec<Cell>,
+    ur: Vec<Cell>,
+    pred: Vec<Cell>,
+    hazards: Vec<StaleRead>,
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterFile {
+    /// Creates a register file with all registers zero and ready.
+    #[must_use]
+    pub fn new() -> Self {
+        RegisterFile {
+            gpr: vec![Cell::default(); NUM_GPR],
+            ur: vec![Cell::default(); NUM_UR],
+            pred: vec![Cell::default(); NUM_PRED],
+            hazards: Vec::new(),
+        }
+    }
+
+    fn cell(&self, reg: Register) -> Option<&Cell> {
+        match reg {
+            Register::Gpr(n) => self.gpr.get(n as usize),
+            Register::Ur(n) => self.ur.get(n as usize),
+            Register::Pred(n) | Register::UPred(n) => self.pred.get(n as usize),
+            Register::Rz | Register::Urz | Register::Pt => None,
+        }
+    }
+
+    fn cell_mut(&mut self, reg: Register) -> Option<&mut Cell> {
+        match reg {
+            Register::Gpr(n) => self.gpr.get_mut(n as usize),
+            Register::Ur(n) => self.ur.get_mut(n as usize),
+            Register::Pred(n) | Register::UPred(n) => self.pred.get_mut(n as usize),
+            Register::Rz | Register::Urz | Register::Pt => None,
+        }
+    }
+
+    /// Reads `reg` at `cycle`, honouring readiness: if the latest write has
+    /// not completed yet the *stale* (previous) value is returned and a
+    /// hazard is recorded.
+    ///
+    /// `RZ`/`URZ` read as zero and `PT` reads as one.
+    pub fn read(&mut self, reg: Register, cycle: u64) -> u64 {
+        match reg {
+            Register::Rz | Register::Urz => return 0,
+            Register::Pt => return 1,
+            _ => {}
+        }
+        let Some(cell) = self.cell(reg) else { return 0 };
+        if cycle < cell.ready_at {
+            let event = StaleRead {
+                register: reg,
+                cycle,
+                ready_at: cell.ready_at,
+            };
+            let stale = cell.stale;
+            self.hazards.push(event);
+            stale
+        } else {
+            cell.value
+        }
+    }
+
+    /// Reads a register without any hazard bookkeeping (used by the in-order
+    /// reference executor, which by construction never reads early).
+    #[must_use]
+    pub fn peek(&self, reg: Register) -> u64 {
+        match reg {
+            Register::Rz | Register::Urz => 0,
+            Register::Pt => 1,
+            _ => self.cell(reg).map_or(0, |c| c.value),
+        }
+    }
+
+    /// Writes `value` to `reg`; the value becomes visible at `ready_at`.
+    /// Writes to `RZ`/`URZ`/`PT` are discarded.
+    pub fn write(&mut self, reg: Register, value: u64, ready_at: u64) {
+        if let Some(cell) = self.cell_mut(reg) {
+            cell.stale = cell.value;
+            cell.value = value;
+            cell.ready_at = ready_at;
+        }
+    }
+
+    /// The cycle at which the most recent write to `reg` becomes visible.
+    #[must_use]
+    pub fn ready_at(&self, reg: Register) -> u64 {
+        self.cell(reg).map_or(0, |c| c.ready_at)
+    }
+
+    /// Stale-read hazards recorded so far.
+    #[must_use]
+    pub fn hazards(&self) -> &[StaleRead] {
+        &self.hazards
+    }
+
+    /// Number of stale-read hazards recorded so far.
+    #[must_use]
+    pub fn hazard_count(&self) -> usize {
+        self.hazards.len()
+    }
+}
+
+/// The operand-reuse cache of one warp scheduler slot.
+///
+/// Ampere's register file is banked; an instruction whose source operands
+/// collide on a bank pays an extra issue cycle unless the colliding operand
+/// was kept in the operand-reuse cache by the *previous* instruction of the
+/// same warp (the `.reuse` flag). Crucially, the cached operand is lost when
+/// the scheduler switches warps in between — this is the interaction the
+/// paper's Figure 9 optimization exploits.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseCache {
+    /// One slot per register bank: the register currently held, if any.
+    slots: Vec<Option<Register>>,
+    /// The warp that issued most recently on this scheduler.
+    last_warp: Option<usize>,
+}
+
+impl ReuseCache {
+    /// Creates a reuse cache with one slot per register bank.
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        ReuseCache {
+            slots: vec![None; banks.max(1)],
+            last_warp: None,
+        }
+    }
+
+    fn bank_of(&self, reg: Register) -> Option<usize> {
+        match reg {
+            Register::Gpr(n) => Some(n as usize % self.slots.len()),
+            _ => None,
+        }
+    }
+
+    /// Computes the extra issue cycles due to register-bank conflicts for an
+    /// instruction of `warp` reading `sources`, where `reuse_flagged` lists
+    /// the sources carrying the `.reuse` hint. Updates the cache state.
+    ///
+    /// Returns the number of conflict cycles (0 or more).
+    pub fn issue(
+        &mut self,
+        warp: usize,
+        sources: &[Register],
+        reuse_flagged: &[Register],
+    ) -> u64 {
+        let same_warp = self.last_warp == Some(warp);
+        if !same_warp {
+            // A warp switch invalidates the operand cache.
+            for slot in &mut self.slots {
+                *slot = None;
+            }
+        }
+        // Count bank conflicts among the *distinct* general-purpose sources,
+        // forgiving collisions satisfied by the reuse cache.
+        let mut seen_banks: Vec<usize> = Vec::new();
+        let mut conflicts = 0u64;
+        let mut distinct: Vec<Register> = Vec::new();
+        for &reg in sources {
+            if !distinct.contains(&reg) {
+                distinct.push(reg);
+            }
+        }
+        for &reg in &distinct {
+            let Some(bank) = self.bank_of(reg) else { continue };
+            let cached = same_warp && self.slots[bank] == Some(reg);
+            if seen_banks.contains(&bank) && !cached {
+                conflicts += 1;
+            } else {
+                seen_banks.push(bank);
+            }
+        }
+        // Populate the cache with the operands flagged `.reuse` for the next
+        // instruction of this warp.
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        for &reg in reuse_flagged {
+            if let Some(bank) = self.bank_of(reg) {
+                self.slots[bank] = Some(reg);
+            }
+        }
+        self.last_warp = Some(warp);
+        conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_before_ready_returns_stale_value_and_records_hazard() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::Gpr(4), 111, 10);
+        assert_eq!(rf.read(Register::Gpr(4), 5), 0, "stale value is the old contents");
+        assert_eq!(rf.hazard_count(), 1);
+        assert_eq!(rf.read(Register::Gpr(4), 10), 111);
+        assert_eq!(rf.hazard_count(), 1);
+    }
+
+    #[test]
+    fn zero_registers_read_constant_values() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::Rz, 99, 0);
+        assert_eq!(rf.read(Register::Rz, 100), 0);
+        assert_eq!(rf.read(Register::Pt, 100), 1);
+        assert_eq!(rf.hazard_count(), 0);
+    }
+
+    #[test]
+    fn predicates_and_uniform_registers_are_separate_files() {
+        let mut rf = RegisterFile::new();
+        rf.write(Register::Pred(2), 1, 0);
+        rf.write(Register::Ur(2), 77, 0);
+        rf.write(Register::Gpr(2), 55, 0);
+        assert_eq!(rf.peek(Register::Pred(2)), 1);
+        assert_eq!(rf.peek(Register::Ur(2)), 77);
+        assert_eq!(rf.peek(Register::Gpr(2)), 55);
+    }
+
+    #[test]
+    fn bank_conflict_costs_a_cycle() {
+        let mut cache = ReuseCache::new(4);
+        // R4 and R8 are both in bank 0 of a 4-bank file.
+        let conflicts = cache.issue(0, &[Register::Gpr(4), Register::Gpr(8)], &[]);
+        assert_eq!(conflicts, 1);
+        // Distinct banks: no conflict.
+        let conflicts = cache.issue(0, &[Register::Gpr(4), Register::Gpr(5)], &[]);
+        assert_eq!(conflicts, 0);
+    }
+
+    #[test]
+    fn reuse_hint_removes_conflict_when_same_warp_issues_back_to_back() {
+        let mut cache = ReuseCache::new(4);
+        // First instruction caches R4 (bank 0) for reuse.
+        let _ = cache.issue(0, &[Register::Gpr(4), Register::Gpr(5)], &[Register::Gpr(4)]);
+        // Next instruction of the same warp reads R4 and R8 (both bank 0):
+        // the cached copy of R4 absorbs the conflict.
+        let conflicts = cache.issue(0, &[Register::Gpr(8), Register::Gpr(4)], &[]);
+        assert_eq!(conflicts, 0);
+    }
+
+    #[test]
+    fn warp_switch_invalidates_reuse_cache() {
+        let mut cache = ReuseCache::new(4);
+        let _ = cache.issue(0, &[Register::Gpr(4), Register::Gpr(5)], &[Register::Gpr(4)]);
+        // Another warp issues in between.
+        let _ = cache.issue(1, &[Register::Gpr(12)], &[]);
+        // Back to warp 0: the cached R4 is gone, so the conflict is paid.
+        let conflicts = cache.issue(0, &[Register::Gpr(8), Register::Gpr(4)], &[]);
+        assert_eq!(conflicts, 1);
+    }
+
+    #[test]
+    fn duplicate_source_registers_do_not_conflict_with_themselves() {
+        let mut cache = ReuseCache::new(4);
+        let conflicts = cache.issue(0, &[Register::Gpr(4), Register::Gpr(4)], &[]);
+        assert_eq!(conflicts, 0);
+    }
+}

@@ -1,0 +1,789 @@
+//! The cycle-level streaming-multiprocessor model.
+//!
+//! One [`SmSimulator::run`] call executes a kernel's SASS program for a set
+//! of resident warps on a single SM, honouring:
+//!
+//! * per-instruction **stall counts** (the warp may not issue its next
+//!   instruction earlier),
+//! * **scoreboard wait barriers** set by variable-latency instructions and
+//!   consumed by the wait mask,
+//! * **warp scheduling** (greedy-then-oldest): when the current warp cannot
+//!   issue, the scheduler switches to another eligible warp (thread-level
+//!   parallelism),
+//! * **structural hazards** on the load/store unit and the tensor pipe,
+//! * **register-bank conflicts** and the operand-reuse cache, which is
+//!   invalidated by warp switches (§5.7.1),
+//! * the **fixed pipeline latencies** of ALU instructions — a schedule that
+//!   under-stalls a producer yields stale values, which are propagated and
+//!   counted as hazards,
+//! * the **LDGSTS group rule**: asynchronous copies that fill consecutive
+//!   shared-memory slices must issue in ascending order (§3.5 "additional
+//!   dependencies"); violations corrupt the transferred data.
+
+use std::collections::HashMap;
+
+use sass::{Instruction, LatencyClass, MemorySpace, Mnemonic, Operand, Program, Register};
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::exec::{execute, ExecContext};
+use crate::memory::{MemCounters, MemorySubsystem};
+use crate::regfile::{RegisterFile, ReuseCache};
+
+/// Aggregate result of simulating one thread block (a set of resident warps)
+/// on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmReport {
+    /// Total cycles until every warp exited (or the cycle limit was hit).
+    pub cycles: u64,
+    /// Dynamic instructions issued.
+    pub instructions_issued: u64,
+    /// Cycles in which at least one instruction was issued.
+    pub issue_active_cycles: u64,
+    /// Cycles in which at least one warp was eligible to issue.
+    pub eligible_cycles: u64,
+    /// Cycles during which the load/store unit was occupied.
+    pub lsu_busy_cycles: u64,
+    /// Cycles during which the tensor pipe was occupied.
+    pub tensor_busy_cycles: u64,
+    /// Extra issue cycles paid to register-bank conflicts.
+    pub bank_conflict_cycles: u64,
+    /// Memory traffic counters.
+    pub mem: MemCounters,
+    /// Number of data hazards observed (stale register reads plus LDGSTS
+    /// group violations). A correct schedule has zero.
+    pub hazards: u64,
+    /// Order-insensitive digest of the final global-memory contents.
+    pub output_digest: u64,
+    /// False if the simulation hit the cycle limit before all warps exited.
+    pub completed: bool,
+}
+
+impl SmReport {
+    /// Instructions per cycle over elapsed cycles.
+    #[must_use]
+    pub fn ipc_elapsed(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions_issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per cycle over cycles in which the SM had issuable work.
+    #[must_use]
+    pub fn ipc_active(&self) -> f64 {
+        if self.eligible_cycles == 0 {
+            0.0
+        } else {
+            self.instructions_issued as f64 / self.eligible_cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in which an instruction was issued.
+    #[must_use]
+    pub fn sm_busy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issue_active_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in which the LSU was busy.
+    #[must_use]
+    pub fn mem_busy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.lsu_busy_cycles.min(self.cycles)) as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The full result of a simulation: the timing report plus the final memory
+/// image (used by probabilistic testing to inspect output buffers).
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Timing and counter report.
+    pub report: SmReport,
+    /// Final memory state.
+    pub memory: MemorySubsystem,
+}
+
+#[derive(Debug)]
+struct Warp {
+    pc: usize,
+    stall_until: u64,
+    finished: bool,
+    at_barrier: bool,
+    regs: RegisterFile,
+    /// Outstanding completion cycles per scoreboard barrier.
+    barrier_pending: Vec<Vec<u64>>,
+    /// State of the current LDGSTS ascending-offset group: (shared base
+    /// register, last offset seen).
+    ldgsts_group: Option<(Register, i64)>,
+    ldgsts_violations: u64,
+    yielded: bool,
+}
+
+impl Warp {
+    fn new(warp_id: usize, block_id: usize) -> Self {
+        let mut regs = RegisterFile::new();
+        // Thread/block identity registers conventionally live in R0/R1 right
+        // after the prologue of generated kernels; we also pre-seed a couple
+        // of well-known registers so that generators may rely on them.
+        regs.write(Register::Gpr(252), (warp_id * 32) as u64, 0);
+        regs.write(Register::Gpr(253), block_id as u64, 0);
+        Warp {
+            pc: 0,
+            stall_until: 0,
+            finished: false,
+            at_barrier: false,
+            regs,
+            barrier_pending: vec![Vec::new(); 6],
+            ldgsts_group: None,
+            ldgsts_violations: 0,
+            yielded: false,
+        }
+    }
+
+    fn barriers_clear(&self, mask: u8, cycle: u64) -> bool {
+        (0..6u8).all(|b| mask & (1 << b) == 0 || self.barrier_clear(b, cycle))
+    }
+
+    fn barrier_clear(&self, barrier: u8, cycle: u64) -> bool {
+        self.barrier_pending[barrier as usize]
+            .iter()
+            .all(|&done| done <= cycle)
+    }
+
+    fn all_barriers_clear(&self, cycle: u64) -> bool {
+        (0..6u8).all(|b| self.barrier_clear(b, cycle))
+    }
+
+    fn prune_barriers(&mut self, cycle: u64) {
+        for pending in &mut self.barrier_pending {
+            pending.retain(|&done| done > cycle);
+        }
+    }
+}
+
+/// Simulator for one SM running one thread block's worth of warps.
+#[derive(Debug, Clone)]
+pub struct SmSimulator {
+    config: GpuConfig,
+}
+
+impl SmSimulator {
+    /// Creates a simulator for the given device.
+    #[must_use]
+    pub fn new(config: GpuConfig) -> Self {
+        SmSimulator { config }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Fixed pipeline latency of a (non-memory) instruction.
+    fn fixed_latency(&self, inst: &Instruction) -> u64 {
+        let lat = &self.config.latency;
+        let opcode = inst.opcode();
+        match opcode.base() {
+            Mnemonic::Imad if opcode.has_modifier("WIDE") => lat.imad_wide,
+            Mnemonic::Hmma | Mnemonic::Imma => lat.mma,
+            Mnemonic::Mufu => lat.sfu,
+            Mnemonic::S2r => lat.s2r,
+            _ => lat.alu,
+        }
+    }
+
+    /// Runs `program` with `warps` resident warps for block `block_id`,
+    /// using `constants` as the kernel parameter bank.
+    ///
+    /// The simulation stops when every warp has executed `EXIT` or when
+    /// `max_cycles` is reached (reported through [`SmReport::completed`]).
+    #[must_use]
+    pub fn run(
+        &self,
+        program: &Program,
+        warps: usize,
+        block_id: usize,
+        constants: &HashMap<(u32, u32), u64>,
+        max_cycles: u64,
+    ) -> SimOutput {
+        let instructions: Vec<&Instruction> = program.instructions().collect();
+        let label_map = build_label_map(program);
+        let mut memory = MemorySubsystem::new(&self.config);
+        let mut warp_states: Vec<Warp> = (0..warps.max(1))
+            .map(|w| Warp::new(w, block_id))
+            .collect();
+        let mut reuse_cache = ReuseCache::new(self.config.register_banks);
+
+        let mut cycle: u64 = 0;
+        let mut issued: u64 = 0;
+        let mut issue_active_cycles: u64 = 0;
+        let mut eligible_cycles: u64 = 0;
+        let mut lsu_busy: u64 = 0;
+        let mut tensor_busy: u64 = 0;
+        let mut bank_conflict_cycles: u64 = 0;
+        let mut lsu_free_at: u64 = 0;
+        let mut tensor_free_at: u64 = 0;
+        let mut lsu_outstanding: Vec<u64> = Vec::new();
+        let mut last_issued_warp: Option<usize> = None;
+        let mut completed = true;
+
+        if instructions.is_empty() {
+            let report = SmReport {
+                cycles: 0,
+                instructions_issued: 0,
+                issue_active_cycles: 0,
+                eligible_cycles: 0,
+                lsu_busy_cycles: 0,
+                tensor_busy_cycles: 0,
+                bank_conflict_cycles: 0,
+                mem: memory.counters(),
+                hazards: 0,
+                output_digest: memory.global_digest(),
+                completed: true,
+            };
+            return SimOutput { report, memory };
+        }
+
+        while warp_states.iter().any(|w| !w.finished) {
+            if cycle >= max_cycles {
+                completed = false;
+                break;
+            }
+            // Barrier release: when every unfinished warp is waiting, release
+            // all of them.
+            if warp_states.iter().any(|w| !w.finished && w.at_barrier)
+                && warp_states
+                    .iter()
+                    .all(|w| w.finished || w.at_barrier)
+            {
+                for w in &mut warp_states {
+                    w.at_barrier = false;
+                }
+            }
+            lsu_outstanding.retain(|&done| done > cycle);
+
+            let eligible: Vec<usize> = (0..warp_states.len())
+                .filter(|&w| {
+                    self.warp_eligible(
+                        &warp_states[w],
+                        &instructions,
+                        cycle,
+                        lsu_free_at,
+                        tensor_free_at,
+                        lsu_outstanding.len(),
+                    )
+                })
+                .collect();
+            if !eligible.is_empty() {
+                eligible_cycles += 1;
+            }
+
+            let mut issued_this_cycle = 0usize;
+            let mut pick_from = eligible;
+            while issued_this_cycle < self.config.issue_width && !pick_from.is_empty() {
+                // Greedy-then-oldest: prefer the warp that issued last cycle
+                // (unless it yielded), otherwise the lowest-index eligible
+                // warp after it.
+                let chosen = match last_issued_warp {
+                    Some(last)
+                        if !warp_states[last].yielded && pick_from.contains(&last) =>
+                    {
+                        last
+                    }
+                    Some(last) => *pick_from
+                        .iter()
+                        .find(|&&w| w > last)
+                        .unwrap_or(&pick_from[0]),
+                    None => pick_from[0],
+                };
+                pick_from.retain(|&w| w != chosen);
+
+                let warp = &mut warp_states[chosen];
+                let inst = instructions[warp.pc];
+                let ctx = ExecContext {
+                    warp_id: chosen,
+                    block_id,
+                    cycle,
+                    constants,
+                };
+                let outcome = execute(inst, &mut warp.regs, &mut memory, &ctx);
+
+                // Register-bank conflicts and the operand-reuse cache.
+                let sources: Vec<Register> =
+                    inst.uses().into_iter().filter(|r| r.is_gpr()).collect();
+                let reuse_flagged: Vec<Register> = inst
+                    .operands()
+                    .iter()
+                    .filter(|o| o.has_reuse())
+                    .flat_map(Operand::registers)
+                    .filter(|r| r.is_gpr())
+                    .collect();
+                let conflicts = reuse_cache.issue(chosen, &sources, &reuse_flagged);
+                bank_conflict_cycles += conflicts;
+
+                let stall = u64::from(inst.control().stall()).max(1) + conflicts;
+                warp.stall_until = cycle + stall;
+                warp.yielded = inst.control().yield_flag();
+
+                // Barrier / synchronisation semantics.
+                match inst.opcode().base() {
+                    Mnemonic::Bar => {
+                        warp.at_barrier = true;
+                    }
+                    Mnemonic::Depbar | Mnemonic::Ldgdepbar => {
+                        // Wait-for-outstanding-copies: model as stalling the
+                        // warp until its own barriers clear.
+                        let worst = warp
+                            .barrier_pending
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .max()
+                            .unwrap_or(cycle);
+                        warp.stall_until = warp.stall_until.max(worst);
+                    }
+                    _ => {}
+                }
+
+                if !outcome.predicated_off {
+                    if let Some(access) = outcome.access {
+                        // Timing of the memory access. Shared-memory and
+                        // constant accesses are served by on-chip pipelines
+                        // with (approximately) fixed latency; only accesses
+                        // that leave the SM queue behind earlier global
+                        // traffic.
+                        let (service_latency, queued) = match access.space {
+                            MemorySpace::Shared => (memory.shared_latency(), false),
+                            MemorySpace::Constant => (self.config.latency.l1_hit, false),
+                            _ => {
+                                let (lat, _) =
+                                    memory.global_access_latency(access.addr, access.bypass_l1);
+                                (lat, true)
+                            }
+                        };
+                        // LSU occupancy: one cycle per 128 bytes of
+                        // warp-wide traffic.
+                        let warp_bytes = access.bytes * 32;
+                        let lsu_cycles = (warp_bytes / 128).max(1);
+                        let queue_wait = if queued {
+                            lsu_free_at.saturating_sub(cycle)
+                        } else {
+                            0
+                        };
+                        lsu_free_at = lsu_free_at.max(cycle) + lsu_cycles;
+                        lsu_busy += lsu_cycles;
+                        let completion = cycle + queue_wait + service_latency;
+                        if queued {
+                            // Only off-SM (global) requests occupy the
+                            // outstanding-request queue; shared-memory
+                            // accesses are serviced by the on-chip pipeline.
+                            lsu_outstanding.push(completion);
+                        }
+
+                        if let Some(rb) = inst.control().read_barrier() {
+                            // Source registers are consumed once the request
+                            // has left the LSU.
+                            warp.barrier_pending[rb as usize]
+                                .push(cycle + queue_wait + lsu_cycles + 4);
+                        }
+                        if let Some(wb) = inst.control().write_barrier() {
+                            warp.barrier_pending[wb as usize].push(completion);
+                        }
+                        // Loads deliver their destination registers at
+                        // completion time.
+                        for (reg, value) in &outcome.writes {
+                            warp.regs.write(*reg, *value, completion);
+                        }
+                        // LDGSTS ascending-group rule.
+                        if *inst.opcode().base() == Mnemonic::Ldgsts {
+                            let key = ldgsts_group_key(inst);
+                            if let (Some((base, offset)), Some((prev_base, prev_offset))) =
+                                (key, warp.ldgsts_group)
+                            {
+                                if base == prev_base && offset < prev_offset {
+                                    warp.ldgsts_violations += 1;
+                                }
+                            }
+                            warp.ldgsts_group = key.or(warp.ldgsts_group);
+                        } else {
+                            warp.ldgsts_group = None;
+                        }
+                    } else {
+                        // Fixed-latency (or barrier-setting non-memory) path.
+                        let latency = self.fixed_latency(inst);
+                        if inst.opcode().is_mma() {
+                            let busy = self.config.latency.mma / 2;
+                            tensor_free_at = tensor_free_at.max(cycle) + busy;
+                            tensor_busy += busy;
+                        }
+                        let ready_at = cycle + latency;
+                        for (reg, value) in &outcome.writes {
+                            warp.regs.write(*reg, *value, ready_at);
+                        }
+                        if inst.opcode().latency_class() == LatencyClass::Variable {
+                            // Variable-latency non-memory instructions clear
+                            // their write barrier after their latency.
+                            if let Some(wb) = inst.control().write_barrier() {
+                                warp.barrier_pending[wb as usize].push(ready_at);
+                            }
+                        }
+                    }
+                }
+
+                // Control flow.
+                if outcome.exit {
+                    warp.finished = true;
+                } else if let Some(target) = &outcome.branch_to {
+                    match label_map.get(target) {
+                        Some(&idx) => warp.pc = idx,
+                        None => warp.finished = true,
+                    }
+                } else {
+                    warp.pc += 1;
+                    if warp.pc >= instructions.len() {
+                        warp.finished = true;
+                    }
+                }
+                warp.prune_barriers(cycle);
+
+                issued += 1;
+                issued_this_cycle += 1;
+                last_issued_warp = Some(chosen);
+            }
+            if issued_this_cycle > 0 {
+                issue_active_cycles += 1;
+            }
+            cycle += 1;
+        }
+
+        let hazards: u64 = warp_states
+            .iter()
+            .map(|w| w.regs.hazard_count() as u64 + w.ldgsts_violations)
+            .sum();
+        let report = SmReport {
+            cycles: cycle,
+            instructions_issued: issued,
+            issue_active_cycles,
+            eligible_cycles,
+            lsu_busy_cycles: lsu_busy,
+            tensor_busy_cycles: tensor_busy,
+            bank_conflict_cycles,
+            mem: memory.counters(),
+            hazards,
+            output_digest: memory.global_digest(),
+            completed,
+        };
+        SimOutput { report, memory }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn warp_eligible(
+        &self,
+        warp: &Warp,
+        instructions: &[&Instruction],
+        cycle: u64,
+        lsu_free_at: u64,
+        tensor_free_at: u64,
+        lsu_outstanding: usize,
+    ) -> bool {
+        if warp.finished || warp.at_barrier || cycle < warp.stall_until {
+            return false;
+        }
+        let Some(inst) = instructions.get(warp.pc) else {
+            return false;
+        };
+        if !warp.barriers_clear(inst.control().wait_mask(), cycle) {
+            return false;
+        }
+        if matches!(inst.opcode().base(), Mnemonic::Depbar | Mnemonic::Ldgdepbar)
+            && !warp.all_barriers_clear(cycle)
+        {
+            return false;
+        }
+        // Memory instructions can issue as long as the LSU input queue has
+        // room; data-path serialisation is charged to their completion time,
+        // not to the issue stage.
+        if inst.opcode().is_memory() && lsu_outstanding >= self.config.lsu_queue_depth {
+            return false;
+        }
+        let _ = lsu_free_at;
+        if inst.opcode().is_mma() && tensor_free_at > cycle + 4 {
+            return false;
+        }
+        true
+    }
+}
+
+/// The (shared-memory base register, offset) key used to detect LDGSTS
+/// ascending-group violations.
+fn ldgsts_group_key(inst: &Instruction) -> Option<(Register, i64)> {
+    let mem = inst.operands().iter().find_map(Operand::as_mem)?;
+    let base = mem.base?;
+    Some((base.reg, mem.offset))
+}
+
+fn build_label_map(program: &Program) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    let mut instr_index = 0usize;
+    for item in program.items() {
+        match item {
+            sass::Item::Label(name) => {
+                map.insert(name.clone(), instr_index);
+            }
+            sass::Item::Instr(_) => instr_index += 1,
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> SmSimulator {
+        SmSimulator::new(GpuConfig::small())
+    }
+
+    fn run_text(text: &str, warps: usize) -> SimOutput {
+        let program: Program = text.parse().unwrap();
+        sim().run(&program, warps, 0, &HashMap::new(), 1_000_000)
+    }
+
+    #[test]
+    fn trivial_program_completes() {
+        let out = run_text(
+            "[B------:R-:W-:-:S04] MOV R1, 0x7 ;\n[B------:R-:W-:-:S05] EXIT ;\n",
+            1,
+        );
+        assert!(out.report.completed);
+        assert_eq!(out.report.instructions_issued, 2);
+        assert!(out.report.cycles >= 5);
+    }
+
+    #[test]
+    fn stall_counts_gate_issue() {
+        // Two instructions with stall 4 and 1: total at least 5 cycles.
+        let fast = run_text(
+            "[B------:R-:W-:-:S01] MOV R1, 0x7 ;\n[B------:R-:W-:-:S01] MOV R2, 0x8 ;\n[B------:R-:W-:-:S01] EXIT ;\n",
+            1,
+        );
+        let slow = run_text(
+            "[B------:R-:W-:-:S08] MOV R1, 0x7 ;\n[B------:R-:W-:-:S08] MOV R2, 0x8 ;\n[B------:R-:W-:-:S01] EXIT ;\n",
+            1,
+        );
+        assert!(slow.report.cycles > fast.report.cycles);
+    }
+
+    #[test]
+    fn correct_schedule_has_no_hazards_and_wrong_stall_does() {
+        // Producer-consumer with the full 4-cycle stall: correct value stored.
+        let good = run_text(
+            "[B------:R-:W-:-:S04] MOV R15, 0x1 ;\n\
+             [B------:R-:W-:-:S04] MOV R4, 0x100 ;\n\
+             [B------:R-:W-:-:S04] STG.E [R4], R15 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            1,
+        );
+        assert_eq!(good.report.hazards, 0);
+        assert_eq!(good.memory.load_global(0x100), 1);
+
+        // Under-stalled producer: the store reads a stale R15.
+        let bad = run_text(
+            "[B------:R-:W-:-:S04] MOV R4, 0x100 ;\n\
+             [B------:R-:W-:-:S01] MOV R15, 0x1 ;\n\
+             [B------:R-:W-:-:S04] STG.E [R4], R15 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            1,
+        );
+        assert!(bad.report.hazards > 0);
+        assert_ne!(bad.memory.load_global(0x100), 1);
+        assert_ne!(good.report.output_digest, bad.report.output_digest);
+    }
+
+    #[test]
+    fn write_barrier_protects_load_consumers() {
+        // A load sets write barrier 0; the consumer waits on it: no hazard
+        // and the loaded value reaches the output store.
+        let text = "\
+[B------:R-:W-:-:S04] MOV R4, 0x40 ;
+[B------:R-:W-:-:S04] MOV R8, 0x80 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] STG.E [R8], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let out = run_text(text, 1);
+        assert_eq!(out.report.hazards, 0);
+        let expected = out.memory.load_global(0x40).wrapping_add(1);
+        assert_eq!(out.memory.load_global(0x80), expected);
+
+        // Remove the wait: the consumer reads a stale R2.
+        let broken = text.replace("[B0-----:R-:W-:-:S04] IADD3", "[B------:R-:W-:-:S04] IADD3");
+        let out = run_text(&broken, 1);
+        assert!(out.report.hazards > 0);
+    }
+
+    #[test]
+    fn more_warps_hide_memory_latency() {
+        // A load followed by dependent compute: with more warps, total
+        // cycles per warp shrink because the scheduler switches (TLP).
+        let text = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] IADD3 R7, R6, 0x1, RZ ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let one = run_text(text, 1);
+        let four = run_text(text, 4);
+        let per_warp_one = one.report.cycles as f64;
+        let per_warp_four = four.report.cycles as f64 / 4.0;
+        assert!(
+            per_warp_four < per_warp_one,
+            "expected latency hiding: {per_warp_four} vs {per_warp_one}"
+        );
+    }
+
+    #[test]
+    fn interleaving_loads_with_compute_reduces_cycles() {
+        // Back-to-back dependent chain after two loads vs. loads hoisted
+        // early: the hoisted schedule overlaps memory latency with compute.
+        let bunched = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W-:-:S04] MOV R8, 0x2000 ;
+[B------:R-:W-:-:S04] MOV R20, 0x3 ;
+[B------:R-:W-:-:S04] IMAD R21, R20, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R22, R21, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R23, R22, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R24, R23, R20, RZ ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B------:R-:W1:-:S02] LDG.E R3, [R8] ;
+[B01----:R-:W-:-:S04] IADD3 R6, R2, R3, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let hoisted = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W-:-:S04] MOV R8, 0x2000 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B------:R-:W1:-:S02] LDG.E R3, [R8] ;
+[B------:R-:W-:-:S04] MOV R20, 0x3 ;
+[B------:R-:W-:-:S04] IMAD R21, R20, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R22, R21, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R23, R22, R20, RZ ;
+[B------:R-:W-:-:S04] IMAD R24, R23, R20, RZ ;
+[B01----:R-:W-:-:S04] IADD3 R6, R2, R3, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let a = run_text(bunched, 2);
+        let b = run_text(hoisted, 2);
+        assert!(a.report.hazards == 0 && b.report.hazards == 0);
+        assert_eq!(a.report.output_digest, b.report.output_digest);
+        assert!(
+            b.report.cycles < a.report.cycles,
+            "hoisted loads should be faster: {} vs {}",
+            b.report.cycles,
+            a.report.cycles
+        );
+    }
+
+    #[test]
+    fn loops_execute_until_predicate_flips() {
+        let text = "\
+[B------:R-:W-:-:S04] MOV R10, 0x0 ;
+[B------:R-:W-:-:S04] MOV R11, 0x4 ;
+.L_loop:
+[B------:R-:W-:-:S04] IADD3 R10, R10, 0x1, RZ ;
+[B------:R-:W-:-:S04] ISETP.LT.AND P0, PT, R10, R11, PT ;
+[B------:R-:W-:-:S06] @P0 BRA `(.L_loop) ;
+[B------:R-:W-:-:S04] MOV R4, 0x40 ;
+[B------:R-:W-:-:S04] STG.E [R4], R10 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let out = run_text(text, 1);
+        assert!(out.report.completed);
+        assert_eq!(out.memory.load_global(0x40), 4);
+        assert_eq!(out.report.hazards, 0);
+    }
+
+    #[test]
+    fn barrier_sync_synchronises_all_warps() {
+        let text = "\
+[B------:R-:W-:-:S04] MOV R1, 0x1 ;
+[B------:R-:W-:-:S01] BAR.SYNC 0x0 ;
+[B------:R-:W-:-:S04] MOV R2, 0x2 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let out = run_text(text, 4);
+        assert!(out.report.completed);
+        assert_eq!(out.report.instructions_issued, 16);
+    }
+
+    #[test]
+    fn ldgsts_descending_offsets_are_a_violation() {
+        let ascending = "\
+[B------:R-:W-:-:S04] MOV R74, 0x100 ;
+[B------:R-:W-:-:S04] MOV R10, 0x4000 ;
+[B------:R0:W-:-:S02] LDGSTS.E.128 [R74+0x0], desc[UR18][R10.64] ;
+[B------:R0:W-:-:S02] LDGSTS.E.128 [R74+0x800], desc[UR18][R10.64] ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let descending = "\
+[B------:R-:W-:-:S04] MOV R74, 0x100 ;
+[B------:R-:W-:-:S04] MOV R10, 0x4000 ;
+[B------:R0:W-:-:S02] LDGSTS.E.128 [R74+0x800], desc[UR18][R10.64] ;
+[B------:R0:W-:-:S02] LDGSTS.E.128 [R74+0x0], desc[UR18][R10.64] ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        assert_eq!(run_text(ascending, 1).report.hazards, 0);
+        assert!(run_text(descending, 1).report.hazards > 0);
+    }
+
+    #[test]
+    fn cycle_limit_is_reported() {
+        let text = "\
+.L_spin:
+[B------:R-:W-:-:S04] IADD3 R1, R1, 0x1, RZ ;
+[B------:R-:W-:-:S06] BRA `(.L_spin) ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let program: Program = text.parse().unwrap();
+        let out = sim().run(&program, 1, 0, &HashMap::new(), 200);
+        assert!(!out.report.completed);
+    }
+
+    #[test]
+    fn counters_are_populated() {
+        let out = run_text(
+            "[B------:R-:W-:-:S04] MOV R4, 0x40 ;\n\
+             [B------:R-:W0:-:S02] LDG.E R2, [R4] ;\n\
+             [B0-----:R-:W-:-:S04] STG.E [R4], R2 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            2,
+        );
+        assert!(out.report.mem.global_load_bytes > 0);
+        assert!(out.report.mem.global_store_bytes > 0);
+        assert!(out.report.lsu_busy_cycles > 0);
+        assert!(out.report.ipc_elapsed() > 0.0);
+        assert!(out.report.sm_busy() > 0.0);
+        assert!(out.report.mem_busy() > 0.0);
+        assert!(out.report.ipc_active() >= out.report.ipc_elapsed());
+    }
+
+    #[test]
+    fn empty_program_yields_empty_report() {
+        let out = run_text("", 4);
+        assert_eq!(out.report.cycles, 0);
+        assert!(out.report.completed);
+    }
+}

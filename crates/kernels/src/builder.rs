@@ -1,0 +1,130 @@
+//! Low-level helpers for emitting scheduled SASS text.
+
+use sass::{Program, SassError};
+
+/// Formats a control code string `[B..:R.:W.:.:S..]`.
+///
+/// `wait` lists the barrier indices the instruction waits on; `read`/`write`
+/// are the barriers it sets; `yld` is the yield flag and `stall` the stall
+/// count.
+#[must_use]
+pub fn cc(wait: &[u8], read: Option<u8>, write: Option<u8>, yld: bool, stall: u8) -> String {
+    let mut wait_field = String::new();
+    for i in 0..6u8 {
+        if wait.contains(&i) {
+            wait_field.push(char::from(b'0' + i));
+        } else {
+            wait_field.push('-');
+        }
+    }
+    let read_field = read.map_or("-".to_string(), |b| b.to_string());
+    let write_field = write.map_or("-".to_string(), |b| b.to_string());
+    format!(
+        "[B{wait_field}:R{read_field}:W{write_field}:{}:S{stall:02}]",
+        if yld { "Y" } else { "-" }
+    )
+}
+
+/// An incrementally built SASS listing.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleBuilder {
+    lines: Vec<String>,
+}
+
+impl ScheduleBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleBuilder { lines: Vec::new() }
+    }
+
+    /// Appends a raw listing line (an already-formatted instruction).
+    pub fn raw(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Appends an instruction with the given control code fields.
+    pub fn inst(
+        &mut self,
+        wait: &[u8],
+        read: Option<u8>,
+        write: Option<u8>,
+        stall: u8,
+        body: &str,
+    ) {
+        self.lines
+            .push(format!("{} {body} ;", cc(wait, read, write, false, stall)));
+    }
+
+    /// Appends several already-formatted lines.
+    pub fn extend(&mut self, lines: impl IntoIterator<Item = String>) {
+        self.lines.extend(lines);
+    }
+
+    /// Appends a label.
+    pub fn label(&mut self, name: &str) {
+        self.lines.push(format!("{name}:"));
+    }
+
+    /// Number of lines emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns true if nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The listing text.
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Parses the listing into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any emitted line fails to parse (a generator bug).
+    pub fn build(&self) -> Result<Program, SassError> {
+        self.text().parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_code_formatting() {
+        assert_eq!(cc(&[], None, Some(2), true, 2), "[B------:R-:W2:Y:S02]");
+        assert_eq!(cc(&[0, 5], Some(1), None, false, 12), "[B0----5:R1:W-:-:S12]");
+    }
+
+    #[test]
+    fn builder_produces_parsable_listing() {
+        let mut b = ScheduleBuilder::new();
+        b.inst(&[], None, None, 4, "MOV R1, 0x7");
+        b.label(".L_x");
+        b.inst(&[], None, Some(0), 2, "LDG.E R2, [R4]");
+        b.inst(&[0], None, None, 4, "IADD3 R3, R2, R1, RZ");
+        b.inst(&[], None, None, 5, "EXIT");
+        let program = b.build().unwrap();
+        assert_eq!(program.instruction_count(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn raw_and_extend_append_lines() {
+        let mut b = ScheduleBuilder::new();
+        b.raw("[B------:R-:W-:-:S04] MOV R1, 0x1 ;");
+        b.extend(vec!["[B------:R-:W-:-:S05] EXIT ;".to_string()]);
+        assert_eq!(b.build().unwrap().instruction_count(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Reference baselines for the Figure 6 comparison.
+//!
+//! The paper compares CuAsmRL (on top of Triton) against PyTorch eager
+//! (dispatching to cuBLAS), hand-optimized reference kernels
+//! (FlashAttention-2), and Cutlass with its default configuration. None of
+//! those closed or CUDA-only code bases can run here, so each is modelled by
+//! the schedule/configuration property that determines its performance:
+//!
+//! * **Reference** (cuBLAS / FlashAttention-2): the expert schedule at a
+//!   well-tuned configuration — the performance target CuAsmRL approaches.
+//! * **Torch eager**: for kernels that are a single library call (bmm,
+//!   fused feed-forward, attention) it equals the reference; for fused
+//!   kernels that eager mode cannot fuse (GEMM+LeakyReLU, softmax, rmsnorm)
+//!   it pays one extra element-wise memory pass over the output.
+//! * **Cutlass (default configuration)**: the expert schedule but at the
+//!   untuned default tile configuration, which the paper observes to be an
+//!   order of magnitude slower than Triton.
+
+use gpusim::{measure, GpuConfig, LaunchConfig, MeasureOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::builder::ScheduleBuilder;
+use crate::config::KernelConfig;
+use crate::generator::{generate, ScheduleStyle, PARAM_A, PARAM_OUT};
+use crate::suite::{KernelKind, KernelSpec};
+
+/// The systems Figure 6 compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineSystem {
+    /// PyTorch eager composition of library kernels.
+    Torch,
+    /// The hand-optimized reference library (cuBLAS or FlashAttention-2).
+    Reference,
+    /// Cutlass with its default (untuned) configuration.
+    Cutlass,
+}
+
+impl BaselineSystem {
+    /// Whether the paper evaluates this baseline for the given kernel.
+    #[must_use]
+    pub fn applies_to(&self, kind: KernelKind) -> bool {
+        match self {
+            BaselineSystem::Torch | BaselineSystem::Reference => true,
+            BaselineSystem::Cutlass => kind == KernelKind::MatmulLeakyRelu,
+        }
+    }
+}
+
+/// Runtime of a baseline system on a kernel, in microseconds, or `None` when
+/// the baseline does not apply to that kernel.
+#[must_use]
+pub fn baseline_runtime_us(
+    gpu: &GpuConfig,
+    spec: &KernelSpec,
+    tuned: &KernelConfig,
+    system: BaselineSystem,
+    options: &MeasureOptions,
+) -> Option<f64> {
+    if !system.applies_to(spec.kind) {
+        return None;
+    }
+    match system {
+        BaselineSystem::Reference => Some(expert_runtime(gpu, spec, tuned, options)),
+        BaselineSystem::Cutlass => {
+            let untuned = KernelConfig::untuned();
+            Some(expert_runtime(gpu, spec, &untuned, options))
+        }
+        BaselineSystem::Torch => {
+            let base = expert_runtime(gpu, spec, tuned, options);
+            if needs_extra_pass(spec.kind) {
+                Some(base + elementwise_pass_runtime_us(gpu, spec, options))
+            } else {
+                Some(base)
+            }
+        }
+    }
+}
+
+fn needs_extra_pass(kind: KernelKind) -> bool {
+    matches!(
+        kind,
+        KernelKind::MatmulLeakyRelu | KernelKind::Softmax | KernelKind::Rmsnorm
+    )
+}
+
+fn expert_runtime(
+    gpu: &GpuConfig,
+    spec: &KernelSpec,
+    config: &KernelConfig,
+    options: &MeasureOptions,
+) -> f64 {
+    let kernel = generate(spec, config, ScheduleStyle::Expert);
+    measure(gpu, &kernel.program, &kernel.launch, options).mean_us
+}
+
+/// Runtime of an extra element-wise pass over the output tensor: the cost
+/// eager-mode composition pays when it cannot fuse an epilogue or a
+/// normalisation into the producing kernel.
+#[must_use]
+pub fn elementwise_pass_runtime_us(
+    gpu: &GpuConfig,
+    spec: &KernelSpec,
+    options: &MeasureOptions,
+) -> f64 {
+    let kernel = elementwise_kernel(spec);
+    measure(gpu, &kernel.0, &kernel.1, options).mean_us
+}
+
+/// A simple load-multiply-store kernel over the output of `spec`.
+fn elementwise_kernel(spec: &KernelSpec) -> (sass::Program, LaunchConfig) {
+    let mut b = ScheduleBuilder::new();
+    b.inst(&[], None, None, 4, &format!("MOV R2, c[0x0][{PARAM_A:#x}]"));
+    b.inst(&[], None, None, 4, &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"));
+    b.inst(&[], None, None, 13, "S2R R0, SR_CTAID.X");
+    b.inst(&[], None, None, 4, "IMAD R10, R0, 0x400, R2");
+    b.inst(&[], None, None, 4, "IMAD R60, R0, 0x400, R6");
+    for j in 0..4 {
+        b.inst(
+            &[],
+            None,
+            Some(0),
+            2,
+            &format!("LDG.E.128 R{}, [R10+{:#x}]", 80 + 4 * j, j * 0x80),
+        );
+    }
+    for j in 0..4 {
+        b.inst(
+            &[0],
+            None,
+            None,
+            4,
+            &format!("FMUL R{}, R{}, 0x3dcccccd", 100 + 4 * j, 80 + 4 * j),
+        );
+    }
+    for j in 0..4 {
+        b.inst(
+            &[],
+            None,
+            None,
+            2,
+            &format!("STG.E.128 [R60+{:#x}], R{}", j * 0x80, 100 + 4 * j),
+        );
+    }
+    b.inst(&[], None, None, 5, "EXIT");
+    let program = b.build().expect("element-wise listing must parse");
+    // One block per 512 output elements (fp16).
+    let outputs = (spec.shape.m * spec.shape.n * spec.shape.batch).max(512);
+    let launch = LaunchConfig {
+        grid_blocks: (outputs / 512).max(1) as u64,
+        warps_per_block: 4,
+        blocks_per_sm: 4,
+        params: vec![(PARAM_A, 0x30_0000), (PARAM_OUT, 0x40_0000)],
+        work_per_block: 512.0 * 2.0,
+        max_cycles: 1_000_000,
+    };
+    (program, launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_options() -> MeasureOptions {
+        MeasureOptions {
+            warmup: 0,
+            repeats: 2,
+            noise_std: 0.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn cutlass_only_applies_to_fused_gemm() {
+        assert!(BaselineSystem::Cutlass.applies_to(KernelKind::MatmulLeakyRelu));
+        assert!(!BaselineSystem::Cutlass.applies_to(KernelKind::Softmax));
+        assert!(BaselineSystem::Torch.applies_to(KernelKind::Softmax));
+    }
+
+    #[test]
+    fn cutlass_default_is_much_slower_than_reference() {
+        let gpu = GpuConfig::small();
+        let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
+        let tuned = KernelConfig::default_compute();
+        let opts = fast_options();
+        let reference =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Reference, &opts).unwrap();
+        let cutlass =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Cutlass, &opts).unwrap();
+        assert!(
+            cutlass > reference * 2.0,
+            "untuned cutlass ({cutlass:.1}us) should be much slower than reference ({reference:.1}us)"
+        );
+    }
+
+    #[test]
+    fn torch_pays_an_extra_pass_for_fused_kernels() {
+        let gpu = GpuConfig::small();
+        let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
+        let tuned = KernelConfig::default_compute();
+        let opts = fast_options();
+        let torch =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
+        let reference =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Reference, &opts).unwrap();
+        assert!(torch > reference);
+    }
+
+    #[test]
+    fn torch_equals_reference_for_plain_library_calls() {
+        let gpu = GpuConfig::small();
+        let spec = KernelSpec::scaled(KernelKind::BatchMatmul, 16);
+        let tuned = KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        };
+        let opts = fast_options();
+        let torch =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
+        let reference =
+            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Reference, &opts).unwrap();
+        assert_eq!(torch, reference);
+    }
+
+    #[test]
+    fn elementwise_pass_is_fast_but_nonzero() {
+        let gpu = GpuConfig::small();
+        let spec = KernelSpec::scaled(KernelKind::Softmax, 16);
+        let t = elementwise_pass_runtime_us(&gpu, &spec, &fast_options());
+        assert!(t > 0.0);
+    }
+}

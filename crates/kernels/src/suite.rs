@@ -1,0 +1,272 @@
+//! The evaluated kernel suite (Table 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ConfigSpace, KernelConfig};
+
+/// The six representative LLM kernels evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Fused feed-forward block (two projections + activation), `fused_ff`.
+    FusedFeedForward,
+    /// GEMM fused with a LeakyReLU epilogue, `mmLeakyReLu`.
+    MatmulLeakyRelu,
+    /// Batched matrix multiplication, `bmm`.
+    BatchMatmul,
+    /// Fused self-attention (flash-attention style).
+    FlashAttention,
+    /// Row-wise softmax (memory-bound).
+    Softmax,
+    /// Root-mean-square layer normalization (memory-bound).
+    Rmsnorm,
+}
+
+impl KernelKind {
+    /// All kernels in the order of Figure 6.
+    #[must_use]
+    pub fn all() -> [KernelKind; 6] {
+        [
+            KernelKind::BatchMatmul,
+            KernelKind::FusedFeedForward,
+            KernelKind::FlashAttention,
+            KernelKind::MatmulLeakyRelu,
+            KernelKind::Softmax,
+            KernelKind::Rmsnorm,
+        ]
+    }
+
+    /// Short name used in figures and in the deploy-time cache key.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::FusedFeedForward => "fused_ff",
+            KernelKind::MatmulLeakyRelu => "mmLeakyReLu",
+            KernelKind::BatchMatmul => "bmm",
+            KernelKind::FlashAttention => "flash-attention",
+            KernelKind::Softmax => "softmax",
+            KernelKind::Rmsnorm => "rmsnorm",
+        }
+    }
+
+    /// True for the compute-bound kernels of Table 2.
+    #[must_use]
+    pub fn is_compute_bound(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::FusedFeedForward
+                | KernelKind::MatmulLeakyRelu
+                | KernelKind::BatchMatmul
+                | KernelKind::FlashAttention
+        )
+    }
+
+    /// The default autotuning space for this kernel.
+    #[must_use]
+    pub fn config_space(&self) -> ConfigSpace {
+        if self.is_compute_bound() {
+            ConfigSpace::gemm_default()
+        } else {
+            ConfigSpace::rowwise_default()
+        }
+    }
+}
+
+/// Problem dimensions. GEMM-family kernels use `batch`/`m`/`n`/`k`;
+/// attention uses `batch`/`heads`/`seq_len`/`head_dim`; row-wise kernels use
+/// `rows`/`cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemShape {
+    /// Batch dimension.
+    pub batch: usize,
+    /// Output rows (GEMM) or attention heads.
+    pub m: usize,
+    /// Output columns (GEMM) or sequence length.
+    pub n: usize,
+    /// Reduction dimension (GEMM) or head dimension.
+    pub k: usize,
+}
+
+/// A fully specified evaluated kernel: which kernel and at which shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Which kernel.
+    pub kind: KernelKind,
+    /// The problem shape.
+    pub shape: ProblemShape,
+}
+
+impl KernelSpec {
+    /// The shape used in the paper's evaluation (Table 2).
+    #[must_use]
+    pub fn paper(kind: KernelKind) -> Self {
+        let shape = match kind {
+            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu => ProblemShape {
+                batch: 1,
+                m: 512,
+                n: 512,
+                k: 2048,
+            },
+            KernelKind::BatchMatmul => ProblemShape {
+                batch: 4,
+                m: 512,
+                n: 512,
+                k: 2048,
+            },
+            KernelKind::FlashAttention => ProblemShape {
+                batch: 1,
+                m: 4,    // heads
+                n: 4096, // sequence length
+                k: 32,   // head dimension
+            },
+            KernelKind::Softmax => ProblemShape {
+                batch: 1,
+                m: 512,  // rows
+                n: 4096, // columns
+                k: 1,
+            },
+            KernelKind::Rmsnorm => ProblemShape {
+                batch: 1,
+                m: 32 * 4096, // heads x sequence length rows
+                n: 64,        // head dimension columns
+                k: 1,
+            },
+        };
+        KernelSpec { kind, shape }
+    }
+
+    /// A scaled-down version of the paper shape, keeping every structural
+    /// feature but dividing the large dimensions by `factor`. Used by unit
+    /// tests and examples that must run in milliseconds.
+    #[must_use]
+    pub fn scaled(kind: KernelKind, factor: usize) -> Self {
+        let mut spec = KernelSpec::paper(kind);
+        let f = factor.max(1);
+        let shrink = |v: usize| (v / f).max(32);
+        match kind {
+            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+                spec.shape.m = shrink(spec.shape.m);
+                spec.shape.n = shrink(spec.shape.n);
+                spec.shape.k = shrink(spec.shape.k);
+            }
+            KernelKind::FlashAttention => {
+                spec.shape.n = shrink(spec.shape.n);
+            }
+            KernelKind::Softmax => {
+                spec.shape.m = shrink(spec.shape.m);
+                spec.shape.n = shrink(spec.shape.n);
+            }
+            KernelKind::Rmsnorm => {
+                spec.shape.m = shrink(spec.shape.m);
+            }
+        }
+        spec
+    }
+
+    /// Number of thread blocks in the launch grid for a given tile
+    /// configuration.
+    #[must_use]
+    pub fn grid_blocks(&self, config: &KernelConfig) -> u64 {
+        let s = &self.shape;
+        match self.kind {
+            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+                let tiles_m = s.m.div_ceil(config.block_m.max(1)) as u64;
+                let tiles_n = s.n.div_ceil(config.block_n.max(1)) as u64;
+                s.batch as u64 * tiles_m * tiles_n
+            }
+            KernelKind::FlashAttention => {
+                // One block per (head, query tile).
+                let query_tiles = s.n.div_ceil(config.block_m.max(1)) as u64;
+                s.batch as u64 * s.m as u64 * query_tiles
+            }
+            KernelKind::Softmax => s.m as u64,
+            KernelKind::Rmsnorm => s.m.div_ceil(64).max(1) as u64,
+        }
+    }
+
+    /// Useful work per thread block, used to convert runtime into the
+    /// throughput plotted in Figure 6 (FLOPs for compute-bound kernels,
+    /// bytes for memory-bound kernels).
+    #[must_use]
+    pub fn work_per_block(&self, config: &KernelConfig) -> f64 {
+        let s = &self.shape;
+        match self.kind {
+            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+                2.0 * config.block_m as f64 * config.block_n as f64 * s.k as f64
+            }
+            KernelKind::FlashAttention => {
+                // QK^T plus PV for one query tile against the full sequence.
+                4.0 * config.block_m as f64 * s.n as f64 * s.k as f64
+            }
+            KernelKind::Softmax => 2.0 * 2.0 * s.n as f64, // read + write each row, fp16
+            KernelKind::Rmsnorm => 2.0 * 2.0 * s.n as f64 * 64.0,
+        }
+    }
+
+    /// Number of main-loop iterations a thread block executes (the K loop
+    /// for GEMMs, the key/value loop for attention, the column loop for
+    /// row-wise kernels).
+    #[must_use]
+    pub fn main_loop_iterations(&self, config: &KernelConfig) -> usize {
+        let s = &self.shape;
+        match self.kind {
+            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+                s.k.div_ceil(config.block_k.max(1)).max(1)
+            }
+            KernelKind::FlashAttention => s.n.div_ceil(config.block_n.max(1)).max(1),
+            KernelKind::Softmax | KernelKind::Rmsnorm => {
+                s.n.div_ceil(config.block_n.max(1)).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes_match_table_2() {
+        let ff = KernelSpec::paper(KernelKind::FusedFeedForward);
+        assert_eq!((ff.shape.batch, ff.shape.m, ff.shape.n, ff.shape.k), (1, 512, 512, 2048));
+        let bmm = KernelSpec::paper(KernelKind::BatchMatmul);
+        assert_eq!(bmm.shape.batch, 4);
+        let fa = KernelSpec::paper(KernelKind::FlashAttention);
+        assert_eq!((fa.shape.m, fa.shape.n, fa.shape.k), (4, 4096, 32));
+        let sm = KernelSpec::paper(KernelKind::Softmax);
+        assert_eq!((sm.shape.m, sm.shape.n), (512, 4096));
+    }
+
+    #[test]
+    fn grid_blocks_cover_the_problem() {
+        let spec = KernelSpec::paper(KernelKind::MatmulLeakyRelu);
+        let cfg = KernelConfig::default_compute();
+        assert_eq!(spec.grid_blocks(&cfg), (512 / 64) * (512 / 64));
+        let bmm = KernelSpec::paper(KernelKind::BatchMatmul);
+        assert_eq!(bmm.grid_blocks(&cfg), 4 * (512 / 64) * (512 / 64));
+    }
+
+    #[test]
+    fn loop_iterations_cover_the_reduction() {
+        let spec = KernelSpec::paper(KernelKind::FusedFeedForward);
+        let cfg = KernelConfig::default_compute();
+        assert_eq!(spec.main_loop_iterations(&cfg), 2048 / 32);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_preserves_structure() {
+        let spec = KernelSpec::scaled(KernelKind::FusedFeedForward, 8);
+        assert!(spec.shape.k < 2048);
+        assert!(spec.shape.k >= 32);
+        let cfg = KernelConfig::default_compute();
+        assert!(spec.main_loop_iterations(&cfg) >= 1);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(KernelKind::all().len(), 6);
+        assert!(KernelKind::FlashAttention.is_compute_bound());
+        assert!(!KernelKind::Softmax.is_compute_bound());
+        assert_eq!(KernelKind::Rmsnorm.name(), "rmsnorm");
+        assert!(!KernelKind::Softmax.config_space().candidates.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! The Adam optimizer.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state for one flat parameter vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `parameter_count` parameters with the given
+    /// learning rate and PPO-default betas (0.9, 0.999).
+    #[must_use]
+    pub fn new(parameter_count: usize, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-5,
+            step: 0,
+            m: vec![0.0; parameter_count],
+            v: vec![0.0; parameter_count],
+        }
+    }
+
+    /// The current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (used for annealing).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` do not match the optimizer size.
+    pub fn step(&mut self, params: &mut [&mut f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+        for i in 0..grads.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            *params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        // Minimise f(x) = (x - 3)^2 starting from 0.
+        let mut x = 0.0f32;
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let grad = 2.0 * (x - 3.0);
+            opt.step(&mut [&mut x], &[grad]);
+        }
+        assert!((x - 3.0).abs() < 0.05, "converged to {x}");
+    }
+
+    #[test]
+    fn learning_rate_can_be_annealed() {
+        let mut opt = Adam::new(2, 0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn size_mismatch_panics() {
+        let mut opt = Adam::new(2, 0.01);
+        let mut x = 0.0f32;
+        opt.step(&mut [&mut x], &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Masked categorical action distributions.
+//!
+//! CuAsmRL masks out actions that would violate a dependence (§3.5) by
+//! assigning them "an impossible probability": the masked logits are set to
+//! negative infinity before the softmax, so masked actions are never sampled
+//! and contribute nothing to the entropy.
+
+use rand::Rng;
+
+/// A categorical distribution over actions with a validity mask.
+#[derive(Debug, Clone)]
+pub struct MaskedCategorical {
+    probs: Vec<f32>,
+    mask: Vec<bool>,
+}
+
+impl MaskedCategorical {
+    /// Builds the distribution from raw logits and a validity mask.
+    ///
+    /// If every action is masked the distribution is empty and
+    /// [`MaskedCategorical::sample`] returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` and `mask` have different lengths.
+    #[must_use]
+    pub fn from_logits(logits: &[f32], mask: &[bool]) -> Self {
+        assert_eq!(logits.len(), mask.len(), "logits and mask must align");
+        let max = logits
+            .iter()
+            .zip(mask)
+            .filter(|(_, m)| **m)
+            .map(|(l, _)| *l)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut probs = vec![0.0; logits.len()];
+        if max.is_finite() {
+            let mut total = 0.0;
+            for (i, (&l, &m)) in logits.iter().zip(mask).enumerate() {
+                if m {
+                    let e = (l - max).exp();
+                    probs[i] = e;
+                    total += e;
+                }
+            }
+            if total > 0.0 {
+                for p in &mut probs {
+                    *p /= total;
+                }
+            }
+        }
+        MaskedCategorical {
+            probs,
+            mask: mask.to_vec(),
+        }
+    }
+
+    /// The probability vector (masked entries are exactly zero).
+    #[must_use]
+    pub fn probs(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// True if no action is available.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.mask.iter().any(|&m| m)
+    }
+
+    /// Samples an action index, or `None` when every action is masked.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let draw: f32 = rng.gen_range(0.0..1.0);
+        let mut cumulative = 0.0;
+        let mut last_valid = None;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 {
+                cumulative += p;
+                last_valid = Some(i);
+                if draw < cumulative {
+                    return Some(i);
+                }
+            }
+        }
+        last_valid
+    }
+
+    /// The most probable action, or `None` when every action is masked.
+    #[must_use]
+    pub fn argmax(&self) -> Option<usize> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.mask[*i])
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+
+    /// Natural log-probability of an action (`-inf` for masked actions).
+    #[must_use]
+    pub fn log_prob(&self, action: usize) -> f32 {
+        let p = self.probs.get(action).copied().unwrap_or(0.0);
+        if p > 0.0 {
+            p.ln()
+        } else {
+            f32::NEG_INFINITY
+        }
+    }
+
+    /// Shannon entropy of the distribution (in nats).
+    #[must_use]
+    pub fn entropy(&self) -> f32 {
+        -self
+            .probs
+            .iter()
+            .filter(|p| **p > 0.0)
+            .map(|p| p * p.ln())
+            .sum::<f32>()
+    }
+
+    /// Gradient of `log_prob(action)` with respect to the logits:
+    /// `onehot(action) - probs`, with masked entries zeroed.
+    #[must_use]
+    pub fn log_prob_grad(&self, action: usize) -> Vec<f32> {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if !self.mask[i] {
+                    0.0
+                } else if i == action {
+                    1.0 - p
+                } else {
+                    -p
+                }
+            })
+            .collect()
+    }
+
+    /// Gradient of the entropy with respect to the logits:
+    /// `-p_i (ln p_i + H)`, with masked entries zeroed.
+    #[must_use]
+    pub fn entropy_grad(&self) -> Vec<f32> {
+        let h = self.entropy();
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if !self.mask[i] || p <= 0.0 {
+                    0.0
+                } else {
+                    -p * (p.ln() + h)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn masked_actions_are_never_sampled() {
+        let dist = MaskedCategorical::from_logits(&[10.0, 0.0, 0.0], &[false, true, true]);
+        assert_eq!(dist.probs()[0], 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_ne!(dist.sample(&mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_valid_actions() {
+        let dist = MaskedCategorical::from_logits(&[1.0, 2.0, 3.0, 4.0], &[true, false, true, true]);
+        let total: f32 = dist.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_masked_distribution_is_empty() {
+        let dist = MaskedCategorical::from_logits(&[1.0, 2.0], &[false, false]);
+        assert!(dist.is_empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(dist.sample(&mut rng), None);
+        assert_eq!(dist.argmax(), None);
+        assert_eq!(dist.entropy(), 0.0);
+    }
+
+    #[test]
+    fn log_prob_and_entropy_match_uniform_case() {
+        let dist = MaskedCategorical::from_logits(&[0.0, 0.0, 0.0, 0.0], &[true; 4]);
+        assert!((dist.log_prob(2) - (0.25f32).ln()).abs() < 1e-6);
+        assert!((dist.entropy() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_picks_the_highest_logit() {
+        let dist = MaskedCategorical::from_logits(&[0.1, 5.0, 1.0], &[true, true, true]);
+        assert_eq!(dist.argmax(), Some(1));
+    }
+
+    #[test]
+    fn log_prob_grad_matches_finite_differences() {
+        let logits = [0.3f32, -0.7, 1.2];
+        let mask = [true, true, true];
+        let action = 2;
+        let analytic = MaskedCategorical::from_logits(&logits, &mask).log_prob_grad(action);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut bumped = logits;
+            bumped[i] += eps;
+            let hi = MaskedCategorical::from_logits(&bumped, &mask).log_prob(action);
+            let lo = MaskedCategorical::from_logits(&logits, &mask).log_prob(action);
+            let numeric = (hi - lo) / eps;
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-2,
+                "component {i}: {} vs {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_grad_matches_finite_differences() {
+        let logits = [0.5f32, -0.2, 0.9];
+        let mask = [true, true, false];
+        let analytic = MaskedCategorical::from_logits(&logits, &mask).entropy_grad();
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut bumped = logits;
+            bumped[i] += eps;
+            let hi = MaskedCategorical::from_logits(&bumped, &mask).entropy();
+            let lo = MaskedCategorical::from_logits(&logits, &mask).entropy();
+            let numeric = (hi - lo) / eps;
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-2,
+                "component {i}: {} vs {}",
+                analytic[i],
+                numeric
+            );
+        }
+        assert_eq!(analytic[2], 0.0);
+    }
+
+    #[test]
+    fn sampling_follows_the_distribution() {
+        let dist = MaskedCategorical::from_logits(&[2.0, 0.0], &[true, true]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 2000;
+        let hits = (0..n)
+            .filter(|_| dist.sample(&mut rng) == Some(0))
+            .count() as f32;
+        let expected = dist.probs()[0] * n as f32;
+        assert!((hits - expected).abs() < n as f32 * 0.05);
+    }
+}

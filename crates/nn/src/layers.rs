@@ -1,0 +1,386 @@
+//! Layers with explicit forward/backward passes.
+//!
+//! The CuAsmRL policy network (§3.5, §3.7) is a small convolutional encoder
+//! over the instruction-embedding matrix followed by MLP heads. The layers
+//! here implement exactly what that network needs — forward evaluation,
+//! gradient accumulation, and flattened parameter access for the Adam
+//! optimizer — without a general autograd engine.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit applied in place.
+pub fn relu_inplace(values: &mut [f32]) {
+    for v in values {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Hyperbolic tangent applied elementwise.
+#[must_use]
+pub fn tanh(values: &[f32]) -> Vec<f32> {
+    values.iter().map(|v| v.tanh()).collect()
+}
+
+fn scaled_uniform_init<R: Rng>(rng: &mut R, fan_in: usize, n: usize) -> Vec<f32> {
+    let bound = (1.0 / fan_in.max(1) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// A fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `[out_features x in_features]` weights.
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with scaled-uniform initial weights and zero bias.
+    #[must_use]
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Linear {
+            in_features,
+            out_features,
+            weight: scaled_uniform_init(rng, in_features, in_features * out_features),
+            bias: vec![0.0; out_features],
+            grad_weight: vec![0.0; in_features * out_features],
+            grad_bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Forward pass for a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_features`.
+    #[must_use]
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_features, "input size mismatch");
+        (0..self.out_features)
+            .map(|o| {
+                let row = &self.weight[o * self.in_features..(o + 1) * self.in_features];
+                row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>() + self.bias[o]
+            })
+            .collect()
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    pub fn backward(&mut self, input: &[f32], grad_output: &[f32]) -> Vec<f32> {
+        let mut grad_input = vec![0.0; self.in_features];
+        for o in 0..self.out_features {
+            let go = grad_output[o];
+            self.grad_bias[o] += go;
+            for i in 0..self.in_features {
+                self.grad_weight[o * self.in_features + i] += go * input[i];
+                grad_input[i] += go * self.weight[o * self.in_features + i];
+            }
+        }
+        grad_input
+    }
+
+    /// Flattened parameters (weights then bias).
+    pub fn parameters_mut(&mut self) -> Vec<&mut f32> {
+        self.weight.iter_mut().chain(self.bias.iter_mut()).collect()
+    }
+
+    /// Flattened gradients in the same order as [`Linear::parameters_mut`].
+    #[must_use]
+    pub fn gradients(&self) -> Vec<f32> {
+        self.grad_weight
+            .iter()
+            .chain(self.grad_bias.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Zeroes the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// A 1-D convolution over the instruction axis followed by global mean
+/// pooling and a ReLU: the "CNN encoder" of the CuAsmRL policy.
+///
+/// Input is a `[T x F]` matrix (one row per instruction, `F` embedding
+/// features); output is a `[channels]` vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvEncoder {
+    channels: usize,
+    kernel: usize,
+    features: usize,
+    /// `[channels x kernel x features]` weights, row-major.
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+}
+
+impl ConvEncoder {
+    /// Creates an encoder with `channels` output channels and a window of
+    /// `kernel` instructions over `features` embedding features.
+    #[must_use]
+    pub fn new<R: Rng>(rng: &mut R, channels: usize, kernel: usize, features: usize) -> Self {
+        let fan_in = kernel * features;
+        ConvEncoder {
+            channels,
+            kernel,
+            features,
+            weight: scaled_uniform_init(rng, fan_in, channels * kernel * features),
+            bias: vec![0.0; channels],
+            grad_weight: vec![0.0; channels * kernel * features],
+            grad_bias: vec![0.0; channels],
+        }
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn windows(&self, rows: usize) -> usize {
+        rows.saturating_sub(self.kernel).max(0) + 1
+    }
+
+    /// Forward pass: convolution, ReLU, then mean pooling over positions.
+    /// Also returns the pre-pooling activations needed by the backward pass.
+    #[must_use]
+    pub fn forward(&self, input: &Matrix) -> (Vec<f32>, Matrix) {
+        let rows = input.rows();
+        let windows = if rows >= self.kernel { self.windows(rows) } else { 0 };
+        let mut activations = Matrix::zeros(self.channels, windows.max(1));
+        let mut pooled = vec![0.0; self.channels];
+        if windows == 0 {
+            return (pooled, activations);
+        }
+        for c in 0..self.channels {
+            for t in 0..windows {
+                let mut acc = self.bias[c];
+                for k in 0..self.kernel {
+                    for f in 0..self.features.min(input.cols()) {
+                        let w = self.weight[(c * self.kernel + k) * self.features + f];
+                        acc += w * input.get(t + k, f);
+                    }
+                }
+                let act = acc.max(0.0);
+                activations.set(c, t, act);
+                pooled[c] += act / windows as f32;
+            }
+        }
+        (pooled, activations)
+    }
+
+    /// Backward pass from the gradient of the pooled output. Accumulates
+    /// parameter gradients (the gradient with respect to the input state is
+    /// not needed and not computed).
+    pub fn backward(&mut self, input: &Matrix, activations: &Matrix, grad_pooled: &[f32]) {
+        let rows = input.rows();
+        if rows < self.kernel {
+            return;
+        }
+        let windows = self.windows(rows);
+        for c in 0..self.channels {
+            for t in 0..windows {
+                if activations.get(c, t) <= 0.0 {
+                    continue; // ReLU gate.
+                }
+                let upstream = grad_pooled[c] / windows as f32;
+                self.grad_bias[c] += upstream;
+                for k in 0..self.kernel {
+                    for f in 0..self.features.min(input.cols()) {
+                        self.grad_weight[(c * self.kernel + k) * self.features + f] +=
+                            upstream * input.get(t + k, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flattened parameters (weights then bias).
+    pub fn parameters_mut(&mut self) -> Vec<&mut f32> {
+        self.weight.iter_mut().chain(self.bias.iter_mut()).collect()
+    }
+
+    /// Flattened gradients in the same order as [`ConvEncoder::parameters_mut`].
+    #[must_use]
+    pub fn gradients(&self) -> Vec<f32> {
+        self.grad_weight
+            .iter()
+            .chain(self.grad_bias.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Zeroes the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn linear_forward_matches_manual_computation() {
+        let mut layer = Linear::new(&mut rng(), 2, 1);
+        // Overwrite with known weights.
+        for (p, v) in layer.parameters_mut().into_iter().zip([2.0, 3.0, 1.0]) {
+            *p = v;
+        }
+        let out = layer.forward(&[10.0, 20.0]);
+        assert_eq!(out, vec![2.0 * 10.0 + 3.0 * 20.0 + 1.0]);
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_differences() {
+        let mut layer = Linear::new(&mut rng(), 3, 2);
+        let input = [0.5, -1.0, 2.0];
+        let grad_out = [1.0, -0.5];
+        layer.zero_grad();
+        let grad_in = layer.backward(&input, &grad_out);
+        // Finite-difference check of d(sum(g .* y))/d(input[0]).
+        let eps = 1e-3;
+        let loss = |layer: &Linear, input: &[f32]| -> f32 {
+            layer
+                .forward(input)
+                .iter()
+                .zip(grad_out)
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let mut bumped = input;
+        bumped[0] += eps;
+        let numeric = (loss(&layer, &bumped) - loss(&layer, &input)) / eps;
+        assert!((grad_in[0] - numeric).abs() < 1e-2, "{} vs {}", grad_in[0], numeric);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_finite_differences() {
+        let mut layer = Linear::new(&mut rng(), 2, 2);
+        let input = [1.5, -0.5];
+        let grad_out = [0.7, 0.3];
+        layer.zero_grad();
+        let _ = layer.backward(&input, &grad_out);
+        let analytic = layer.gradients()[0]; // d/d w[0][0]
+        let eps = 1e-3;
+        let loss = |layer: &Linear| -> f32 {
+            layer
+                .forward(&input)
+                .iter()
+                .zip(grad_out)
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let base = loss(&layer);
+        *layer.parameters_mut()[0] += eps;
+        let numeric = (loss(&layer) - base) / eps;
+        assert!((analytic - numeric).abs() < 1e-2);
+    }
+
+    #[test]
+    fn conv_encoder_pools_over_positions() {
+        let enc = ConvEncoder::new(&mut rng(), 4, 3, 5);
+        let input = Matrix::from_vec(6, 5, (0..30).map(|i| i as f32 * 0.1).collect());
+        let (pooled, activations) = enc.forward(&input);
+        assert_eq!(pooled.len(), 4);
+        assert_eq!(activations.rows(), 4);
+        assert_eq!(activations.cols(), 4); // 6 - 3 + 1 windows
+        assert!(pooled.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn conv_encoder_handles_inputs_shorter_than_the_kernel() {
+        let enc = ConvEncoder::new(&mut rng(), 2, 5, 3);
+        let input = Matrix::zeros(2, 3);
+        let (pooled, _) = enc.forward(&input);
+        assert_eq!(pooled, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_encoder_gradient_matches_finite_differences() {
+        let mut enc = ConvEncoder::new(&mut rng(), 2, 2, 3);
+        let input = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f32 - 6.0) * 0.25).collect());
+        let grad_pooled = [1.0, -2.0];
+        enc.zero_grad();
+        let (_, activations) = enc.forward(&input);
+        enc.backward(&input, &activations, &grad_pooled);
+        let analytic = enc.gradients()[0];
+        let eps = 1e-3;
+        let loss = |enc: &ConvEncoder| -> f32 {
+            enc.forward(&input)
+                .0
+                .iter()
+                .zip(grad_pooled)
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        let base = loss(&enc);
+        *enc.parameters_mut()[0] += eps;
+        let numeric = (loss(&enc) - base) / eps;
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn activations_helpers() {
+        let mut v = vec![-1.0, 2.0];
+        relu_inplace(&mut v);
+        assert_eq!(v, vec![0.0, 2.0]);
+        let t = tanh(&[0.0]);
+        assert_eq!(t, vec![0.0]);
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let layer = Linear::new(&mut rng(), 3, 2);
+        assert_eq!(layer.parameter_count(), 8);
+        let enc = ConvEncoder::new(&mut rng(), 2, 3, 4);
+        assert_eq!(enc.parameter_count(), 2 * 3 * 4 + 2);
+    }
+}

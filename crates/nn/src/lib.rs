@@ -1,0 +1,38 @@
+//! Minimal neural-network building blocks for the CuAsmRL reproduction.
+//!
+//! The paper's RL agent (§3.5, §3.7) is a small network — a convolutional
+//! encoder over the instruction-embedding matrix followed by MLP heads —
+//! trained with PPO. This crate provides exactly the pieces that network
+//! needs, implemented from scratch with explicit forward/backward passes:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix,
+//! * [`Linear`] and [`ConvEncoder`] — layers with manual backpropagation,
+//! * [`Adam`] — the optimizer,
+//! * [`MaskedCategorical`] — the action distribution with invalid-action
+//!   masking.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{Linear, MaskedCategorical};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let actor = Linear::new(&mut rng, 4, 3);
+//! let logits = actor.forward(&[0.1, 0.2, 0.3, 0.4]);
+//! let dist = MaskedCategorical::from_logits(&logits, &[true, true, false]);
+//! assert_eq!(dist.probs()[2], 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod categorical;
+mod layers;
+mod matrix;
+
+pub use adam::Adam;
+pub use categorical::MaskedCategorical;
+pub use layers::{relu_inplace, tanh, ConvEncoder, Linear};
+pub use matrix::Matrix;

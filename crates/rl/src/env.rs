@@ -1,0 +1,109 @@
+//! The Gym-like environment interface (§3.7: "the reordering process is
+//! encapsulated in the environment transition, which followed the
+//! standardized Gym interface").
+
+use nn::Matrix;
+
+/// The result of one environment step.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The next observation (the embedded SASS schedule).
+    pub observation: Matrix,
+    /// The scalar reward.
+    pub reward: f32,
+    /// True when the episode has terminated.
+    pub done: bool,
+}
+
+/// A sequential decision-making environment with discrete, maskable actions.
+pub trait Env {
+    /// Resets the environment and returns the initial observation.
+    fn reset(&mut self) -> Matrix;
+
+    /// Applies an action and returns the transition.
+    fn step(&mut self, action: usize) -> Step;
+
+    /// Total number of (maskable) actions.
+    fn action_count(&self) -> usize;
+
+    /// Validity mask over actions for the *current* state; masked-out
+    /// entries must never be selected.
+    fn action_mask(&self) -> Vec<bool>;
+
+    /// Number of embedding features per observation row.
+    fn observation_features(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// A tiny deterministic environment used by unit tests: the observation
+    /// is a constant matrix, action 1 yields +1 reward, every other action
+    /// yields -1, and episodes last `horizon` steps. Action 2 is always
+    /// masked.
+    #[derive(Debug, Clone)]
+    pub struct BanditEnv {
+        pub horizon: usize,
+        pub t: usize,
+    }
+
+    impl BanditEnv {
+        pub fn new(horizon: usize) -> Self {
+            BanditEnv { horizon, t: 0 }
+        }
+
+        fn observation(&self) -> Matrix {
+            Matrix::from_vec(4, 3, vec![0.5; 12])
+        }
+    }
+
+    impl Env for BanditEnv {
+        fn reset(&mut self) -> Matrix {
+            self.t = 0;
+            self.observation()
+        }
+
+        fn step(&mut self, action: usize) -> Step {
+            assert_ne!(action, 2, "masked action must never be selected");
+            self.t += 1;
+            Step {
+                observation: self.observation(),
+                reward: if action == 1 { 1.0 } else { -1.0 },
+                done: self.t >= self.horizon,
+            }
+        }
+
+        fn action_count(&self) -> usize {
+            3
+        }
+
+        fn action_mask(&self) -> Vec<bool> {
+            vec![true, true, false]
+        }
+
+        fn observation_features(&self) -> usize {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_envs::BanditEnv;
+    use super::*;
+
+    #[test]
+    fn bandit_env_follows_the_contract() {
+        let mut env = BanditEnv::new(3);
+        let obs = env.reset();
+        assert_eq!(obs.cols(), env.observation_features());
+        assert_eq!(env.action_mask().len(), env.action_count());
+        let step = env.step(1);
+        assert_eq!(step.reward, 1.0);
+        assert!(!step.done);
+        env.step(0);
+        let last = env.step(1);
+        assert!(last.done);
+    }
+}

@@ -1,0 +1,36 @@
+//! Proximal policy optimization with invalid-action masking.
+//!
+//! This crate implements the RL machinery of the CuAsmRL paper (§3.7): a
+//! Gym-like [`Env`] trait that the assembly game implements, a rollout
+//! buffer with GAE-λ advantage estimation, a masked actor-critic policy
+//! built on the [`nn`] crate, and the clipped-PPO trainer with the default
+//! hyperparameters the paper takes from the "37 implementation details"
+//! study.
+//!
+//! # Example
+//!
+//! Train on any environment implementing [`Env`]:
+//!
+//! ```no_run
+//! use rl::{Env, PpoConfig, PpoTrainer};
+//!
+//! fn train<E: Env>(env: &mut E) {
+//!     let config = PpoConfig::default();
+//!     let mut trainer = PpoTrainer::new(config, env.observation_features(), env.action_count());
+//!     let stats = trainer.train(env);
+//!     println!("final return: {}", stats.final_return(10));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod env;
+mod policy;
+mod ppo;
+
+pub use buffer::{Advantages, RolloutBuffer, Transition};
+pub use env::{Env, Step};
+pub use policy::{ActionSample, ActorCritic, Sample, UpdateConfig, UpdateStats};
+pub use ppo::{PpoConfig, PpoTrainer, TrainingStats};

@@ -1,0 +1,180 @@
+//! GPU registers: general-purpose, uniform and predicate registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::SassError;
+
+/// A register referenced by a SASS instruction.
+///
+/// Ampere SASS exposes three register files that are relevant to scheduling:
+/// 32-bit general-purpose registers (`R0`–`R254`, plus the zero register
+/// `RZ`), uniform registers (`UR0`–`UR62`, plus `URZ`) shared across a warp,
+/// and 1-bit predicate registers (`P0`–`P6`, plus the true predicate `PT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Register {
+    /// General purpose register `R{n}`.
+    Gpr(u16),
+    /// The general purpose zero register `RZ`: reads as zero, writes discarded.
+    Rz,
+    /// Uniform register `UR{n}`.
+    Ur(u16),
+    /// The uniform zero register `URZ`.
+    Urz,
+    /// Predicate register `P{n}`.
+    Pred(u8),
+    /// The constant-true predicate `PT`.
+    Pt,
+    /// Uniform predicate register `UP{n}`.
+    UPred(u8),
+}
+
+impl Register {
+    /// Returns true for registers whose writes are discarded and whose reads
+    /// never carry a data dependence (`RZ`, `URZ`, `PT`).
+    #[must_use]
+    pub fn is_zero_or_true(self) -> bool {
+        matches!(self, Register::Rz | Register::Urz | Register::Pt)
+    }
+
+    /// Returns true for general-purpose registers (including `RZ`).
+    #[must_use]
+    pub fn is_gpr(self) -> bool {
+        matches!(self, Register::Gpr(_) | Register::Rz)
+    }
+
+    /// Returns true for predicate registers (including `PT`).
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(self, Register::Pred(_) | Register::Pt | Register::UPred(_))
+    }
+
+    /// The register paired with this one by a `.64` (wide) operand, per the
+    /// adjacent-register rule, or `None` when pairing does not apply.
+    #[must_use]
+    pub fn adjacent(self) -> Option<Register> {
+        match self {
+            Register::Gpr(n) => Some(Register::Gpr(adjacent_register(n))),
+            Register::Ur(n) => Some(Register::Ur(adjacent_register(n))),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the register adjacent to register number `n` for `.64` operands.
+///
+/// This is equation (2) of the CuAsmRL paper: registers are paired
+/// even/odd, so `R18.64` involves `R18` and `R19`, while `R5.64` involves
+/// `R5` and `R4`.
+///
+/// ```
+/// use sass::adjacent_register;
+/// assert_eq!(adjacent_register(18), 19);
+/// assert_eq!(adjacent_register(19), 18);
+/// assert_eq!(adjacent_register(5), 4);
+/// ```
+#[must_use]
+pub fn adjacent_register(n: u16) -> u16 {
+    let base = n / 2;
+    let rem = n % 2;
+    let flip = 1 - rem;
+    base * 2 + flip
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Register::Gpr(n) => write!(f, "R{n}"),
+            Register::Rz => write!(f, "RZ"),
+            Register::Ur(n) => write!(f, "UR{n}"),
+            Register::Urz => write!(f, "URZ"),
+            Register::Pred(n) => write!(f, "P{n}"),
+            Register::Pt => write!(f, "PT"),
+            Register::UPred(n) => write!(f, "UP{n}"),
+        }
+    }
+}
+
+impl FromStr for Register {
+    type Err = SassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || SassError::Operand(format!("unrecognized register `{s}`"));
+        match s {
+            "RZ" => return Ok(Register::Rz),
+            "URZ" => return Ok(Register::Urz),
+            "PT" => return Ok(Register::Pt),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("UP") {
+            return rest.parse::<u8>().map(Register::UPred).map_err(|_| err());
+        }
+        if let Some(rest) = s.strip_prefix("UR") {
+            return rest.parse::<u16>().map(Register::Ur).map_err(|_| err());
+        }
+        if let Some(rest) = s.strip_prefix('R') {
+            return rest.parse::<u16>().map(Register::Gpr).map_err(|_| err());
+        }
+        if let Some(rest) = s.strip_prefix('P') {
+            return rest.parse::<u8>().map(Register::Pred).map_err(|_| err());
+        }
+        Err(err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_register_pairs_even_and_odd() {
+        // Even registers pair with the next odd register and vice versa.
+        assert_eq!(adjacent_register(0), 1);
+        assert_eq!(adjacent_register(1), 0);
+        assert_eq!(adjacent_register(18), 19);
+        assert_eq!(adjacent_register(19), 18);
+        assert_eq!(adjacent_register(5), 4);
+        assert_eq!(adjacent_register(84), 85);
+    }
+
+    #[test]
+    fn adjacent_is_an_involution() {
+        for n in 0..256u16 {
+            assert_eq!(adjacent_register(adjacent_register(n)), n);
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["R0", "R254", "RZ", "UR18", "URZ", "P3", "PT", "UP1"] {
+            let reg: Register = text.parse().unwrap();
+            assert_eq!(reg.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("Rx".parse::<Register>().is_err());
+        assert!("".parse::<Register>().is_err());
+        assert!("X7".parse::<Register>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Register::Rz.is_zero_or_true());
+        assert!(Register::Pt.is_zero_or_true());
+        assert!(!Register::Gpr(3).is_zero_or_true());
+        assert!(Register::Gpr(3).is_gpr());
+        assert!(Register::Pred(2).is_predicate());
+        assert!(!Register::Ur(2).is_gpr());
+    }
+
+    #[test]
+    fn adjacent_only_applies_to_gpr_and_uniform() {
+        assert_eq!(Register::Gpr(18).adjacent(), Some(Register::Gpr(19)));
+        assert_eq!(Register::Ur(4).adjacent(), Some(Register::Ur(5)));
+        assert_eq!(Register::Pred(1).adjacent(), None);
+        assert_eq!(Register::Rz.adjacent(), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the SASS instruction model.
+
+use proptest::prelude::*;
+use sass::{adjacent_register, decode_program, encode_program, ControlCode, Program};
+
+proptest! {
+    /// The adjacent-register rule (equation 2) is an involution and always
+    /// pairs an even register with the next odd one.
+    #[test]
+    fn adjacent_register_is_an_involution(n in 0u16..255) {
+        let adj = adjacent_register(n);
+        prop_assert_eq!(adjacent_register(adj), n);
+        prop_assert_eq!(n / 2, adj / 2);
+        prop_assert_ne!(n, adj);
+    }
+
+    /// Control codes round-trip through both the textual and the packed
+    /// binary representation.
+    #[test]
+    fn control_codes_round_trip(
+        wait in 0u8..64,
+        read in prop::option::of(0u8..6),
+        write in prop::option::of(0u8..6),
+        yld in any::<bool>(),
+        stall in 0u8..16,
+    ) {
+        let mut cc = ControlCode::with_stall(stall).set_yield(yld);
+        for b in 0..6 {
+            if wait & (1 << b) != 0 {
+                cc = cc.wait_on(b);
+            }
+        }
+        if let Some(r) = read {
+            cc = cc.set_read_barrier(r);
+        }
+        if let Some(w) = write {
+            cc = cc.set_write_barrier(w);
+        }
+        let text = cc.to_string();
+        prop_assert_eq!(text.parse::<ControlCode>().unwrap(), cc);
+        prop_assert_eq!(ControlCode::from_bits(cc.to_bits()).unwrap(), cc);
+    }
+
+    /// Any sequence of in-range adjacent swaps preserves the instruction
+    /// multiset and the label positions, and the encoded program always
+    /// round-trips.
+    #[test]
+    fn swaps_preserve_instructions_and_encoding_round_trips(
+        swaps in prop::collection::vec(0usize..4, 0..16)
+    ) {
+        let text = "\
+[B------:R-:W-:-:S04] MOV R4, 0x100 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+.L_mid:
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] IADD3 R8, R6, 0x2, RZ ;
+[B------:R-:W-:-:S02] STG.E [R4], R8 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+        let original: Program = text.parse().unwrap();
+        let mut mutated = original.clone();
+        for s in swaps {
+            let _ = mutated.swap_instructions(s, s + 1);
+        }
+        prop_assert_eq!(mutated.instruction_count(), original.instruction_count());
+        let mut original_texts: Vec<String> =
+            original.instructions().map(ToString::to_string).collect();
+        let mut mutated_texts: Vec<String> =
+            mutated.instructions().map(ToString::to_string).collect();
+        original_texts.sort();
+        mutated_texts.sort();
+        prop_assert_eq!(original_texts, mutated_texts);
+        // Labels stay where they were in the item list.
+        prop_assert!(matches!(mutated.items()[2], sass::Item::Label(_)));
+        // Binary encoding round-trips the mutated schedule exactly.
+        let decoded = decode_program(&encode_program(&mutated)).unwrap();
+        prop_assert_eq!(decoded, mutated);
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproduce the "automatic discovery of optimization moves" analysis
+//! (§5.7, Figures 9 and 13): optimize the fused GEMM + LeakyReLU kernel,
+//! then print the reordering trace and classify the moves.
+//!
+//! ```text
+//! cargo run --release --example discover_moves
+//! ```
+
+use cuasmrl::{CuAsmRl, Strategy};
+use gpusim::GpuConfig;
+use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+
+fn main() {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
+    let config = KernelConfig {
+        block_m: 64,
+        block_n: 64,
+        block_k: 32,
+        num_warps: 4,
+        num_stages: 2,
+    };
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    let optimizer = CuAsmRl::new(GpuConfig::a100(), Strategy::Greedy { max_moves: 24 });
+    let report = optimizer.optimize_program(&kernel.name, kernel.program, kernel.launch);
+
+    println!(
+        "{}: {:.2} us -> {:.2} us ({:.2}x, verified={})",
+        report.kernel, report.baseline_us, report.optimized_us, report.speedup, report.verified
+    );
+    println!("\ndiscovered moves:");
+    for m in &report.moves {
+        let kind = if m.text.contains("LDGSTS") {
+            // Figure 9 / 13: asynchronous copies hoisted earlier (equivalently,
+            // tensor-core or predicated-off loads scheduled after them).
+            "hoist LDGSTS (Fig. 9/13 pattern)"
+        } else if m.text.contains("LDS") {
+            "reschedule shared-memory load"
+        } else {
+            "reschedule memory instruction"
+        };
+        println!(
+            "  {:>5.2} reward  {:?}  {}  [{kind}]",
+            m.reward,
+            m.direction,
+            m.text.trim()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: optimize one Triton-style kernel end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cuasmrl::{CuAsmRl, Strategy};
+use gpusim::{GpuConfig, MeasureOptions};
+use kernels::{ConfigSpace, KernelKind, KernelSpec};
+
+fn main() {
+    // A scaled-down fused GEMM + LeakyReLU so the example runs in seconds;
+    // use `KernelSpec::paper(..)` for the full Table-2 shape.
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
+    let gpu = GpuConfig::a100();
+
+    // Hierarchical search (§3.1): autotune the kernel configuration, compile,
+    // intercept the cubin and play the assembly game with greedy search.
+    // Swap the strategy for `Strategy::Rl(rl::PpoConfig::default())` to train
+    // the PPO agent as in the paper (minutes instead of seconds).
+    let optimizer = CuAsmRl::new(gpu, Strategy::Greedy { max_moves: 16 });
+    let tune_options = MeasureOptions {
+        warmup: 0,
+        repeats: 3,
+        noise_std: 0.0,
+        seed: 0,
+    };
+    let (report, cubin) = optimizer.optimize_spec(&spec, &ConfigSpace::small(), &tune_options);
+
+    println!("kernel            : {}", report.kernel);
+    println!("baseline (Triton) : {:.2} us", report.baseline_us);
+    println!("CuAsmRL           : {:.2} us", report.optimized_us);
+    println!("speedup           : {:.3}x", report.speedup);
+    println!("verified          : {}", report.verified);
+    println!("moves applied     : {}", report.moves.len());
+    for (i, m) in report.moves.iter().enumerate() {
+        println!("  move {i}: {:?} {}", m.direction, m.text.trim());
+    }
+    println!("optimized cubin kernels: {:?}", cubin.kernel_names());
+}

@@ -1,0 +1,53 @@
+//! Train the PPO agent on the assembly game for one kernel and print the
+//! training curves (the data behind Figures 8 and 12 of the paper).
+//!
+//! ```text
+//! cargo run --release --example train_rl_agent
+//! ```
+
+use cuasmrl::{AssemblyGame, GameConfig, StallTable};
+use gpusim::GpuConfig;
+use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+use rl::{Env, PpoConfig, PpoTrainer};
+
+fn main() {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+    let config = KernelConfig {
+        block_m: 32,
+        block_n: 32,
+        block_k: 32,
+        num_warps: 4,
+        num_stages: 2,
+    };
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    let mut game = AssemblyGame::new(
+        GpuConfig::small(),
+        kernel.program,
+        kernel.launch,
+        StallTable::builtin_a100(),
+        GameConfig::default(),
+    );
+    println!("baseline runtime: {:.2} us", game.initial_runtime_us());
+
+    let ppo = PpoConfig {
+        total_steps: 1024,
+        rollout_steps: 64,
+        learning_rate: 1e-3,
+        ..PpoConfig::tiny()
+    };
+    let mut trainer = PpoTrainer::new(ppo, game.observation_features(), game.action_count());
+    let stats = trainer.train(&mut game);
+
+    println!("episodes: {}", stats.episodic_returns.len());
+    println!("final episodic return (mean of last 5): {:.3}", stats.final_return(5));
+    println!("update  approx_kl  entropy");
+    for (i, (kl, h)) in stats.approx_kl.iter().zip(&stats.entropy).enumerate() {
+        println!("{i:>6}  {kl:>9.5}  {h:>7.4}");
+    }
+    let (_, best) = game.best();
+    println!(
+        "best runtime found during training: {:.2} us ({:.2}% faster)",
+        best,
+        (game.initial_runtime_us() - best) / game.initial_runtime_us() * 100.0
+    );
+}

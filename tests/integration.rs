@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full pipeline from kernel spec through
+//! the Triton-like compiler, the cubin interception, the assembly game and
+//! the optimizer back to an optimized cubin.
+
+use cuasmrl::{analyze, embed_program, CuAsmRl, StallTable, Strategy};
+use gpusim::{measure, simulate_launch, GpuConfig, MeasureOptions};
+use kernels::{
+    generate, Autotuner, ConfigSpace, KernelConfig, KernelKind, KernelSpec, ScheduleStyle,
+    TritonPipeline,
+};
+use rl::Env;
+
+fn fast_measure() -> MeasureOptions {
+    MeasureOptions {
+        warmup: 0,
+        repeats: 2,
+        noise_std: 0.0,
+        seed: 0,
+    }
+}
+
+#[test]
+fn end_to_end_hierarchical_optimization_produces_a_verified_faster_cubin() {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+    let optimizer = CuAsmRl::new(GpuConfig::small(), Strategy::Greedy { max_moves: 10 });
+    let (report, cubin) = optimizer.optimize_spec(&spec, &ConfigSpace::small(), &fast_measure());
+    assert!(report.verified);
+    assert!(report.speedup >= 1.0);
+    // The optimized cubin still contains the kernel and decodes to the
+    // optimized listing.
+    let program = cubin.kernel_program(&report.kernel).unwrap();
+    assert_eq!(program.to_string(), report.optimized_listing);
+}
+
+#[test]
+fn optimized_schedule_matches_baseline_outputs_for_every_kernel_kind() {
+    // Probabilistic testing across the whole suite: the best schedule found
+    // by a short greedy search computes the same outputs as the -O3 one.
+    let gpu = GpuConfig::small();
+    for kind in KernelKind::all() {
+        let spec = KernelSpec::scaled(kind, 16);
+        let config = if kind.is_compute_bound() {
+            KernelConfig {
+                block_m: 32,
+                block_n: 32,
+                block_k: 32,
+                num_warps: 4,
+                num_stages: 2,
+            }
+        } else {
+            KernelConfig {
+                block_m: 1,
+                block_n: 512,
+                block_k: 1,
+                num_warps: 4,
+                num_stages: 1,
+            }
+        };
+        let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+        let baseline = simulate_launch(&gpu, &kernel.program, &kernel.launch);
+        let optimizer = CuAsmRl::new(gpu.clone(), Strategy::Greedy { max_moves: 6 });
+        let report = optimizer.optimize_program(&kernel.name, kernel.program, kernel.launch.clone());
+        assert!(report.verified, "{kind:?} must verify");
+        let optimized: sass::Program = report.optimized_listing.parse().unwrap();
+        let run = simulate_launch(&gpu, &optimized, &kernel.launch);
+        assert_eq!(run.sm.hazards, 0, "{kind:?}");
+        assert_eq!(run.sm.output_digest, baseline.sm.output_digest, "{kind:?}");
+        assert!(report.optimized_us <= report.baseline_us * 1.0001, "{kind:?}");
+    }
+}
+
+#[test]
+fn autotuner_plus_analysis_plus_embedding_compose() {
+    let spec = KernelSpec::scaled(KernelKind::Softmax, 16);
+    let tuner = Autotuner::new(GpuConfig::small()).with_options(fast_measure());
+    let tuning = tuner.tune(&spec, &KernelKind::Softmax.config_space());
+    let pipeline = TritonPipeline::new(GpuConfig::small());
+    let compiled = pipeline.compile(&spec, &tuning.best);
+    let program = compiled.cubin.kernel_program(&compiled.name).unwrap();
+    let analysis = analyze(&program, &StallTable::builtin_a100());
+    assert!(!analysis.memory_indices.is_empty());
+    let embedding = embed_program(&program, &analysis);
+    assert_eq!(embedding.rows(), program.instruction_count());
+    assert_eq!(embedding.cols(), cuasmrl::feature_count(&analysis));
+}
+
+#[test]
+fn assembly_game_is_a_well_behaved_rl_environment() {
+    let spec = KernelSpec::scaled(KernelKind::BatchMatmul, 16);
+    let config = KernelConfig {
+        block_m: 32,
+        block_n: 32,
+        block_k: 32,
+        num_warps: 4,
+        num_stages: 2,
+    };
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    let mut game = cuasmrl::AssemblyGame::new(
+        GpuConfig::small(),
+        kernel.program,
+        kernel.launch,
+        StallTable::builtin_a100(),
+        cuasmrl::GameConfig::default(),
+    );
+    let obs = game.reset();
+    assert_eq!(obs.cols(), game.observation_features());
+    // Take a handful of masked actions; the game must never report a
+    // corrupted schedule as an improvement.
+    for _ in 0..6 {
+        let mask = game.action_mask();
+        let Some(action) = mask.iter().position(|&m| m) else {
+            break;
+        };
+        let step = game.step(action);
+        assert!(step.reward.is_finite());
+        if step.done {
+            break;
+        }
+    }
+    let (best, runtime) = game.best();
+    assert!(runtime <= game.initial_runtime_us());
+    let m = measure(&GpuConfig::small(), best, &kernel_launch(), &fast_measure());
+    assert_eq!(m.run.sm.hazards, 0);
+
+    fn kernel_launch() -> gpusim::LaunchConfig {
+        let spec = KernelSpec::scaled(KernelKind::BatchMatmul, 16);
+        let config = KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        };
+        generate(&spec, &config, ScheduleStyle::Baseline).launch
+    }
+}
+
+#[test]
+fn microbenchmarked_stall_table_feeds_the_masker() {
+    let table = cuasmrl::microbenchmark_table(&GpuConfig::a100());
+    assert_eq!(table.lookup("MOV"), Some(4));
+    assert_eq!(table.lookup("IMAD.WIDE"), Some(5));
+    let spec = KernelSpec::scaled(KernelKind::FusedFeedForward, 16);
+    let kernel = generate(
+        &spec,
+        &KernelConfig::default_compute(),
+        ScheduleStyle::Baseline,
+    );
+    let analysis = analyze(&kernel.program, &table);
+    assert!(!analysis.movable_memory_indices().is_empty());
+}

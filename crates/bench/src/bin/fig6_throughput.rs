@@ -1,40 +1,58 @@
 //! Figure 6: overall kernel throughput of CuAsmRL vs Triton vs the
 //! PyTorch / reference-library / Cutlass baselines, normalized to Triton = 1.
+//!
+//! The CuAsmRL column is produced by the parallel [`cuasmrl::SuiteOptimizer`]
+//! driver: one hierarchical search per kernel, sharded across `--jobs`
+//! worker threads. `--smoke` switches to the CI configuration (smallest
+//! shapes and budgets, small autotuning space) which exercises the whole
+//! parallel pipeline end to end in seconds.
+//!
+//! ```text
+//! cargo run --release --bin fig6_throughput -- [--scale N] [--jobs N] [--smoke]
+//! ```
 
-use bench::{harness_config, harness_measure, optimize_kernel, DEFAULT_SCALE};
+use bench::{harness_config, harness_measure, suite_driver, HarnessArgs, DEFAULT_SCALE};
 use gpusim::GpuConfig;
 use kernels::{
     baseline_runtime_us, generate, BaselineSystem, KernelKind, KernelSpec, ScheduleStyle,
 };
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SCALE);
+    let args = HarnessArgs::parse(DEFAULT_SCALE);
     let gpu = GpuConfig::a100();
     let opts = harness_measure();
-    println!("Figure 6 — normalized kernel throughput (Triton = 1.00), scale=1/{scale}");
+    println!(
+        "Figure 6 — normalized kernel throughput (Triton = 1.00), scale=1/{}, jobs={}{}",
+        args.scale,
+        args.jobs,
+        if args.smoke { ", smoke" } else { "" }
+    );
+
+    // Optimize the whole suite through the parallel driver first; the table
+    // below is then pure measurement and formatting.
+    let driver = suite_driver(&args, args.budget_moves(48));
+    let suite = driver.optimize_all(args.scale);
+    assert_eq!(suite.reports.len(), KernelKind::all().len());
+
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8} {:>9}",
         "kernel", "Torch", "Triton", "CuAsmRL", "Ref", "Cutlass"
     );
-    let mut geo = 1.0f64;
-    let mut n = 0u32;
-    for kind in KernelKind::all() {
-        let spec = KernelSpec::scaled(kind, scale);
+    for (kind, report) in KernelKind::all().into_iter().zip(&suite.reports) {
+        assert!(
+            report.verified,
+            "{kind:?} failed probabilistic verification"
+        );
+        let spec = KernelSpec::scaled(kind, args.scale);
         let config = harness_config(kind);
         let triton = generate(&spec, &config, ScheduleStyle::Baseline);
-        let triton_us =
-            gpusim::measure(&gpu, &triton.program, &triton.launch, &opts).mean_us;
-        let report = optimize_kernel(kind, scale, 48);
-        assert!(report.verified, "{kind:?} failed probabilistic verification");
+        let triton_us = gpusim::measure(&gpu, &triton.program, &triton.launch, &opts).mean_us;
         let cuasmrl_us = triton_us * report.optimized_us / report.baseline_us;
         let torch = baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Torch, &opts);
-        let reference =
-            baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Reference, &opts);
+        let reference = baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Reference, &opts);
         let cutlass = baseline_runtime_us(&gpu, &spec, &config, BaselineSystem::Cutlass, &opts);
-        let norm = |us: Option<f64>| us.map_or("-".to_string(), |u| format!("{:.2}", triton_us / u));
+        let norm =
+            |us: Option<f64>| us.map_or("-".to_string(), |u| format!("{:.2}", triton_us / u));
         println!(
             "{:<16} {:>8} {:>8.2} {:>8.2} {:>8} {:>9}",
             kind.name(),
@@ -44,11 +62,21 @@ fn main() {
             norm(reference),
             norm(cutlass),
         );
-        geo *= triton_us / cuasmrl_us;
-        n += 1;
     }
     println!(
         "geometric-mean CuAsmRL speedup over Triton: {:.3}x (paper: 1.09x)",
-        geo.powf(1.0 / f64::from(n))
+        suite.geomean_speedup
     );
+    if args.smoke {
+        assert_eq!(
+            suite.verified,
+            suite.reports.len(),
+            "smoke run must verify every kernel"
+        );
+        assert!(
+            suite.geomean_speedup >= 1.0,
+            "smoke run must never regress the suite"
+        );
+        println!("smoke check passed: parallel driver verified the full suite");
+    }
 }

@@ -41,7 +41,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(512);
-    println!("Figure 8 — episodic returns under different hyperparameters ({total_steps} steps each)");
+    println!(
+        "Figure 8 — episodic returns under different hyperparameters ({total_steps} steps each)"
+    );
     println!(
         "{:<24} {:>16} {:>14}",
         "setting", "final return", "best episode"

@@ -23,9 +23,10 @@ fn main() {
         "IMAD.WIDE",
         "IMAD.WIDE.U32",
     ] {
-        let measured = dependency_based_stall(&gpu, op)
+        let measured = dependency_based_stall(&gpu, op).map_or("-".to_string(), |v| v.to_string());
+        let expected = builtin
+            .lookup(op)
             .map_or("-".to_string(), |v| v.to_string());
-        let expected = builtin.lookup(op).map_or("-".to_string(), |v| v.to_string());
         println!("{op:<16} {measured:>10} {expected:>10}");
     }
     let clock = clock_based_iadd3(&gpu, 16);

@@ -2,13 +2,86 @@
 //! benches. Each table/figure of the paper has a dedicated binary under
 //! `src/bin/`; the Criterion benches in `benches/` time the hot paths.
 
-use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy};
+use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy, SuiteOptimizer};
 use gpusim::{GpuConfig, MeasureOptions};
-use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+use kernels::{generate, ConfigSpace, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
 
 /// Scale factor applied to the paper's problem shapes so that every harness
 /// binary finishes in seconds on a laptop. Set to 1 to run the full shapes.
 pub const DEFAULT_SCALE: usize = 8;
+
+/// Scale factor used by `--smoke` runs (CI): the deepest shrink the
+/// generators support, so a full parallel suite pass finishes in seconds.
+pub const SMOKE_SCALE: usize = 64;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Problem-shape divisor (`1/scale` of the paper shapes).
+    pub scale: usize,
+    /// Worker threads for the parallel suite driver.
+    pub jobs: usize,
+    /// CI smoke mode: smallest shapes, smallest search budget.
+    pub smoke: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `[scale] [--scale N] [--jobs N] [--smoke]` from the process
+    /// arguments. A bare integer is accepted as the first positional
+    /// argument (the scale) for backwards compatibility with the original
+    /// harness binaries. Malformed or unknown arguments abort with a usage
+    /// message rather than being silently reinterpreted.
+    #[must_use]
+    pub fn parse(default_scale: usize) -> Self {
+        let mut args = HarnessArgs {
+            scale: default_scale,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            smoke: false,
+        };
+        let usage = |problem: &str| -> ! {
+            eprintln!("error: {problem}");
+            eprintln!("usage: [scale] [--scale N] [--jobs N] [--smoke]");
+            std::process::exit(2);
+        };
+        let mut positional_taken = false;
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    args.smoke = true;
+                    args.scale = SMOKE_SCALE;
+                }
+                "--jobs" => match iter.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => args.jobs = n,
+                    _ => usage("--jobs requires an integer value"),
+                },
+                "--scale" => match iter.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => args.scale = n,
+                    _ => usage("--scale requires an integer value"),
+                },
+                other => match other.parse() {
+                    Ok(n) if !positional_taken && !other.starts_with('-') => {
+                        args.scale = n;
+                        positional_taken = true;
+                    }
+                    _ => usage(&format!("unrecognized argument `{other}`")),
+                },
+            }
+        }
+        args.jobs = args.jobs.max(1);
+        args
+    }
+
+    /// The per-kernel search budget (moves/generations) for this run.
+    #[must_use]
+    pub fn budget_moves(&self, full: usize) -> usize {
+        if self.smoke {
+            4
+        } else {
+            full
+        }
+    }
+}
 
 /// The tuned configuration used for a kernel kind in the harness (a fixed,
 /// reasonable configuration so that harness runs are comparable; the
@@ -43,6 +116,34 @@ pub fn harness_measure() -> MeasureOptions {
         repeats: 3,
         noise_std: 0.0,
         seed: 0,
+    }
+}
+
+/// Builds the parallel suite driver all multi-kernel harnesses share: the
+/// (1+1) evolutionary searcher (see [`optimize_kernel`] for why) over the
+/// autotuned Triton pipeline, sharded across `jobs` worker threads. In smoke
+/// mode the autotuning space collapses to [`ConfigSpace::small`] so a full
+/// suite pass stays within a CI minute.
+#[must_use]
+pub fn suite_driver(args: &HarnessArgs, budget_moves: usize) -> SuiteOptimizer {
+    let driver = SuiteOptimizer::new(
+        GpuConfig::a100(),
+        Strategy::Evolutionary {
+            generations: budget_moves.max(4),
+            mutation_length: 24,
+            seed: 0,
+        },
+    )
+    .with_jobs(args.jobs)
+    .with_tune_options(harness_measure())
+    .with_game_config(GameConfig {
+        episode_length: budget_moves.max(32),
+        measure: harness_measure(),
+    });
+    if args.smoke {
+        driver.with_config_space(ConfigSpace::small())
+    } else {
+        driver
     }
 }
 

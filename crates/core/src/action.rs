@@ -44,7 +44,7 @@ impl Action {
     pub fn from_id(id: usize) -> Self {
         Action {
             slot: id / 2,
-            direction: if id % 2 == 0 {
+            direction: if id.is_multiple_of(2) {
                 Direction::Up
             } else {
                 Direction::Down
@@ -124,10 +124,13 @@ fn swap_is_legal(
     // would move above the waiter only in the other direction, but after the
     // swap the waiter would precede the setter).
     let sets = |inst: &Instruction| {
-        [inst.control().read_barrier(), inst.control().write_barrier()]
-            .into_iter()
-            .flatten()
-            .collect::<Vec<u8>>()
+        [
+            inst.control().read_barrier(),
+            inst.control().write_barrier(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<u8>>()
     };
     if sets(upper).iter().any(|&b| lower.control().waits_on(b)) {
         return false;
@@ -146,7 +149,14 @@ fn swap_is_legal(
     if swapped.swap_instructions(upper_idx, lower_idx).is_err() {
         return false;
     }
-    stall_counts_satisfied(&swapped, block.start, block.end, upper_idx, analysis, stalls)
+    stall_counts_satisfied(
+        &swapped,
+        block.start,
+        block.end,
+        upper_idx,
+        analysis,
+        stalls,
+    )
 }
 
 /// Verifies that every fixed-latency def-use pair whose distance may have

@@ -108,10 +108,8 @@ pub fn analyze(program: &Program, builtin: &StallTable) -> Analysis {
     // Registers that are never written anywhere in the kernel are inputs set
     // up by the driver (e.g. uniform descriptor registers); they carry no
     // intra-kernel dependence.
-    let ever_defined: HashSet<Register> = instructions
-        .iter()
-        .flat_map(|inst| inst.defs())
-        .collect();
+    let ever_defined: HashSet<Register> =
+        instructions.iter().flat_map(|inst| inst.defs()).collect();
 
     // Pass 1: stall-count inference / denylist construction.
     for &mem_idx in &memory_indices {
@@ -265,7 +263,11 @@ mod tests {
         // and some are denylisted.
         use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
         let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
-        let kernel = generate(&spec, &KernelConfig::default_compute(), ScheduleStyle::Baseline);
+        let kernel = generate(
+            &spec,
+            &KernelConfig::default_compute(),
+            ScheduleStyle::Baseline,
+        );
         let analysis = analyze(&kernel.program, &StallTable::builtin_a100());
         assert!(analysis.breakdown.total() > 0);
         assert!(analysis.breakdown.table > 0);

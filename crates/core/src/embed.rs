@@ -16,11 +16,7 @@ use crate::analysis::Analysis;
 pub const FIXED_FEATURES: usize = 11;
 
 /// Embeds one instruction into `features` values.
-fn embed_instruction(
-    inst: &sass::Instruction,
-    analysis: &Analysis,
-    features: usize,
-) -> Vec<f32> {
+fn embed_instruction(inst: &sass::Instruction, analysis: &Analysis, features: usize) -> Vec<f32> {
     let mut row = Vec::with_capacity(features);
     let cc = inst.control();
     for b in 0..6u8 {

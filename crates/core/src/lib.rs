@@ -37,6 +37,7 @@ mod embed;
 mod game;
 mod optimizer;
 mod stall_table;
+mod suite_optimizer;
 
 pub use action::{action_mask, Action, Direction};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
@@ -45,4 +46,7 @@ pub use game::{AssemblyGame, GameConfig, Move};
 pub use optimizer::{CuAsmRl, OptimizationReport, Strategy, StrategyComparison};
 pub use stall_table::{
     clock_based_iadd3, dependency_based_stall, microbenchmark_table, ClockBenchResult, StallTable,
+};
+pub use suite_optimizer::{
+    load_suite_report, persist_suite_report, suite_report_path, SuiteOptimizer, SuiteReport,
 };

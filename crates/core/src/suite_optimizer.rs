@@ -1,0 +1,394 @@
+//! Parallel suite optimization: the offline-search half of the paper's
+//! offline-search / deploy-time-lookup workflow (§4.2), batched across a
+//! kernel suite and a thread pool.
+//!
+//! The paper amortizes CuAsmRL's search cost by optimizing a whole kernel
+//! suite offline and looking schedules up at deploy time. [`SuiteOptimizer`]
+//! makes that practical at scale: it shards the suite across `jobs` worker
+//! threads, runs one full hierarchical [`CuAsmRl`] search per kernel with a
+//! per-kernel seed derived from the base seed, aggregates the
+//! [`OptimizationReport`]s **in suite order**, and persists both the
+//! per-kernel reports and an aggregate [`SuiteReport`] into the schedule
+//! cache directory so later runs (and deploy-time lookup) hit the cache.
+//!
+//! Determinism contract: each kernel's search depends only on its spec, its
+//! derived seed and the shared configuration — never on which worker picked
+//! it up — so for a fixed seed, `jobs = 4` produces reports bit-identical to
+//! `jobs = 1`. The workspace-level `parallel_determinism` test enforces
+//! this.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+
+use gpusim::{GpuConfig, MeasureOptions};
+use kernels::{ConfigSpace, KernelKind, KernelSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::game::GameConfig;
+use crate::optimizer::{CuAsmRl, OptimizationReport, Strategy};
+
+/// Aggregated result of optimizing a kernel suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// GPU the suite was optimized for.
+    pub gpu: String,
+    /// Base seed the per-kernel seeds were derived from.
+    pub seed: u64,
+    /// Per-kernel reports, in suite order.
+    pub reports: Vec<OptimizationReport>,
+    /// Geometric-mean speedup across the suite (the Figure 6 headline).
+    pub geomean_speedup: f64,
+    /// Number of kernels whose optimized schedule passed probabilistic
+    /// verification.
+    pub verified: usize,
+}
+
+impl SuiteReport {
+    /// Renders a fixed-width per-kernel summary table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>9} {:>9}\n",
+            "kernel", "baseline_us", "optimized_us", "speedup", "verified"
+        ));
+        for report in &self.reports {
+            out.push_str(&format!(
+                "{:<24} {:>12.2} {:>12.2} {:>8.3}x {:>9}\n",
+                report.kernel,
+                report.baseline_us,
+                report.optimized_us,
+                report.speedup,
+                report.verified
+            ));
+        }
+        out.push_str(&format!(
+            "geomean speedup: {:.3}x ({}/{} verified)\n",
+            self.geomean_speedup,
+            self.verified,
+            self.reports.len()
+        ));
+        out
+    }
+}
+
+/// Optimizes a suite of kernels across a configurable thread pool.
+#[derive(Debug, Clone)]
+pub struct SuiteOptimizer {
+    gpu: GpuConfig,
+    strategy: Strategy,
+    game_config: GameConfig,
+    tune_options: MeasureOptions,
+    space: Option<ConfigSpace>,
+    jobs: usize,
+    seed: u64,
+    cache_dir: Option<PathBuf>,
+}
+
+impl SuiteOptimizer {
+    /// Creates a single-threaded suite optimizer; scale up with
+    /// [`SuiteOptimizer::with_jobs`].
+    #[must_use]
+    pub fn new(gpu: GpuConfig, strategy: Strategy) -> Self {
+        SuiteOptimizer {
+            gpu,
+            strategy,
+            game_config: GameConfig::default(),
+            tune_options: MeasureOptions::default(),
+            space: None,
+            jobs: 1,
+            seed: 0,
+            cache_dir: None,
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the base seed from which per-kernel seeds are derived.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the assembly-game configuration.
+    #[must_use]
+    pub fn with_game_config(mut self, config: GameConfig) -> Self {
+        self.game_config = config;
+        self
+    }
+
+    /// Overrides the measurement protocol used while autotuning.
+    #[must_use]
+    pub fn with_tune_options(mut self, options: MeasureOptions) -> Self {
+        self.tune_options = options;
+        self
+    }
+
+    /// Forces one autotuning space for every kernel (defaults to each
+    /// kernel kind's own space).
+    #[must_use]
+    pub fn with_config_space(mut self, space: ConfigSpace) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Enables the deploy-time schedule cache (§4.2): per-kernel reports and
+    /// the aggregate suite report are persisted under `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The per-kernel seed for a spec: a SplitMix64 mix of the base seed,
+    /// the kernel name and the problem shape, so every distinct kernel gets
+    /// an independent, reproducible stream no matter how the suite is
+    /// sharded. Deriving from the *spec* (not the suite position) keeps the
+    /// jobs=N ≡ jobs=1 contract even when a suite lists the same spec twice:
+    /// duplicates run the identical search and produce identical reports,
+    /// with or without a cache hit in between.
+    #[must_use]
+    pub fn kernel_seed(&self, spec: &KernelSpec) -> u64 {
+        let mut state = self.seed;
+        for byte in spec.kind.name().bytes() {
+            state = state
+                .wrapping_add(u64::from(byte))
+                .wrapping_mul(0x100_0000_01B3);
+        }
+        for dim in [spec.shape.batch, spec.shape.m, spec.shape.n, spec.shape.k] {
+            state = state.wrapping_add(dim as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn seeded_strategy(&self, seed: u64) -> Strategy {
+        match self.strategy.clone() {
+            Strategy::Rl(mut config) => {
+                config.seed = seed;
+                Strategy::Rl(config)
+            }
+            greedy @ Strategy::Greedy { .. } => greedy,
+            Strategy::Random { steps, .. } => Strategy::Random { steps, seed },
+            Strategy::Evolutionary {
+                generations,
+                mutation_length,
+                ..
+            } => Strategy::Evolutionary {
+                generations,
+                mutation_length,
+                seed,
+            },
+        }
+    }
+
+    /// Builds the per-kernel optimizer for one spec.
+    fn kernel_optimizer(&self, spec: &KernelSpec) -> CuAsmRl {
+        let strategy = self.seeded_strategy(self.kernel_seed(spec));
+        let mut optimizer =
+            CuAsmRl::new(self.gpu.clone(), strategy).with_game_config(self.game_config.clone());
+        if let Some(dir) = &self.cache_dir {
+            optimizer = optimizer.with_cache_dir(dir.clone());
+        }
+        optimizer
+    }
+
+    /// Optimizes every kernel of [`KernelKind::all`] at problem scale
+    /// `1/scale`.
+    #[must_use]
+    pub fn optimize_all(&self, scale: usize) -> SuiteReport {
+        let specs: Vec<KernelSpec> = KernelKind::all()
+            .into_iter()
+            .map(|kind| KernelSpec::scaled(kind, scale))
+            .collect();
+        self.optimize(&specs)
+    }
+
+    /// Optimizes `specs`, sharding the suite across the configured thread
+    /// pool and aggregating the reports in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the panic is propagated).
+    #[must_use]
+    pub fn optimize(&self, specs: &[KernelSpec]) -> SuiteReport {
+        let next = AtomicUsize::new(0);
+        let (result_tx, result_rx) = channel::<(usize, OptimizationReport)>();
+        let jobs = self.jobs.min(specs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let next = &next;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else {
+                        return;
+                    };
+                    let optimizer = self.kernel_optimizer(spec);
+                    let space = self
+                        .space
+                        .clone()
+                        .unwrap_or_else(|| spec.kind.config_space());
+                    let (report, _cubin) =
+                        optimizer.optimize_spec(spec, &space, &self.tune_options);
+                    if result_tx.send((index, report)).is_err() {
+                        return;
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+
+        let mut slots: Vec<Option<OptimizationReport>> = vec![None; specs.len()];
+        for (index, report) in result_rx {
+            slots[index] = Some(report);
+        }
+        let reports: Vec<OptimizationReport> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every kernel must produce a report"))
+            .collect();
+
+        let verified = reports.iter().filter(|r| r.verified).count();
+        let geomean_speedup = if reports.is_empty() {
+            1.0
+        } else {
+            let log_sum: f64 = reports.iter().map(|r| r.speedup.max(1e-12).ln()).sum();
+            (log_sum / reports.len() as f64).exp()
+        };
+        let suite = SuiteReport {
+            gpu: self.gpu.name.clone(),
+            seed: self.seed,
+            reports,
+            geomean_speedup,
+            verified,
+        };
+        if let Some(dir) = &self.cache_dir {
+            let _ = persist_suite_report(dir, &suite);
+        }
+        suite
+    }
+}
+
+/// Path of the aggregate suite report inside a cache directory.
+#[must_use]
+pub fn suite_report_path(dir: &Path, gpu: &str) -> PathBuf {
+    dir.join(format!("{gpu}_suite.json"))
+}
+
+/// Writes the aggregate suite report into the cache directory.
+///
+/// # Errors
+///
+/// Returns an IO error if the directory cannot be created or written.
+pub fn persist_suite_report(dir: &Path, suite: &SuiteReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let text = serde_json::to_string_pretty(suite)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(suite_report_path(dir, &suite.gpu), text)
+}
+
+/// Loads a previously persisted aggregate suite report.
+#[must_use]
+pub fn load_suite_report(dir: &Path, gpu: &str) -> Option<SuiteReport> {
+    let text = std::fs::read_to_string(suite_report_path(dir, gpu)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_measure() -> MeasureOptions {
+        MeasureOptions {
+            warmup: 0,
+            repeats: 2,
+            noise_std: 0.0,
+            seed: 0,
+        }
+    }
+
+    fn small_suite() -> Vec<KernelSpec> {
+        vec![
+            KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16),
+            KernelSpec::scaled(KernelKind::Softmax, 16),
+        ]
+    }
+
+    fn optimizer(jobs: usize) -> SuiteOptimizer {
+        SuiteOptimizer::new(GpuConfig::small(), Strategy::Greedy { max_moves: 4 })
+            .with_jobs(jobs)
+            .with_seed(7)
+            .with_tune_options(fast_measure())
+            .with_config_space(ConfigSpace::small())
+            .with_game_config(GameConfig {
+                episode_length: 8,
+                measure: fast_measure(),
+            })
+    }
+
+    #[test]
+    fn suite_reports_arrive_in_suite_order_and_verify() {
+        let suite = optimizer(2).optimize(&small_suite());
+        assert_eq!(suite.reports.len(), 2);
+        assert_eq!(suite.verified, 2);
+        assert!(suite.geomean_speedup >= 1.0);
+        assert!(suite.reports[0].kernel.contains("mmLeakyReLu"));
+        assert!(suite.reports[1].kernel.contains("softmax"));
+        assert!(suite.table().contains("geomean"));
+    }
+
+    #[test]
+    fn per_kernel_seeds_are_independent_of_sharding() {
+        let a = optimizer(1);
+        let b = optimizer(4);
+        for kind in [KernelKind::Softmax, KernelKind::BatchMatmul] {
+            let spec = KernelSpec::scaled(kind, 16);
+            assert_eq!(a.kernel_seed(&spec), b.kernel_seed(&spec));
+        }
+        // Distinct kinds and distinct shapes get distinct seeds.
+        assert_ne!(
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::Softmax, 16)),
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::BatchMatmul, 16))
+        );
+        assert_ne!(
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::Softmax, 16)),
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::Softmax, 32))
+        );
+        // Identical specs get identical seeds, so duplicated suite entries
+        // run identical searches (the jobs=N determinism contract).
+        assert_eq!(
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::Rmsnorm, 16)),
+            a.kernel_seed(&KernelSpec::scaled(KernelKind::Rmsnorm, 16))
+        );
+    }
+
+    #[test]
+    fn aggregate_report_round_trips_through_the_cache_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "cuasmrl-suite-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let suite = optimizer(2).with_cache_dir(&dir).optimize(&small_suite());
+        let loaded = load_suite_report(&dir, &suite.gpu).expect("aggregate report persisted");
+        assert_eq!(
+            serde_json::to_string(&loaded).unwrap(),
+            serde_json::to_string(&suite).unwrap()
+        );
+        // Per-kernel reports are cached for deploy-time lookup as well.
+        let per_kernel = CuAsmRl::new(GpuConfig::small(), Strategy::Greedy { max_moves: 4 })
+            .with_cache_dir(&dir)
+            .lookup(&suite.reports[0].kernel);
+        assert!(per_kernel.is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -103,11 +103,7 @@ fn special_register(name: &str, ctx: &ExecContext<'_>) -> u64 {
 
 /// Evaluates a source operand to a 64-bit value, recording stale-read
 /// hazards through the register file.
-fn operand_value(
-    operand: &Operand,
-    regs: &mut RegisterFile,
-    ctx: &ExecContext<'_>,
-) -> u64 {
+fn operand_value(operand: &Operand, regs: &mut RegisterFile, ctx: &ExecContext<'_>) -> u64 {
     match operand {
         Operand::Reg(r) => {
             let mut v = regs.read(r.reg, ctx.cycle);
@@ -139,11 +135,7 @@ fn operand_value(
 }
 
 /// Computes the effective byte address of a memory reference operand.
-fn memref_address(
-    operand: &Operand,
-    regs: &mut RegisterFile,
-    ctx: &ExecContext<'_>,
-) -> u64 {
+fn memref_address(operand: &Operand, regs: &mut RegisterFile, ctx: &ExecContext<'_>) -> u64 {
     let Operand::Mem(m) = operand else { return 0 };
     let mut addr = 0u64;
     if let Some(desc) = m.descriptor {
@@ -207,7 +199,9 @@ pub fn execute(
     match opcode.base() {
         Mnemonic::Mov => {
             if let Some(reg) = first_dest_reg {
-                outcome.writes.push((reg, source_values.first().copied().unwrap_or(0)));
+                outcome
+                    .writes
+                    .push((reg, source_values.first().copied().unwrap_or(0)));
             }
         }
         Mnemonic::Iadd3 | Mnemonic::Lea => {
@@ -229,7 +223,9 @@ pub fn execute(
                 let a = source_values.first().copied().unwrap_or(0);
                 let b = source_values.get(1).copied().unwrap_or(0);
                 let c = source_values.get(2).copied().unwrap_or(0);
-                outcome.writes.push((reg, a.wrapping_mul(b).wrapping_add(c)));
+                outcome
+                    .writes
+                    .push((reg, a.wrapping_mul(b).wrapping_add(c)));
             }
         }
         Mnemonic::Sel | Mnemonic::Fsel => {
@@ -327,8 +323,7 @@ pub fn execute(
             let data = inst
                 .operands()
                 .iter()
-                .filter(|o| o.as_mem().is_none())
-                .next_back()
+                .rfind(|o| o.as_mem().is_none())
                 .map_or(0, |o| operand_value(o, regs, ctx));
             let bytes = access_bytes(inst);
             mem.store_global(addr, data, bytes);
@@ -349,8 +344,7 @@ pub fn execute(
             let data = inst
                 .operands()
                 .iter()
-                .filter(|o| o.as_mem().is_none())
-                .next_back()
+                .rfind(|o| o.as_mem().is_none())
                 .map_or(0, |o| operand_value(o, regs, ctx));
             let bytes = access_bytes(inst);
             mem.store_shared(addr, data, bytes);
@@ -425,9 +419,10 @@ pub fn execute(
         _ => {
             for dest in &dests {
                 if let Some(r) = dest.as_reg() {
-                    outcome
-                        .writes
-                        .push((r.reg, mix_values(opcode_tag ^ r.reg.to_string().len() as u64, &source_values)));
+                    outcome.writes.push((
+                        r.reg,
+                        mix_values(opcode_tag ^ r.reg.to_string().len() as u64, &source_values),
+                    ));
                 }
             }
         }
@@ -490,7 +485,12 @@ mod tests {
     fn isetp_compares_and_branch_follows_predicate() {
         let (mut regs, mut mem, _) = setup();
         regs.write(Register::Gpr(4), 20, 0);
-        let out = run("ISETP.GE.AND P0, PT, R4, 0x10, PT ;", &mut regs, &mut mem, 0);
+        let out = run(
+            "ISETP.GE.AND P0, PT, R4, 0x10, PT ;",
+            &mut regs,
+            &mut mem,
+            0,
+        );
         assert_eq!(out.writes, vec![(Register::Pred(0), 1)]);
         regs.write(Register::Pred(0), 1, 0);
         let out = run("@P0 BRA `(.L_loop) ;", &mut regs, &mut mem, 0);

@@ -163,9 +163,8 @@ pub fn measure(
 ) -> Measurement {
     use rand::{Rng, SeedableRng};
     let run = simulate_launch(config, program, launch);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
-        options.seed ^ run.sm.output_digest ^ run.sm.cycles,
-    );
+    let mut rng =
+        rand_chacha::ChaCha8Rng::seed_from_u64(options.seed ^ run.sm.output_digest ^ run.sm.cycles);
     let mut samples = Vec::with_capacity(options.repeats.max(1));
     for _ in 0..options.repeats.max(1) {
         // Box-Muller style noise via two uniform draws, clamped to a few
@@ -176,11 +175,7 @@ pub fn measure(
         samples.push(run.runtime_us * (1.0 + noise));
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
-        / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
     Measurement {
         mean_us: mean,
         std_us: var.sqrt(),
@@ -215,8 +210,22 @@ mod tests {
     fn launch_scales_with_grid_size() {
         let cfg = GpuConfig::small();
         let program: sass::Program = SAMPLE.parse().unwrap();
-        let small_grid = simulate_launch(&cfg, &program, &LaunchConfig { grid_blocks: 4, ..launch() });
-        let big_grid = simulate_launch(&cfg, &program, &LaunchConfig { grid_blocks: 4000, ..launch() });
+        let small_grid = simulate_launch(
+            &cfg,
+            &program,
+            &LaunchConfig {
+                grid_blocks: 4,
+                ..launch()
+            },
+        );
+        let big_grid = simulate_launch(
+            &cfg,
+            &program,
+            &LaunchConfig {
+                grid_blocks: 4000,
+                ..launch()
+            },
+        );
         assert!(big_grid.runtime_us > small_grid.runtime_us);
         assert!(big_grid.waves > small_grid.waves);
     }
@@ -226,7 +235,8 @@ mod tests {
         let cfg = GpuConfig::small();
         let program: sass::Program = SAMPLE.parse().unwrap();
         let run = simulate_launch(&cfg, &program, &launch());
-        let expected = launch().work_per_block * launch().grid_blocks as f64 / (run.runtime_us * 1e-6);
+        let expected =
+            launch().work_per_block * launch().grid_blocks as f64 / (run.runtime_us * 1e-6);
         assert!((run.throughput - expected).abs() / expected < 1e-9);
         assert!(run.memory_throughput_gbs > 0.0);
     }

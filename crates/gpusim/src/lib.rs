@@ -50,7 +50,7 @@ mod sm;
 pub use config::{CacheConfig, GpuConfig, LatencyModel};
 pub use counters::{MemoryChart, WorkloadAnalysis};
 pub use exec::{execute, ExecContext, MemAccess, Outcome};
-pub use launch::{measure, simulate_launch, KernelRun, LaunchConfig, Measurement, MeasureOptions};
+pub use launch::{measure, simulate_launch, KernelRun, LaunchConfig, MeasureOptions, Measurement};
 pub use memory::{default_global_word, splitmix64, MemCounters, MemorySubsystem, ServicePoint};
 pub use regfile::{RegisterFile, ReuseCache, StaleRead};
 pub use sm::{SimOutput, SmReport, SmSimulator};

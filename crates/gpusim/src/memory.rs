@@ -224,10 +224,7 @@ impl MemorySubsystem {
     /// Functional read of a global word.
     #[must_use]
     pub fn load_global(&self, addr: u64) -> u64 {
-        *self
-            .global
-            .get(&addr)
-            .unwrap_or(&default_global_word(addr))
+        *self.global.get(&addr).unwrap_or(&default_global_word(addr))
     }
 
     /// Functional write of a global word.
@@ -271,11 +268,9 @@ impl MemorySubsystem {
     /// schedules that compute the same result produce the same digest.
     #[must_use]
     pub fn global_digest(&self) -> u64 {
-        self.global
-            .iter()
-            .fold(0u64, |acc, (addr, value)| {
-                acc ^ splitmix64(addr.wrapping_mul(31).wrapping_add(*value))
-            })
+        self.global.iter().fold(0u64, |acc, (addr, value)| {
+            acc ^ splitmix64(addr.wrapping_mul(31).wrapping_add(*value))
+        })
     }
 
     /// Reads a range of global words (used by probabilistic testing to

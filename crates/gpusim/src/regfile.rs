@@ -27,7 +27,7 @@ pub struct StaleRead {
     pub ready_at: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Cell {
     /// Value visible once `ready_at` has passed.
     value: u64,
@@ -35,16 +35,6 @@ struct Cell {
     stale: u64,
     /// Cycle at which `value` becomes architecturally visible.
     ready_at: u64,
-}
-
-impl Default for Cell {
-    fn default() -> Self {
-        Cell {
-            value: 0,
-            stale: 0,
-            ready_at: 0,
-        }
-    }
 }
 
 /// The register file of one warp.
@@ -196,12 +186,7 @@ impl ReuseCache {
     /// the sources carrying the `.reuse` hint. Updates the cache state.
     ///
     /// Returns the number of conflict cycles (0 or more).
-    pub fn issue(
-        &mut self,
-        warp: usize,
-        sources: &[Register],
-        reuse_flagged: &[Register],
-    ) -> u64 {
+    pub fn issue(&mut self, warp: usize, sources: &[Register], reuse_flagged: &[Register]) -> u64 {
         let same_warp = self.last_warp == Some(warp);
         if !same_warp {
             // A warp switch invalidates the operand cache.
@@ -220,7 +205,9 @@ impl ReuseCache {
             }
         }
         for &reg in &distinct {
-            let Some(bank) = self.bank_of(reg) else { continue };
+            let Some(bank) = self.bank_of(reg) else {
+                continue;
+            };
             let cached = same_warp && self.slots[bank] == Some(reg);
             if seen_banks.contains(&bank) && !cached {
                 conflicts += 1;
@@ -251,7 +238,11 @@ mod tests {
     fn read_before_ready_returns_stale_value_and_records_hazard() {
         let mut rf = RegisterFile::new();
         rf.write(Register::Gpr(4), 111, 10);
-        assert_eq!(rf.read(Register::Gpr(4), 5), 0, "stale value is the old contents");
+        assert_eq!(
+            rf.read(Register::Gpr(4), 5),
+            0,
+            "stale value is the old contents"
+        );
         assert_eq!(rf.hazard_count(), 1);
         assert_eq!(rf.read(Register::Gpr(4), 10), 111);
         assert_eq!(rf.hazard_count(), 1);
@@ -292,7 +283,11 @@ mod tests {
     fn reuse_hint_removes_conflict_when_same_warp_issues_back_to_back() {
         let mut cache = ReuseCache::new(4);
         // First instruction caches R4 (bank 0) for reuse.
-        let _ = cache.issue(0, &[Register::Gpr(4), Register::Gpr(5)], &[Register::Gpr(4)]);
+        let _ = cache.issue(
+            0,
+            &[Register::Gpr(4), Register::Gpr(5)],
+            &[Register::Gpr(4)],
+        );
         // Next instruction of the same warp reads R4 and R8 (both bank 0):
         // the cached copy of R4 absorbs the conflict.
         let conflicts = cache.issue(0, &[Register::Gpr(8), Register::Gpr(4)], &[]);
@@ -302,7 +297,11 @@ mod tests {
     #[test]
     fn warp_switch_invalidates_reuse_cache() {
         let mut cache = ReuseCache::new(4);
-        let _ = cache.issue(0, &[Register::Gpr(4), Register::Gpr(5)], &[Register::Gpr(4)]);
+        let _ = cache.issue(
+            0,
+            &[Register::Gpr(4), Register::Gpr(5)],
+            &[Register::Gpr(4)],
+        );
         // Another warp issues in between.
         let _ = cache.issue(1, &[Register::Gpr(12)], &[]);
         // Back to warp 0: the cached R4 is gone, so the conflict is paid.

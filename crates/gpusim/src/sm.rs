@@ -218,9 +218,8 @@ impl SmSimulator {
         let instructions: Vec<&Instruction> = program.instructions().collect();
         let label_map = build_label_map(program);
         let mut memory = MemorySubsystem::new(&self.config);
-        let mut warp_states: Vec<Warp> = (0..warps.max(1))
-            .map(|w| Warp::new(w, block_id))
-            .collect();
+        let mut warp_states: Vec<Warp> =
+            (0..warps.max(1)).map(|w| Warp::new(w, block_id)).collect();
         let mut reuse_cache = ReuseCache::new(self.config.register_banks);
 
         let mut cycle: u64 = 0;
@@ -261,9 +260,7 @@ impl SmSimulator {
             // Barrier release: when every unfinished warp is waiting, release
             // all of them.
             if warp_states.iter().any(|w| !w.finished && w.at_barrier)
-                && warp_states
-                    .iter()
-                    .all(|w| w.finished || w.at_barrier)
+                && warp_states.iter().all(|w| w.finished || w.at_barrier)
             {
                 for w in &mut warp_states {
                     w.at_barrier = false;
@@ -294,11 +291,7 @@ impl SmSimulator {
                 // (unless it yielded), otherwise the lowest-index eligible
                 // warp after it.
                 let chosen = match last_issued_warp {
-                    Some(last)
-                        if !warp_states[last].yielded && pick_from.contains(&last) =>
-                    {
-                        last
-                    }
+                    Some(last) if !warp_states[last].yielded && pick_from.contains(&last) => last,
                     Some(last) => *pick_from
                         .iter()
                         .find(|&&w| w > last)

@@ -103,7 +103,10 @@ mod tests {
     #[test]
     fn control_code_formatting() {
         assert_eq!(cc(&[], None, Some(2), true, 2), "[B------:R-:W2:Y:S02]");
-        assert_eq!(cc(&[0, 5], Some(1), None, false, 12), "[B0----5:R1:W-:-:S12]");
+        assert_eq!(
+            cc(&[0, 5], Some(1), None, false, 12),
+            "[B0----5:R1:W-:-:S12]"
+        );
     }
 
     #[test]

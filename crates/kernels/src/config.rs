@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn cache_key_distinguishes_configs() {
         let a = KernelConfig::default_compute();
-        let b = KernelConfig {
-            num_warps: 8,
-            ..a
-        };
+        let b = KernelConfig { num_warps: 8, ..a };
         assert_ne!(a.cache_key(), b.cache_key());
     }
 

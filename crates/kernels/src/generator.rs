@@ -67,9 +67,9 @@ pub struct GeneratedKernel {
 #[must_use]
 pub fn generate(spec: &KernelSpec, config: &KernelConfig, style: ScheduleStyle) -> GeneratedKernel {
     match spec.kind {
-        KernelKind::FusedFeedForward
-        | KernelKind::MatmulLeakyRelu
-        | KernelKind::BatchMatmul => gemm_like(spec, config, style, 0),
+        KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+            gemm_like(spec, config, style, 0)
+        }
         KernelKind::FlashAttention => gemm_like(spec, config, style, 4),
         KernelKind::Softmax => rowwise(spec, config, style, false),
         KernelKind::Rmsnorm => rowwise(spec, config, style, true),
@@ -226,7 +226,7 @@ fn emit_stage(
             b.extend(early.to_vec());
             b.extend(lds);
             let mut hmma_iter = hmma.into_iter();
-            let mut late_iter = late.to_vec().into_iter();
+            let mut late_iter = late.iter().cloned();
             // First two HMMAs, then a straggler copy splitting the reuse pair.
             if let Some(h) = hmma_iter.next() {
                 b.raw(h);
@@ -256,7 +256,13 @@ fn gemm_like(
     // Prologue: load kernel parameters, derive per-block pointers.
     b.inst(&[], None, None, 4, &format!("MOV R2, c[0x0][{PARAM_A:#x}]"));
     b.inst(&[], None, None, 4, &format!("MOV R4, c[0x0][{PARAM_B:#x}]"));
-    b.inst(&[], None, None, 4, &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"));
+    b.inst(
+        &[],
+        None,
+        None,
+        4,
+        &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"),
+    );
     b.inst(&[], None, None, 13, "S2R R0, SR_CTAID.X");
     b.inst(&[], None, None, 4, "IMAD R10, R0, 0x1000, R2");
     b.inst(&[], None, None, 4, "IMAD R12, R0, 0x1000, R4");
@@ -390,7 +396,13 @@ fn rowwise(
     let mut b = ScheduleBuilder::new();
 
     b.inst(&[], None, None, 4, &format!("MOV R2, c[0x0][{PARAM_A:#x}]"));
-    b.inst(&[], None, None, 4, &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"));
+    b.inst(
+        &[],
+        None,
+        None,
+        4,
+        &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"),
+    );
     b.inst(&[], None, None, 13, "S2R R0, SR_CTAID.X");
     b.inst(&[], None, None, 4, "IMAD R10, R0, 0x2000, R2");
     b.inst(&[], None, None, 4, "IMAD R60, R0, 0x2000, R6");

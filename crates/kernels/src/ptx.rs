@@ -87,9 +87,9 @@ impl PtxBlock {
             let line = match inst {
                 PtxInstr::AddS32 { dst, src, imm } => format!("add.s32 {dst}, {src}, {imm};"),
                 PtxInstr::Selp { dst, a, b } => format!("selp.b32 {dst}, {a}, {b}, %p10;"),
-                PtxInstr::CpAsync { dst, src, bytes } => format!(
-                    "cp.async.cg.shared.global [ {dst} + 0 ], [ {src} + 0 ], {bytes:#x};"
-                ),
+                PtxInstr::CpAsync { dst, src, bytes } => {
+                    format!("cp.async.cg.shared.global [ {dst} + 0 ], [ {src} + 0 ], {bytes:#x};")
+                }
                 PtxInstr::CpAsyncCommit => "cp.async.commit_group ;".to_string(),
             };
             out.push_str(&line);
@@ -143,13 +143,9 @@ impl PtxBlock {
                         6,
                         &format!("IMAD.WIDE R{}, R9, {imm:#x}, R10", 18 + 2 * j),
                     ),
-                    PtxInstr::Selp { a, b, .. } => builder.inst(
-                        &[],
-                        None,
-                        None,
-                        4,
-                        &format!("SEL R33, {a:#x}, {b:#x}, P0"),
-                    ),
+                    PtxInstr::Selp { a, b, .. } => {
+                        builder.inst(&[], None, None, 4, &format!("SEL R33, {a:#x}, {b:#x}, P0"))
+                    }
                     PtxInstr::CpAsync { .. } | PtxInstr::CpAsyncCommit => {}
                 }
             }
@@ -200,10 +196,7 @@ mod tests {
         reordered.instructions.reverse();
         let a = block.lower_o3().to_string();
         let b = reordered.lower_o3().to_string();
-        assert_eq!(
-            a.matches("LDGSTS").count(),
-            b.matches("LDGSTS").count()
-        );
+        assert_eq!(a.matches("LDGSTS").count(), b.matches("LDGSTS").count());
         let pattern = |t: &str| {
             t.lines()
                 .map(|l| if l.contains("LDGSTS") { 'M' } else { 'A' })

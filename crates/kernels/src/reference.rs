@@ -110,7 +110,13 @@ pub fn elementwise_pass_runtime_us(
 fn elementwise_kernel(spec: &KernelSpec) -> (sass::Program, LaunchConfig) {
     let mut b = ScheduleBuilder::new();
     b.inst(&[], None, None, 4, &format!("MOV R2, c[0x0][{PARAM_A:#x}]"));
-    b.inst(&[], None, None, 4, &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"));
+    b.inst(
+        &[],
+        None,
+        None,
+        4,
+        &format!("MOV R6, c[0x0][{PARAM_OUT:#x}]"),
+    );
     b.inst(&[], None, None, 13, "S2R R0, SR_CTAID.X");
     b.inst(&[], None, None, 4, "IMAD R10, R0, 0x400, R2");
     b.inst(&[], None, None, 4, "IMAD R60, R0, 0x400, R6");
@@ -198,8 +204,7 @@ mod tests {
         let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
         let tuned = KernelConfig::default_compute();
         let opts = fast_options();
-        let torch =
-            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
+        let torch = baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
         let reference =
             baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Reference, &opts).unwrap();
         assert!(torch > reference);
@@ -217,8 +222,7 @@ mod tests {
             num_stages: 2,
         };
         let opts = fast_options();
-        let torch =
-            baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
+        let torch = baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Torch, &opts).unwrap();
         let reference =
             baseline_runtime_us(&gpu, &spec, &tuned, BaselineSystem::Reference, &opts).unwrap();
         assert_eq!(torch, reference);

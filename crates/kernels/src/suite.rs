@@ -143,7 +143,9 @@ impl KernelSpec {
         let f = factor.max(1);
         let shrink = |v: usize| (v / f).max(32);
         match kind {
-            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+            KernelKind::FusedFeedForward
+            | KernelKind::MatmulLeakyRelu
+            | KernelKind::BatchMatmul => {
                 spec.shape.m = shrink(spec.shape.m);
                 spec.shape.n = shrink(spec.shape.n);
                 spec.shape.k = shrink(spec.shape.k);
@@ -168,7 +170,9 @@ impl KernelSpec {
     pub fn grid_blocks(&self, config: &KernelConfig) -> u64 {
         let s = &self.shape;
         match self.kind {
-            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+            KernelKind::FusedFeedForward
+            | KernelKind::MatmulLeakyRelu
+            | KernelKind::BatchMatmul => {
                 let tiles_m = s.m.div_ceil(config.block_m.max(1)) as u64;
                 let tiles_n = s.n.div_ceil(config.block_n.max(1)) as u64;
                 s.batch as u64 * tiles_m * tiles_n
@@ -190,7 +194,9 @@ impl KernelSpec {
     pub fn work_per_block(&self, config: &KernelConfig) -> f64 {
         let s = &self.shape;
         match self.kind {
-            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
+            KernelKind::FusedFeedForward
+            | KernelKind::MatmulLeakyRelu
+            | KernelKind::BatchMatmul => {
                 2.0 * config.block_m as f64 * config.block_n as f64 * s.k as f64
             }
             KernelKind::FlashAttention => {
@@ -209,13 +215,11 @@ impl KernelSpec {
     pub fn main_loop_iterations(&self, config: &KernelConfig) -> usize {
         let s = &self.shape;
         match self.kind {
-            KernelKind::FusedFeedForward | KernelKind::MatmulLeakyRelu | KernelKind::BatchMatmul => {
-                s.k.div_ceil(config.block_k.max(1)).max(1)
-            }
+            KernelKind::FusedFeedForward
+            | KernelKind::MatmulLeakyRelu
+            | KernelKind::BatchMatmul => s.k.div_ceil(config.block_k.max(1)).max(1),
             KernelKind::FlashAttention => s.n.div_ceil(config.block_n.max(1)).max(1),
-            KernelKind::Softmax | KernelKind::Rmsnorm => {
-                s.n.div_ceil(config.block_n.max(1)).max(1)
-            }
+            KernelKind::Softmax | KernelKind::Rmsnorm => s.n.div_ceil(config.block_n.max(1)).max(1),
         }
     }
 }
@@ -227,7 +231,10 @@ mod tests {
     #[test]
     fn paper_shapes_match_table_2() {
         let ff = KernelSpec::paper(KernelKind::FusedFeedForward);
-        assert_eq!((ff.shape.batch, ff.shape.m, ff.shape.n, ff.shape.k), (1, 512, 512, 2048));
+        assert_eq!(
+            (ff.shape.batch, ff.shape.m, ff.shape.n, ff.shape.k),
+            (1, 512, 512, 2048)
+        );
         let bmm = KernelSpec::paper(KernelKind::BatchMatmul);
         assert_eq!(bmm.shape.batch, 4);
         let fa = KernelSpec::paper(KernelKind::FlashAttention);

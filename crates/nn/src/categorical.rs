@@ -175,7 +175,8 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one_over_valid_actions() {
-        let dist = MaskedCategorical::from_logits(&[1.0, 2.0, 3.0, 4.0], &[true, false, true, true]);
+        let dist =
+            MaskedCategorical::from_logits(&[1.0, 2.0, 3.0, 4.0], &[true, false, true, true]);
         let total: f32 = dist.probs().iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
     }
@@ -252,9 +253,7 @@ mod tests {
         let dist = MaskedCategorical::from_logits(&[2.0, 0.0], &[true, true]);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let n = 2000;
-        let hits = (0..n)
-            .filter(|_| dist.sample(&mut rng) == Some(0))
-            .count() as f32;
+        let hits = (0..n).filter(|_| dist.sample(&mut rng) == Some(0)).count() as f32;
         let expected = dist.probs()[0] * n as f32;
         assert!((hits - expected).abs() < n as f32 * 0.05);
     }

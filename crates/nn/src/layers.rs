@@ -87,6 +87,7 @@ impl Linear {
 
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the input.
+    #[allow(clippy::needless_range_loop)] // indexes three parallel buffers
     pub fn backward(&mut self, input: &[f32], grad_output: &[f32]) -> Vec<f32> {
         let mut grad_input = vec![0.0; self.in_features];
         for o in 0..self.out_features {
@@ -169,7 +170,7 @@ impl ConvEncoder {
     }
 
     fn windows(&self, rows: usize) -> usize {
-        rows.saturating_sub(self.kernel).max(0) + 1
+        rows.saturating_sub(self.kernel) + 1
     }
 
     /// Forward pass: convolution, ReLU, then mean pooling over positions.
@@ -177,12 +178,17 @@ impl ConvEncoder {
     #[must_use]
     pub fn forward(&self, input: &Matrix) -> (Vec<f32>, Matrix) {
         let rows = input.rows();
-        let windows = if rows >= self.kernel { self.windows(rows) } else { 0 };
+        let windows = if rows >= self.kernel {
+            self.windows(rows)
+        } else {
+            0
+        };
         let mut activations = Matrix::zeros(self.channels, windows.max(1));
         let mut pooled = vec![0.0; self.channels];
         if windows == 0 {
             return (pooled, activations);
         }
+        #[allow(clippy::needless_range_loop)] // indexes parallel buffers
         for c in 0..self.channels {
             for t in 0..windows {
                 let mut acc = self.bias[c];
@@ -203,6 +209,7 @@ impl ConvEncoder {
     /// Backward pass from the gradient of the pooled output. Accumulates
     /// parameter gradients (the gradient with respect to the input state is
     /// not needed and not computed).
+    #[allow(clippy::needless_range_loop)] // indexes three parallel buffers
     pub fn backward(&mut self, input: &Matrix, activations: &Matrix, grad_pooled: &[f32]) {
         let rows = input.rows();
         if rows < self.kernel {
@@ -295,7 +302,12 @@ mod tests {
         let mut bumped = input;
         bumped[0] += eps;
         let numeric = (loss(&layer, &bumped) - loss(&layer, &input)) / eps;
-        assert!((grad_in[0] - numeric).abs() < 1e-2, "{} vs {}", grad_in[0], numeric);
+        assert!(
+            (grad_in[0] - numeric).abs() < 1e-2,
+            "{} vs {}",
+            grad_in[0],
+            numeric
+        );
     }
 
     #[test]

@@ -34,21 +34,26 @@ pub trait Env {
     fn observation_features(&self) -> usize;
 }
 
-#[cfg(test)]
-pub(crate) mod test_envs {
+/// Tiny deterministic environments used by unit, contract and determinism
+/// tests — both this crate's own and downstream consumers'.
+pub mod test_envs {
     use super::*;
 
-    /// A tiny deterministic environment used by unit tests: the observation
-    /// is a constant matrix, action 1 yields +1 reward, every other action
+    /// A tiny deterministic environment used by tests: the observation is a
+    /// constant matrix, action 1 yields +1 reward, every other action
     /// yields -1, and episodes last `horizon` steps. Action 2 is always
     /// masked.
     #[derive(Debug, Clone)]
     pub struct BanditEnv {
+        /// Episode length.
         pub horizon: usize,
+        /// Steps taken in the current episode.
         pub t: usize,
     }
 
     impl BanditEnv {
+        /// Creates a bandit with `horizon` steps per episode.
+        #[must_use]
         pub fn new(horizon: usize) -> Self {
             BanditEnv { horizon, t: 0 }
         }

@@ -2,10 +2,17 @@
 //!
 //! This crate implements the RL machinery of the CuAsmRL paper (§3.7): a
 //! Gym-like [`Env`] trait that the assembly game implements, a rollout
-//! buffer with GAE-λ advantage estimation, a masked actor-critic policy
-//! built on the [`nn`] crate, and the clipped-PPO trainer with the default
-//! hyperparameters the paper takes from the "37 implementation details"
-//! study.
+//! buffer with (per-segment) GAE-λ advantage estimation, a masked
+//! actor-critic policy built on the [`nn`] crate, a [`VecEnv`] that steps N
+//! environments in parallel on worker threads, and the clipped-PPO trainer
+//! with the default hyperparameters the paper takes from the "37
+//! implementation details" study.
+//!
+//! Rollout collection is the hot path — every assembly-game step re-measures
+//! a schedule on the simulator — so [`PpoTrainer::train_vec`] fans env
+//! transitions out over a [`VecEnv`] worker pool while sampling actions in
+//! env order on the caller's thread. For a fixed seed the results are
+//! bit-identical for any worker count.
 //!
 //! # Example
 //!
@@ -29,8 +36,10 @@ mod buffer;
 mod env;
 mod policy;
 mod ppo;
+mod vecenv;
 
-pub use buffer::{Advantages, RolloutBuffer, Transition};
-pub use env::{Env, Step};
+pub use buffer::{Advantages, RolloutBuffer, Segment, Transition};
+pub use env::{test_envs, Env, Step};
 pub use policy::{ActionSample, ActorCritic, Sample, UpdateConfig, UpdateStats};
-pub use ppo::{PpoConfig, PpoTrainer, TrainingStats};
+pub use ppo::{PpoConfig, PpoTrainer, Rollout, TrainingStats};
+pub use vecenv::{EnvState, ObservationBatch, VecAction, VecEnv, VecStep};

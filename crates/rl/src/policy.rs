@@ -152,6 +152,21 @@ impl ActorCritic {
         }
     }
 
+    /// Samples one action per env from a stacked observation batch.
+    ///
+    /// Envs are evaluated in batch order with a single RNG stream, so the
+    /// sampled actions are a pure function of (policy state, batch) — the
+    /// thread count used to *collect* the batch can never change them.
+    pub fn act_batch(&mut self, batch: &crate::ObservationBatch) -> Vec<ActionSample> {
+        (0..batch.num_envs())
+            .map(|i| {
+                let observation = batch.observation(i);
+                let mask = batch.mask(i);
+                self.act(&observation, &mask)
+            })
+            .collect()
+    }
+
     /// Greedy (deterministic) action, used in inference mode (§5.7).
     #[must_use]
     pub fn act_greedy(&self, observation: &Matrix, mask: &[bool]) -> Option<usize> {
@@ -160,7 +175,11 @@ impl ActorCritic {
 
     /// Performs one clipped-PPO gradient step on a minibatch and returns the
     /// update statistics.
-    pub fn update_minibatch(&mut self, samples: &[Sample<'_>], config: &UpdateConfig) -> UpdateStats {
+    pub fn update_minibatch(
+        &mut self,
+        samples: &[Sample<'_>],
+        config: &UpdateConfig,
+    ) -> UpdateStats {
         if samples.is_empty() {
             return UpdateStats::default();
         }

@@ -10,9 +10,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::buffer::{RolloutBuffer, Transition};
+use crate::buffer::{Advantages, RolloutBuffer, Segment, Transition};
 use crate::env::Env;
 use crate::policy::{ActorCritic, Sample, UpdateConfig};
+use crate::vecenv::{VecAction, VecEnv};
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,6 +116,17 @@ impl TrainingStats {
     }
 }
 
+/// A batched rollout collected from a [`VecEnv`]: each env's transitions
+/// form one contiguous [`Segment`] of the buffer, carrying its own GAE
+/// bootstrap value.
+#[derive(Debug, Clone)]
+pub struct Rollout {
+    /// The collected transitions, grouped per env in env order.
+    pub buffer: RolloutBuffer,
+    /// Per-env segments of `buffer`.
+    pub segments: Vec<Segment>,
+}
+
 /// The PPO trainer: owns the policy and runs collect/update cycles against
 /// an environment.
 #[derive(Debug, Clone)]
@@ -169,11 +181,7 @@ impl PpoTrainer {
         let mut observation = env.reset();
         let total_updates = (self.config.total_steps / self.config.rollout_steps).max(1);
         for update in 0..total_updates {
-            if self.config.anneal_lr {
-                let frac = 1.0 - update as f32 / total_updates as f32;
-                self.policy
-                    .set_learning_rate(self.config.learning_rate * frac.max(0.05));
-            }
+            self.anneal(update, total_updates);
             let mut buffer = RolloutBuffer::new();
             while buffer.len() < self.config.rollout_steps {
                 let mask = env.action_mask();
@@ -207,59 +215,193 @@ impl PpoTrainer {
                 .extend(buffer.episodic_returns().iter().copied());
 
             let last_value = self.policy.value(&observation);
-            let adv = buffer.compute_advantages(self.config.gamma, self.config.gae_lambda, last_value);
-            // Normalize advantages over the rollout.
-            let mean = adv.advantages.iter().sum::<f32>() / adv.advantages.len() as f32;
-            let var = adv
-                .advantages
-                .iter()
-                .map(|a| (a - mean) * (a - mean))
-                .sum::<f32>()
-                / adv.advantages.len() as f32;
-            let std = var.sqrt().max(1e-6);
-            let normalized: Vec<f32> = adv.advantages.iter().map(|a| (a - mean) / std).collect();
-
-            let update_config = UpdateConfig {
-                clip_coef: self.config.clip_coef,
-                ent_coef: self.config.ent_coef,
-                vf_coef: self.config.vf_coef,
-            };
-            let batch = buffer.transitions();
-            let minibatch_size = (batch.len() / self.config.minibatches.max(1)).max(1);
-            let mut kl_acc = 0.0;
-            let mut entropy_acc = 0.0;
-            let mut policy_loss_acc = 0.0;
-            let mut value_loss_acc = 0.0;
-            let mut update_count = 0.0;
-            for _epoch in 0..self.config.update_epochs {
-                for chunk_start in (0..batch.len()).step_by(minibatch_size) {
-                    let chunk_end = (chunk_start + minibatch_size).min(batch.len());
-                    let samples: Vec<Sample<'_>> = (chunk_start..chunk_end)
-                        .map(|i| Sample {
-                            observation: &batch[i].observation,
-                            mask: &batch[i].mask,
-                            action: batch[i].action,
-                            old_log_prob: batch[i].log_prob,
-                            advantage: normalized[i],
-                            ret: adv.returns[i],
-                        })
-                        .collect();
-                    let update_stats = self.policy.update_minibatch(&samples, &update_config);
-                    kl_acc += update_stats.approx_kl;
-                    entropy_acc += update_stats.entropy;
-                    policy_loss_acc += update_stats.policy_loss;
-                    value_loss_acc += update_stats.value_loss;
-                    update_count += 1.0;
-                }
-            }
-            if update_count > 0.0 {
-                stats.approx_kl.push(kl_acc / update_count);
-                stats.entropy.push(entropy_acc / update_count);
-                stats.policy_loss.push(policy_loss_acc / update_count);
-                stats.value_loss.push(value_loss_acc / update_count);
-            }
+            let adv =
+                buffer.compute_advantages(self.config.gamma, self.config.gae_lambda, last_value);
+            self.update_policy(&buffer, &adv, &mut stats);
         }
         stats
+    }
+
+    /// Trains against a vector of environments until `total_steps`
+    /// environment steps have been collected.
+    ///
+    /// The training loop is the batched counterpart of [`PpoTrainer::train`]:
+    /// each update collects `rollout_steps` transitions spread across the
+    /// envs (stepped in parallel by the [`VecEnv`] workers), computes
+    /// per-segment GAE so env streams never bleed into each other, and runs
+    /// the usual clipped-PPO epochs. Because action sampling happens in env
+    /// order on this thread, results for a fixed seed are identical for any
+    /// worker count.
+    pub fn train_vec<E: Env + Send + 'static>(&mut self, venv: &mut VecEnv<E>) -> TrainingStats {
+        let mut stats = TrainingStats::default();
+        let total_updates = (self.config.total_steps / self.config.rollout_steps).max(1);
+        for update in 0..total_updates {
+            self.anneal(update, total_updates);
+            let rollout = self.collect_rollouts(venv, self.config.rollout_steps);
+            stats.steps += rollout.buffer.len();
+            stats.episodic_returns.extend(
+                rollout
+                    .buffer
+                    .episodic_returns_segmented(&rollout.segments)
+                    .iter()
+                    .copied(),
+            );
+            let adv = rollout.buffer.compute_advantages_segmented(
+                self.config.gamma,
+                self.config.gae_lambda,
+                &rollout.segments,
+            );
+            self.update_policy(&rollout.buffer, &adv, &mut stats);
+        }
+        stats
+    }
+
+    /// Collects at least `rollout_steps` transitions from the vectorized
+    /// envs (in whole lockstep rounds) and groups them per env into the
+    /// returned [`Rollout`].
+    ///
+    /// Every round stacks the current observations and masks into one
+    /// [`crate::ObservationBatch`], samples one action per env from the
+    /// policy, and steps all envs in parallel. Envs whose mask is empty are
+    /// reset without recording a transition (§3.5); such rounds don't fill
+    /// the buffer, so collection keeps running extra rounds until the target
+    /// is met, giving up (with whatever was gathered) only after 8x the
+    /// nominal round count to avoid livelock on pathological environments.
+    pub fn collect_rollouts<E: Env + Send + 'static>(
+        &mut self,
+        venv: &mut VecEnv<E>,
+        rollout_steps: usize,
+    ) -> Rollout {
+        let n = venv.num_envs();
+        let nominal_rounds = rollout_steps.div_ceil(n).max(1);
+        let max_rounds = nominal_rounds.saturating_mul(8);
+        let mut streams: Vec<Vec<Transition>> =
+            (0..n).map(|_| Vec::with_capacity(nominal_rounds)).collect();
+        let mut collected = 0;
+        let mut rounds = 0;
+        while collected < rollout_steps && rounds < max_rounds {
+            rounds += 1;
+            let batch = venv.batch();
+            // Extract each env's observation and mask once; they serve both
+            // the policy forward pass and the stored transition.
+            let mut staged = Vec::with_capacity(n);
+            let mut actions = Vec::with_capacity(n);
+            for i in 0..batch.num_envs() {
+                let observation = batch.observation(i);
+                let mask = batch.mask(i);
+                let sample = self.policy.act(&observation, &mask);
+                actions.push(sample.action.map_or(VecAction::Reset, VecAction::Step));
+                staged.push((observation, mask, sample));
+            }
+            let results = venv.step(&actions);
+            for (i, ((observation, mask, sample), result)) in
+                staged.into_iter().zip(&results).enumerate()
+            {
+                let Some(action) = sample.action else {
+                    continue;
+                };
+                streams[i].push(Transition {
+                    observation,
+                    mask,
+                    action,
+                    log_prob: sample.log_prob,
+                    value: sample.value,
+                    reward: result.reward,
+                    done: result.done,
+                });
+                collected += 1;
+            }
+        }
+        let mut buffer = RolloutBuffer::new();
+        let mut segments = Vec::with_capacity(n);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let start = buffer.len();
+            let len = stream.len();
+            for transition in stream {
+                buffer.push(transition);
+            }
+            // Bootstrap from the env's current state (the observation the
+            // next round would act on). Ignored by GAE when the segment
+            // ended an episode.
+            let bootstrap_value = self.policy.value(&venv.states()[i].observation);
+            segments.push(Segment {
+                start,
+                len,
+                bootstrap_value,
+            });
+        }
+        Rollout { buffer, segments }
+    }
+
+    fn anneal(&mut self, update: usize, total_updates: usize) {
+        if self.config.anneal_lr {
+            let frac = 1.0 - update as f32 / total_updates as f32;
+            self.policy
+                .set_learning_rate(self.config.learning_rate * frac.max(0.05));
+        }
+    }
+
+    /// Normalizes advantages and runs the clipped-PPO epochs over
+    /// minibatches, recording the per-update statistics.
+    fn update_policy(
+        &mut self,
+        buffer: &RolloutBuffer,
+        adv: &Advantages,
+        stats: &mut TrainingStats,
+    ) {
+        if buffer.is_empty() {
+            return;
+        }
+        // Normalize advantages over the rollout.
+        let mean = adv.advantages.iter().sum::<f32>() / adv.advantages.len() as f32;
+        let var = adv
+            .advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / adv.advantages.len() as f32;
+        let std = var.sqrt().max(1e-6);
+        let normalized: Vec<f32> = adv.advantages.iter().map(|a| (a - mean) / std).collect();
+
+        let update_config = UpdateConfig {
+            clip_coef: self.config.clip_coef,
+            ent_coef: self.config.ent_coef,
+            vf_coef: self.config.vf_coef,
+        };
+        let batch = buffer.transitions();
+        let minibatch_size = (batch.len() / self.config.minibatches.max(1)).max(1);
+        let mut kl_acc = 0.0;
+        let mut entropy_acc = 0.0;
+        let mut policy_loss_acc = 0.0;
+        let mut value_loss_acc = 0.0;
+        let mut update_count = 0.0;
+        for _epoch in 0..self.config.update_epochs {
+            for chunk_start in (0..batch.len()).step_by(minibatch_size) {
+                let chunk_end = (chunk_start + minibatch_size).min(batch.len());
+                let samples: Vec<Sample<'_>> = (chunk_start..chunk_end)
+                    .map(|i| Sample {
+                        observation: &batch[i].observation,
+                        mask: &batch[i].mask,
+                        action: batch[i].action,
+                        old_log_prob: batch[i].log_prob,
+                        advantage: normalized[i],
+                        ret: adv.returns[i],
+                    })
+                    .collect();
+                let update_stats = self.policy.update_minibatch(&samples, &update_config);
+                kl_acc += update_stats.approx_kl;
+                entropy_acc += update_stats.entropy;
+                policy_loss_acc += update_stats.policy_loss;
+                value_loss_acc += update_stats.value_loss;
+                update_count += 1.0;
+            }
+        }
+        if update_count > 0.0 {
+            stats.approx_kl.push(kl_acc / update_count);
+            stats.entropy.push(entropy_acc / update_count);
+            stats.policy_loss.push(policy_loss_acc / update_count);
+            stats.value_loss.push(value_loss_acc / update_count);
+        }
     }
 }
 
@@ -308,6 +450,87 @@ mod tests {
         assert_eq!(stats.approx_kl.len(), 256 / 64);
         assert_eq!(stats.entropy.len(), stats.approx_kl.len());
         assert!(stats.entropy.iter().all(|e| e.is_finite()));
+    }
+
+    fn transition_fingerprint(buffer: &RolloutBuffer) -> Vec<(usize, u32, u32, u32, bool)> {
+        buffer
+            .transitions()
+            .iter()
+            .map(|t| {
+                (
+                    t.action,
+                    t.log_prob.to_bits(),
+                    t.value.to_bits(),
+                    t.reward.to_bits(),
+                    t.done,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collect_rollouts_is_identical_for_any_worker_count() {
+        let collect = |workers: usize| {
+            let envs: Vec<BanditEnv> = (0..4).map(|_| BanditEnv::new(5)).collect();
+            let mut venv = VecEnv::new(envs, workers);
+            let mut trainer = PpoTrainer::new(PpoConfig::tiny(), 3, 3);
+            let rollout = trainer.collect_rollouts(&mut venv, 32);
+            (transition_fingerprint(&rollout.buffer), rollout.segments)
+        };
+        let single = collect(1);
+        assert_eq!(collect(2), single);
+        assert_eq!(collect(4), single);
+        assert!(single.0.len() >= 32);
+        assert_eq!(single.1.len(), 4);
+    }
+
+    #[test]
+    fn train_vec_matches_single_env_training_bit_for_bit() {
+        // One env, one worker: the vectorized path must replay exactly the
+        // sequential trainer's draws and updates.
+        let config = PpoConfig {
+            total_steps: 256,
+            rollout_steps: 64,
+            ..PpoConfig::tiny()
+        };
+        let mut env = BanditEnv::new(8);
+        let mut sequential = PpoTrainer::new(config.clone(), 3, 3);
+        let seq_stats = sequential.train(&mut env);
+
+        let mut venv = VecEnv::new(vec![BanditEnv::new(8)], 1);
+        let mut vectored = PpoTrainer::new(config, 3, 3);
+        let vec_stats = vectored.train_vec(&mut venv);
+
+        assert_eq!(seq_stats.steps, vec_stats.steps);
+        assert_eq!(seq_stats.episodic_returns, vec_stats.episodic_returns);
+        assert_eq!(seq_stats.approx_kl, vec_stats.approx_kl);
+        assert_eq!(seq_stats.entropy, vec_stats.entropy);
+        assert_eq!(seq_stats.policy_loss, vec_stats.policy_loss);
+        assert_eq!(seq_stats.value_loss, vec_stats.value_loss);
+    }
+
+    #[test]
+    fn train_vec_learns_the_rewarding_action_with_parallel_envs() {
+        let envs: Vec<BanditEnv> = (0..4).map(|_| BanditEnv::new(8)).collect();
+        let mut venv = VecEnv::new(envs, 4);
+        let config = PpoConfig {
+            total_steps: 2048,
+            rollout_steps: 64,
+            learning_rate: 2e-2,
+            ent_coef: 0.001,
+            ..PpoConfig::tiny()
+        };
+        let mut trainer = PpoTrainer::new(config, venv.observation_features(), venv.action_count());
+        let stats = trainer.train_vec(&mut venv);
+        assert!(stats.steps >= 2048);
+        let last = stats.final_return(5);
+        assert!(
+            last > 4.0,
+            "expected the trained policy to prefer the rewarding action, got {last}"
+        );
+        let state = &venv.states()[0];
+        let greedy = trainer.policy().act_greedy(&state.observation, &state.mask);
+        assert_eq!(greedy, Some(1));
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Vectorized environments: N [`Env`] instances stepped in parallel on a
+//! pool of worker threads.
+//!
+//! PPO's dominant cost in this reproduction is environment interaction —
+//! every step of the assembly game re-measures a SASS schedule on the
+//! simulator. [`VecEnv`] amortizes that cost by fanning env transitions out
+//! over `workers` OS threads (plain `std::thread` + channels, no external
+//! dependencies) while keeping the *semantics* of a synchronous vector of
+//! environments:
+//!
+//! * envs are stepped in lockstep — one action per env per [`VecEnv::step`];
+//! * an env that finishes an episode is reset immediately by its worker and
+//!   reports the fresh observation alongside the terminal transition
+//!   (standard auto-reset semantics);
+//! * results are aggregated **in env order**, so for deterministic
+//!   environments the observable behaviour is bit-identical regardless of
+//!   the worker count — `workers = 4` replays exactly what `workers = 1`
+//!   would produce. The determinism contract is exercised by the
+//!   `vecenv_determinism` tests.
+//!
+//! Observations and masks can be stacked into batched [`Matrix`] inputs via
+//! [`VecEnv::batch`], which is what [`crate::PpoTrainer::collect_rollouts`]
+//! feeds the policy.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use nn::Matrix;
+
+use crate::env::Env;
+
+/// The per-env command of one vectorized step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecAction {
+    /// Apply the given action.
+    Step(usize),
+    /// Abort the episode and reset (used when every action is masked,
+    /// following §3.5 of the paper).
+    Reset,
+}
+
+/// The current state of one env slot: the observation the next action will
+/// be conditioned on and its validity mask.
+#[derive(Debug, Clone)]
+pub struct EnvState {
+    /// Current observation.
+    pub observation: Matrix,
+    /// Action-validity mask for `observation`.
+    pub mask: Vec<bool>,
+}
+
+/// The per-env result of one vectorized step.
+#[derive(Debug, Clone)]
+pub struct VecStep {
+    /// Reward of the applied action (0 for [`VecAction::Reset`]).
+    pub reward: f32,
+    /// Whether the step terminated the episode.
+    pub done: bool,
+    /// Whether a real action was applied (false for [`VecAction::Reset`]).
+    pub stepped: bool,
+}
+
+/// Observations and masks of all envs stacked into dense matrices, the
+/// batched network input of one vectorized decision.
+#[derive(Debug, Clone)]
+pub struct ObservationBatch {
+    /// All observations stacked row-wise: `offsets[i]..offsets[i + 1]` are
+    /// the rows of env `i`.
+    pub observations: Matrix,
+    /// Row offsets per env (`num_envs + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Masks stacked as one row per env (`num_envs x action_count`,
+    /// `1.0` = legal).
+    pub masks: Matrix,
+}
+
+impl ObservationBatch {
+    /// Number of envs in the batch.
+    #[must_use]
+    pub fn num_envs(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// A copy of env `i`'s observation rows.
+    #[must_use]
+    pub fn observation(&self, i: usize) -> Matrix {
+        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        let cols = self.observations.cols();
+        let mut data = Vec::with_capacity((end - start) * cols);
+        for row in start..end {
+            data.extend_from_slice(self.observations.row(row));
+        }
+        Matrix::from_vec(end - start, cols, data)
+    }
+
+    /// Env `i`'s mask as booleans.
+    #[must_use]
+    pub fn mask(&self, i: usize) -> Vec<bool> {
+        self.masks.row(i).iter().map(|&v| v > 0.5).collect()
+    }
+}
+
+enum Request {
+    Reset(usize),
+    Step(usize, usize),
+}
+
+struct Response {
+    slot: usize,
+    observation: Matrix,
+    mask: Vec<bool>,
+    reward: f32,
+    done: bool,
+    stepped: bool,
+}
+
+/// A vector of environments stepped in parallel by worker threads.
+pub struct VecEnv<E: Env + Send + 'static> {
+    requests: Vec<Sender<Request>>,
+    responses: Receiver<Response>,
+    handles: Vec<JoinHandle<()>>,
+    /// Which worker owns each env slot.
+    assignment: Vec<usize>,
+    states: Vec<EnvState>,
+    action_count: usize,
+    features: usize,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Env + Send + 'static> VecEnv<E> {
+    /// Spawns `workers` threads and distributes `envs` round-robin across
+    /// them. All envs must agree on `action_count` and
+    /// `observation_features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty or the envs are not homogeneous.
+    #[must_use]
+    pub fn new(envs: Vec<E>, workers: usize) -> Self {
+        assert!(!envs.is_empty(), "VecEnv requires at least one env");
+        let action_count = envs[0].action_count();
+        let features = envs[0].observation_features();
+        for env in &envs {
+            assert_eq!(
+                env.action_count(),
+                action_count,
+                "heterogeneous action counts"
+            );
+            assert_eq!(
+                env.observation_features(),
+                features,
+                "heterogeneous observations"
+            );
+        }
+        let n = envs.len();
+        let workers = workers.clamp(1, n);
+        let assignment: Vec<usize> = (0..n).map(|slot| slot % workers).collect();
+
+        let (response_tx, responses) = channel::<Response>();
+        let mut requests = Vec::with_capacity(workers);
+        let mut shards: Vec<Vec<(usize, E)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (slot, env) in envs.into_iter().enumerate() {
+            shards[slot % workers].push((slot, env));
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for shard in shards {
+            let (tx, rx) = channel::<Request>();
+            requests.push(tx);
+            let out = response_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(shard, &rx, &out)));
+        }
+        drop(response_tx);
+
+        let states = vec![
+            EnvState {
+                observation: Matrix::zeros(0, features),
+                mask: vec![false; action_count],
+            };
+            n
+        ];
+        let mut venv = VecEnv {
+            requests,
+            responses,
+            handles,
+            assignment,
+            states,
+            action_count,
+            features,
+            _marker: std::marker::PhantomData,
+        };
+        venv.reset_all();
+        venv
+    }
+
+    /// Number of environments.
+    #[must_use]
+    pub fn num_envs(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Per-env action count (identical across envs).
+    #[must_use]
+    pub fn action_count(&self) -> usize {
+        self.action_count
+    }
+
+    /// Per-env observation feature count (identical across envs).
+    #[must_use]
+    pub fn observation_features(&self) -> usize {
+        self.features
+    }
+
+    /// Current per-env states, in env order.
+    #[must_use]
+    pub fn states(&self) -> &[EnvState] {
+        &self.states
+    }
+
+    /// Resets every env and returns the fresh states.
+    pub fn reset_all(&mut self) -> &[EnvState] {
+        for slot in 0..self.num_envs() {
+            self.send(Request::Reset(slot));
+        }
+        self.collect(self.num_envs());
+        &self.states
+    }
+
+    /// Applies one [`VecAction`] per env in lockstep and returns the per-env
+    /// results in env order. Terminal episodes are auto-reset: after a
+    /// `done` step, [`VecEnv::states`] already holds the next episode's
+    /// initial observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len() != num_envs()` or a worker thread died.
+    pub fn step(&mut self, actions: &[VecAction]) -> Vec<VecStep> {
+        assert_eq!(
+            actions.len(),
+            self.num_envs(),
+            "one action per env required"
+        );
+        for (slot, action) in actions.iter().enumerate() {
+            match action {
+                VecAction::Step(a) => self.send(Request::Step(slot, *a)),
+                VecAction::Reset => self.send(Request::Reset(slot)),
+            }
+        }
+        self.collect(self.num_envs())
+    }
+
+    /// Stacks the current observations and masks into batched matrices.
+    #[must_use]
+    pub fn batch(&self) -> ObservationBatch {
+        let mut offsets = Vec::with_capacity(self.num_envs() + 1);
+        offsets.push(0);
+        let mut rows = 0;
+        for state in &self.states {
+            rows += state.observation.rows();
+            offsets.push(rows);
+        }
+        let mut data = Vec::with_capacity(rows * self.features);
+        for state in &self.states {
+            data.extend_from_slice(state.observation.data());
+        }
+        let mut mask_data = Vec::with_capacity(self.num_envs() * self.action_count);
+        for state in &self.states {
+            mask_data.extend(state.mask.iter().map(|&m| if m { 1.0 } else { 0.0 }));
+        }
+        ObservationBatch {
+            observations: Matrix::from_vec(rows, self.features, data),
+            offsets,
+            masks: Matrix::from_vec(self.num_envs(), self.action_count, mask_data),
+        }
+    }
+
+    fn send(&self, request: Request) {
+        let slot = match request {
+            Request::Reset(slot) | Request::Step(slot, _) => slot,
+        };
+        self.requests[self.assignment[slot]]
+            .send(request)
+            .expect("VecEnv worker thread died");
+    }
+
+    /// Receives `count` responses and folds them into `states`, returning
+    /// the per-env step results ordered by env slot.
+    fn collect(&mut self, count: usize) -> Vec<VecStep> {
+        let mut steps: Vec<Option<VecStep>> = vec![None; self.num_envs()];
+        for _ in 0..count {
+            let response = self
+                .responses
+                .recv()
+                .expect("VecEnv worker thread died mid-step");
+            let slot = response.slot;
+            debug_assert_eq!(response.mask.len(), self.action_count);
+            self.states[slot] = EnvState {
+                observation: response.observation,
+                mask: response.mask,
+            };
+            steps[slot] = Some(VecStep {
+                reward: response.reward,
+                done: response.done,
+                stepped: response.stepped,
+            });
+        }
+        steps
+            .into_iter()
+            .map(|s| s.expect("every env must answer each lockstep round"))
+            .collect()
+    }
+}
+
+impl<E: Env + Send + 'static> Drop for VecEnv<E> {
+    fn drop(&mut self) {
+        self.requests.clear(); // Closing the channels stops the workers.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<E: Env>(
+    mut envs: Vec<(usize, E)>,
+    requests: &Receiver<Request>,
+    responses: &Sender<Response>,
+) {
+    while let Ok(request) = requests.recv() {
+        let response = match request {
+            Request::Reset(slot) => {
+                let env = owned_env(&mut envs, slot);
+                let observation = env.reset();
+                let mask = env.action_mask();
+                Response {
+                    slot,
+                    observation,
+                    mask,
+                    reward: 0.0,
+                    done: false,
+                    stepped: false,
+                }
+            }
+            Request::Step(slot, action) => {
+                let env = owned_env(&mut envs, slot);
+                let step = env.step(action);
+                let (observation, mask) = if step.done {
+                    // Auto-reset: deliver the next episode's initial state
+                    // together with the terminal transition.
+                    let observation = env.reset();
+                    let mask = env.action_mask();
+                    (observation, mask)
+                } else {
+                    let mask = env.action_mask();
+                    (step.observation, mask)
+                };
+                Response {
+                    slot,
+                    observation,
+                    mask,
+                    reward: step.reward,
+                    done: step.done,
+                    stepped: true,
+                }
+            }
+        };
+        if responses.send(response).is_err() {
+            return; // The VecEnv was dropped.
+        }
+    }
+}
+
+fn owned_env<E: Env>(envs: &mut [(usize, E)], slot: usize) -> &mut E {
+    envs.iter_mut()
+        .find_map(|(s, env)| (*s == slot).then_some(env))
+        .expect("request routed to the worker owning the env")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::BanditEnv;
+
+    fn bandits(n: usize, horizon: usize) -> Vec<BanditEnv> {
+        (0..n).map(|_| BanditEnv::new(horizon)).collect()
+    }
+
+    #[test]
+    fn lockstep_round_trips_all_envs() {
+        let mut venv = VecEnv::new(bandits(4, 3), 2);
+        assert_eq!(venv.num_envs(), 4);
+        assert_eq!(venv.workers(), 2);
+        assert_eq!(venv.action_count(), 3);
+        assert_eq!(venv.observation_features(), 3);
+        let steps = venv.step(&[VecAction::Step(1); 4]);
+        assert!(steps
+            .iter()
+            .all(|s| s.stepped && s.reward == 1.0 && !s.done));
+        // Mixed commands: resets yield no reward.
+        let steps = venv.step(&[
+            VecAction::Step(0),
+            VecAction::Reset,
+            VecAction::Step(1),
+            VecAction::Reset,
+        ]);
+        assert_eq!(steps[0].reward, -1.0);
+        assert!(!steps[1].stepped);
+        assert_eq!(steps[2].reward, 1.0);
+    }
+
+    #[test]
+    fn auto_reset_restarts_episodes() {
+        let mut venv = VecEnv::new(bandits(2, 2), 1);
+        venv.step(&[VecAction::Step(1); 2]);
+        let steps = venv.step(&[VecAction::Step(1); 2]);
+        assert!(steps.iter().all(|s| s.done));
+        // After auto-reset the env accepts a fresh episode of full length.
+        let steps = venv.step(&[VecAction::Step(1); 2]);
+        assert!(steps.iter().all(|s| !s.done));
+    }
+
+    #[test]
+    fn batch_stacks_observations_and_masks() {
+        let venv = VecEnv::new(bandits(3, 2), 3);
+        let batch = venv.batch();
+        assert_eq!(batch.num_envs(), 3);
+        assert_eq!(batch.observations.rows(), 3 * 4);
+        assert_eq!(batch.observations.cols(), 3);
+        assert_eq!(batch.offsets, vec![0, 4, 8, 12]);
+        assert_eq!(batch.masks.rows(), 3);
+        for i in 0..3 {
+            assert_eq!(batch.observation(i), venv.states()[i].observation);
+            assert_eq!(batch.mask(i), vec![true, true, false]);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run = |workers: usize| -> Vec<(f32, bool)> {
+            let mut venv = VecEnv::new(bandits(5, 3), workers);
+            let mut log = Vec::new();
+            for round in 0..7 {
+                let action = if round % 2 == 0 { 1 } else { 0 };
+                for step in venv.step(&[VecAction::Step(action); 5]) {
+                    log.push((step.reward, step.done));
+                }
+            }
+            log
+        };
+        let single = run(1);
+        assert_eq!(run(3), single);
+        assert_eq!(run(5), single);
+    }
+}

@@ -165,7 +165,9 @@ impl ControlCode {
             match value {
                 7 => Ok(None),
                 v if v < NUM_BARRIERS => Ok(Some(v)),
-                v => Err(SassError::ControlCode(format!("barrier index {v} out of range"))),
+                v => Err(SassError::ControlCode(format!(
+                    "barrier index {v} out of range"
+                ))),
             }
         };
         Ok(ControlCode {
@@ -226,9 +228,9 @@ impl FromStr for ControlCode {
         }
         // Wait mask: `B` followed by six characters, each either `-` or the
         // barrier digit.
-        let wait = fields[0]
-            .strip_prefix('B')
-            .ok_or_else(|| SassError::ControlCode(format!("wait field must start with B: `{s}`")))?;
+        let wait = fields[0].strip_prefix('B').ok_or_else(|| {
+            SassError::ControlCode(format!("wait field must start with B: `{s}`"))
+        })?;
         if wait.len() != NUM_BARRIERS as usize {
             return Err(SassError::ControlCode(format!(
                 "wait field must have {NUM_BARRIERS} slots: `{s}`"
@@ -284,14 +286,16 @@ impl FromStr for ControlCode {
                 )))
             }
         };
-        let stall_text = fields[4]
-            .strip_prefix('S')
-            .ok_or_else(|| SassError::ControlCode(format!("stall field must start with S: `{s}`")))?;
+        let stall_text = fields[4].strip_prefix('S').ok_or_else(|| {
+            SassError::ControlCode(format!("stall field must start with S: `{s}`"))
+        })?;
         let stall: u8 = stall_text
             .parse()
             .map_err(|_| SassError::ControlCode(format!("invalid stall count `{stall_text}`")))?;
         if stall > 15 {
-            return Err(SassError::ControlCode(format!("stall count {stall} exceeds 15")));
+            return Err(SassError::ControlCode(format!(
+                "stall count {stall} exceeds 15"
+            )));
         }
         Ok(ControlCode {
             wait_mask,
@@ -346,7 +350,9 @@ mod tests {
     fn bits_round_trip() {
         let cases = [
             ControlCode::with_stall(4),
-            ControlCode::with_stall(2).set_write_barrier(2).set_yield(true),
+            ControlCode::with_stall(2)
+                .set_write_barrier(2)
+                .set_yield(true),
             ControlCode::with_stall(0)
                 .wait_on(0)
                 .wait_on(5)
@@ -361,15 +367,18 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         for text in [
-            "B------:R-:W2:Y:S02",    // missing brackets
-            "[B-----:R-:W2:Y:S02]",   // wait too short
-            "[B------:R-:W2:Y]",      // missing stall
-            "[B------:R-:W9:Y:S02]",  // barrier out of range
-            "[B------:R-:W2:Y:S99]",  // stall out of range
-            "[B------:X-:W2:Y:S02]",  // wrong prefix
-            "[B--1---:R-:W-:-:S01]",  // digit in wrong slot
+            "B------:R-:W2:Y:S02",   // missing brackets
+            "[B-----:R-:W2:Y:S02]",  // wait too short
+            "[B------:R-:W2:Y]",     // missing stall
+            "[B------:R-:W9:Y:S02]", // barrier out of range
+            "[B------:R-:W2:Y:S99]", // stall out of range
+            "[B------:X-:W2:Y:S02]", // wrong prefix
+            "[B--1---:R-:W-:-:S01]", // digit in wrong slot
         ] {
-            assert!(text.parse::<ControlCode>().is_err(), "should reject `{text}`");
+            assert!(
+                text.parse::<ControlCode>().is_err(),
+                "should reject `{text}`"
+            );
         }
     }
 
@@ -382,7 +391,9 @@ mod tests {
     #[test]
     fn barrier_free_detection() {
         assert!(ControlCode::with_stall(4).is_barrier_free());
-        assert!(!ControlCode::with_stall(4).set_write_barrier(0).is_barrier_free());
+        assert!(!ControlCode::with_stall(4)
+            .set_write_barrier(0)
+            .is_barrier_free());
         assert!(!ControlCode::with_stall(4).wait_on(3).is_barrier_free());
     }
 }

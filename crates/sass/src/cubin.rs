@@ -74,10 +74,8 @@ impl Cubin {
         let text_name = format!(".text.{kernel_name}");
         let text = encode_program(program);
         let text_len = text.len() as u64;
-        let info = format!(
-            "EIATTR_KERNEL {kernel_name} regs=255 smem=49152 arch={architecture}"
-        )
-        .into_bytes();
+        let info = format!("EIATTR_KERNEL {kernel_name} regs=255 smem=49152 arch={architecture}")
+            .into_bytes();
         let sections = vec![
             Section {
                 name: text_name.clone(),

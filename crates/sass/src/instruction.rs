@@ -120,18 +120,17 @@ impl Instruction {
         if op.is_store()
             || matches!(op.base(), Mnemonic::Ldgsts)
             || op.is_scheduling_fence()
-            || matches!(op.base(), Mnemonic::Nop | Mnemonic::Yield | Mnemonic::Nanosleep)
+            || matches!(
+                op.base(),
+                Mnemonic::Nop | Mnemonic::Yield | Mnemonic::Nanosleep
+            )
         {
             return 0;
         }
         if self.operands.is_empty() {
             return 0;
         }
-        let is_pred = |o: &Operand| {
-            o.as_reg()
-                .map(|r| r.reg.is_predicate())
-                .unwrap_or(false)
-        };
+        let is_pred = |o: &Operand| o.as_reg().map(|r| r.reg.is_predicate()).unwrap_or(false);
         match op.base() {
             Mnemonic::Isetp | Mnemonic::Fsetp | Mnemonic::Hsetp2 | Mnemonic::Plop3 => {
                 // The first two predicate operands are both destinations.
@@ -228,7 +227,7 @@ impl Instruction {
     /// always-false guard (`@!PT`).
     #[must_use]
     pub fn is_predicated_off(&self) -> bool {
-        self.guard.map_or(false, |g| g.is_always_false())
+        self.guard.is_some_and(|g| g.is_always_false())
     }
 }
 
@@ -261,9 +260,9 @@ impl FromStr for Instruction {
         }
         // Control code.
         let control = if text.starts_with('[') {
-            let end = text
-                .find(']')
-                .ok_or_else(|| SassError::ControlCode(format!("unterminated control code in `{s}`")))?;
+            let end = text.find(']').ok_or_else(|| {
+                SassError::ControlCode(format!("unterminated control code in `{s}`"))
+            })?;
             let cc: ControlCode = text[..=end].parse()?;
             text = text[end + 1..].trim_start();
             cc
@@ -286,13 +285,7 @@ impl FromStr for Instruction {
                 None => (false, guard_text),
             };
             let pred: Register = pred_text.parse()?;
-            (
-                Some(Guard {
-                    negated,
-                    pred,
-                }),
-                rest.trim_start(),
-            )
+            (Some(Guard { negated, pred }), rest.trim_start())
         } else {
             (None, text)
         };
@@ -362,7 +355,8 @@ mod tests {
 
     #[test]
     fn parse_ldgsts_with_descriptor_and_predicate_source() {
-        let text = "[B------:R0:W-:-:S02] LDGSTS.E.BYPASS.LTC128B.128 [R74], desc[UR18][R18.64], P4 ;";
+        let text =
+            "[B------:R0:W-:-:S02] LDGSTS.E.BYPASS.LTC128B.128 [R74], desc[UR18][R18.64], P4 ;";
         let inst: Instruction = text.parse().unwrap();
         assert!(inst.opcode().is_memory());
         // LDGSTS has no register destination; every register is a use.
@@ -444,8 +438,9 @@ mod tests {
 
     #[test]
     fn reuse_hint_detection() {
-        let inst: Instruction =
-            "[B------:R-:W-:-:S02] HMMA.16816.F32 R24, R84.reuse, R90, R24 ;".parse().unwrap();
+        let inst: Instruction = "[B------:R-:W-:-:S02] HMMA.16816.F32 R24, R84.reuse, R90, R24 ;"
+            .parse()
+            .unwrap();
         assert!(inst.has_reuse_hint());
     }
 

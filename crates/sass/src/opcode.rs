@@ -522,7 +522,16 @@ mod tests {
 
     #[test]
     fn classification_of_alu_ops() {
-        for text in ["IADD3", "IMAD.WIDE", "MOV", "FFMA", "HADD2", "SEL", "LEA", "HMMA.16816.F32"] {
+        for text in [
+            "IADD3",
+            "IMAD.WIDE",
+            "MOV",
+            "FFMA",
+            "HADD2",
+            "SEL",
+            "LEA",
+            "HMMA.16816.F32",
+        ] {
             let op: Opcode = text.parse().unwrap();
             assert!(!op.is_memory(), "{text}");
             assert_eq!(op.latency_class(), LatencyClass::Fixed, "{text}");
@@ -531,7 +540,14 @@ mod tests {
 
     #[test]
     fn classification_of_sync_and_control_flow() {
-        for text in ["BAR.SYNC", "DEPBAR.LE", "LDGDEPBAR", "MEMBAR.GPU", "BSSY", "BSYNC"] {
+        for text in [
+            "BAR.SYNC",
+            "DEPBAR.LE",
+            "LDGDEPBAR",
+            "MEMBAR.GPU",
+            "BSSY",
+            "BSYNC",
+        ] {
             let op: Opcode = text.parse().unwrap();
             assert!(op.is_barrier_or_sync(), "{text}");
             assert!(op.is_scheduling_fence(), "{text}");

@@ -66,6 +66,7 @@ impl RegOperand {
 
     /// Builder-style setter for the logical-not prefix.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder setter, not `std::ops::Not`
     pub fn not(mut self) -> Self {
         self.not = true;
         self
@@ -293,7 +294,7 @@ impl Operand {
     pub fn has_reuse(&self) -> bool {
         match self {
             Operand::Reg(r) => r.reuse,
-            Operand::Mem(m) => m.base.map_or(false, |b| b.reuse),
+            Operand::Mem(m) => m.base.is_some_and(|b| b.reuse),
             _ => false,
         }
     }
@@ -351,8 +352,9 @@ impl FromStr for Operand {
                 .ok_or_else(|| SassError::Operand(format!("malformed constant `{text}`")))?;
             let bank = parse_uint(bank_text)
                 .ok_or_else(|| SassError::Operand(format!("bad constant bank `{bank_text}`")))?;
-            let offset = parse_uint(offset_text)
-                .ok_or_else(|| SassError::Operand(format!("bad constant offset `{offset_text}`")))?;
+            let offset = parse_uint(offset_text).ok_or_else(|| {
+                SassError::Operand(format!("bad constant offset `{offset_text}`"))
+            })?;
             return Ok(Operand::Const {
                 bank: bank as u32,
                 offset: offset as u32,

@@ -39,7 +39,10 @@ fn main() {
     let stats = trainer.train(&mut game);
 
     println!("episodes: {}", stats.episodic_returns.len());
-    println!("final episodic return (mean of last 5): {:.3}", stats.final_return(5));
+    println!(
+        "final episodic return (mean of last 5): {:.3}",
+        stats.final_return(5)
+    );
     println!("update  approx_kl  entropy");
     for (i, (kl, h)) in stats.approx_kl.iter().zip(&stats.entropy).enumerate() {
         println!("{i:>6}  {kl:>9.5}  {h:>7.4}");

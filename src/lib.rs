@@ -1,0 +1,16 @@
+//! Workspace-level façade for the CuAsmRL reproduction.
+//!
+//! The interesting code lives in the member crates; this package exists to
+//! host the cross-crate integration tests in `tests/` and the runnable
+//! examples in `examples/`. Re-exports are provided so downstream scripts can
+//! depend on a single crate.
+
+#![forbid(unsafe_code)]
+
+pub use ::bench;
+pub use cuasmrl;
+pub use gpusim;
+pub use kernels;
+pub use nn;
+pub use rl;
+pub use sass;

@@ -59,13 +59,17 @@ fn optimized_schedule_matches_baseline_outputs_for_every_kernel_kind() {
         let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
         let baseline = simulate_launch(&gpu, &kernel.program, &kernel.launch);
         let optimizer = CuAsmRl::new(gpu.clone(), Strategy::Greedy { max_moves: 6 });
-        let report = optimizer.optimize_program(&kernel.name, kernel.program, kernel.launch.clone());
+        let report =
+            optimizer.optimize_program(&kernel.name, kernel.program, kernel.launch.clone());
         assert!(report.verified, "{kind:?} must verify");
         let optimized: sass::Program = report.optimized_listing.parse().unwrap();
         let run = simulate_launch(&gpu, &optimized, &kernel.launch);
         assert_eq!(run.sm.hazards, 0, "{kind:?}");
         assert_eq!(run.sm.output_digest, baseline.sm.output_digest, "{kind:?}");
-        assert!(report.optimized_us <= report.baseline_us * 1.0001, "{kind:?}");
+        assert!(
+            report.optimized_us <= report.baseline_us * 1.0001,
+            "{kind:?}"
+        );
     }
 }
 

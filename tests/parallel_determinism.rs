@@ -1,0 +1,158 @@
+//! The determinism contract of the parallel engine: for a fixed seed,
+//! N-worker results must be bit-identical to 1-worker results, at every
+//! layer — `VecEnv` rollouts in `rl` and `SuiteOptimizer` reports in
+//! `cuasmrl`.
+
+use cuasmrl::{GameConfig, Strategy, SuiteOptimizer};
+use gpusim::{GpuConfig, MeasureOptions};
+use kernels::{ConfigSpace, KernelKind, KernelSpec};
+use rl::test_envs::BanditEnv;
+use rl::{Env, PpoConfig, PpoTrainer, VecAction, VecEnv};
+
+fn fast_measure() -> MeasureOptions {
+    MeasureOptions {
+        warmup: 0,
+        repeats: 2,
+        noise_std: 0.0,
+        seed: 0,
+    }
+}
+
+/// A compact bit-exact fingerprint of a rollout buffer.
+fn rollout_fingerprint(buffer: &rl::RolloutBuffer) -> Vec<(usize, u32, u32, u32, bool, Vec<u32>)> {
+    buffer
+        .transitions()
+        .iter()
+        .map(|t| {
+            (
+                t.action,
+                t.log_prob.to_bits(),
+                t.value.to_bits(),
+                t.reward.to_bits(),
+                t.done,
+                t.observation.data().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn vecenv_rollouts_with_four_workers_match_the_single_worker_path() {
+    let collect = |workers: usize| {
+        let envs: Vec<BanditEnv> = (0..4).map(|_| BanditEnv::new(6)).collect();
+        let mut venv = VecEnv::new(envs, workers);
+        let mut trainer = PpoTrainer::new(PpoConfig::tiny(), 3, 3);
+        let rollout = trainer.collect_rollouts(&mut venv, 64);
+        (
+            rollout_fingerprint(&rollout.buffer),
+            rollout.segments,
+            rollout.buffer.episodic_returns(),
+        )
+    };
+    let single = collect(1);
+    let quad = collect(4);
+    assert_eq!(single.0, quad.0, "transitions must be bit-identical");
+    assert_eq!(single.1, quad.1, "segments must be identical");
+    assert_eq!(single.2, quad.2, "episodic returns must be identical");
+    assert!(single.0.len() >= 64);
+}
+
+#[test]
+fn vecenv_honours_the_env_contract_with_bandit_envs() {
+    // The contract test of the issue: VecEnv over the reference BanditEnv
+    // behaves exactly like the underlying env stepped by hand.
+    let mut reference = BanditEnv::new(4);
+    let mut venv = VecEnv::new(vec![BanditEnv::new(4)], 1);
+    let mut expected_obs = reference.reset();
+    for round in 0..10 {
+        let action = if round % 3 == 0 { 0 } else { 1 };
+        let state = &venv.states()[0];
+        assert_eq!(state.observation, expected_obs);
+        assert_eq!(state.mask, reference.action_mask());
+        let step = reference.step(action);
+        let vec_steps = venv.step(&[VecAction::Step(action)]);
+        assert_eq!(vec_steps[0].reward, step.reward);
+        assert_eq!(vec_steps[0].done, step.done);
+        expected_obs = if step.done {
+            reference.reset()
+        } else {
+            step.observation
+        };
+    }
+}
+
+fn suite_driver(jobs: usize, seed: u64) -> SuiteOptimizer {
+    SuiteOptimizer::new(
+        GpuConfig::small(),
+        Strategy::Evolutionary {
+            generations: 6,
+            mutation_length: 8,
+            seed: 0,
+        },
+    )
+    .with_jobs(jobs)
+    .with_seed(seed)
+    .with_tune_options(fast_measure())
+    .with_config_space(ConfigSpace::small())
+    .with_game_config(GameConfig {
+        episode_length: 8,
+        measure: fast_measure(),
+    })
+}
+
+fn suite_specs() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 32),
+        KernelSpec::scaled(KernelKind::Softmax, 32),
+        KernelSpec::scaled(KernelKind::BatchMatmul, 32),
+        KernelSpec::scaled(KernelKind::Rmsnorm, 32),
+    ]
+}
+
+#[test]
+fn suite_optimizer_with_four_jobs_matches_the_single_job_path() {
+    let single = suite_driver(1, 42).optimize(&suite_specs());
+    let quad = suite_driver(4, 42).optimize(&suite_specs());
+    // The serialized form captures every field, including the f64 runtimes,
+    // with shortest-round-trip formatting — equality here is bit-equality.
+    assert_eq!(
+        serde_json::to_string_pretty(&single).unwrap(),
+        serde_json::to_string_pretty(&quad).unwrap()
+    );
+    assert_eq!(single.reports.len(), 4);
+    assert!(single.reports.iter().all(|r| r.verified));
+}
+
+#[test]
+fn suite_optimizer_seeds_change_the_search_but_stay_deterministic() {
+    let specs = vec![KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 32)];
+    let a = suite_driver(2, 1).optimize(&specs);
+    let b = suite_driver(2, 1).optimize(&specs);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "same seed must reproduce the same suite report"
+    );
+}
+
+#[test]
+fn schedule_cache_round_trips_across_runs() {
+    let dir =
+        std::env::temp_dir().join(format!("cuasmrl-determinism-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = suite_specs();
+    let first = suite_driver(4, 7).with_cache_dir(&dir).optimize(&specs);
+    // A second run (different job count) answers from the cache and returns
+    // identical reports.
+    let second = suite_driver(2, 7).with_cache_dir(&dir).optimize(&specs);
+    assert_eq!(
+        serde_json::to_string(&first.reports).unwrap(),
+        serde_json::to_string(&second.reports).unwrap()
+    );
+    let loaded = cuasmrl::load_suite_report(&dir, &first.gpu).expect("aggregate persisted");
+    assert_eq!(
+        serde_json::to_string(&loaded).unwrap(),
+        serde_json::to_string(&second).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`) with a simple mean-of-N timing loop
+//! instead of criterion's statistical machinery. Good enough to track
+//! hot-path regressions in CI smoke runs; swap in the real crate for serious
+//! measurement work.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Benchmark identifier used by [`BenchmarkGroup::bench_with_input`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter.
+    #[must_use]
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function label and a parameter.
+    #[must_use]
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Bencher {
+    fn with_samples(sample_count: u32) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iterations_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, which also sizes the loop so that each sample is
+        // at least ~1ms of work.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed();
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).max(1);
+        self.iterations_per_sample = u32::try_from(per_sample.min(1_000)).unwrap_or(1_000);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iterations_per_sample {
+                std_black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iterations_per_sample);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / u32::try_from(self.samples.len()).unwrap_or(1);
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{name:<40} mean {:>12.3?}  median {:>12.3?}  ({} samples x {} iters)",
+            mean,
+            median,
+            self.samples.len(),
+            self.iterations_per_sample
+        );
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = u32::try_from(n.max(1)).unwrap_or(u32::MAX);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finishes the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs benchmark groups.
+///
+/// With `harness = false`, `cargo test` still executes bench binaries with a
+/// `--test` flag; the generated main exits immediately in that mode so tests
+/// stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(21u64) * 2));
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut criterion = Criterion::default();
+        square(&mut criterion);
+        let mut group = criterion.benchmark_group("grp");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

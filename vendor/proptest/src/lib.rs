@@ -1,0 +1,267 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro over named-argument strategies, range / `any` /
+//! `option::of` / `collection::vec` strategies, `prop_assert*` macros and
+//! [`ProptestConfig::with_cases`]. Inputs are drawn from a fixed-seed
+//! ChaCha8 stream, so failures are reproducible; there is no shrinking —
+//! the failing input values are reported by the panic message of the
+//! underlying assertion.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::Rng;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// The RNG driving input generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Number of random cases to run per property (a fraction of the upstream
+/// default of 256, keeping the simulator-heavy properties fast).
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy producing arbitrary values of `T`.
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+macro_rules! impl_any_uniform {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_any_uniform!(u8, u16, u32, i8, i16, i32);
+
+/// Combinator strategies, exposed under the `prop::` paths the upstream
+/// prelude provides.
+pub mod prop {
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy produced by [`of`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct OptionOf<S>(S);
+
+        /// Generates `None` half the time and `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+            OptionOf(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionOf<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.gen_range(0u32..2) == 0 {
+                    None
+                } else {
+                    Some(self.0.sample(rng))
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy produced by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecOf<S> {
+            element: S,
+            length: Range<usize>,
+        }
+
+        /// Generates a `Vec` whose length is drawn from `length` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecOf<S> {
+            VecOf { element, length }
+        }
+
+        impl<S: Strategy> Strategy for VecOf<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.length.start >= self.length.end {
+                    self.length.start
+                } else {
+                    rng.gen_range(self.length.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here: no
+/// shrinking, the panic aborts the case immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream syntax used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///     #[test]
+///     fn my_property(x in 0u32..10, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // One deterministic stream per property, offset by a hash of the
+            // test name so sibling properties see different data.
+            let mut __seed: u64 = 0xcafe_f00d_d15e_a5e5;
+            for b in stringify!($name).bytes() {
+                __seed = __seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+            }
+            let mut __rng = <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..config.cases {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_stay_in_bounds(x in 3u16..9, b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            let _: bool = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn combinators_produce_expected_shapes(
+            opt in prop::option::of(0u8..4),
+            items in prop::collection::vec(0usize..7, 0..5),
+        ) {
+            if let Some(v) = opt {
+                prop_assert!(v < 4);
+            }
+            prop_assert!(items.len() < 5);
+            prop_assert!(items.iter().all(|&i| i < 7));
+        }
+    }
+}

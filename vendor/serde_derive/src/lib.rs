@@ -1,0 +1,385 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs with named fields, tuple
+//! and unit structs, and enums whose variants are unit, tuple or
+//! struct-like — without depending on `syn`/`quote` (the build environment is
+//! offline). The input token stream is walked by hand, and the generated
+//! impls target the value-tree data model of the vendored `serde` crate with
+//! serde's externally-tagged defaults.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(T0, T1, ...);` with the field count.
+    TupleStruct(usize),
+    /// `struct S { a: A, b: B }` with the field names.
+    NamedStruct(Vec<String>),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive (vendored): malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+/// Skips `#[...]` attributes (including doc comments) and `pub` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                *pos += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) / pub(in ...)
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `a: A, b: B, ...`, returning the field names. Types are skipped
+/// with angle-bracket depth tracking so commas inside generics don't split
+/// fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{field}`, found {other:?}"
+            ),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the comma that terminates it (or at
+/// the end of the stream).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn serialize_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantFields::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::serialize(__f0)".to_string()
+            } else {
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                binds = bindings.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                binds = fields.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::get_element(items, {i}, \"{name}\")?"))
+                .collect();
+            format!(
+                "let items = value.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n        ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::__private::get_field(entries, \"{f}\", \"{name}\")?,")
+                })
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n        ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| deserialize_arm(name, v)).collect();
+            format!(
+                "let (variant, payload) = ::serde::__private::variant_of(value, \"{name}\")?;\n        match variant {{ {} __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n    fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn deserialize_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    let context = format!("{name}::{vname}");
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+        }
+        VariantFields::Tuple(n) => {
+            let payload = format!(
+                "let payload = payload.ok_or_else(|| ::serde::Error::custom(\"missing payload for {context}\"))?;"
+            );
+            if *n == 1 {
+                format!(
+                    "\"{vname}\" => {{ {payload} ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(payload)?)) }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__private::get_element(items, {i}, \"{context}\")?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{ {payload} let items = payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{context}\"))?; ::std::result::Result::Ok({name}::{vname}({})) }}",
+                    items.join(", ")
+                )
+            }
+        }
+        VariantFields::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::__private::get_field(entries, \"{f}\", \"{context}\")?,")
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{ let payload = payload.ok_or_else(|| ::serde::Error::custom(\"missing payload for {context}\"))?; let entries = payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{context}\"))?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                items.join(" ")
+            )
+        }
+    }
+}

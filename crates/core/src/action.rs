@@ -63,137 +63,186 @@ impl Action {
     }
 }
 
-fn same_ldgsts_group(a: &Instruction, b: &Instruction) -> bool {
-    let base = |inst: &Instruction| {
-        (*inst.opcode().base() == sass::Mnemonic::Ldgsts)
-            .then(|| {
-                inst.operands()
-                    .iter()
-                    .find_map(sass::Operand::as_mem)
-                    .and_then(|m| m.base.map(|r| r.reg))
-            })
+/// Per-instruction facts the legality checks read, decoded once per mask
+/// computation instead of once per (candidate action x consumer x producer)
+/// visit.
+///
+/// The masking rules are pure functions of the current schedule; this
+/// context only changes *where* the decoding happens (hoisted out of the
+/// inner loops), never *what* is checked, so the produced mask is identical
+/// to checking each candidate against the raw `sass` structures. Swapped
+/// candidate orders are evaluated through an index remap rather than by
+/// deep-cloning the program per candidate.
+struct MaskContext {
+    defs: Vec<Vec<sass::Register>>,
+    uses: Vec<Vec<sass::Register>>,
+    /// Issue stall of each instruction (`max(1)` applied).
+    stall: Vec<u64>,
+    /// Minimum required stall for fixed-latency producers (table, then
+    /// inferred entries, then the conservative default of 4).
+    required: Vec<Option<u64>>,
+    fence: Vec<bool>,
+    /// Barriers set by each instruction (read then write slot).
+    sets: Vec<[Option<u8>; 2]>,
+    wait_mask: Vec<u8>,
+    /// Shared-memory base register of `LDGSTS` instructions (ascending-group
+    /// rule).
+    ldgsts_base: Vec<Option<sass::Register>>,
+    blocks: Vec<sass::BasicBlock>,
+}
+
+impl MaskContext {
+    fn new(program: &Program, analysis: &Analysis, stalls: &StallTable) -> Self {
+        let instructions: Vec<&Instruction> = program.instructions().collect();
+        let n = instructions.len();
+        let mut ctx = MaskContext {
+            defs: Vec::with_capacity(n),
+            uses: Vec::with_capacity(n),
+            stall: Vec::with_capacity(n),
+            required: Vec::with_capacity(n),
+            fence: Vec::with_capacity(n),
+            sets: Vec::with_capacity(n),
+            wait_mask: Vec::with_capacity(n),
+            ldgsts_base: Vec::with_capacity(n),
+            blocks: program.basic_blocks(),
+        };
+        for inst in &instructions {
+            ctx.defs.push(inst.defs());
+            ctx.uses.push(inst.uses());
+            ctx.stall.push(u64::from(inst.control().stall()).max(1));
+            let required =
+                (inst.opcode().latency_class() == sass::LatencyClass::Fixed).then(|| {
+                    let name = inst.opcode().full_name();
+                    u64::from(
+                        stalls
+                            .lookup(&name)
+                            .or_else(|| analysis.stalls.lookup(&name))
+                            .unwrap_or(4),
+                    )
+                });
+            ctx.required.push(required);
+            ctx.fence.push(inst.opcode().is_scheduling_fence());
+            ctx.sets.push([
+                inst.control().read_barrier(),
+                inst.control().write_barrier(),
+            ]);
+            ctx.wait_mask.push(inst.control().wait_mask());
+            ctx.ldgsts_base.push(
+                (*inst.opcode().base() == sass::Mnemonic::Ldgsts)
+                    .then(|| {
+                        inst.operands()
+                            .iter()
+                            .find_map(sass::Operand::as_mem)
+                            .and_then(|m| m.base.map(|r| r.reg))
+                    })
+                    .flatten(),
+            );
+        }
+        ctx
+    }
+
+    fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Checks whether swapping adjacent instructions `upper_idx` and
+    /// `upper_idx + 1` preserves every dependence.
+    fn swap_is_legal(&self, upper_idx: usize) -> bool {
+        let lower_idx = upper_idx + 1;
+        if lower_idx >= self.len() {
+            return false;
+        }
+        // Never move across (or move) scheduling fences.
+        if self.fence[upper_idx] || self.fence[lower_idx] {
+            return false;
+        }
+        // Both instructions must be in the same basic block (no label
+        // between them — guaranteed by adjacency and the fence check above,
+        // but labels sit between items, so verify through block membership).
+        let Some(block) = self.blocks.iter().find(|b| b.contains(upper_idx)).copied() else {
+            return false;
+        };
+        if !block.contains(lower_idx) {
+            return false;
+        }
+        // Register dependences (RAW, WAR, WAW).
+        let upper_defs = &self.defs[upper_idx];
+        let upper_uses = &self.uses[upper_idx];
+        let lower_defs = &self.defs[lower_idx];
+        let lower_uses = &self.uses[lower_idx];
+        if lower_uses.iter().any(|r| upper_defs.contains(r))
+            || lower_defs.iter().any(|r| upper_uses.contains(r))
+            || lower_defs.iter().any(|r| upper_defs.contains(r))
+        {
+            return false;
+        }
+        // Barrier dependences: the lower instruction may not wait on a
+        // barrier set by the upper one (it would move above its setter), and
+        // symmetrically after the swap the waiter would precede the setter.
+        let waits_on = |idx: usize, barrier: u8| self.wait_mask[idx] & (1 << barrier) != 0;
+        if self.sets[upper_idx]
+            .iter()
             .flatten()
-    };
-    matches!((base(a), base(b)), (Some(x), Some(y)) if x == y)
-}
+            .any(|&b| waits_on(lower_idx, b))
+        {
+            return false;
+        }
+        if self.sets[lower_idx]
+            .iter()
+            .flatten()
+            .any(|&b| waits_on(upper_idx, b))
+        {
+            return false;
+        }
+        // Heuristic rule: never reorder two LDGSTS of the same ascending
+        // group.
+        if let (Some(a), Some(b)) = (self.ldgsts_base[upper_idx], self.ldgsts_base[lower_idx]) {
+            if a == b {
+                return false;
+            }
+        }
+        // Stall-count dependences (Algorithm 1), evaluated on the
+        // hypothetical post-swap schedule for every consumer in the block at
+        // or below the swap point. The swap is applied as an index remap.
+        self.stall_counts_satisfied(block.start, block.end, upper_idx)
+    }
 
-/// Checks whether swapping adjacent instructions `upper` (at `upper_idx`)
-/// and `lower` preserves every dependence. `program` is the *current*
-/// schedule (before the swap).
-fn swap_is_legal(
-    program: &Program,
-    upper_idx: usize,
-    analysis: &Analysis,
-    stalls: &StallTable,
-) -> bool {
-    let lower_idx = upper_idx + 1;
-    let instructions: Vec<&Instruction> = program.instructions().collect();
-    let (Some(upper), Some(lower)) = (
-        instructions.get(upper_idx).copied(),
-        instructions.get(lower_idx).copied(),
-    ) else {
-        return false;
-    };
-    // Never move across (or move) scheduling fences.
-    if upper.opcode().is_scheduling_fence() || lower.opcode().is_scheduling_fence() {
-        return false;
-    }
-    // Both instructions must be in the same basic block (no label between
-    // them — guaranteed by adjacency and the fence check above, but labels
-    // sit between items, so verify through block membership).
-    let Some(block) = program.block_of(upper_idx) else {
-        return false;
-    };
-    if !block.contains(lower_idx) {
-        return false;
-    }
-    // Register dependences (RAW, WAR, WAW).
-    let upper_defs = upper.defs();
-    let upper_uses = upper.uses();
-    let lower_defs = lower.defs();
-    let lower_uses = lower.uses();
-    if lower_uses.iter().any(|r| upper_defs.contains(r))
-        || lower_defs.iter().any(|r| upper_uses.contains(r))
-        || lower_defs.iter().any(|r| upper_defs.contains(r))
-    {
-        return false;
-    }
-    // Barrier dependences: the lower instruction may not wait on a barrier
-    // set by the upper one (it would move above its setter), and the upper
-    // instruction may not wait on a barrier set by the lower one (the setter
-    // would move above the waiter only in the other direction, but after the
-    // swap the waiter would precede the setter).
-    let sets = |inst: &Instruction| {
-        [
-            inst.control().read_barrier(),
-            inst.control().write_barrier(),
-        ]
-        .into_iter()
-        .flatten()
-        .collect::<Vec<u8>>()
-    };
-    if sets(upper).iter().any(|&b| lower.control().waits_on(b)) {
-        return false;
-    }
-    if sets(lower).iter().any(|&b| upper.control().waits_on(b)) {
-        return false;
-    }
-    // Heuristic rule: never reorder two LDGSTS of the same ascending group.
-    if same_ldgsts_group(upper, lower) {
-        return false;
-    }
-    // Stall-count dependences (Algorithm 1), evaluated on the hypothetical
-    // post-swap schedule for every consumer in the block at or below the
-    // swap point.
-    let mut swapped = program.clone();
-    if swapped.swap_instructions(upper_idx, lower_idx).is_err() {
-        return false;
-    }
-    stall_counts_satisfied(
-        &swapped,
-        block.start,
-        block.end,
-        upper_idx,
-        analysis,
-        stalls,
-    )
-}
-
-/// Verifies that every fixed-latency def-use pair whose distance may have
-/// been affected by a swap at `swap_at` still accumulates enough stall
-/// cycles (Algorithm 1 of the paper, applied to the affected window).
-fn stall_counts_satisfied(
-    program: &Program,
-    block_start: usize,
-    block_end: usize,
-    swap_at: usize,
-    analysis: &Analysis,
-    stalls: &StallTable,
-) -> bool {
-    let instructions: Vec<&Instruction> = program.instructions().collect();
-    for consumer_idx in swap_at..block_end {
-        let consumer = instructions[consumer_idx];
-        for reg in consumer.uses() {
-            let mut accumulated: u64 = 0;
-            for producer_idx in (block_start..consumer_idx).rev() {
-                let producer = instructions[producer_idx];
-                accumulated += u64::from(producer.control().stall()).max(1);
-                if producer.defs().contains(&reg) {
-                    if producer.opcode().latency_class() == sass::LatencyClass::Fixed {
-                        let required = stalls
-                            .lookup(&producer.opcode().full_name())
-                            .or_else(|| analysis.stalls.lookup(&producer.opcode().full_name()))
-                            .unwrap_or(4);
-                        if accumulated < u64::from(required) {
-                            return false;
+    /// Verifies that every fixed-latency def-use pair whose distance may
+    /// have been affected by a swap at `swap_at` still accumulates enough
+    /// stall cycles (Algorithm 1 of the paper, applied to the affected
+    /// window).
+    fn stall_counts_satisfied(&self, block_start: usize, block_end: usize, swap_at: usize) -> bool {
+        // The hypothetical schedule: positions swap_at and swap_at + 1 hold
+        // each other's instructions.
+        let map = |i: usize| {
+            if i == swap_at {
+                swap_at + 1
+            } else if i == swap_at + 1 {
+                swap_at
+            } else {
+                i
+            }
+        };
+        for consumer_idx in swap_at..block_end {
+            let consumer = map(consumer_idx);
+            for reg in &self.uses[consumer] {
+                let mut accumulated: u64 = 0;
+                for producer_idx in (block_start..consumer_idx).rev() {
+                    let producer = map(producer_idx);
+                    accumulated += self.stall[producer];
+                    if self.defs[producer].contains(reg) {
+                        if let Some(required) = self.required[producer] {
+                            if accumulated < required {
+                                return false;
+                            }
                         }
+                        break;
                     }
-                    break;
                 }
             }
         }
+        true
     }
-    true
 }
 
 /// Computes the mask over the flat action space: `mask[slot * 2 + dir]` is
@@ -205,17 +254,18 @@ pub fn action_mask(
     analysis: &Analysis,
     stalls: &StallTable,
 ) -> Vec<bool> {
-    let count = program.instruction_count();
+    let ctx = MaskContext::new(program, analysis, stalls);
+    let count = ctx.len();
     let mut mask = vec![false; movable.len() * 2];
     for (slot, &index) in movable.iter().enumerate() {
         if analysis.denylist.contains(&index) {
             continue;
         }
         if index > 0 {
-            mask[slot * 2] = swap_is_legal(program, index - 1, analysis, stalls);
+            mask[slot * 2] = ctx.swap_is_legal(index - 1);
         }
         if index + 1 < count {
-            mask[slot * 2 + 1] = swap_is_legal(program, index, analysis, stalls);
+            mask[slot * 2 + 1] = ctx.swap_is_legal(index);
         }
     }
     mask

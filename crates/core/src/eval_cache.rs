@@ -1,0 +1,263 @@
+//! The schedule-evaluation cache: a sharded, digest-keyed memo of kernel
+//! measurements.
+//!
+//! The reward signal re-simulates the whole kernel after every move, and the
+//! search strategies revisit schedules constantly: episode resets replay the
+//! initial schedule, undo moves walk back to states already measured, greedy
+//! probes fan out from one state, evolutionary search replays its best move
+//! sequence every generation, and PPO re-walks converged trajectories. All
+//! of those revisits are cache hits here — a hash of the schedule text
+//! instead of a cycle-by-cycle simulation.
+//!
+//! The cache is transparent by construction: the simulator is deterministic,
+//! so a hit returns exactly (bit for bit) what the miss path would have
+//! computed. Sharing one cache across episodes, cloned games and `VecEnv`
+//! worker threads therefore cannot change any observable result — the
+//! `jobs = N ≡ jobs = 1` determinism contract survives, as enforced by
+//! `tests/parallel_determinism.rs` and the `eval_cache` test suite.
+//!
+//! Keys combine the digest of the schedule listing with a context digest of
+//! the launch configuration, device model and measurement protocol
+//! (including the measurement seed), so distinct contexts never collide on
+//! purpose. The map is sharded `SHARDS` ways behind independent mutexes so
+//! parallel workers rarely contend, and misses are simulated *outside* the
+//! shard lock so a long simulation never blocks other shards' traffic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gpusim::{splitmix64, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
+use sass::Program;
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+/// Cache hit/miss counters, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+/// A sharded digest → [`Measurement`] memo (see the module docs).
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<u64, Measurement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Measurement>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the cached measurement for `key`, or computes it with
+    /// `simulate` (outside the shard lock) and caches it. Because the
+    /// simulator is deterministic for a fixed key, a racing duplicate
+    /// computation inserts an identical value — the cache never changes an
+    /// observable result.
+    pub fn get_or_insert_with<F>(&self, key: u64, simulate: F) -> Measurement
+    where
+        F: FnOnce() -> Measurement,
+    {
+        if let Some(hit) = self.shard(key).lock().expect("eval-cache shard").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = simulate();
+        self.shard(key)
+            .lock()
+            .expect("eval-cache shard")
+            .insert(key, value.clone());
+        value
+    }
+
+    /// Number of cached measurements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("eval-cache shard").len())
+            .sum()
+    }
+
+    /// Returns true if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Feeds `Display` output straight into a hasher, so digesting a schedule
+/// listing never materializes the listing string.
+struct HashWriter<'a>(&'a mut DefaultHasher);
+
+impl fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Digest of a schedule: every label, instruction, operand and control code
+/// in listing order (via the canonical `Display` round-trip form).
+#[must_use]
+pub fn program_key(program: &Program) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    write!(HashWriter(&mut hasher), "{program}").expect("hashing never fails");
+    hasher.finish()
+}
+
+/// Digest of the evaluation context: device model, launch configuration and
+/// measurement protocol (warmup/repeats/noise/seed). Computed once per game;
+/// combined with [`program_key`] per evaluation.
+#[must_use]
+pub fn context_key(gpu: &GpuConfig, launch: &LaunchConfig, options: &MeasureOptions) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for json in [
+        serde_json::to_string(gpu).unwrap_or_default(),
+        serde_json::to_string(launch).unwrap_or_default(),
+        serde_json::to_string(options).unwrap_or_default(),
+    ] {
+        hasher.write(json.as_bytes());
+        hasher.write_u8(0x1f); // field separator
+    }
+    hasher.finish()
+}
+
+/// Combines a context digest with a program digest into one cache key.
+#[must_use]
+pub fn combine_keys(context: u64, program: u64) -> u64 {
+    splitmix64(context ^ program.rotate_left(23))
+}
+
+/// The full cache key of one (schedule, launch, device, protocol) tuple.
+#[must_use]
+pub fn eval_key(
+    program: &Program,
+    launch: &LaunchConfig,
+    gpu: &GpuConfig,
+    options: &MeasureOptions,
+) -> u64 {
+    combine_keys(context_key(gpu, launch, options), program_key(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::measure;
+
+    const SAMPLE: &str = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+    fn options() -> MeasureOptions {
+        MeasureOptions {
+            warmup: 0,
+            repeats: 3,
+            noise_std: 0.0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn hits_return_the_cached_measurement_bit_for_bit() {
+        let cache = EvalCache::new();
+        let gpu = GpuConfig::small();
+        let launch = LaunchConfig::default();
+        let program: Program = SAMPLE.parse().unwrap();
+        let key = eval_key(&program, &launch, &gpu, &options());
+        let first = cache.get_or_insert_with(key, || measure(&gpu, &program, &launch, &options()));
+        let second = cache.get_or_insert_with(key, || unreachable!("second lookup must hit"));
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), EvalCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_programs_launches_devices_and_seeds() {
+        let gpu = GpuConfig::small();
+        let launch = LaunchConfig::default();
+        let program: Program = SAMPLE.parse().unwrap();
+        let base = eval_key(&program, &launch, &gpu, &options());
+
+        // Different schedule (swap two instructions).
+        let mut swapped = program.clone();
+        swapped.swap_instructions(0, 1).unwrap();
+        assert_ne!(base, eval_key(&swapped, &launch, &gpu, &options()));
+
+        // Different launch.
+        let other_launch = LaunchConfig {
+            grid_blocks: 99,
+            ..launch.clone()
+        };
+        assert_ne!(base, eval_key(&program, &other_launch, &gpu, &options()));
+
+        // Different device.
+        assert_ne!(
+            base,
+            eval_key(&program, &launch, &GpuConfig::a100(), &options())
+        );
+
+        // Different measurement seed / protocol.
+        let other_options = MeasureOptions {
+            seed: 7,
+            ..options()
+        };
+        assert_ne!(base, eval_key(&program, &launch, &gpu, &other_options));
+    }
+
+    #[test]
+    fn program_key_is_stable_across_reparses() {
+        let a: Program = SAMPLE.parse().unwrap();
+        let b: Program = a.to_string().parse().unwrap();
+        assert_eq!(program_key(&a), program_key(&b));
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let cache = EvalCache::new();
+        let gpu = GpuConfig::small();
+        let launch = LaunchConfig::default();
+        let program: Program = SAMPLE.parse().unwrap();
+        for seed in 0..64u64 {
+            let opts = MeasureOptions { seed, ..options() };
+            let key = eval_key(&program, &launch, &gpu, &opts);
+            let _ = cache.get_or_insert_with(key, || measure(&gpu, &program, &launch, &opts));
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.stats().misses, 64);
+    }
+}

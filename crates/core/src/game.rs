@@ -1,7 +1,9 @@
 //! The assembly game (§3.3–§3.6): the Gym-like environment the RL agent
 //! plays to optimize a SASS schedule.
 
-use gpusim::{measure, GpuConfig, LaunchConfig, MeasureOptions};
+use std::sync::Arc;
+
+use gpusim::{measure, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
 use nn::Matrix;
 use rl::{Env, Step};
 use sass::Program;
@@ -10,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::action::{action_mask, Action, Direction};
 use crate::analysis::{analyze, Analysis};
 use crate::embed::{embed_program, feature_count};
+use crate::eval_cache::{combine_keys, context_key, program_key, EvalCache};
 use crate::stall_table::StallTable;
 
 /// Game configuration.
@@ -63,11 +66,22 @@ pub struct AssemblyGame {
     current_runtime: f64,
     analysis: Analysis,
     movable: Vec<usize>,
+    /// Action mask of `current`, recomputed exactly once per schedule change
+    /// (the mask is a pure function of the schedule, and both the env `done`
+    /// check and the search strategies read it every step).
+    mask: Vec<bool>,
     steps_in_episode: usize,
     best: Program,
     best_runtime: f64,
     action_slots: usize,
     trace: Vec<Move>,
+    /// Schedule-evaluation memo, shared (via `Arc`) across clones of this
+    /// game — episode resets, greedy probes and `VecEnv` worker copies all
+    /// hit the same cache.
+    cache: Arc<EvalCache>,
+    /// Digest of (device, launch, measurement protocol), combined with the
+    /// per-schedule digest into cache keys.
+    context_key: u64,
 }
 
 impl AssemblyGame {
@@ -80,13 +94,40 @@ impl AssemblyGame {
         stalls: StallTable,
         config: GameConfig,
     ) -> Self {
+        Self::with_eval_cache(
+            gpu,
+            program,
+            launch,
+            stalls,
+            config,
+            Arc::new(EvalCache::new()),
+        )
+    }
+
+    /// Creates a game sharing an existing schedule-evaluation cache (e.g.
+    /// one cache across every env of a `VecEnv`, or across games replaying
+    /// the same kernel). Cache keys include the full evaluation context, so
+    /// sharing across different kernels/launches/devices is always safe.
+    #[must_use]
+    pub fn with_eval_cache(
+        gpu: GpuConfig,
+        program: Program,
+        launch: LaunchConfig,
+        stalls: StallTable,
+        config: GameConfig,
+        cache: Arc<EvalCache>,
+    ) -> Self {
         let analysis = analyze(&program, &stalls);
         let movable = analysis.movable_memory_indices();
-        let measurement = measure(&gpu, &program, &launch, &config.measure);
+        let ctx_key = context_key(&gpu, &launch, &config.measure);
+        let measurement = cache
+            .get_or_insert_with(combine_keys(ctx_key, program_key(&program)), || {
+                measure(&gpu, &program, &launch, &config.measure)
+            });
         let runtime = measurement.mean_us;
         let digest = measurement.run.sm.output_digest;
         let action_slots = movable.len();
-        AssemblyGame {
+        let mut game = AssemblyGame {
             gpu,
             launch,
             config,
@@ -98,12 +139,23 @@ impl AssemblyGame {
             current_runtime: runtime,
             analysis,
             movable,
+            mask: Vec::new(),
             steps_in_episode: 0,
             best: program,
             best_runtime: runtime,
             action_slots,
             trace: Vec::new(),
-        }
+            cache,
+            context_key: ctx_key,
+        };
+        game.refresh_mask();
+        game
+    }
+
+    /// The schedule-evaluation cache backing this game.
+    #[must_use]
+    pub fn eval_cache(&self) -> &Arc<EvalCache> {
+        &self.cache
     }
 
     /// Runtime of the unmodified `-O3` schedule in microseconds.
@@ -137,15 +189,31 @@ impl AssemblyGame {
         &self.trace
     }
 
-    /// Measures a program with the game's protocol.
+    /// Measures a program with the game's protocol, answering revisited
+    /// schedules from the shared evaluation cache.
     fn measure_program(&self, program: &Program) -> (f64, u64, u64) {
-        let m = measure(&self.gpu, program, &self.launch, &self.config.measure);
+        let m = self.cached_measurement(program);
         (m.mean_us, m.run.sm.hazards, m.run.sm.output_digest)
+    }
+
+    /// The full cached measurement of a schedule under the game's protocol.
+    pub fn cached_measurement(&self, program: &Program) -> Measurement {
+        self.cache
+            .get_or_insert_with(combine_keys(self.context_key, program_key(program)), || {
+                measure(&self.gpu, program, &self.launch, &self.config.measure)
+            })
     }
 
     fn refresh_state(&mut self) {
         self.analysis = analyze(&self.current, &self.stalls);
         self.movable = self.analysis.movable_memory_indices();
+        self.refresh_mask();
+    }
+
+    fn refresh_mask(&mut self) {
+        let mut mask = action_mask(&self.current, &self.movable, &self.analysis, &self.stalls);
+        mask.resize((self.action_slots * 2).max(1), false);
+        self.mask = mask;
     }
 }
 
@@ -216,9 +284,7 @@ impl Env for AssemblyGame {
     }
 
     fn action_mask(&self) -> Vec<bool> {
-        let mut mask = action_mask(&self.current, &self.movable, &self.analysis, &self.stalls);
-        mask.resize(self.action_count(), false);
-        mask
+        self.mask.clone()
     }
 
     fn observation_features(&self) -> usize {

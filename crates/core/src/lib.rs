@@ -34,6 +34,7 @@
 mod action;
 mod analysis;
 mod embed;
+mod eval_cache;
 mod game;
 mod optimizer;
 mod stall_table;
@@ -42,6 +43,7 @@ mod suite_optimizer;
 pub use action::{action_mask, Action, Direction};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
 pub use embed::{embed_program, feature_count, FIXED_FEATURES};
+pub use eval_cache::{combine_keys, context_key, eval_key, program_key, EvalCache, EvalCacheStats};
 pub use game::{AssemblyGame, GameConfig, Move};
 pub use optimizer::{CuAsmRl, OptimizationReport, Strategy, StrategyComparison};
 pub use stall_table::{

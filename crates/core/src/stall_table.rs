@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use gpusim::{GpuConfig, SmSimulator};
+use gpusim::{ConstantBank, GpuConfig, SmSimulator};
 use sass::Program;
 use serde::{Deserialize, Serialize};
 
@@ -139,7 +139,7 @@ fn producer_template(opcode: &str) -> Option<(&'static str, u64)> {
 pub fn dependency_based_stall(gpu: &GpuConfig, opcode: &str) -> Option<u8> {
     let (producer, expected) = producer_template(opcode)?;
     let simulator = SmSimulator::new(gpu.clone());
-    let constants = HashMap::new();
+    let constants = ConstantBank::new();
     // Gradually lower the stall count until the stored value no longer
     // matches; the minimum valid stall count is one above the first failure.
     let mut minimum = 15u8;
@@ -212,7 +212,7 @@ pub fn clock_based_iadd3(gpu: &GpuConfig, count: usize) -> ClockBenchResult {
     lines.push_str("[B------:R-:W-:-:S05] EXIT ;\n");
     let program: Program = lines.parse().expect("clock benchmark must parse");
     let simulator = SmSimulator::new(gpu.clone());
-    let out = simulator.run(&program, 1, 0, &HashMap::new(), 100_000);
+    let out = simulator.run(&program, 1, 0, &ConstantBank::new(), 100_000);
     let elapsed = out.memory.load_global(0x100) as f64;
     ClockBenchResult {
         instructions: count,

@@ -8,12 +8,89 @@
 //! depend on every value that flows into them — a schedule that breaks a
 //! dependence produces a different (wrong) output.
 
-use std::collections::HashMap;
-
 use sass::{Guard, Instruction, MemorySpace, Mnemonic, Operand, Register};
 
 use crate::memory::{splitmix64, MemorySubsystem};
 use crate::regfile::RegisterFile;
+
+/// The kernel-parameter constant bank, pre-sorted for binary-search lookup.
+///
+/// The executor resolves `c[bank][offset]` operands on every issue of every
+/// constant-reading instruction, so the bank is built once per launch as a
+/// sorted slice instead of rebuilding a `HashMap` (and paying its hashing
+/// cost per lookup) on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstantBank {
+    /// `(bank << 32 | offset, value)`, sorted by key, unique keys.
+    entries: Vec<(u64, u64)>,
+}
+
+impl ConstantBank {
+    /// An empty constant bank.
+    #[must_use]
+    pub fn new() -> Self {
+        ConstantBank::default()
+    }
+
+    /// Builds a bank from `((bank, offset), value)` pairs. Later pairs win
+    /// on duplicate keys (matching `HashMap::from_iter` semantics).
+    #[must_use]
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = ((u32, u32), u64)>,
+    {
+        let mut entries: Vec<(u64, u64)> = pairs
+            .into_iter()
+            .map(|((bank, offset), value)| (Self::key(bank, offset), value))
+            .collect();
+        // Stable sort keeps insertion order within equal keys; keep the last
+        // entry of each run so later inserts overwrite earlier ones.
+        entries.sort_by_key(|&(key, _)| key);
+        let mut unique: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            match unique.last_mut() {
+                Some(last) if last.0 == entry.0 => *last = entry,
+                _ => unique.push(entry),
+            }
+        }
+        ConstantBank { entries: unique }
+    }
+
+    fn key(bank: u32, offset: u32) -> u64 {
+        u64::from(bank) << 32 | u64::from(offset)
+    }
+
+    /// Inserts or replaces one constant.
+    pub fn insert(&mut self, bank: u32, offset: u32, value: u64) {
+        let key = Self::key(bank, offset);
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Looks up `c[bank][offset]`.
+    #[must_use]
+    pub fn get(&self, bank: u32, offset: u32) -> Option<u64> {
+        let key = Self::key(bank, offset);
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Number of constants in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the bank holds no constants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Per-issue context needed to evaluate operands.
 #[derive(Debug, Clone, Copy)]
@@ -24,8 +101,8 @@ pub struct ExecContext<'a> {
     pub block_id: usize,
     /// Current cycle (read by `CS2R SR_CLOCKLO`).
     pub cycle: u64,
-    /// Kernel parameter constant bank: `(bank, offset) -> value`.
-    pub constants: &'a HashMap<(u32, u32), u64>,
+    /// Kernel parameter constant bank.
+    pub constants: &'a ConstantBank,
 }
 
 /// A memory access produced by executing an instruction, consumed by the
@@ -75,8 +152,10 @@ fn guard_passes(guard: Option<&Guard>, regs: &mut RegisterFile, cycle: u64) -> b
     }
 }
 
-/// Memory access width implied by the opcode modifiers.
-fn access_bytes(inst: &Instruction) -> u64 {
+/// Memory access width implied by the opcode modifiers. Shared with the
+/// precompiled lowering ([`crate::CompiledProgram`]) so the two interpreters
+/// can never drift apart.
+pub(crate) fn access_bytes(inst: &Instruction) -> u64 {
     for m in inst.opcode().modifiers() {
         match m.as_str() {
             "128" | "LTC128B" => return 16,
@@ -90,15 +169,58 @@ fn access_bytes(inst: &Instruction) -> u64 {
     4
 }
 
-fn special_register(name: &str, ctx: &ExecContext<'_>) -> u64 {
-    match name {
-        "SR_CLOCKLO" => ctx.cycle,
-        "SR_TID.X" | "SR_TID" => (ctx.warp_id * 32) as u64,
-        "SR_CTAID.X" | "SR_CTAID" => ctx.block_id as u64,
-        "SR_LANEID" => 0,
-        "SR_WARPID" => ctx.warp_id as u64,
-        other => splitmix64(other.len() as u64 ^ 0x5352),
+/// The deterministic fallback value of an unbound constant-bank slot.
+/// Shared with the precompiled lowering.
+pub(crate) fn const_fallback(bank: u32, offset: u32) -> u64 {
+    splitmix64(u64::from(bank) << 32 | u64::from(offset))
+}
+
+/// A classified special register: the single source of truth for the
+/// `SR_*` dispatch, shared between the interpretive executor and the
+/// precompiled lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpecialReg {
+    /// `SR_CLOCKLO`: the current cycle.
+    Clock,
+    /// `SR_TID[.X]`: the warp's first thread id.
+    Tid,
+    /// `SR_CTAID[.X]`: the block id.
+    CtaId,
+    /// `SR_LANEID`: always zero in this model.
+    LaneId,
+    /// `SR_WARPID`: the warp id.
+    WarpId,
+    /// Any other special register: a deterministic hash of its name.
+    Hashed(u64),
+}
+
+impl SpecialReg {
+    pub(crate) fn classify(name: &str) -> Self {
+        match name {
+            "SR_CLOCKLO" => SpecialReg::Clock,
+            "SR_TID.X" | "SR_TID" => SpecialReg::Tid,
+            "SR_CTAID.X" | "SR_CTAID" => SpecialReg::CtaId,
+            "SR_LANEID" => SpecialReg::LaneId,
+            "SR_WARPID" => SpecialReg::WarpId,
+            other => SpecialReg::Hashed(splitmix64(other.len() as u64 ^ 0x5352)),
+        }
     }
+
+    #[inline]
+    pub(crate) fn value(self, ctx: &ExecContext<'_>) -> u64 {
+        match self {
+            SpecialReg::Clock => ctx.cycle,
+            SpecialReg::Tid => (ctx.warp_id * 32) as u64,
+            SpecialReg::CtaId => ctx.block_id as u64,
+            SpecialReg::LaneId => 0,
+            SpecialReg::WarpId => ctx.warp_id as u64,
+            SpecialReg::Hashed(value) => value,
+        }
+    }
+}
+
+fn special_register(name: &str, ctx: &ExecContext<'_>) -> u64 {
+    SpecialReg::classify(name).value(ctx)
 }
 
 /// Evaluates a source operand to a 64-bit value, recording stale-read
@@ -125,9 +247,8 @@ fn operand_value(operand: &Operand, regs: &mut RegisterFile, ctx: &ExecContext<'
         Operand::FImm(v) => v.to_bits(),
         Operand::Const { bank, offset } => ctx
             .constants
-            .get(&(*bank, *offset))
-            .copied()
-            .unwrap_or_else(|| splitmix64(u64::from(*bank) << 32 | u64::from(*offset))),
+            .get(*bank, *offset)
+            .unwrap_or_else(|| const_fallback(*bank, *offset)),
         Operand::Mem(_) => 0,
         Operand::Special(name) => special_register(name, ctx),
         Operand::Label(_) => 0,
@@ -149,7 +270,9 @@ fn memref_address(operand: &Operand, regs: &mut RegisterFile, ctx: &ExecContext<
     addr.wrapping_add(m.offset as u64)
 }
 
-fn mix_values(opcode_tag: u64, values: &[u64]) -> u64 {
+/// The value-mixing semantics of floating-point/tensor instructions.
+/// Shared with the precompiled lowering.
+pub(crate) fn mix_values(opcode_tag: u64, values: &[u64]) -> u64 {
     let mut acc = splitmix64(opcode_tag);
     for &v in values {
         acc = splitmix64(acc ^ v.rotate_left(17));
@@ -157,16 +280,46 @@ fn mix_values(opcode_tag: u64, values: &[u64]) -> u64 {
     acc
 }
 
-fn compare(modifier: Option<&String>, a: i64, b: i64) -> bool {
-    match modifier.map(String::as_str) {
-        Some("GE") => a >= b,
-        Some("GT") => a > b,
-        Some("LE") => a <= b,
-        Some("LT") => a < b,
-        Some("EQ") => a == b,
-        Some("NE") => a != b,
-        _ => a != b,
+/// The comparison operator of a `SETP`-family instruction: the single
+/// source of truth for modifier lowering and evaluation, shared between the
+/// interpretive executor and the precompiled lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cmp {
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Eq,
+    Ne,
+}
+
+impl Cmp {
+    pub(crate) fn lower(modifier: Option<&String>) -> Self {
+        match modifier.map(String::as_str) {
+            Some("GE") => Cmp::Ge,
+            Some("GT") => Cmp::Gt,
+            Some("LE") => Cmp::Le,
+            Some("LT") => Cmp::Lt,
+            Some("EQ") => Cmp::Eq,
+            _ => Cmp::Ne,
+        }
     }
+
+    #[inline]
+    pub(crate) fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            Cmp::Ge => a >= b,
+            Cmp::Gt => a > b,
+            Cmp::Le => a <= b,
+            Cmp::Lt => a < b,
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+        }
+    }
+}
+
+fn compare(modifier: Option<&String>, a: i64, b: i64) -> bool {
+    Cmp::lower(modifier).apply(a, b)
 }
 
 /// Executes one instruction functionally.
@@ -437,15 +590,15 @@ mod tests {
     use super::*;
     use crate::config::GpuConfig;
 
-    fn setup() -> (RegisterFile, MemorySubsystem, HashMap<(u32, u32), u64>) {
+    fn setup() -> (RegisterFile, MemorySubsystem, ConstantBank) {
         (
             RegisterFile::new(),
             MemorySubsystem::new(&GpuConfig::small()),
-            HashMap::new(),
+            ConstantBank::new(),
         )
     }
 
-    fn ctx<'a>(constants: &'a HashMap<(u32, u32), u64>, cycle: u64) -> ExecContext<'a> {
+    fn ctx<'a>(constants: &'a ConstantBank, cycle: u64) -> ExecContext<'a> {
         ExecContext {
             warp_id: 0,
             block_id: 0,
@@ -455,7 +608,7 @@ mod tests {
     }
 
     fn run(text: &str, regs: &mut RegisterFile, mem: &mut MemorySubsystem, cycle: u64) -> Outcome {
-        let constants = HashMap::new();
+        let constants = ConstantBank::new();
         let inst: Instruction = text.parse().unwrap();
         execute(&inst, regs, mem, &ctx(&constants, cycle))
     }
@@ -567,11 +720,22 @@ mod tests {
     fn constants_come_from_the_parameter_bank() {
         let mut regs = RegisterFile::new();
         let mut mem = MemorySubsystem::new(&GpuConfig::small());
-        let mut constants = HashMap::new();
-        constants.insert((0u32, 0x160u32), 0x8000u64);
+        let mut constants = ConstantBank::new();
+        constants.insert(0, 0x160, 0x8000);
         let inst: Instruction = "MOV R1, c[0x0][0x160] ;".parse().unwrap();
         let out = execute(&inst, &mut regs, &mut mem, &ctx(&constants, 0));
         assert_eq!(out.writes, vec![(Register::Gpr(1), 0x8000)]);
+    }
+
+    #[test]
+    fn constant_bank_lookup_and_last_wins() {
+        let bank = ConstantBank::from_pairs([((0, 0x160), 1), ((0, 0x168), 2), ((0, 0x160), 3)]);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.get(0, 0x160), Some(3), "later pairs overwrite earlier");
+        assert_eq!(bank.get(0, 0x168), Some(2));
+        assert_eq!(bank.get(1, 0x160), None);
+        assert!(!bank.is_empty());
+        assert!(ConstantBank::new().is_empty());
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Kernel-level launch model: grids of thread blocks over many SMs, and the
 //! CUDA-events-style measurement protocol.
 
-use std::collections::HashMap;
-
 use sass::Program;
 use serde::{Deserialize, Serialize};
 
 use crate::config::GpuConfig;
+use crate::exec::ConstantBank;
 use crate::sm::{SmReport, SmSimulator};
 
 /// A kernel launch configuration.
@@ -42,13 +41,16 @@ impl Default for LaunchConfig {
 }
 
 impl LaunchConfig {
-    /// Builds the constant-bank map consumed by the executor.
+    /// Builds the sorted constant bank consumed by the executor. Built once
+    /// per launch; the executor resolves constants by binary search instead
+    /// of rebuilding a hash map per simulation.
     #[must_use]
-    pub fn constant_bank(&self) -> HashMap<(u32, u32), u64> {
-        self.params
-            .iter()
-            .map(|&(offset, value)| ((0u32, offset), value))
-            .collect()
+    pub fn constant_bank(&self) -> ConstantBank {
+        ConstantBank::from_pairs(
+            self.params
+                .iter()
+                .map(|&(offset, value)| ((0u32, offset), value)),
+        )
     }
 }
 
@@ -163,17 +165,29 @@ pub fn measure(
 ) -> Measurement {
     use rand::{Rng, SeedableRng};
     let run = simulate_launch(config, program, launch);
-    let mut rng =
-        rand_chacha::ChaCha8Rng::seed_from_u64(options.seed ^ run.sm.output_digest ^ run.sm.cycles);
-    let mut samples = Vec::with_capacity(options.repeats.max(1));
-    for _ in 0..options.repeats.max(1) {
-        // Box-Muller style noise via two uniform draws, clamped to a few
-        // standard deviations to keep measurements realistic.
-        let u: f64 = rng.gen_range(-1.0..1.0);
-        let v: f64 = rng.gen_range(-1.0..1.0);
-        let noise = (u + v) * 0.5 * options.noise_std * 3.0_f64.sqrt();
-        samples.push(run.runtime_us * (1.0 + noise));
-    }
+    let samples: Vec<f64> = if options.noise_std == 0.0 {
+        // Noise-free protocol: the simulator is deterministic, so every
+        // repeat observes exactly `runtime_us` (the noisy path multiplies by
+        // `1.0 + 0.0`, which is the identity). Replicate the one simulated
+        // sample instead of drawing per-repeat RNG noise; the mean/std
+        // statistics below are computed identically, so the result is
+        // bit-for-bit what the sampling loop produced.
+        vec![run.runtime_us; options.repeats.max(1)]
+    } else {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+            options.seed ^ run.sm.output_digest ^ run.sm.cycles,
+        );
+        (0..options.repeats.max(1))
+            .map(|_| {
+                // Box-Muller style noise via two uniform draws, clamped to a
+                // few standard deviations to keep measurements realistic.
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let noise = (u + v) * 0.5 * options.noise_std * 3.0_f64.sqrt();
+                run.runtime_us * (1.0 + noise)
+            })
+            .collect()
+    };
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
     Measurement {
@@ -264,6 +278,36 @@ mod tests {
         let m = measure(&cfg, &program, &launch(), &options);
         assert!((m.mean_us - m.run.runtime_us).abs() / m.run.runtime_us < 0.01);
         assert!(m.std_us / m.mean_us < 0.01, "std should be within 1%");
+    }
+
+    #[test]
+    fn noise_free_measurement_short_circuits_to_one_simulation() {
+        let cfg = GpuConfig::small();
+        let program: sass::Program = SAMPLE.parse().unwrap();
+        let options = MeasureOptions {
+            warmup: 0,
+            repeats: 7,
+            noise_std: 0.0,
+            seed: 123,
+        };
+        let m = measure(&cfg, &program, &launch(), &options);
+        // Every sample is the deterministic runtime: zero spread, and the
+        // mean is computed over `repeats` identical values exactly as the
+        // sampling loop would have produced them.
+        assert_eq!(m.std_us, 0.0);
+        assert!((m.mean_us - m.run.runtime_us).abs() / m.run.runtime_us < 1e-12);
+        // The seed is irrelevant without noise.
+        let other = measure(
+            &cfg,
+            &program,
+            &launch(),
+            &MeasureOptions {
+                seed: 456,
+                ..options
+            },
+        );
+        assert_eq!(m.mean_us, other.mean_us);
+        assert_eq!(m.run, other.run);
     }
 
     #[test]

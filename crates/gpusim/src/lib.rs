@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod config;
 mod counters;
 mod exec;
@@ -47,9 +48,10 @@ mod memory;
 mod regfile;
 mod sm;
 
+pub use compiled::CompiledProgram;
 pub use config::{CacheConfig, GpuConfig, LatencyModel};
 pub use counters::{MemoryChart, WorkloadAnalysis};
-pub use exec::{execute, ExecContext, MemAccess, Outcome};
+pub use exec::{execute, ConstantBank, ExecContext, MemAccess, Outcome};
 pub use launch::{measure, simulate_launch, KernelRun, LaunchConfig, MeasureOptions, Measurement};
 pub use memory::{default_global_word, splitmix64, MemCounters, MemorySubsystem, ServicePoint};
 pub use regfile::{RegisterFile, ReuseCache, StaleRead};

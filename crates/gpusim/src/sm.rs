@@ -25,8 +25,9 @@ use std::collections::HashMap;
 use sass::{Instruction, LatencyClass, MemorySpace, Mnemonic, Operand, Program, Register};
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::{CompiledProgram, Flow};
 use crate::config::GpuConfig;
-use crate::exec::{execute, ExecContext};
+use crate::exec::{execute, ConstantBank, ExecContext};
 use crate::memory::{MemCounters, MemorySubsystem};
 use crate::regfile::{RegisterFile, ReuseCache};
 
@@ -204,6 +205,10 @@ impl SmSimulator {
     /// Runs `program` with `warps` resident warps for block `block_id`,
     /// using `constants` as the kernel parameter bank.
     ///
+    /// The program is lowered once through [`CompiledProgram::compile`] and
+    /// the cycle loop interprets the dense form; results are bit-identical
+    /// to [`SmSimulator::run_reference`].
+    ///
     /// The simulation stops when every warp has executed `EXIT` or when
     /// `max_cycles` is reached (reported through [`SmReport::completed`]).
     #[must_use]
@@ -212,7 +217,288 @@ impl SmSimulator {
         program: &Program,
         warps: usize,
         block_id: usize,
-        constants: &HashMap<(u32, u32), u64>,
+        constants: &ConstantBank,
+        max_cycles: u64,
+    ) -> SimOutput {
+        let compiled = CompiledProgram::compile(program, &self.config);
+        self.run_compiled(&compiled, warps, block_id, constants, max_cycles)
+    }
+
+    /// Runs an already-lowered program (see [`CompiledProgram::compile`]);
+    /// compile once per (schedule, device) to amortize decoding across
+    /// repeated simulations of the same schedule.
+    #[must_use]
+    #[allow(clippy::too_many_lines)] // the cycle loop mirrors run_reference
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        warps: usize,
+        block_id: usize,
+        constants: &ConstantBank,
+        max_cycles: u64,
+    ) -> SimOutput {
+        let mut memory = MemorySubsystem::new(&self.config);
+        let mut warp_states: Vec<Warp> =
+            (0..warps.max(1)).map(|w| Warp::new(w, block_id)).collect();
+        let mut reuse_cache = ReuseCache::new(self.config.register_banks);
+
+        let mut cycle: u64 = 0;
+        let mut issued: u64 = 0;
+        let mut issue_active_cycles: u64 = 0;
+        let mut eligible_cycles: u64 = 0;
+        let mut lsu_busy: u64 = 0;
+        let mut tensor_busy: u64 = 0;
+        let mut bank_conflict_cycles: u64 = 0;
+        let mut lsu_free_at: u64 = 0;
+        let mut tensor_free_at: u64 = 0;
+        let mut lsu_outstanding: Vec<u64> = Vec::new();
+        let mut last_issued_warp: Option<usize> = None;
+        let mut completed = true;
+        // Reused across issues: register writes, operand values and the
+        // eligible-warp index list — the hot loop never allocates.
+        let mut writes: Vec<(Register, u64)> = Vec::new();
+        let mut values: Vec<u64> = Vec::new();
+        let mut eligible: Vec<usize> = Vec::with_capacity(warp_states.len());
+
+        if compiled.is_empty() {
+            let report = SmReport {
+                cycles: 0,
+                instructions_issued: 0,
+                issue_active_cycles: 0,
+                eligible_cycles: 0,
+                lsu_busy_cycles: 0,
+                tensor_busy_cycles: 0,
+                bank_conflict_cycles: 0,
+                mem: memory.counters(),
+                hazards: 0,
+                output_digest: memory.global_digest(),
+                completed: true,
+            };
+            return SimOutput { report, memory };
+        }
+
+        while warp_states.iter().any(|w| !w.finished) {
+            if cycle >= max_cycles {
+                completed = false;
+                break;
+            }
+            // Barrier release: when every unfinished warp is waiting, release
+            // all of them.
+            if warp_states.iter().any(|w| !w.finished && w.at_barrier)
+                && warp_states.iter().all(|w| w.finished || w.at_barrier)
+            {
+                for w in &mut warp_states {
+                    w.at_barrier = false;
+                }
+            }
+            lsu_outstanding.retain(|&done| done > cycle);
+
+            eligible.clear();
+            for (w, warp) in warp_states.iter().enumerate() {
+                if compiled_warp_eligible(
+                    &self.config,
+                    warp,
+                    compiled,
+                    cycle,
+                    tensor_free_at,
+                    lsu_outstanding.len(),
+                ) {
+                    eligible.push(w);
+                }
+            }
+            if !eligible.is_empty() {
+                eligible_cycles += 1;
+            }
+
+            let mut issued_this_cycle = 0usize;
+            let pick_from = &mut eligible;
+            while issued_this_cycle < self.config.issue_width && !pick_from.is_empty() {
+                // Greedy-then-oldest: prefer the warp that issued last cycle
+                // (unless it yielded), otherwise the lowest-index eligible
+                // warp after it.
+                let chosen = match last_issued_warp {
+                    Some(last) if !warp_states[last].yielded && pick_from.contains(&last) => last,
+                    Some(last) => *pick_from
+                        .iter()
+                        .find(|&&w| w > last)
+                        .unwrap_or(&pick_from[0]),
+                    None => pick_from[0],
+                };
+                pick_from.retain(|&w| w != chosen);
+
+                let warp = &mut warp_states[chosen];
+                let inst = &compiled.insts[warp.pc];
+                let ctx = ExecContext {
+                    warp_id: chosen,
+                    block_id,
+                    cycle,
+                    constants,
+                };
+                let effects =
+                    inst.execute(&mut warp.regs, &mut memory, &ctx, &mut writes, &mut values);
+
+                // Register-bank conflicts and the operand-reuse cache.
+                let conflicts = reuse_cache.issue(chosen, &inst.bank_sources, &inst.reuse_regs);
+                bank_conflict_cycles += conflicts;
+
+                let stall = inst.stall + conflicts;
+                warp.stall_until = cycle + stall;
+                warp.yielded = inst.yield_flag;
+
+                // Barrier / synchronisation semantics.
+                if inst.is_bar {
+                    warp.at_barrier = true;
+                } else if inst.is_depbar {
+                    // Wait-for-outstanding-copies: model as stalling the
+                    // warp until its own barriers clear.
+                    let worst = warp
+                        .barrier_pending
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .max()
+                        .unwrap_or(cycle);
+                    warp.stall_until = warp.stall_until.max(worst);
+                }
+
+                if !effects.predicated_off {
+                    if let Some(access) = effects.access {
+                        // Timing of the memory access. Shared-memory and
+                        // constant accesses are served by on-chip pipelines
+                        // with (approximately) fixed latency; only accesses
+                        // that leave the SM queue behind earlier global
+                        // traffic.
+                        let (service_latency, queued) = match access.space {
+                            MemorySpace::Shared => (memory.shared_latency(), false),
+                            MemorySpace::Constant => (self.config.latency.l1_hit, false),
+                            _ => {
+                                let (lat, _) =
+                                    memory.global_access_latency(access.addr, access.bypass_l1);
+                                (lat, true)
+                            }
+                        };
+                        // LSU occupancy: one cycle per 128 bytes of
+                        // warp-wide traffic.
+                        let warp_bytes = access.bytes * 32;
+                        let lsu_cycles = (warp_bytes / 128).max(1);
+                        let queue_wait = if queued {
+                            lsu_free_at.saturating_sub(cycle)
+                        } else {
+                            0
+                        };
+                        lsu_free_at = lsu_free_at.max(cycle) + lsu_cycles;
+                        lsu_busy += lsu_cycles;
+                        let completion = cycle + queue_wait + service_latency;
+                        if queued {
+                            // Only off-SM (global) requests occupy the
+                            // outstanding-request queue; shared-memory
+                            // accesses are serviced by the on-chip pipeline.
+                            lsu_outstanding.push(completion);
+                        }
+
+                        if let Some(rb) = inst.read_barrier {
+                            // Source registers are consumed once the request
+                            // has left the LSU.
+                            warp.barrier_pending[rb as usize]
+                                .push(cycle + queue_wait + lsu_cycles + 4);
+                        }
+                        if let Some(wb) = inst.write_barrier {
+                            warp.barrier_pending[wb as usize].push(completion);
+                        }
+                        // Loads deliver their destination registers at
+                        // completion time.
+                        for (reg, value) in &writes {
+                            warp.regs.write(*reg, *value, completion);
+                        }
+                        // LDGSTS ascending-group rule.
+                        if inst.is_ldgsts {
+                            let key = inst.ldgsts_key;
+                            if let (Some((base, offset)), Some((prev_base, prev_offset))) =
+                                (key, warp.ldgsts_group)
+                            {
+                                if base == prev_base && offset < prev_offset {
+                                    warp.ldgsts_violations += 1;
+                                }
+                            }
+                            warp.ldgsts_group = key.or(warp.ldgsts_group);
+                        } else {
+                            warp.ldgsts_group = None;
+                        }
+                    } else {
+                        // Fixed-latency (or barrier-setting non-memory) path.
+                        if inst.is_mma {
+                            tensor_free_at = tensor_free_at.max(cycle) + inst.mma_busy;
+                            tensor_busy += inst.mma_busy;
+                        }
+                        let ready_at = cycle + inst.fixed_latency;
+                        for (reg, value) in &writes {
+                            warp.regs.write(*reg, *value, ready_at);
+                        }
+                        if inst.variable_latency {
+                            // Variable-latency non-memory instructions clear
+                            // their write barrier after their latency.
+                            if let Some(wb) = inst.write_barrier {
+                                warp.barrier_pending[wb as usize].push(ready_at);
+                            }
+                        }
+                    }
+                }
+
+                // Control flow.
+                match effects.flow {
+                    Flow::Finish => warp.finished = true,
+                    Flow::Jump(target) => warp.pc = target,
+                    Flow::Next => {
+                        warp.pc += 1;
+                        if warp.pc >= compiled.len() {
+                            warp.finished = true;
+                        }
+                    }
+                }
+                warp.prune_barriers(cycle);
+
+                issued += 1;
+                issued_this_cycle += 1;
+                last_issued_warp = Some(chosen);
+            }
+            if issued_this_cycle > 0 {
+                issue_active_cycles += 1;
+            }
+            cycle += 1;
+        }
+
+        let hazards: u64 = warp_states
+            .iter()
+            .map(|w| w.regs.hazard_count() as u64 + w.ldgsts_violations)
+            .sum();
+        let report = SmReport {
+            cycles: cycle,
+            instructions_issued: issued,
+            issue_active_cycles,
+            eligible_cycles,
+            lsu_busy_cycles: lsu_busy,
+            tensor_busy_cycles: tensor_busy,
+            bank_conflict_cycles,
+            mem: memory.counters(),
+            hazards,
+            output_digest: memory.global_digest(),
+            completed,
+        };
+        SimOutput { report, memory }
+    }
+
+    /// The original instruction-at-a-time interpreter, kept as the
+    /// executable specification of the simulator: [`SmSimulator::run`]
+    /// (which interprets the pre-decoded [`CompiledProgram`]) must produce
+    /// bit-identical results. Use only for differential testing — it
+    /// re-decodes every instruction on every issue.
+    #[must_use]
+    pub fn run_reference(
+        &self,
+        program: &Program,
+        warps: usize,
+        block_id: usize,
+        constants: &ConstantBank,
         max_cycles: u64,
     ) -> SimOutput {
         let instructions: Vec<&Instruction> = program.instructions().collect();
@@ -516,6 +802,41 @@ impl SmSimulator {
     }
 }
 
+/// Eligibility check over the pre-decoded form: all instruction metadata is
+/// read from dense [`CompiledProgram`] fields (mirrors
+/// [`SmSimulator::warp_eligible`]).
+fn compiled_warp_eligible(
+    config: &GpuConfig,
+    warp: &Warp,
+    compiled: &CompiledProgram,
+    cycle: u64,
+    tensor_free_at: u64,
+    lsu_outstanding: usize,
+) -> bool {
+    if warp.finished || warp.at_barrier || cycle < warp.stall_until {
+        return false;
+    }
+    let Some(inst) = compiled.insts.get(warp.pc) else {
+        return false;
+    };
+    if !warp.barriers_clear(inst.wait_mask, cycle) {
+        return false;
+    }
+    if inst.is_depbar && !warp.all_barriers_clear(cycle) {
+        return false;
+    }
+    // Memory instructions can issue as long as the LSU input queue has
+    // room; data-path serialisation is charged to their completion time,
+    // not to the issue stage.
+    if inst.is_memory && lsu_outstanding >= config.lsu_queue_depth {
+        return false;
+    }
+    if inst.is_mma && tensor_free_at > cycle + 4 {
+        return false;
+    }
+    true
+}
+
 /// The (shared-memory base register, offset) key used to detect LDGSTS
 /// ascending-group violations.
 fn ldgsts_group_key(inst: &Instruction) -> Option<(Register, i64)> {
@@ -548,7 +869,23 @@ mod tests {
 
     fn run_text(text: &str, warps: usize) -> SimOutput {
         let program: Program = text.parse().unwrap();
-        sim().run(&program, warps, 0, &HashMap::new(), 1_000_000)
+        sim().run(&program, warps, 0, &ConstantBank::new(), 1_000_000)
+    }
+
+    /// Every behavioural test below also exercises the compiled path; this
+    /// helper additionally cross-checks it against the reference
+    /// interpreter bit for bit.
+    fn assert_compiled_matches_reference(text: &str, warps: usize) {
+        let program: Program = text.parse().unwrap();
+        let constants = ConstantBank::new();
+        let fast = sim().run(&program, warps, 0, &constants, 1_000_000);
+        let reference = sim().run_reference(&program, warps, 0, &constants, 1_000_000);
+        assert_eq!(fast.report, reference.report, "{text}");
+        assert_eq!(
+            fast.memory.global_digest(),
+            reference.memory.global_digest(),
+            "{text}"
+        );
     }
 
     #[test]
@@ -751,8 +1088,80 @@ mod tests {
 [B------:R-:W-:-:S05] EXIT ;
 ";
         let program: Program = text.parse().unwrap();
-        let out = sim().run(&program, 1, 0, &HashMap::new(), 200);
+        let out = sim().run(&program, 1, 0, &ConstantBank::new(), 200);
         assert!(!out.report.completed);
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_representative_programs() {
+        let programs = [
+            // Producer-consumer with a correct and an under-stalled schedule.
+            "[B------:R-:W-:-:S04] MOV R15, 0x1 ;\n\
+             [B------:R-:W-:-:S04] MOV R4, 0x100 ;\n\
+             [B------:R-:W-:-:S04] STG.E [R4], R15 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            "[B------:R-:W-:-:S04] MOV R4, 0x100 ;\n\
+             [B------:R-:W-:-:S01] MOV R15, 0x1 ;\n\
+             [B------:R-:W-:-:S04] STG.E [R4], R15 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            // Loads, write barriers, dependent compute and a loop.
+            "[B------:R-:W-:-:S04] MOV R10, 0x0 ;\n\
+             [B------:R-:W-:-:S04] MOV R11, 0x4 ;\n\
+             .L_loop:\n\
+             [B------:R-:W-:-:S04] IADD3 R10, R10, 0x1, RZ ;\n\
+             [B------:R-:W0:-:S02] LDG.E R2, [R10+0x1000] ;\n\
+             [B0-----:R-:W-:-:S04] IADD3 R6, R2, R10, RZ ;\n\
+             [B------:R-:W-:-:S04] ISETP.LT.AND P0, PT, R10, R11, PT ;\n\
+             [B------:R-:W-:-:S06] @P0 BRA `(.L_loop) ;\n\
+             [B------:R-:W-:-:S04] MOV R4, 0x40 ;\n\
+             [B------:R-:W-:-:S04] STG.E [R4], R6 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            // Asynchronous copies, descriptors, barrier sync, value mixing,
+            // predication, reuse hints and special registers.
+            "[B------:R-:W-:-:S04] MOV R74, 0x100 ;\n\
+             [B------:R-:W-:-:S04] MOV R10, 0x4000 ;\n\
+             [B------:R0:W-:-:S02] LDGSTS.E.128 [R74+0x0], desc[UR18][R10.64] ;\n\
+             [B------:R0:W-:-:S02] LDGSTS.E.BYPASS.128 [R74+0x800], desc[UR18][R10.64] ;\n\
+             [B------:R-:W-:-:S01] BAR.SYNC 0x0 ;\n\
+             [B------:R-:W0:-:S02] LDS.U.128 R76, [R74] ;\n\
+             [B0-----:R-:W-:-:S04] FFMA R24, R76.reuse, R76, R24 ;\n\
+             [B------:R-:W-:-:S02] HMMA.16816.F32 R24, R24.reuse, R76, R24 ;\n\
+             [B------:R-:W-:-:S04] CS2R R2, SR_CLOCKLO ;\n\
+             [B------:R-:W-:-:S04] S2R R3, SR_TID.X ;\n\
+             [B------:R-:W-:-:S04] ISETP.GE.AND P1, PT, R3, 0x20, PT ;\n\
+             [B------:R-:W-:-:S04] @P1 STG.E [R74+0x40], R24 ;\n\
+             [B------:R-:W-:-:S04] @!P1 STG.E [R74+0x80], R2 ;\n\
+             [B------:R-:W-:-:S04] MOV R5, c[0x0][0x160] ;\n\
+             [B------:R-:W-:-:S04] STG.E [R5+0x10], R3 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+            // Branch to a missing label finishes the warp.
+            "[B------:R-:W-:-:S04] MOV R1, 0x1 ;\n\
+             [B------:R-:W-:-:S06] BRA `(.L_missing) ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n",
+        ];
+        for text in programs {
+            for warps in [1, 4] {
+                assert_compiled_matches_reference(text, warps);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_run_reuses_a_lowered_program() {
+        let program: Program = "[B------:R-:W-:-:S04] MOV R4, 0x40 ;\n\
+             [B------:R-:W0:-:S02] LDG.E R2, [R4] ;\n\
+             [B0-----:R-:W-:-:S04] STG.E [R4], R2 ;\n\
+             [B------:R-:W-:-:S05] EXIT ;\n"
+            .parse()
+            .unwrap();
+        let simulator = sim();
+        let compiled = CompiledProgram::compile(&program, simulator.config());
+        assert_eq!(compiled.len(), 4);
+        assert!(!compiled.is_empty());
+        let constants = ConstantBank::new();
+        let a = simulator.run_compiled(&compiled, 2, 0, &constants, 1_000_000);
+        let b = simulator.run(&program, 2, 0, &constants, 1_000_000);
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

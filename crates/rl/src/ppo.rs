@@ -261,11 +261,13 @@ impl PpoTrainer {
     /// returned [`Rollout`].
     ///
     /// Every round stacks the current observations and masks into one
-    /// [`crate::ObservationBatch`], samples one action per env from the
-    /// policy, and steps all envs in parallel. Envs whose mask is empty are
-    /// reset without recording a transition (§3.5); such rounds don't fill
-    /// the buffer, so collection keeps running extra rounds until the target
-    /// is met, giving up (with whatever was gathered) only after 8x the
+    /// [`crate::ObservationBatch`] and samples all actions with a single
+    /// [`crate::ActorCritic::act_batch`] call — one GEMM per network layer
+    /// over the whole batch instead of one forward pass per env — then
+    /// steps all envs in parallel. Envs whose mask is empty are reset
+    /// without recording a transition (§3.5); such rounds don't fill the
+    /// buffer, so collection keeps running extra rounds until the target is
+    /// met, giving up (with whatever was gathered) only after 8x the
     /// nominal round count to avoid livelock on pathological environments.
     pub fn collect_rollouts<E: Env + Send + 'static>(
         &mut self,
@@ -282,27 +284,19 @@ impl PpoTrainer {
         while collected < rollout_steps && rounds < max_rounds {
             rounds += 1;
             let batch = venv.batch();
-            // Extract each env's observation and mask once; they serve both
-            // the policy forward pass and the stored transition.
-            let mut staged = Vec::with_capacity(n);
-            let mut actions = Vec::with_capacity(n);
-            for i in 0..batch.num_envs() {
-                let observation = batch.observation(i);
-                let mask = batch.mask(i);
-                let sample = self.policy.act(&observation, &mask);
-                actions.push(sample.action.map_or(VecAction::Reset, VecAction::Step));
-                staged.push((observation, mask, sample));
-            }
+            let samples = self.policy.act_batch(&batch);
+            let actions: Vec<VecAction> = samples
+                .iter()
+                .map(|s| s.action.map_or(VecAction::Reset, VecAction::Step))
+                .collect();
             let results = venv.step(&actions);
-            for (i, ((observation, mask, sample), result)) in
-                staged.into_iter().zip(&results).enumerate()
-            {
+            for (i, (sample, result)) in samples.iter().zip(&results).enumerate() {
                 let Some(action) = sample.action else {
                     continue;
                 };
                 streams[i].push(Transition {
-                    observation,
-                    mask,
+                    observation: batch.observation(i),
+                    mask: batch.mask(i),
                     action,
                     log_prob: sample.log_prob,
                     value: sample.value,
@@ -312,6 +306,10 @@ impl PpoTrainer {
                 collected += 1;
             }
         }
+        // Bootstrap from each env's current state (the observation the next
+        // round would act on), batched through one critic GEMM. Ignored by
+        // GAE when the segment ended an episode.
+        let bootstrap = self.policy.value_batch(&venv.batch());
         let mut buffer = RolloutBuffer::new();
         let mut segments = Vec::with_capacity(n);
         for (i, stream) in streams.into_iter().enumerate() {
@@ -320,14 +318,10 @@ impl PpoTrainer {
             for transition in stream {
                 buffer.push(transition);
             }
-            // Bootstrap from the env's current state (the observation the
-            // next round would act on). Ignored by GAE when the segment
-            // ended an episode.
-            let bootstrap_value = self.policy.value(&venv.states()[i].observation);
             segments.push(Segment {
                 start,
                 len,
-                bootstrap_value,
+                bootstrap_value: bootstrap[i],
             });
         }
         Rollout { buffer, segments }

@@ -42,19 +42,30 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iterations_per_sample: u32,
     sample_count: u32,
+    smoke: bool,
 }
 
 impl Bencher {
-    fn with_samples(sample_count: u32) -> Self {
+    fn with_samples(sample_count: u32, smoke: bool) -> Self {
         Bencher {
             samples: Vec::new(),
             iterations_per_sample: 1,
             sample_count,
+            smoke,
         }
     }
 
-    /// Runs `routine` repeatedly and records wall-clock samples.
+    /// Runs `routine` repeatedly and records wall-clock samples. In smoke
+    /// (`--test`) mode the routine runs exactly once — enough to prove the
+    /// bench executes — and its single timing is recorded.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.iterations_per_sample = 1;
+            self.samples.push(start.elapsed());
+            return;
+        }
         // One warmup call, which also sizes the loop so that each sample is
         // at least ~1ms of work.
         let start = Instant::now();
@@ -96,18 +107,25 @@ impl Bencher {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: u32,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            // Mirror criterion's `--test` mode: run every benchmark exactly
+            // once without statistics, so `cargo bench -- --test` is a fast
+            // executes-at-all smoke check.
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
 impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher::with_samples(self.sample_size);
+        let mut bencher = Bencher::with_samples(self.sample_size, self.smoke);
         f(&mut bencher);
         bencher.report(name);
         self
@@ -118,6 +136,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
             _criterion: self,
         }
     }
@@ -128,6 +147,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: u32,
+    smoke: bool,
     _criterion: &'c mut Criterion,
 }
 
@@ -143,7 +163,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::with_samples(self.sample_size);
+        let mut bencher = Bencher::with_samples(self.sample_size, self.smoke);
         f(&mut bencher, input);
         bencher.report(&format!("{}/{}", self.name, id.0));
         self
@@ -166,16 +186,14 @@ macro_rules! criterion_group {
 
 /// Declares the bench `main` that runs benchmark groups.
 ///
-/// With `harness = false`, `cargo test` still executes bench binaries with a
-/// `--test` flag; the generated main exits immediately in that mode so tests
-/// stay fast.
+/// `cargo bench -- --test` enters criterion's smoke mode: every benchmark
+/// routine runs exactly once with no statistical sampling, so CI proves the
+/// hot paths still execute in seconds without paying for full measurement
+/// runs.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            if ::std::env::args().any(|a| a == "--test") {
-                return;
-            }
             $( $group(); )+
         }
     };

@@ -37,7 +37,7 @@ fn bench_analysis_and_embedding(c: &mut Criterion) {
     });
     let analysis = analyze(&kernel.program, &table);
     c.bench_function("pregame/embed", |b| {
-        b.iter(|| embed_program(&kernel.program, &analysis))
+        b.iter(|| embed_program(&kernel.program, &analysis, &GpuConfig::a100().arch))
     });
     let movable = analysis.movable_memory_indices();
     c.bench_function("pregame/action_mask", |b| {

@@ -5,46 +5,51 @@
 //! driver: one hierarchical search per kernel, sharded across `--jobs`
 //! worker threads. `--smoke` switches to the CI configuration (smallest
 //! shapes and budgets, small autotuning space) which exercises the whole
-//! parallel pipeline end to end in seconds.
+//! parallel pipeline end to end in seconds. `--arch` selects the GPU
+//! architecture backend (`ampere` default, `turing`, `hopper`) and
+//! `--suite` the workload-registry suite (`table2` default, `attention`,
+//! `reduction`); the default selection reproduces the paper's
+//! single-architecture figure byte for byte.
 //!
 //! ```text
-//! cargo run --release --bin fig6_throughput -- [--scale N] [--jobs N] [--smoke]
+//! cargo run --release --bin fig6_throughput -- \
+//!     [--scale N] [--jobs N] [--smoke] [--arch NAME] [--suite NAME]
 //! ```
 
 use bench::{harness_config, harness_measure, suite_driver, HarnessArgs, DEFAULT_SCALE};
-use gpusim::GpuConfig;
-use kernels::{
-    baseline_runtime_us, generate, BaselineSystem, KernelKind, KernelSpec, ScheduleStyle,
-};
+use kernels::{baseline_runtime_us, generate, BaselineSystem, ScheduleStyle};
 
 fn main() {
     let args = HarnessArgs::parse(DEFAULT_SCALE);
-    let gpu = GpuConfig::a100();
+    let gpu = args.gpu();
+    let workload = args.workload();
     let opts = harness_measure();
     println!(
-        "Figure 6 — normalized kernel throughput (Triton = 1.00), scale=1/{}, jobs={}{}",
+        "Figure 6 — normalized kernel throughput (Triton = 1.00), scale=1/{}, jobs={}{}{}",
         args.scale,
         args.jobs,
-        if args.smoke { ", smoke" } else { "" }
+        if args.smoke { ", smoke" } else { "" },
+        args.selection_suffix(),
     );
 
     // Optimize the whole suite through the parallel driver first; the table
     // below is then pure measurement and formatting.
     let driver = suite_driver(&args, args.budget_moves(48));
-    let suite = driver.optimize_all(args.scale);
-    assert_eq!(suite.reports.len(), KernelKind::all().len());
+    let suite = driver.optimize_workload(&workload, args.scale);
+    assert_eq!(suite.reports.len(), workload.entries.len());
 
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8} {:>9}",
         "kernel", "Torch", "Triton", "CuAsmRL", "Ref", "Cutlass"
     );
-    for (kind, report) in KernelKind::all().into_iter().zip(&suite.reports) {
+    for (entry, report) in workload.entries.iter().zip(&suite.reports) {
         assert!(
             report.verified,
-            "{kind:?} failed probabilistic verification"
+            "{} failed probabilistic verification",
+            entry.label
         );
-        let spec = KernelSpec::scaled(kind, args.scale);
-        let config = harness_config(kind);
+        let spec = entry.spec(args.scale);
+        let config = harness_config(entry.kind);
         let triton = generate(&spec, &config, ScheduleStyle::Baseline);
         let triton_us = gpusim::measure(&gpu, &triton.program, &triton.launch, &opts).mean_us;
         let cuasmrl_us = triton_us * report.optimized_us / report.baseline_us;
@@ -55,7 +60,7 @@ fn main() {
             |us: Option<f64>| us.map_or("-".to_string(), |u| format!("{:.2}", triton_us / u));
         println!(
             "{:<16} {:>8} {:>8.2} {:>8.2} {:>8} {:>9}",
-            kind.name(),
+            entry.label,
             norm(torch),
             1.0,
             triton_us / cuasmrl_us,

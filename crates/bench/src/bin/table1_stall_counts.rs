@@ -1,15 +1,21 @@
 //! Table 1: fixed-latency instructions and their stall counts, recovered by
 //! dependency-based micro-benchmarking, plus the clock-based comparison of
-//! §4.3 (Listing 7).
+//! §4.3 (Listing 7). `--arch` selects which simulated device the
+//! micro-benchmarks run against; the builtin column shows that
+//! architecture's ground-truth table.
 
+use bench::{HarnessArgs, DEFAULT_SCALE};
 use cuasmrl::{clock_based_iadd3, dependency_based_stall, StallTable};
-use gpusim::GpuConfig;
 
 fn main() {
-    let gpu = GpuConfig::a100();
-    println!("Table 1 — fixed-latency instructions and their stall counts");
+    let args = HarnessArgs::parse(DEFAULT_SCALE);
+    let gpu = args.gpu();
+    println!(
+        "Table 1 — fixed-latency instructions and their stall counts{}",
+        args.selection_suffix()
+    );
     println!("{:<16} {:>10} {:>10}", "instruction", "measured", "builtin");
-    let builtin = StallTable::builtin_a100();
+    let builtin = StallTable::for_arch(&gpu.arch);
     for op in [
         "IADD3",
         "IMAD.IADD",
@@ -32,7 +38,7 @@ fn main() {
     let clock = clock_based_iadd3(&gpu, 16);
     println!(
         "\nclock-based IADD3 estimate: {:.1} cycles/instruction over {} instructions \
-         (underestimates the dependency-based 4 cycles, as §4.3 observes; paper measured 2.6)",
-        clock.cycles_per_instruction, clock.instructions
+         (underestimates the dependency-based {} cycles, as §4.3 observes; paper measured 2.6)",
+        clock.cycles_per_instruction, clock.instructions, gpu.arch.latency.alu
     );
 }

@@ -1,10 +1,22 @@
 //! Shared helpers for the reproduction harness binaries and Criterion
 //! benches. Each table/figure of the paper has a dedicated binary under
 //! `src/bin/`; the Criterion benches in `benches/` time the hot paths.
+//!
+//! Every harness accepts the shared [`HarnessArgs`] flags:
+//! `--scale`/`--jobs`/`--smoke` control problem size and parallelism, and
+//! `--arch`/`--suite` select the GPU architecture backend and the
+//! workload-registry suite (defaults reproduce the paper's
+//! single-architecture tables byte for byte).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy, SuiteOptimizer};
 use gpusim::{GpuConfig, MeasureOptions};
-use kernels::{generate, ConfigSpace, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+use kernels::{
+    find_suite, generate, ConfigSpace, KernelConfig, KernelKind, KernelSpec, ScheduleStyle,
+    WorkloadSuite,
+};
 
 /// Scale factor applied to the paper's problem shapes so that every harness
 /// binary finishes in seconds on a laptop. Set to 1 to run the full shapes.
@@ -15,7 +27,7 @@ pub const DEFAULT_SCALE: usize = 8;
 pub const SMOKE_SCALE: usize = 64;
 
 /// Command-line options shared by the harness binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Problem-shape divisor (`1/scale` of the paper shapes).
     pub scale: usize,
@@ -23,24 +35,40 @@ pub struct HarnessArgs {
     pub jobs: usize,
     /// CI smoke mode: smallest shapes, smallest search budget.
     pub smoke: bool,
+    /// GPU architecture profile (`--arch`): `ampere` (default), `turing` or
+    /// `hopper`, including the aliases `gpusim::ArchSpec::by_name` accepts.
+    pub arch: String,
+    /// Workload suite (`--suite`): a name from the `kernels` workload
+    /// registry (`table2` default, `attention`, `reduction`).
+    pub suite: String,
 }
 
 impl HarnessArgs {
-    /// Parses `[scale] [--scale N] [--jobs N] [--smoke]` from the process
-    /// arguments. A bare integer is accepted as the first positional
-    /// argument (the scale) for backwards compatibility with the original
-    /// harness binaries. Malformed or unknown arguments abort with a usage
-    /// message rather than being silently reinterpreted.
+    /// Parses `[scale] [--scale N] [--jobs N] [--smoke] [--arch NAME]
+    /// [--suite NAME]` from the process arguments. A bare integer is
+    /// accepted as the first positional argument (the scale) for backwards
+    /// compatibility with the original harness binaries. Malformed or
+    /// unknown arguments abort with a usage message rather than being
+    /// silently reinterpreted.
     #[must_use]
     pub fn parse(default_scale: usize) -> Self {
         let mut args = HarnessArgs {
             scale: default_scale,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
             smoke: false,
+            arch: "ampere".to_string(),
+            suite: "table2".to_string(),
         };
         let usage = |problem: &str| -> ! {
             eprintln!("error: {problem}");
-            eprintln!("usage: [scale] [--scale N] [--jobs N] [--smoke]");
+            eprintln!(
+                "usage: [scale] [--scale N] [--jobs N] [--smoke] [--arch NAME] [--suite NAME]"
+            );
+            eprintln!(
+                "  --arch:  {}",
+                gpusim::ArchSpec::builtin_names().join(", ")
+            );
+            eprintln!("  --suite: {}", kernels::suite_names().join(", "));
             std::process::exit(2);
         };
         let mut positional_taken = false;
@@ -59,6 +87,23 @@ impl HarnessArgs {
                     Some(Ok(n)) => args.scale = n,
                     _ => usage("--scale requires an integer value"),
                 },
+                // Aliases and case variants are canonicalized here so
+                // `--arch a100` and `--suite TABLE2` are the default
+                // selection, not a cosmetically different one.
+                "--arch" => match iter.next() {
+                    Some(name) => match gpusim::ArchSpec::by_name(&name) {
+                        Some(arch) => args.arch = arch.name,
+                        None => usage(&format!("unknown architecture `{name}`")),
+                    },
+                    None => usage("--arch requires a profile name"),
+                },
+                "--suite" => match iter.next() {
+                    Some(name) => match find_suite(&name) {
+                        Some(suite) => args.suite = suite.name.to_string(),
+                        None => usage(&format!("unknown workload suite `{name}`")),
+                    },
+                    None => usage("--suite requires a registry name"),
+                },
                 other => match other.parse() {
                     Ok(n) if !positional_taken && !other.starts_with('-') => {
                         args.scale = n;
@@ -70,6 +115,42 @@ impl HarnessArgs {
         }
         args.jobs = args.jobs.max(1);
         args
+    }
+
+    /// The GPU profile selected by `--arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored name is not a built-in profile (prevented by
+    /// `parse`).
+    #[must_use]
+    pub fn gpu(&self) -> GpuConfig {
+        GpuConfig::by_name(&self.arch).expect("parse validated the arch name")
+    }
+
+    /// The workload suite selected by `--suite`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored name is not registered (prevented by `parse`).
+    #[must_use]
+    pub fn workload(&self) -> WorkloadSuite {
+        find_suite(&self.suite).expect("parse validated the suite name")
+    }
+
+    /// A `", arch=..., suite=..."` suffix for harness headlines, empty for
+    /// the default selection (keeping default output byte-identical to the
+    /// single-architecture harness).
+    #[must_use]
+    pub fn selection_suffix(&self) -> String {
+        let mut suffix = String::new();
+        if self.arch != "ampere" {
+            suffix.push_str(&format!(", arch={}", self.arch));
+        }
+        if self.suite != "table2" {
+            suffix.push_str(&format!(", suite={}", self.suite));
+        }
+        suffix
     }
 
     /// The per-kernel search budget (moves/generations) for this run.
@@ -127,7 +208,7 @@ pub fn harness_measure() -> MeasureOptions {
 #[must_use]
 pub fn suite_driver(args: &HarnessArgs, budget_moves: usize) -> SuiteOptimizer {
     let driver = SuiteOptimizer::new(
-        GpuConfig::a100(),
+        args.gpu(),
         Strategy::Evolutionary {
             generations: budget_moves.max(4),
             mutation_length: 24,

@@ -2,11 +2,16 @@
 //!
 //! Each SASS instruction is embedded into a fixed-width vector: the control
 //! code fields (wait mask, read/write barrier, yield, stall), a memory /
-//! non-memory opcode flag, and the operand register indices normalized by
-//! the size of the register table, padded with `-1` to the maximum operand
-//! count of the kernel. The whole schedule becomes a matrix with one row per
-//! instruction — the observation consumed by the RL agent.
+//! non-memory opcode flag, the operand register indices normalized by the
+//! size of the register table (padded with `-1` to the maximum operand count
+//! of the kernel), and a trailing block of **architecture features** — a
+//! normalized description of the GPU backend the schedule is being timed on
+//! (compute capability, ALU/MMA latency, register banks), so one policy can
+//! condition on which architecture it is optimizing for. The whole schedule
+//! becomes a matrix with one row per instruction — the observation consumed
+//! by the RL agent.
 
+use gpusim::ArchSpec;
 use nn::Matrix;
 use sass::Program;
 
@@ -15,8 +20,29 @@ use crate::analysis::Analysis;
 /// Number of fixed (non-operand) features per instruction.
 pub const FIXED_FEATURES: usize = 11;
 
+/// Number of architecture features appended to every instruction row.
+pub const ARCH_FEATURES: usize = 4;
+
+/// The normalized architecture-feature block shared by every row of an
+/// observation: compute capability, ALU latency, MMA latency and register
+/// bank count, each scaled into roughly `[0, 1]`.
+#[must_use]
+pub fn arch_features(arch: &ArchSpec) -> [f32; ARCH_FEATURES] {
+    [
+        arch.class.sm_version() as f32 / 100.0,
+        arch.latency.alu as f32 / 16.0,
+        arch.latency.mma as f32 / 64.0,
+        arch.banks.banks as f32 / 8.0,
+    ]
+}
+
 /// Embeds one instruction into `features` values.
-fn embed_instruction(inst: &sass::Instruction, analysis: &Analysis, features: usize) -> Vec<f32> {
+fn embed_instruction(
+    inst: &sass::Instruction,
+    analysis: &Analysis,
+    features: usize,
+    arch: &[f32; ARCH_FEATURES],
+) -> Vec<f32> {
     let mut row = Vec::with_capacity(features);
     let cc = inst.control();
     for b in 0..6u8 {
@@ -36,19 +62,22 @@ fn embed_instruction(inst: &sass::Instruction, analysis: &Analysis, features: us
             .map_or(-1.0, |idx| *idx as f32 / table_len);
         row.push(value);
     }
-    while row.len() < features {
+    while row.len() < features - ARCH_FEATURES {
         row.push(-1.0);
     }
+    row.extend_from_slice(arch);
     row
 }
 
-/// Embeds the whole schedule as a `[instructions x features]` matrix.
+/// Embeds the whole schedule as a `[instructions x features]` matrix, with
+/// the given architecture-feature block appended to every row.
 #[must_use]
-pub fn embed_program(program: &Program, analysis: &Analysis) -> Matrix {
-    let features = FIXED_FEATURES + analysis.max_operands;
+pub fn embed_program(program: &Program, analysis: &Analysis, arch: &ArchSpec) -> Matrix {
+    let features = feature_count(analysis);
+    let arch_row = arch_features(arch);
     let rows: Vec<Vec<f32>> = program
         .instructions()
-        .map(|inst| embed_instruction(inst, analysis, features))
+        .map(|inst| embed_instruction(inst, analysis, features, &arch_row))
         .collect();
     let mut matrix = Matrix::zeros(rows.len(), features);
     for (r, row) in rows.iter().enumerate() {
@@ -62,7 +91,7 @@ pub fn embed_program(program: &Program, analysis: &Analysis) -> Matrix {
 /// Number of embedding features for a program analysed with `analysis`.
 #[must_use]
 pub fn feature_count(analysis: &Analysis) -> usize {
-    FIXED_FEATURES + analysis.max_operands
+    FIXED_FEATURES + analysis.max_operands + ARCH_FEATURES
 }
 
 #[cfg(test)]
@@ -81,7 +110,7 @@ mod tests {
     fn embedding_has_one_row_per_instruction_and_fixed_width() {
         let program: Program = SAMPLE.parse().unwrap();
         let analysis = analyze(&program, &StallTable::builtin_a100());
-        let m = embed_program(&program, &analysis);
+        let m = embed_program(&program, &analysis, &ArchSpec::ampere());
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), feature_count(&analysis));
         // First instruction: memory flag is +1, write barrier is 2, yield set.
@@ -98,20 +127,45 @@ mod tests {
     fn missing_operands_are_padded_with_minus_one() {
         let program: Program = SAMPLE.parse().unwrap();
         let analysis = analyze(&program, &StallTable::builtin_a100());
-        let m = embed_program(&program, &analysis);
+        let m = embed_program(&program, &analysis, &ArchSpec::ampere());
         let exit_row = m.row(2);
-        assert!(exit_row[FIXED_FEATURES..].iter().all(|&v| v == -1.0));
+        let operand_cols = FIXED_FEATURES..FIXED_FEATURES + analysis.max_operands;
+        assert!(exit_row[operand_cols].iter().all(|&v| v == -1.0));
     }
 
     #[test]
     fn operand_indices_are_normalized() {
         let program: Program = SAMPLE.parse().unwrap();
         let analysis = analyze(&program, &StallTable::builtin_a100());
-        let m = embed_program(&program, &analysis);
+        let m = embed_program(&program, &analysis, &ArchSpec::ampere());
         for r in 0..m.rows() {
-            for &v in &m.row(r)[FIXED_FEATURES..] {
+            for &v in &m.row(r)[FIXED_FEATURES..FIXED_FEATURES + analysis.max_operands] {
                 assert!((-1.0..=1.0).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn arch_features_distinguish_backends_and_fill_the_tail_columns() {
+        let program: Program = SAMPLE.parse().unwrap();
+        let analysis = analyze(&program, &StallTable::builtin_a100());
+        let ampere = embed_program(&program, &analysis, &ArchSpec::ampere());
+        let hopper = embed_program(&program, &analysis, &ArchSpec::hopper());
+        assert_eq!(ampere.cols(), hopper.cols());
+        let tail = ampere.cols() - ARCH_FEATURES;
+        // Every row carries its backend's feature block...
+        for r in 0..ampere.rows() {
+            assert_eq!(ampere.row(r)[tail..], arch_features(&ArchSpec::ampere()));
+            assert_eq!(hopper.row(r)[tail..], arch_features(&ArchSpec::hopper()));
+        }
+        // ...and the blocks differ across backends.
+        assert_ne!(
+            arch_features(&ArchSpec::ampere()),
+            arch_features(&ArchSpec::hopper())
+        );
+        assert_ne!(
+            arch_features(&ArchSpec::ampere()),
+            arch_features(&ArchSpec::turing())
+        );
     }
 }

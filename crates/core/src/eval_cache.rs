@@ -30,7 +30,7 @@ use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use gpusim::{splitmix64, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
+use gpusim::{splitmix64, ArchSpec, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
 use sass::Program;
 
 /// Number of independently locked shards.
@@ -135,12 +135,29 @@ pub fn program_key(program: &Program) -> u64 {
     hasher.finish()
 }
 
-/// Digest of the evaluation context: device model, launch configuration and
-/// measurement protocol (warmup/repeats/noise/seed). Computed once per game;
-/// combined with [`program_key`] per evaluation.
+/// Digest of one GPU architecture profile: every field of the
+/// [`ArchSpec`] (latency tables, overrides, issue/stall rules, bank model,
+/// resource limits). Folded into every [`context_key`] so schedules
+/// measured under different architecture backends can never answer each
+/// other's lookups, even if the chip-level configuration matches.
+#[must_use]
+pub fn arch_key(arch: &ArchSpec) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    hasher.write(serde_json::to_string(arch).unwrap_or_default().as_bytes());
+    hasher.finish()
+}
+
+/// Digest of the evaluation context: the architecture profile, the device
+/// model, the launch configuration and the measurement protocol
+/// (warmup/repeats/noise/seed). Computed once per game; combined with
+/// [`program_key`] per evaluation.
 #[must_use]
 pub fn context_key(gpu: &GpuConfig, launch: &LaunchConfig, options: &MeasureOptions) -> u64 {
     let mut hasher = DefaultHasher::new();
+    // The arch digest is folded in explicitly (in addition to being part of
+    // the device JSON below) so the separation survives even if GpuConfig
+    // serialization ever stops embedding the arch.
+    hasher.write_u64(arch_key(&gpu.arch));
     for json in [
         serde_json::to_string(gpu).unwrap_or_default(),
         serde_json::to_string(launch).unwrap_or_default(),
@@ -237,6 +254,37 @@ mod tests {
             ..options()
         };
         assert_ne!(base, eval_key(&program, &launch, &gpu, &other_options));
+    }
+
+    #[test]
+    fn identical_listings_under_different_archs_get_distinct_entries() {
+        // Two devices identical in every chip-level parameter, differing
+        // only in the architecture backend: the same schedule listing must
+        // occupy two distinct cache entries.
+        let ampere = GpuConfig::small();
+        let hopper = gpusim::GpuConfig::small_with_arch(gpusim::ArchSpec::hopper());
+        let mut hopper_same_chip = hopper.clone();
+        hopper_same_chip.name = ampere.name.clone();
+        let program: Program = SAMPLE.parse().unwrap();
+        let launch = LaunchConfig::default();
+        assert_ne!(
+            arch_key(&ampere.arch),
+            arch_key(&hopper_same_chip.arch),
+            "arch profiles must digest differently"
+        );
+        let key_a = eval_key(&program, &launch, &ampere, &options());
+        let key_h = eval_key(&program, &launch, &hopper_same_chip, &options());
+        assert_ne!(key_a, key_h);
+        let cache = EvalCache::new();
+        let a = cache.get_or_insert_with(key_a, || measure(&ampere, &program, &launch, &options()));
+        let h = cache.get_or_insert_with(key_h, || {
+            measure(&hopper_same_chip, &program, &launch, &options())
+        });
+        assert_eq!(cache.len(), 2, "one entry per architecture");
+        assert_ne!(
+            a.run.sm.cycles, h.run.sm.cycles,
+            "the two backends time the schedule differently"
+        );
     }
 
     #[test]

@@ -224,7 +224,7 @@ impl Env for AssemblyGame {
         self.steps_in_episode = 0;
         self.trace.clear();
         self.refresh_state();
-        embed_program(&self.current, &self.analysis)
+        embed_program(&self.current, &self.analysis, &self.gpu.arch)
     }
 
     fn step(&mut self, action_id: usize) -> Step {
@@ -273,7 +273,7 @@ impl Env for AssemblyGame {
         let done = self.steps_in_episode >= self.config.episode_length
             || !self.action_mask().iter().any(|&m| m);
         Step {
-            observation: embed_program(&self.current, &self.analysis),
+            observation: embed_program(&self.current, &self.analysis, &self.gpu.arch),
             reward,
             done,
         }

@@ -42,8 +42,10 @@ mod suite_optimizer;
 
 pub use action::{action_mask, Action, Direction};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
-pub use embed::{embed_program, feature_count, FIXED_FEATURES};
-pub use eval_cache::{combine_keys, context_key, eval_key, program_key, EvalCache, EvalCacheStats};
+pub use embed::{arch_features, embed_program, feature_count, ARCH_FEATURES, FIXED_FEATURES};
+pub use eval_cache::{
+    arch_key, combine_keys, context_key, eval_key, program_key, EvalCache, EvalCacheStats,
+};
 pub use game::{AssemblyGame, GameConfig, Move};
 pub use optimizer::{CuAsmRl, OptimizationReport, Strategy, StrategyComparison};
 pub use stall_table::{

@@ -77,13 +77,14 @@ pub struct CuAsmRl {
 }
 
 impl CuAsmRl {
-    /// Creates an optimizer with the built-in stall table and default game
-    /// settings.
+    /// Creates an optimizer with the stall table of the device's
+    /// architecture backend and default game settings.
     #[must_use]
     pub fn new(gpu: GpuConfig, strategy: Strategy) -> Self {
+        let stalls = StallTable::for_arch(&gpu.arch);
         CuAsmRl {
             gpu,
-            stalls: StallTable::builtin_a100(),
+            stalls,
             game_config: GameConfig::default(),
             strategy,
             cache_dir: None,

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use gpusim::{ConstantBank, GpuConfig, SmSimulator};
+use gpusim::{ArchSpec, ConstantBank, GpuConfig, SmSimulator};
 use sass::Program;
 use serde::{Deserialize, Serialize};
 
@@ -33,36 +33,24 @@ impl StallTable {
 
     /// The built-in table of Table 1 of the paper: common integer (and
     /// simple floating-point) operations take 4 cycles on the A100, wide
-    /// integer multiply-adds take 5.
+    /// integer multiply-adds take 5. Equivalent to
+    /// [`StallTable::for_arch`] over the Ampere profile.
     #[must_use]
     pub fn builtin_a100() -> Self {
-        let mut entries = HashMap::new();
-        for op in [
-            "IADD3",
-            "IMAD.IADD",
-            "IADD3.X",
-            "MOV",
-            "IABS",
-            "IMAD",
-            "FADD",
-            "HADD2",
-            "IMNMX",
-            "SEL",
-            "LEA",
-            "FMUL",
-            "FSETP",
-            "ISETP",
-            "LOP3",
-            "SHF",
-        ] {
-            entries.insert(op.to_string(), 4);
-        }
-        entries.insert("IMAD.WIDE".to_string(), 5);
-        entries.insert("IMAD.WIDE.U32".to_string(), 5);
-        // Tensor-core MMA latency, measured by the same dependency-based
-        // methodology (accumulator consumer).
-        entries.insert("HMMA".to_string(), 16);
-        entries.insert("HMMA.16816.F32".to_string(), 16);
+        StallTable::for_arch(&ArchSpec::ampere())
+    }
+
+    /// The Table-1 analogue for an arbitrary architecture backend: one entry
+    /// per fixed-latency opcode class, at that architecture's ground-truth
+    /// latency (exactly what the dependency-based micro-benchmarks of §4.3
+    /// recover when run against the corresponding simulated device).
+    #[must_use]
+    pub fn for_arch(arch: &ArchSpec) -> Self {
+        let entries: HashMap<String, u8> = arch
+            .stall_entries()
+            .into_iter()
+            .map(|(op, stall)| (op.to_string(), stall))
+            .collect();
         StallTable { entries }
     }
 
@@ -236,6 +224,31 @@ mod tests {
         assert_eq!(table.lookup("IADD3.X"), Some(4));
         assert_eq!(table.lookup("LDG"), None);
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn per_arch_tables_recover_each_backends_ground_truth() {
+        // The built-in A100 table is exactly the Ampere-profile table.
+        assert_eq!(
+            StallTable::builtin_a100(),
+            StallTable::for_arch(&ArchSpec::ampere())
+        );
+        // Other backends get their own numbers...
+        let turing = StallTable::for_arch(&ArchSpec::turing());
+        assert_eq!(turing.lookup("IMAD.WIDE"), Some(6));
+        assert_eq!(turing.lookup("HMMA"), Some(32));
+        let hopper = StallTable::for_arch(&ArchSpec::hopper());
+        assert_eq!(hopper.lookup("HMMA"), Some(8));
+        // ...and the dependency-based micro-benchmark, run against the
+        // corresponding simulated device, recovers them.
+        assert_eq!(
+            dependency_based_stall(&GpuConfig::turing(), "IMAD.WIDE"),
+            Some(6)
+        );
+        assert_eq!(
+            dependency_based_stall(&GpuConfig::hopper(), "IADD3"),
+            Some(4)
+        );
     }
 
     #[test]

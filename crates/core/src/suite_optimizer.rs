@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 
 use gpusim::{GpuConfig, MeasureOptions};
-use kernels::{ConfigSpace, KernelKind, KernelSpec};
+use kernels::{find_suite, ConfigSpace, KernelSpec, WorkloadSuite};
 use serde::{Deserialize, Serialize};
 
 use crate::game::GameConfig;
@@ -33,6 +33,10 @@ use crate::optimizer::{CuAsmRl, OptimizationReport, Strategy};
 pub struct SuiteReport {
     /// GPU the suite was optimized for.
     pub gpu: String,
+    /// Workload-registry suite name (`"custom"` for ad-hoc spec lists);
+    /// part of the persisted report's file name, so different suites never
+    /// overwrite each other in one cache directory.
+    pub suite: String,
     /// Base seed the per-kernel seeds were derived from.
     pub seed: u64,
     /// Per-kernel reports, in suite order.
@@ -101,6 +105,12 @@ impl SuiteOptimizer {
             seed: 0,
             cache_dir: None,
         }
+    }
+
+    /// The device profile the suite is optimized for.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
     }
 
     /// Sets the number of worker threads (clamped to at least 1).
@@ -202,15 +212,19 @@ impl SuiteOptimizer {
         optimizer
     }
 
-    /// Optimizes every kernel of [`KernelKind::all`] at problem scale
-    /// `1/scale`.
+    /// Optimizes the default `table2` workload suite (the paper's Table-2
+    /// kernels) at problem scale `1/scale`.
     #[must_use]
     pub fn optimize_all(&self, scale: usize) -> SuiteReport {
-        let specs: Vec<KernelSpec> = KernelKind::all()
-            .into_iter()
-            .map(|kind| KernelSpec::scaled(kind, scale))
-            .collect();
-        self.optimize(&specs)
+        let suite = find_suite("table2").expect("table2 is a built-in suite");
+        self.optimize_workload(&suite, scale)
+    }
+
+    /// Optimizes a registry workload suite (see [`kernels::workload_suites`])
+    /// at problem scale `1/scale`.
+    #[must_use]
+    pub fn optimize_workload(&self, suite: &WorkloadSuite, scale: usize) -> SuiteReport {
+        self.optimize_labeled(&suite.specs(scale), suite.name)
     }
 
     /// Optimizes `specs`, sharding the suite across the configured thread
@@ -221,6 +235,17 @@ impl SuiteOptimizer {
     /// Panics if a worker thread panics (the panic is propagated).
     #[must_use]
     pub fn optimize(&self, specs: &[KernelSpec]) -> SuiteReport {
+        self.optimize_labeled(specs, "custom")
+    }
+
+    /// [`SuiteOptimizer::optimize`] with an explicit suite label for the
+    /// persisted report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the panic is propagated).
+    #[must_use]
+    pub fn optimize_labeled(&self, specs: &[KernelSpec], label: &str) -> SuiteReport {
         let next = AtomicUsize::new(0);
         let (result_tx, result_rx) = channel::<(usize, OptimizationReport)>();
         let jobs = self.jobs.min(specs.len()).max(1);
@@ -266,6 +291,7 @@ impl SuiteOptimizer {
         };
         let suite = SuiteReport {
             gpu: self.gpu.name.clone(),
+            suite: label.to_string(),
             seed: self.seed,
             reports,
             geomean_speedup,
@@ -278,10 +304,12 @@ impl SuiteOptimizer {
     }
 }
 
-/// Path of the aggregate suite report inside a cache directory.
+/// Path of the aggregate suite report inside a cache directory. Keyed on
+/// both the device and the suite name so different `--suite` runs against
+/// one cache directory never overwrite each other.
 #[must_use]
-pub fn suite_report_path(dir: &Path, gpu: &str) -> PathBuf {
-    dir.join(format!("{gpu}_suite.json"))
+pub fn suite_report_path(dir: &Path, gpu: &str, suite: &str) -> PathBuf {
+    dir.join(format!("{gpu}_{suite}_suite.json"))
 }
 
 /// Writes the aggregate suite report into the cache directory.
@@ -293,19 +321,20 @@ pub fn persist_suite_report(dir: &Path, suite: &SuiteReport) -> std::io::Result<
     std::fs::create_dir_all(dir)?;
     let text = serde_json::to_string_pretty(suite)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    std::fs::write(suite_report_path(dir, &suite.gpu), text)
+    std::fs::write(suite_report_path(dir, &suite.gpu, &suite.suite), text)
 }
 
 /// Loads a previously persisted aggregate suite report.
 #[must_use]
-pub fn load_suite_report(dir: &Path, gpu: &str) -> Option<SuiteReport> {
-    let text = std::fs::read_to_string(suite_report_path(dir, gpu)).ok()?;
+pub fn load_suite_report(dir: &Path, gpu: &str, suite: &str) -> Option<SuiteReport> {
+    let text = std::fs::read_to_string(suite_report_path(dir, gpu, suite)).ok()?;
     serde_json::from_str(&text).ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kernels::KernelKind;
 
     fn fast_measure() -> MeasureOptions {
         MeasureOptions {
@@ -379,7 +408,9 @@ mod tests {
             std::thread::current().id()
         ));
         let suite = optimizer(2).with_cache_dir(&dir).optimize(&small_suite());
-        let loaded = load_suite_report(&dir, &suite.gpu).expect("aggregate report persisted");
+        let loaded =
+            load_suite_report(&dir, &suite.gpu, &suite.suite).expect("aggregate report persisted");
+        assert_eq!(loaded.suite, "custom");
         assert_eq!(
             serde_json::to_string(&loaded).unwrap(),
             serde_json::to_string(&suite).unwrap()

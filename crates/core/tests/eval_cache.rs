@@ -120,6 +120,39 @@ fn cache_keys_separate_every_context_component() {
 }
 
 #[test]
+fn identical_listings_never_share_entries_across_arch_profiles() {
+    // Regression test for the multi-architecture refactor: the same
+    // schedule listing evaluated under two architecture backends (on an
+    // otherwise identical chip, same name included) must occupy distinct
+    // cache entries — schedules must never cross-contaminate between archs.
+    let kernel = small_kernel();
+    let options = fast_measure(0);
+    let ampere = GpuConfig::small();
+    let mut turing = GpuConfig::small_with_arch(gpusim::ArchSpec::turing());
+    turing.name = ampere.name.clone();
+    let key_ampere = eval_key(&kernel.program, &kernel.launch, &ampere, &options);
+    let key_turing = eval_key(&kernel.program, &kernel.launch, &turing, &options);
+    assert_ne!(
+        cuasmrl::arch_key(&ampere.arch),
+        cuasmrl::arch_key(&turing.arch)
+    );
+    assert_ne!(key_ampere, key_turing, "arch profile must key the cache");
+
+    let cache = EvalCache::new();
+    let a = cache.get_or_insert_with(key_ampere, || {
+        measure(&ampere, &kernel.program, &kernel.launch, &options)
+    });
+    let t = cache.get_or_insert_with(key_turing, || {
+        measure(&turing, &kernel.program, &kernel.launch, &options)
+    });
+    assert_eq!(cache.len(), 2, "one entry per architecture profile");
+    assert_ne!(a.run.sm.cycles, t.run.sm.cycles);
+    // Each arch's subsequent lookups hit its own entry bit for bit.
+    let a2 = cache.get_or_insert_with(key_ampere, || unreachable!("must hit"));
+    assert_eq!(a, a2);
+}
+
+#[test]
 fn episode_replays_hit_the_shared_cache() {
     let cache = Arc::new(EvalCache::new());
     let mut game = game_with(0, cache.clone());

@@ -412,14 +412,8 @@ impl CompiledInst {
         }
 
         let control = inst.control();
-        let lat = &config.latency;
-        let fixed_latency = match opcode.base() {
-            Mnemonic::Imad if opcode.has_modifier("WIDE") => lat.imad_wide,
-            Mnemonic::Hmma | Mnemonic::Imma => lat.mma,
-            Mnemonic::Mufu => lat.sfu,
-            Mnemonic::S2r => lat.s2r,
-            _ => lat.alu,
-        };
+        let arch = &config.arch;
+        let fixed_latency = arch.fixed_latency(opcode);
         CompiledInst {
             guard: inst.guard().map(|g| (g.pred, g.negated)),
             kind,
@@ -433,7 +427,7 @@ impl CompiledInst {
             access_bytes: access_bytes(inst),
             bypass_l1: opcode.has_modifier("BYPASS"),
             branch,
-            stall: u64::from(control.stall()).max(1),
+            stall: u64::from(control.stall()).max(arch.min_stall),
             yield_flag: control.yield_flag(),
             wait_mask: control.wait_mask(),
             read_barrier: control.read_barrier(),
@@ -445,7 +439,7 @@ impl CompiledInst {
             is_depbar: matches!(opcode.base(), Mnemonic::Depbar | Mnemonic::Ldgdepbar),
             is_ldgsts: matches!(opcode.base(), Mnemonic::Ldgsts),
             variable_latency: opcode.latency_class() == LatencyClass::Variable,
-            mma_busy: lat.mma / 2,
+            mma_busy: arch.mma_busy,
             bank_sources: inst.uses().into_iter().filter(|r| r.is_gpr()).collect(),
             reuse_regs: inst
                 .operands()
@@ -654,8 +648,10 @@ impl CompiledInst {
 }
 
 /// A SASS program lowered into the dense pre-decoded form the cycle loop
-/// interprets. The lowering captures the fixed-latency model of one
-/// [`GpuConfig`]; compile once per (schedule, device) pair.
+/// interprets. The lowering captures the opcode latency table and stall
+/// rules of one [`GpuConfig`]'s architecture backend
+/// ([`crate::ArchSpec`]); compile once per (schedule, device) pair — a
+/// program compiled for one architecture must not be run under another.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     pub(crate) insts: Vec<CompiledInst>,

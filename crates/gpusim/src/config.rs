@@ -1,14 +1,18 @@
-//! Device configuration: clocks, pipe widths, memory latencies and sizes.
+//! Device configuration: clocks, memory system and the per-SM architecture
+//! backend.
 
 use serde::{Deserialize, Serialize};
+
+use crate::arch::ArchSpec;
 
 /// The "ground-truth" pipeline latencies of the simulated device.
 ///
 /// These numbers play the role of the undocumented instruction latencies of
-/// a real Ampere GPU: the simulator uses them to decide when a destination
+/// a real GPU: the simulator uses them to decide when a destination
 /// register is actually ready, while the CuAsmRL optimizer only ever sees
 /// what it can recover through micro-benchmarking (§4.3) or the static
-/// analysis pass (§3.2).
+/// analysis pass (§3.2). Each [`ArchSpec`] profile carries its own model;
+/// the default is the Ampere/A100 table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyModel {
     /// Latency of the common single-cycle-issue integer/FP ALU instructions
@@ -65,7 +69,8 @@ impl CacheConfig {
     }
 }
 
-/// Full device configuration.
+/// Full device configuration: the chip-level parameters (SM count, clock,
+/// memory system) plus the pluggable per-SM [`ArchSpec`] backend.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
     /// Marketing name, used to key the deploy-time lookup cache.
@@ -74,43 +79,25 @@ pub struct GpuConfig {
     pub sm_count: usize,
     /// SM clock in GHz.
     pub clock_ghz: f64,
-    /// Instructions the warp scheduler can issue per cycle per SM.
-    pub issue_width: usize,
-    /// Maximum warps resident on one SM.
-    pub max_warps_per_sm: usize,
-    /// Memory (load/store unit) instructions accepted per cycle.
-    pub lsu_width: usize,
-    /// Maximum outstanding memory requests per SM.
-    pub lsu_queue_depth: usize,
-    /// Tensor-core MMA instructions accepted per cycle.
-    pub tensor_width: usize,
-    /// Number of register file banks (operand collectors).
-    pub register_banks: usize,
     /// Peak DRAM bandwidth in GB/s (A100 80GB PCIe: ~1935 GB/s).
     pub dram_bandwidth_gbs: f64,
     /// L1 data cache geometry (per SM).
     pub l1: CacheConfig,
     /// L2 cache geometry (device wide, modelled per SM slice).
     pub l2: CacheConfig,
-    /// Pipeline latencies.
-    pub latency: LatencyModel,
+    /// The per-SM microarchitecture backend.
+    pub arch: ArchSpec,
 }
 
 impl GpuConfig {
     /// An A100-80GB-PCIe-like configuration, the device used in the paper's
-    /// evaluation (§5.1).
+    /// evaluation (§5.1). Runs the [`ArchSpec::ampere`] backend.
     #[must_use]
     pub fn a100() -> Self {
         GpuConfig {
             name: "sim-a100-80gb-pcie".to_string(),
             sm_count: 108,
             clock_ghz: 1.41,
-            issue_width: 1,
-            max_warps_per_sm: 64,
-            lsu_width: 1,
-            lsu_queue_depth: 64,
-            tensor_width: 1,
-            register_banks: 4,
             dram_bandwidth_gbs: 1935.0,
             l1: CacheConfig {
                 line_bytes: 128,
@@ -120,24 +107,86 @@ impl GpuConfig {
                 line_bytes: 128,
                 lines: 32768, // 4 MiB slice per simulated SM context
             },
-            latency: LatencyModel::default(),
+            arch: ArchSpec::ampere(),
         }
     }
 
+    /// A Turing/RTX-2080-Ti-like configuration running the
+    /// [`ArchSpec::turing`] backend.
+    #[must_use]
+    pub fn turing() -> Self {
+        GpuConfig {
+            name: "sim-tu102-rtx2080ti".to_string(),
+            sm_count: 68,
+            clock_ghz: 1.35,
+            dram_bandwidth_gbs: 616.0,
+            l1: CacheConfig {
+                line_bytes: 128,
+                lines: 768, // 96 KiB combined L1/shared
+            },
+            l2: CacheConfig {
+                line_bytes: 128,
+                lines: 16384, // smaller per-SM L2 slice
+            },
+            arch: ArchSpec::turing(),
+        }
+    }
+
+    /// An H100-SXM-like configuration running the [`ArchSpec::hopper`]
+    /// backend.
+    #[must_use]
+    pub fn hopper() -> Self {
+        GpuConfig {
+            name: "sim-h100-sxm".to_string(),
+            sm_count: 132,
+            clock_ghz: 1.59,
+            dram_bandwidth_gbs: 3350.0,
+            l1: CacheConfig {
+                line_bytes: 128,
+                lines: 1824, // 228 KiB combined L1/shared
+            },
+            l2: CacheConfig {
+                line_bytes: 128,
+                lines: 40960, // larger per-SM L2 slice
+            },
+            arch: ArchSpec::hopper(),
+        }
+    }
+
+    /// Resolves a device profile by architecture name (the names and aliases
+    /// of [`ArchSpec::by_name`]): `"ampere"` → [`GpuConfig::a100`],
+    /// `"turing"` → [`GpuConfig::turing`], `"hopper"` → [`GpuConfig::hopper`].
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        // Exhaustive over ArchClass: adding a generation without a chip
+        // profile is a compile error here, not a silent ampere fallback.
+        let arch = ArchSpec::by_name(name)?;
+        Some(match arch.class {
+            sass::ArchClass::Turing => GpuConfig::turing(),
+            sass::ArchClass::Ampere => GpuConfig::a100(),
+            sass::ArchClass::Hopper => GpuConfig::hopper(),
+        })
+    }
+
     /// A small configuration for fast unit tests: identical mechanisms,
-    /// smaller structures and shorter latencies.
+    /// smaller structures and shorter latencies (an Ampere-class backend).
     #[must_use]
     pub fn small() -> Self {
+        let latency = LatencyModel {
+            alu: 4,
+            imad_wide: 5,
+            mma: 8,
+            sfu: 8,
+            s2r: 6,
+            shared: 10,
+            l1_hit: 16,
+            l2_hit: 60,
+            dram: 150,
+        };
         GpuConfig {
             name: "sim-small".to_string(),
             sm_count: 4,
             clock_ghz: 1.0,
-            issue_width: 1,
-            max_warps_per_sm: 8,
-            lsu_width: 1,
-            lsu_queue_depth: 24,
-            tensor_width: 1,
-            register_banks: 4,
             dram_bandwidth_gbs: 100.0,
             l1: CacheConfig {
                 line_bytes: 128,
@@ -147,18 +196,24 @@ impl GpuConfig {
                 line_bytes: 128,
                 lines: 512,
             },
-            latency: LatencyModel {
-                alu: 4,
-                imad_wide: 5,
-                mma: 8,
-                sfu: 8,
-                s2r: 6,
-                shared: 10,
-                l1_hit: 16,
-                l2_hit: 60,
-                dram: 150,
+            arch: ArchSpec {
+                max_warps_per_sm: 8,
+                lsu_queue_depth: 24,
+                mma_busy: latency.mma / 2,
+                latency,
+                ..ArchSpec::ampere()
             },
         }
+    }
+
+    /// The small test configuration with a different architecture backend
+    /// swapped in (for fast cross-architecture tests).
+    #[must_use]
+    pub fn small_with_arch(arch: ArchSpec) -> Self {
+        let mut config = GpuConfig::small();
+        config.name = format!("sim-small-{}", arch.name);
+        config.arch = arch;
+        config
     }
 }
 
@@ -175,9 +230,10 @@ mod tests {
     #[test]
     fn a100_defaults_match_paper_table1_ground_truth() {
         let cfg = GpuConfig::a100();
-        assert_eq!(cfg.latency.alu, 4);
-        assert_eq!(cfg.latency.imad_wide, 5);
+        assert_eq!(cfg.arch.latency.alu, 4);
+        assert_eq!(cfg.arch.latency.imad_wide, 5);
         assert_eq!(cfg.sm_count, 108);
+        assert_eq!(cfg.arch.name, "ampere");
     }
 
     #[test]
@@ -192,5 +248,21 @@ mod tests {
     #[test]
     fn default_is_a100() {
         assert_eq!(GpuConfig::default(), GpuConfig::a100());
+    }
+
+    #[test]
+    fn by_name_resolves_each_builtin_profile() {
+        assert_eq!(GpuConfig::by_name("ampere"), Some(GpuConfig::a100()));
+        assert_eq!(GpuConfig::by_name("turing"), Some(GpuConfig::turing()));
+        assert_eq!(GpuConfig::by_name("h100"), Some(GpuConfig::hopper()));
+        assert_eq!(GpuConfig::by_name("volta"), None);
+    }
+
+    #[test]
+    fn small_with_arch_swaps_only_the_backend() {
+        let turing = GpuConfig::small_with_arch(ArchSpec::turing());
+        assert_eq!(turing.sm_count, GpuConfig::small().sm_count);
+        assert_eq!(turing.arch.name, "turing");
+        assert_eq!(turing.name, "sim-small-turing");
     }
 }

@@ -79,7 +79,7 @@ pub struct KernelRun {
 pub fn simulate_launch(config: &GpuConfig, program: &Program, launch: &LaunchConfig) -> KernelRun {
     let simulator = SmSimulator::new(config.clone());
     let resident_warps = (launch.warps_per_block * launch.blocks_per_sm.max(1))
-        .min(config.max_warps_per_sm)
+        .min(config.arch.max_warps_per_sm)
         .max(1);
     let constants = launch.constant_bank();
     let output = simulator.run(program, resident_warps, 0, &constants, launch.max_cycles);

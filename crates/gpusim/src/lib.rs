@@ -1,4 +1,4 @@
-//! A deterministic, cycle-level simulator of an Ampere-like NVIDIA streaming
+//! A deterministic, cycle-level simulator of an NVIDIA streaming
 //! multiprocessor, used as the execution substrate of the CuAsmRL
 //! reproduction.
 //!
@@ -18,6 +18,13 @@
 //! operations and deterministic (value-mixing) for floating-point/tensor
 //! instructions, so an incorrectly reordered schedule produces observably
 //! wrong outputs — exactly what the paper's probabilistic testing checks.
+//!
+//! The microarchitecture is **pluggable**: every per-SM parameter (opcode
+//! latency tables, issue/stall rules, register-bank model, scoreboard
+//! semantics, SM resource limits) lives in an [`ArchSpec`] carried by the
+//! [`GpuConfig`], with built-in Ampere-, Turing- and Hopper-like profiles
+//! selected by name ([`GpuConfig::by_name`]). The Ampere profile reproduces
+//! the original hard-coded simulator bit for bit.
 //!
 //! # Example
 //!
@@ -39,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arch;
 mod compiled;
 mod config;
 mod counters;
@@ -48,6 +56,7 @@ mod memory;
 mod regfile;
 mod sm;
 
+pub use arch::{ArchSpec, BankModel};
 pub use compiled::CompiledProgram;
 pub use config::{CacheConfig, GpuConfig, LatencyModel};
 pub use counters::{MemoryChart, WorkloadAnalysis};

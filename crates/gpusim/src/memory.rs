@@ -173,10 +173,10 @@ impl MemorySubsystem {
         MemorySubsystem {
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
-            latency_l1: cfg.latency.l1_hit,
-            latency_l2: cfg.latency.l2_hit,
-            latency_dram: cfg.latency.dram,
-            latency_shared: cfg.latency.shared,
+            latency_l1: cfg.arch.latency.l1_hit,
+            latency_l2: cfg.arch.latency.l2_hit,
+            latency_dram: cfg.arch.latency.dram,
+            latency_shared: cfg.arch.latency.shared,
             global: HashMap::new(),
             shared: HashMap::new(),
             counters: MemCounters::default(),

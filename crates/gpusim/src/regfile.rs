@@ -3,6 +3,8 @@
 
 use sass::Register;
 
+use crate::arch::BankModel;
+
 /// Number of general-purpose registers per warp context.
 const NUM_GPR: usize = 256;
 /// Number of uniform registers per warp context.
@@ -150,27 +152,49 @@ impl RegisterFile {
 
 /// The operand-reuse cache of one warp scheduler slot.
 ///
-/// Ampere's register file is banked; an instruction whose source operands
-/// collide on a bank pays an extra issue cycle unless the colliding operand
+/// NVIDIA register files are banked; an instruction whose source operands
+/// collide on a bank pays extra issue cycles unless the colliding operand
 /// was kept in the operand-reuse cache by the *previous* instruction of the
 /// same warp (the `.reuse` flag). Crucially, the cached operand is lost when
 /// the scheduler switches warps in between — this is the interaction the
 /// paper's Figure 9 optimization exploits.
+///
+/// The bank count, the per-conflict penalty and whether the reuse cache
+/// exists at all are architecture parameters ([`BankModel`]).
 #[derive(Debug, Clone, Default)]
 pub struct ReuseCache {
     /// One slot per register bank: the register currently held, if any.
     slots: Vec<Option<Register>>,
     /// The warp that issued most recently on this scheduler.
     last_warp: Option<usize>,
+    /// Extra issue cycles charged per conflicting operand.
+    conflict_penalty: u64,
+    /// When false, `.reuse` hints have no timing effect.
+    reuse_enabled: bool,
 }
 
 impl ReuseCache {
-    /// Creates a reuse cache with one slot per register bank.
+    /// Creates a reuse cache with one slot per register bank under the
+    /// Ampere policy (one-cycle conflict penalty, reuse cache enabled).
+    /// Prefer [`ReuseCache::for_model`] with the architecture's
+    /// [`BankModel`] so the selected backend's policy is honoured.
     #[must_use]
     pub fn new(banks: usize) -> Self {
+        ReuseCache::for_model(&BankModel {
+            banks,
+            conflict_penalty: 1,
+            reuse_cache: true,
+        })
+    }
+
+    /// Creates a reuse cache following an architecture's [`BankModel`].
+    #[must_use]
+    pub fn for_model(model: &BankModel) -> Self {
         ReuseCache {
-            slots: vec![None; banks.max(1)],
+            slots: vec![None; model.banks.max(1)],
             last_warp: None,
+            conflict_penalty: model.conflict_penalty,
+            reuse_enabled: model.reuse_cache,
         }
     }
 
@@ -185,7 +209,8 @@ impl ReuseCache {
     /// instruction of `warp` reading `sources`, where `reuse_flagged` lists
     /// the sources carrying the `.reuse` hint. Updates the cache state.
     ///
-    /// Returns the number of conflict cycles (0 or more).
+    /// Returns the number of conflict cycles (0 or more): the conflict count
+    /// scaled by the architecture's per-conflict penalty.
     pub fn issue(&mut self, warp: usize, sources: &[Register], reuse_flagged: &[Register]) -> u64 {
         let same_warp = self.last_warp == Some(warp);
         if !same_warp {
@@ -216,17 +241,19 @@ impl ReuseCache {
             }
         }
         // Populate the cache with the operands flagged `.reuse` for the next
-        // instruction of this warp.
+        // instruction of this warp (on architectures that have the cache).
         for slot in &mut self.slots {
             *slot = None;
         }
-        for &reg in reuse_flagged {
-            if let Some(bank) = self.bank_of(reg) {
-                self.slots[bank] = Some(reg);
+        if self.reuse_enabled {
+            for &reg in reuse_flagged {
+                if let Some(bank) = self.bank_of(reg) {
+                    self.slots[bank] = Some(reg);
+                }
             }
         }
         self.last_warp = Some(warp);
-        conflicts
+        conflicts * self.conflict_penalty
     }
 }
 
@@ -306,6 +333,35 @@ mod tests {
         let _ = cache.issue(1, &[Register::Gpr(12)], &[]);
         // Back to warp 0: the cached R4 is gone, so the conflict is paid.
         let conflicts = cache.issue(0, &[Register::Gpr(8), Register::Gpr(4)], &[]);
+        assert_eq!(conflicts, 1);
+    }
+
+    #[test]
+    fn bank_model_controls_penalty_and_reuse_policy() {
+        let model = BankModel {
+            banks: 4,
+            conflict_penalty: 2,
+            reuse_cache: false,
+        };
+        let mut cache = ReuseCache::for_model(&model);
+        // Conflicts cost the architecture's penalty, not a fixed cycle.
+        let conflicts = cache.issue(
+            0,
+            &[Register::Gpr(4), Register::Gpr(8)],
+            &[Register::Gpr(4)],
+        );
+        assert_eq!(conflicts, 2);
+        // With the reuse cache disabled the `.reuse` hint above is inert, so
+        // the same-warp collision is paid again.
+        let conflicts = cache.issue(0, &[Register::Gpr(8), Register::Gpr(4)], &[]);
+        assert_eq!(conflicts, 2);
+        // The Ampere-policy constructor matches `new`.
+        let mut ampere = ReuseCache::for_model(&BankModel {
+            banks: 4,
+            conflict_penalty: 1,
+            reuse_cache: true,
+        });
+        let conflicts = ampere.issue(0, &[Register::Gpr(4), Register::Gpr(8)], &[]);
         assert_eq!(conflicts, 1);
     }
 

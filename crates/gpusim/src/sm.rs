@@ -129,7 +129,7 @@ struct Warp {
 }
 
 impl Warp {
-    fn new(warp_id: usize, block_id: usize) -> Self {
+    fn new(warp_id: usize, block_id: usize, scoreboards: usize) -> Self {
         let mut regs = RegisterFile::new();
         // Thread/block identity registers conventionally live in R0/R1 right
         // after the prologue of generated kernels; we also pre-seed a couple
@@ -142,7 +142,7 @@ impl Warp {
             finished: false,
             at_barrier: false,
             regs,
-            barrier_pending: vec![Vec::new(); 6],
+            barrier_pending: vec![Vec::new(); scoreboards],
             ldgsts_group: None,
             ldgsts_violations: 0,
             yielded: false,
@@ -150,7 +150,8 @@ impl Warp {
     }
 
     fn barriers_clear(&self, mask: u8, cycle: u64) -> bool {
-        (0..6u8).all(|b| mask & (1 << b) == 0 || self.barrier_clear(b, cycle))
+        (0..self.barrier_pending.len() as u8)
+            .all(|b| mask & (1 << b) == 0 || self.barrier_clear(b, cycle))
     }
 
     fn barrier_clear(&self, barrier: u8, cycle: u64) -> bool {
@@ -160,7 +161,7 @@ impl Warp {
     }
 
     fn all_barriers_clear(&self, cycle: u64) -> bool {
-        (0..6u8).all(|b| self.barrier_clear(b, cycle))
+        (0..self.barrier_pending.len() as u8).all(|b| self.barrier_clear(b, cycle))
     }
 
     fn prune_barriers(&mut self, cycle: u64) {
@@ -189,17 +190,10 @@ impl SmSimulator {
         &self.config
     }
 
-    /// Fixed pipeline latency of a (non-memory) instruction.
+    /// Fixed pipeline latency of a (non-memory) instruction, per the
+    /// architecture backend's opcode latency table.
     fn fixed_latency(&self, inst: &Instruction) -> u64 {
-        let lat = &self.config.latency;
-        let opcode = inst.opcode();
-        match opcode.base() {
-            Mnemonic::Imad if opcode.has_modifier("WIDE") => lat.imad_wide,
-            Mnemonic::Hmma | Mnemonic::Imma => lat.mma,
-            Mnemonic::Mufu => lat.sfu,
-            Mnemonic::S2r => lat.s2r,
-            _ => lat.alu,
-        }
+        self.config.arch.fixed_latency(inst.opcode())
     }
 
     /// Runs `program` with `warps` resident warps for block `block_id`,
@@ -238,9 +232,10 @@ impl SmSimulator {
         max_cycles: u64,
     ) -> SimOutput {
         let mut memory = MemorySubsystem::new(&self.config);
-        let mut warp_states: Vec<Warp> =
-            (0..warps.max(1)).map(|w| Warp::new(w, block_id)).collect();
-        let mut reuse_cache = ReuseCache::new(self.config.register_banks);
+        let mut warp_states: Vec<Warp> = (0..warps.max(1))
+            .map(|w| Warp::new(w, block_id, self.config.arch.scoreboard_count()))
+            .collect();
+        let mut reuse_cache = ReuseCache::for_model(&self.config.arch.banks);
 
         let mut cycle: u64 = 0;
         let mut issued: u64 = 0;
@@ -312,7 +307,7 @@ impl SmSimulator {
 
             let mut issued_this_cycle = 0usize;
             let pick_from = &mut eligible;
-            while issued_this_cycle < self.config.issue_width && !pick_from.is_empty() {
+            while issued_this_cycle < self.config.arch.issue_width && !pick_from.is_empty() {
                 // Greedy-then-oldest: prefer the warp that issued last cycle
                 // (unless it yielded), otherwise the lowest-index eligible
                 // warp after it.
@@ -370,7 +365,7 @@ impl SmSimulator {
                         // traffic.
                         let (service_latency, queued) = match access.space {
                             MemorySpace::Shared => (memory.shared_latency(), false),
-                            MemorySpace::Constant => (self.config.latency.l1_hit, false),
+                            MemorySpace::Constant => (self.config.arch.latency.l1_hit, false),
                             _ => {
                                 let (lat, _) =
                                     memory.global_access_latency(access.addr, access.bypass_l1);
@@ -380,7 +375,7 @@ impl SmSimulator {
                         // LSU occupancy: one cycle per 128 bytes of
                         // warp-wide traffic.
                         let warp_bytes = access.bytes * 32;
-                        let lsu_cycles = (warp_bytes / 128).max(1);
+                        let lsu_cycles = (warp_bytes / self.config.arch.lsu_bytes_per_cycle).max(1);
                         let queue_wait = if queued {
                             lsu_free_at.saturating_sub(cycle)
                         } else {
@@ -399,8 +394,12 @@ impl SmSimulator {
                         if let Some(rb) = inst.read_barrier {
                             // Source registers are consumed once the request
                             // has left the LSU.
-                            warp.barrier_pending[rb as usize]
-                                .push(cycle + queue_wait + lsu_cycles + 4);
+                            warp.barrier_pending[rb as usize].push(
+                                cycle
+                                    + queue_wait
+                                    + lsu_cycles
+                                    + self.config.arch.read_barrier_drain,
+                            );
                         }
                         if let Some(wb) = inst.write_barrier {
                             warp.barrier_pending[wb as usize].push(completion);
@@ -504,9 +503,10 @@ impl SmSimulator {
         let instructions: Vec<&Instruction> = program.instructions().collect();
         let label_map = build_label_map(program);
         let mut memory = MemorySubsystem::new(&self.config);
-        let mut warp_states: Vec<Warp> =
-            (0..warps.max(1)).map(|w| Warp::new(w, block_id)).collect();
-        let mut reuse_cache = ReuseCache::new(self.config.register_banks);
+        let mut warp_states: Vec<Warp> = (0..warps.max(1))
+            .map(|w| Warp::new(w, block_id, self.config.arch.scoreboard_count()))
+            .collect();
+        let mut reuse_cache = ReuseCache::for_model(&self.config.arch.banks);
 
         let mut cycle: u64 = 0;
         let mut issued: u64 = 0;
@@ -572,7 +572,7 @@ impl SmSimulator {
 
             let mut issued_this_cycle = 0usize;
             let mut pick_from = eligible;
-            while issued_this_cycle < self.config.issue_width && !pick_from.is_empty() {
+            while issued_this_cycle < self.config.arch.issue_width && !pick_from.is_empty() {
                 // Greedy-then-oldest: prefer the warp that issued last cycle
                 // (unless it yielded), otherwise the lowest-index eligible
                 // warp after it.
@@ -609,7 +609,8 @@ impl SmSimulator {
                 let conflicts = reuse_cache.issue(chosen, &sources, &reuse_flagged);
                 bank_conflict_cycles += conflicts;
 
-                let stall = u64::from(inst.control().stall()).max(1) + conflicts;
+                let stall =
+                    u64::from(inst.control().stall()).max(self.config.arch.min_stall) + conflicts;
                 warp.stall_until = cycle + stall;
                 warp.yielded = inst.control().yield_flag();
 
@@ -642,7 +643,7 @@ impl SmSimulator {
                         // traffic.
                         let (service_latency, queued) = match access.space {
                             MemorySpace::Shared => (memory.shared_latency(), false),
-                            MemorySpace::Constant => (self.config.latency.l1_hit, false),
+                            MemorySpace::Constant => (self.config.arch.latency.l1_hit, false),
                             _ => {
                                 let (lat, _) =
                                     memory.global_access_latency(access.addr, access.bypass_l1);
@@ -652,7 +653,7 @@ impl SmSimulator {
                         // LSU occupancy: one cycle per 128 bytes of
                         // warp-wide traffic.
                         let warp_bytes = access.bytes * 32;
-                        let lsu_cycles = (warp_bytes / 128).max(1);
+                        let lsu_cycles = (warp_bytes / self.config.arch.lsu_bytes_per_cycle).max(1);
                         let queue_wait = if queued {
                             lsu_free_at.saturating_sub(cycle)
                         } else {
@@ -671,8 +672,12 @@ impl SmSimulator {
                         if let Some(rb) = inst.control().read_barrier() {
                             // Source registers are consumed once the request
                             // has left the LSU.
-                            warp.barrier_pending[rb as usize]
-                                .push(cycle + queue_wait + lsu_cycles + 4);
+                            warp.barrier_pending[rb as usize].push(
+                                cycle
+                                    + queue_wait
+                                    + lsu_cycles
+                                    + self.config.arch.read_barrier_drain,
+                            );
                         }
                         if let Some(wb) = inst.control().write_barrier() {
                             warp.barrier_pending[wb as usize].push(completion);
@@ -700,7 +705,7 @@ impl SmSimulator {
                         // Fixed-latency (or barrier-setting non-memory) path.
                         let latency = self.fixed_latency(inst);
                         if inst.opcode().is_mma() {
-                            let busy = self.config.latency.mma / 2;
+                            let busy = self.config.arch.mma_busy;
                             tensor_free_at = tensor_free_at.max(cycle) + busy;
                             tensor_busy += busy;
                         }
@@ -791,11 +796,11 @@ impl SmSimulator {
         // Memory instructions can issue as long as the LSU input queue has
         // room; data-path serialisation is charged to their completion time,
         // not to the issue stage.
-        if inst.opcode().is_memory() && lsu_outstanding >= self.config.lsu_queue_depth {
+        if inst.opcode().is_memory() && lsu_outstanding >= self.config.arch.lsu_queue_depth {
             return false;
         }
         let _ = lsu_free_at;
-        if inst.opcode().is_mma() && tensor_free_at > cycle + 4 {
+        if inst.opcode().is_mma() && tensor_free_at > cycle + self.config.arch.mma_issue_gap {
             return false;
         }
         true
@@ -828,10 +833,10 @@ fn compiled_warp_eligible(
     // Memory instructions can issue as long as the LSU input queue has
     // room; data-path serialisation is charged to their completion time,
     // not to the issue stage.
-    if inst.is_memory && lsu_outstanding >= config.lsu_queue_depth {
+    if inst.is_memory && lsu_outstanding >= config.arch.lsu_queue_depth {
         return false;
     }
-    if inst.is_mma && tensor_free_at > cycle + 4 {
+    if inst.is_mma && tensor_free_at > cycle + config.arch.mma_issue_gap {
         return false;
     }
     true

@@ -76,6 +76,14 @@ pub fn generate(spec: &KernelSpec, config: &KernelConfig, style: ScheduleStyle) 
     }
 }
 
+/// The shape component of a kernel's symbol name: suites may contain the
+/// same kernel kind at several problem shapes, and the deploy-time lookup
+/// cache keys on the symbol name, so the shape must be part of it.
+fn shape_key(spec: &KernelSpec) -> String {
+    let s = &spec.shape;
+    format!("b{}x{}x{}x{}", s.batch, s.m, s.n, s.k)
+}
+
 fn default_params() -> Vec<(u32, u64)> {
     vec![
         (PARAM_A, 0x10_0000),
@@ -379,7 +387,12 @@ fn gemm_like(
         max_cycles: 4_000_000,
     };
     GeneratedKernel {
-        name: format!("{}_{}", spec.kind.name(), config.cache_key()),
+        name: format!(
+            "{}_{}_{}",
+            spec.kind.name(),
+            shape_key(spec),
+            config.cache_key()
+        ),
         program,
         launch,
     }
@@ -490,7 +503,12 @@ fn rowwise(
         max_cycles: 4_000_000,
     };
     GeneratedKernel {
-        name: format!("{}_{}", spec.kind.name(), config.cache_key()),
+        name: format!(
+            "{}_{}_{}",
+            spec.kind.name(),
+            shape_key(spec),
+            config.cache_key()
+        ),
         program,
         launch,
     }

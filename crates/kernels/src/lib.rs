@@ -5,6 +5,9 @@
 //!
 //! * [`KernelKind`] / [`KernelSpec`] — the evaluated kernel suite and its
 //!   problem shapes,
+//! * [`WorkloadSuite`] / [`find_suite`] — the workload registry: named,
+//!   declarative kernel suites (the Table-2 default plus attention- and
+//!   reduction-style families) selected with `--suite`,
 //! * [`KernelConfig`] / [`ConfigSpace`] — tile configurations and the
 //!   autotuning search space,
 //! * [`generate`] — SASS generators that stand in for `ptxas -O3` applied to
@@ -35,6 +38,7 @@ mod config;
 mod generator;
 mod ptx;
 mod reference;
+mod registry;
 mod suite;
 mod triton;
 
@@ -45,5 +49,6 @@ pub use generator::{
 };
 pub use ptx::{PtxBlock, PtxInstr};
 pub use reference::{baseline_runtime_us, elementwise_pass_runtime_us, BaselineSystem};
+pub use registry::{find_suite, suite_names, workload_suites, SuiteEntry, WorkloadSuite};
 pub use suite::{KernelKind, KernelSpec, ProblemShape};
 pub use triton::{Autotuner, CompiledKernel, TritonPipeline, TuningRecord, TuningResult};

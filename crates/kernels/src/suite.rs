@@ -139,29 +139,37 @@ impl KernelSpec {
     /// tests and examples that must run in milliseconds.
     #[must_use]
     pub fn scaled(kind: KernelKind, factor: usize) -> Self {
-        let mut spec = KernelSpec::paper(kind);
+        KernelSpec::paper(kind).scaled_by(factor)
+    }
+
+    /// Divides this spec's large dimensions by `factor` (floored at 32),
+    /// shrinking only the dimensions that are large for the kernel family —
+    /// the same rule [`KernelSpec::scaled`] applies to the paper shapes,
+    /// available for any base shape (e.g. the workload-registry suites).
+    #[must_use]
+    pub fn scaled_by(mut self, factor: usize) -> Self {
         let f = factor.max(1);
         let shrink = |v: usize| (v / f).max(32);
-        match kind {
+        match self.kind {
             KernelKind::FusedFeedForward
             | KernelKind::MatmulLeakyRelu
             | KernelKind::BatchMatmul => {
-                spec.shape.m = shrink(spec.shape.m);
-                spec.shape.n = shrink(spec.shape.n);
-                spec.shape.k = shrink(spec.shape.k);
+                self.shape.m = shrink(self.shape.m);
+                self.shape.n = shrink(self.shape.n);
+                self.shape.k = shrink(self.shape.k);
             }
             KernelKind::FlashAttention => {
-                spec.shape.n = shrink(spec.shape.n);
+                self.shape.n = shrink(self.shape.n);
             }
             KernelKind::Softmax => {
-                spec.shape.m = shrink(spec.shape.m);
-                spec.shape.n = shrink(spec.shape.n);
+                self.shape.m = shrink(self.shape.m);
+                self.shape.n = shrink(self.shape.n);
             }
             KernelKind::Rmsnorm => {
-                spec.shape.m = shrink(spec.shape.m);
+                self.shape.m = shrink(self.shape.m);
             }
         }
-        spec
+        self
     }
 
     /// Number of thread blocks in the launch grid for a given tile

@@ -14,6 +14,11 @@
 //! env order on the caller's thread. For a fixed seed the results are
 //! bit-identical for any worker count.
 //!
+//! The policy is shape-agnostic: [`Env::observation_features`] defines the
+//! row width, and the assembly game uses that freedom to append normalized
+//! GPU-architecture features to every observation row, so one agent can
+//! condition on which `gpusim::ArchSpec` backend it is optimizing for.
+//!
 //! # Example
 //!
 //! Train on any environment implementing [`Env`]:

@@ -9,6 +9,71 @@ use crate::SassError;
 /// Number of scoreboard wait barriers available per warp on Ampere.
 pub const NUM_BARRIERS: u8 = 6;
 
+/// The GPU architecture generation a SASS listing targets.
+///
+/// The textual control-code format (`[B------:R-:W-:-:Sxx]`) is shared by
+/// every generation this crate models, but its *interpretation* is
+/// architecture-specific: how many scoreboard barriers a warp owns, how wide
+/// the stall field is, and whether asynchronous `LDGSTS` copies exist at
+/// all. [`crate::ControlCode`] stores the syntactic fields; this enum
+/// answers the semantic questions, and `gpusim::ArchSpec` builds its
+/// simulation parameters on top of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchClass {
+    /// Turing (sm_75): 6 scoreboard barriers, no `LDGSTS` asynchronous
+    /// copies (they are accepted but behave like fused `LDG`+`STS`).
+    Turing,
+    /// Ampere (sm_80/sm_86): the generation the paper evaluates.
+    Ampere,
+    /// Hopper (sm_90): Ampere semantics plus the TMA-era extensions (still
+    /// expressed through `LDGSTS` in this model).
+    Hopper,
+}
+
+impl ArchClass {
+    /// The `sm_XX` compute-capability number of this generation.
+    #[must_use]
+    pub fn sm_version(&self) -> u32 {
+        match self {
+            ArchClass::Turing => 75,
+            ArchClass::Ampere => 80,
+            ArchClass::Hopper => 90,
+        }
+    }
+
+    /// Number of scoreboard wait barriers one warp owns. Every generation
+    /// this crate models exposes the six `B0..B5` slots of the textual
+    /// control-code format.
+    #[must_use]
+    pub fn scoreboard_barriers(&self) -> u8 {
+        NUM_BARRIERS
+    }
+
+    /// Maximum encodable stall count (the `S` field is 4 bits on every
+    /// generation).
+    #[must_use]
+    pub fn max_stall(&self) -> u8 {
+        15
+    }
+
+    /// True when the generation has a hardware asynchronous-copy path
+    /// (`LDGSTS` / `cp.async`), introduced with Ampere.
+    #[must_use]
+    pub fn has_async_copy(&self) -> bool {
+        !matches!(self, ArchClass::Turing)
+    }
+
+    /// Lower-case generation name (`"turing"`, `"ampere"`, `"hopper"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchClass::Turing => "turing",
+            ArchClass::Ampere => "ampere",
+            ArchClass::Hopper => "hopper",
+        }
+    }
+}
+
 /// The scheduling control word attached to every Ampere SASS instruction.
 ///
 /// In CuAssembler-style listings it is rendered as

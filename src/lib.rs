@@ -6,6 +6,7 @@
 //! depend on a single crate.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use ::bench;
 pub use cuasmrl;

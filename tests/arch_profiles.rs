@@ -1,0 +1,221 @@
+//! Cross-architecture contracts of the pluggable GPU backends.
+//!
+//! * The **Ampere profile is the pre-refactor simulator, bit for bit**: the
+//!   golden numbers below were captured from the hard-coded single-arch
+//!   simulator immediately before `ArchSpec` was introduced.
+//! * The Turing- and Hopper-like profiles are behaviourally distinct but
+//!   run the same contracts: hazard-free baselines over every registry
+//!   suite, compiled ≡ reference interpretation, and `jobs = N ≡ jobs = 1`
+//!   suite determinism.
+
+use cuasmrl::{GameConfig, Strategy, SuiteOptimizer};
+use gpusim::{
+    measure, simulate_launch, ArchSpec, ConstantBank, GpuConfig, LaunchConfig, MeasureOptions,
+    SmSimulator,
+};
+use kernels::{generate, workload_suites, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+
+const SAMPLE: &str = "\
+[B------:R-:W-:-:S04] MOV R4, 0x1000 ;
+[B------:R-:W0:-:S02] LDG.E R2, [R4] ;
+[B0-----:R-:W-:-:S04] IADD3 R6, R2, 0x1, RZ ;
+[B------:R-:W-:-:S04] STG.E [R4], R6 ;
+[B------:R-:W-:-:S05] EXIT ;
+";
+
+fn fast_measure() -> MeasureOptions {
+    MeasureOptions {
+        warmup: 0,
+        repeats: 3,
+        noise_std: 0.0,
+        seed: 0,
+    }
+}
+
+fn test_config(kind: KernelKind) -> KernelConfig {
+    if kind.is_compute_bound() {
+        KernelConfig {
+            block_m: 32,
+            block_n: 32,
+            block_k: 32,
+            num_warps: 4,
+            num_stages: 2,
+        }
+    } else {
+        KernelConfig {
+            block_m: 1,
+            block_n: 512,
+            block_k: 1,
+            num_warps: 4,
+            num_stages: 1,
+        }
+    }
+}
+
+fn golden_kernel(gpu: &GpuConfig, kind: KernelKind) -> gpusim::Measurement {
+    let spec = KernelSpec::scaled(kind, 16);
+    let kernel = generate(&spec, &test_config(kind), ScheduleStyle::Baseline);
+    measure(gpu, &kernel.program, &kernel.launch, &fast_measure())
+}
+
+/// Golden outputs captured from the pre-`ArchSpec` simulator: the Ampere
+/// profile must reproduce them exactly — cycles, issue counts, bank
+/// conflicts, output digests and the f64 runtime bit patterns.
+#[test]
+fn ampere_profile_is_bit_identical_to_the_pre_refactor_simulator() {
+    let program: sass::Program = SAMPLE.parse().unwrap();
+
+    let a100 = simulate_launch(&GpuConfig::a100(), &program, &LaunchConfig::default());
+    assert_eq!(a100.sm.cycles, 483);
+    assert_eq!(a100.sm.instructions_issued, 20);
+    assert_eq!(a100.sm.output_digest, 0x69ec3d92bdf65a03);
+    assert_eq!(a100.runtime_us.to_bits(), 0x3fd5ec6438a5953e);
+
+    let small = simulate_launch(&GpuConfig::small(), &program, &LaunchConfig::default());
+    assert_eq!(small.sm.cycles, 163);
+    assert_eq!(small.sm.instructions_issued, 20);
+    assert_eq!(small.sm.output_digest, 0x69ec3d92bdf65a03);
+    assert_eq!(small.runtime_us.to_bits(), 0x3fc4dd2f1a9fbe77);
+
+    let mm = golden_kernel(&GpuConfig::a100(), KernelKind::MatmulLeakyRelu);
+    assert_eq!(mm.run.sm.cycles, 1522);
+    assert_eq!(mm.run.sm.instructions_issued, 356);
+    assert_eq!(mm.run.sm.bank_conflict_cycles, 104);
+    assert_eq!(mm.run.sm.output_digest, 0x38a071fc4bd124ed);
+    assert_eq!(mm.mean_us.to_bits(), 0x3ff1455b24acd86b);
+
+    let sm = golden_kernel(&GpuConfig::a100(), KernelKind::Softmax);
+    assert_eq!(sm.run.sm.cycles, 731);
+    assert_eq!(sm.run.sm.bank_conflict_cycles, 32);
+    assert_eq!(sm.run.sm.output_digest, 0xa6bf21c75f0a3ae4);
+    assert_eq!(sm.mean_us.to_bits(), 0x3fe0970ee3503fe9);
+
+    let mm_small = golden_kernel(&GpuConfig::small(), KernelKind::MatmulLeakyRelu);
+    assert_eq!(mm_small.run.sm.cycles, 669);
+    assert_eq!(mm_small.mean_us.to_bits(), 0x3fe56872b020c49c);
+    let sm_small = golden_kernel(&GpuConfig::small(), KernelKind::Softmax);
+    assert_eq!(sm_small.run.sm.cycles, 304);
+    assert_eq!(sm_small.mean_us.to_bits(), 0x3fe374bc6a7ef9db);
+}
+
+/// The three profiles are behaviourally distinct: the same schedule under
+/// the same launch takes a different number of cycles on each backend, while
+/// producing the same (architecture-independent) functional output.
+#[test]
+fn profiles_time_the_same_schedule_differently_but_agree_functionally() {
+    let program: sass::Program = SAMPLE.parse().unwrap();
+    let launch = LaunchConfig::default();
+    let runs: Vec<(&str, gpusim::KernelRun)> = [
+        ("ampere", GpuConfig::a100()),
+        ("turing", GpuConfig::turing()),
+        ("hopper", GpuConfig::hopper()),
+    ]
+    .into_iter()
+    .map(|(name, gpu)| (name, simulate_launch(&gpu, &program, &launch)))
+    .collect();
+    for (name, run) in &runs {
+        assert_eq!(run.sm.hazards, 0, "{name}");
+        assert_eq!(run.sm.output_digest, runs[0].1.sm.output_digest, "{name}");
+    }
+    assert_ne!(runs[0].1.sm.cycles, runs[1].1.sm.cycles);
+    assert_ne!(runs[0].1.sm.cycles, runs[2].1.sm.cycles);
+    assert_ne!(runs[1].1.sm.cycles, runs[2].1.sm.cycles);
+}
+
+/// Every registry suite entry generates a hazard-free, verifying baseline on
+/// all three architecture profiles (the contract the fig6 `--arch`/`--suite`
+/// matrix relies on).
+#[test]
+fn registry_baselines_are_hazard_free_on_every_profile() {
+    for gpu in [GpuConfig::a100(), GpuConfig::turing(), GpuConfig::hopper()] {
+        for suite in workload_suites() {
+            for spec in suite.specs(64) {
+                let kernel = generate(&spec, &test_config(spec.kind), ScheduleStyle::Baseline);
+                let run = simulate_launch(&gpu, &kernel.program, &kernel.launch);
+                assert!(
+                    run.sm.completed,
+                    "{}/{}/{} did not complete",
+                    gpu.arch.name,
+                    suite.name,
+                    spec.kind.name()
+                );
+                assert_eq!(
+                    run.sm.hazards,
+                    0,
+                    "{}/{}/{} baseline has hazards",
+                    gpu.arch.name,
+                    suite.name,
+                    spec.kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// The pre-decoded interpreter and the reference interpreter stay
+/// bit-identical under every architecture backend, not just Ampere.
+#[test]
+fn compiled_matches_reference_on_every_profile() {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+    let kernel = generate(
+        &spec,
+        &test_config(KernelKind::MatmulLeakyRelu),
+        ScheduleStyle::Baseline,
+    );
+    for arch in [ArchSpec::ampere(), ArchSpec::turing(), ArchSpec::hopper()] {
+        let name = arch.name.clone();
+        let sim = SmSimulator::new(GpuConfig::small_with_arch(arch));
+        let constants = kernel.launch.constant_bank();
+        let fast = sim.run(&kernel.program, 4, 0, &constants, 1_000_000);
+        let reference = sim.run_reference(&kernel.program, 4, 0, &constants, 1_000_000);
+        assert_eq!(fast.report, reference.report, "{name}");
+        assert_eq!(
+            fast.memory.global_digest(),
+            reference.memory.global_digest(),
+            "{name}"
+        );
+    }
+    // And the sample program under the full-size profiles.
+    let program: sass::Program = SAMPLE.parse().unwrap();
+    for gpu in [GpuConfig::turing(), GpuConfig::hopper()] {
+        let name = gpu.arch.name.clone();
+        let sim = SmSimulator::new(gpu);
+        let constants = ConstantBank::new();
+        let fast = sim.run(&program, 2, 0, &constants, 1_000_000);
+        let reference = sim.run_reference(&program, 2, 0, &constants, 1_000_000);
+        assert_eq!(fast.report, reference.report, "{name}");
+    }
+}
+
+/// `jobs = N ≡ jobs = 1` holds per architecture: sharding the suite across
+/// workers never changes a report, whichever backend is being optimized.
+#[test]
+fn suite_optimization_is_job_count_invariant_per_arch() {
+    let specs = [
+        KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16),
+        KernelSpec::scaled(KernelKind::Softmax, 16),
+    ];
+    for arch in [ArchSpec::ampere(), ArchSpec::turing(), ArchSpec::hopper()] {
+        let gpu = GpuConfig::small_with_arch(arch);
+        let run = |jobs: usize| {
+            SuiteOptimizer::new(gpu.clone(), Strategy::Greedy { max_moves: 3 })
+                .with_jobs(jobs)
+                .with_seed(7)
+                .with_tune_options(fast_measure())
+                .with_config_space(kernels::ConfigSpace::small())
+                .with_game_config(GameConfig {
+                    episode_length: 6,
+                    measure: fast_measure(),
+                })
+                .optimize(&specs)
+        };
+        let serial = run(1);
+        let sharded = run(2);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "jobs=2 diverged from jobs=1 on {}",
+            gpu.arch.name
+        );
+    }
+}

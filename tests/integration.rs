@@ -83,7 +83,7 @@ fn autotuner_plus_analysis_plus_embedding_compose() {
     let program = compiled.cubin.kernel_program(&compiled.name).unwrap();
     let analysis = analyze(&program, &StallTable::builtin_a100());
     assert!(!analysis.memory_indices.is_empty());
-    let embedding = embed_program(&program, &analysis);
+    let embedding = embed_program(&program, &analysis, &GpuConfig::small().arch);
     assert_eq!(embedding.rows(), program.instruction_count());
     assert_eq!(embedding.cols(), cuasmrl::feature_count(&analysis));
 }

@@ -72,6 +72,12 @@ fn main() {
         "geometric-mean CuAsmRL speedup over Triton: {:.3}x (paper: 1.09x)",
         suite.geomean_speedup
     );
+    if let Some(dir) = &args.report_dir {
+        println!(
+            "artifacts: suite report and telemetry manifest written under {}",
+            dir.display()
+        );
+    }
     if args.smoke {
         assert_eq!(
             suite.verified,

@@ -4,7 +4,7 @@
 //! micro-benchmarks run against; the builtin column shows that
 //! architecture's ground-truth table.
 
-use bench::{HarnessArgs, DEFAULT_SCALE};
+use bench::{HarnessArgs, DEFAULT_SCALE, STALL_TABLE_OPS};
 use cuasmrl::{clock_based_iadd3, dependency_based_stall, StallTable};
 
 fn main() {
@@ -16,19 +16,7 @@ fn main() {
     );
     println!("{:<16} {:>10} {:>10}", "instruction", "measured", "builtin");
     let builtin = StallTable::for_arch(&gpu.arch);
-    for op in [
-        "IADD3",
-        "IMAD.IADD",
-        "IADD3.X",
-        "MOV",
-        "IABS",
-        "IMAD",
-        "IMNMX",
-        "SEL",
-        "LEA",
-        "IMAD.WIDE",
-        "IMAD.WIDE.U32",
-    ] {
+    for &op in STALL_TABLE_OPS {
         let measured = dependency_based_stall(&gpu, op).map_or("-".to_string(), |v| v.to_string());
         let expected = builtin
             .lookup(op)

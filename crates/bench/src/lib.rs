@@ -11,6 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod report;
+
+pub use report::{
+    compare_reports, iqr_ms, median_ms, ArchStalls, BenchCell, BenchReport, BenchRunConfig,
+    CompareTolerance, OpStall, BENCH_REPORT_SCHEMA_VERSION,
+};
+
 use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy, SuiteOptimizer};
 use gpusim::{GpuConfig, MeasureOptions};
 use kernels::{
@@ -21,6 +28,23 @@ use kernels::{
 /// Scale factor applied to the paper's problem shapes so that every harness
 /// binary finishes in seconds on a laptop. Set to 1 to run the full shapes.
 pub const DEFAULT_SCALE: usize = 8;
+
+/// The fixed-latency opcodes of the paper's Table 1, micro-benchmarked by
+/// `table1_stall_counts` and recorded (as a deterministic regression signal)
+/// in every `bench_report` artifact.
+pub const STALL_TABLE_OPS: &[&str] = &[
+    "IADD3",
+    "IMAD.IADD",
+    "IADD3.X",
+    "MOV",
+    "IABS",
+    "IMAD",
+    "IMNMX",
+    "SEL",
+    "LEA",
+    "IMAD.WIDE",
+    "IMAD.WIDE.U32",
+];
 
 /// Scale factor used by `--smoke` runs (CI): the deepest shrink the
 /// generators support, so a full parallel suite pass finishes in seconds.
@@ -41,6 +65,10 @@ pub struct HarnessArgs {
     /// Workload suite (`--suite`): a name from the `kernels` workload
     /// registry (`table2` default, `attention`, `reduction`).
     pub suite: String,
+    /// Artifact directory (`--report-dir`): when set, the suite driver
+    /// persists its per-kernel reports, the aggregate suite report and the
+    /// telemetry run manifest there (what CI uploads as build artifacts).
+    pub report_dir: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
@@ -58,11 +86,13 @@ impl HarnessArgs {
             smoke: false,
             arch: "ampere".to_string(),
             suite: "table2".to_string(),
+            report_dir: None,
         };
         let usage = |problem: &str| -> ! {
             eprintln!("error: {problem}");
             eprintln!(
-                "usage: [scale] [--scale N] [--jobs N] [--smoke] [--arch NAME] [--suite NAME]"
+                "usage: [scale] [--scale N] [--jobs N] [--smoke] [--arch NAME] [--suite NAME] \
+                 [--report-dir DIR]"
             );
             eprintln!(
                 "  --arch:  {}",
@@ -103,6 +133,10 @@ impl HarnessArgs {
                         None => usage(&format!("unknown workload suite `{name}`")),
                     },
                     None => usage("--suite requires a registry name"),
+                },
+                "--report-dir" => match iter.next() {
+                    Some(dir) => args.report_dir = Some(std::path::PathBuf::from(dir)),
+                    None => usage("--report-dir requires a directory path"),
                 },
                 other => match other.parse() {
                     Ok(n) if !positional_taken && !other.starts_with('-') => {
@@ -221,6 +255,10 @@ pub fn suite_driver(args: &HarnessArgs, budget_moves: usize) -> SuiteOptimizer {
         episode_length: budget_moves.max(32),
         measure: harness_measure(),
     });
+    let driver = match &args.report_dir {
+        Some(dir) => driver.with_cache_dir(dir.clone()),
+        None => driver,
+    };
     if args.smoke {
         driver.with_config_space(ConfigSpace::small())
     } else {

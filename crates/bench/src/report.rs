@@ -1,0 +1,380 @@
+//! The canonical benchmark-report artifact and its regression comparator.
+//!
+//! `bench_report run` emits a [`BenchReport`]: one [`BenchCell`] per
+//! (architecture × workload suite) combination holding the wall-clock
+//! samples of repeated full suite passes (median + interquartile range) next
+//! to the machine-independent quality metrics of the run (geometric-mean
+//! speedup, verified-kernel count), plus the deterministic
+//! dependency-measured stall table per architecture. `bench_report compare`
+//! diffs a candidate report against a committed baseline with
+//! [`compare_reports`] and fails (nonzero exit) on any regression — this is
+//! what gates CI, replacing the old ad-hoc absolute wall-clock budget.
+//!
+//! Comparison semantics: wall clock is machine-dependent, so it is gated by
+//! a *relative* tolerance the caller picks per context (tight for
+//! same-machine A/B, loose for a committed cross-machine baseline). The
+//! quality metrics and stall counts are deterministic products of the
+//! simulator, so they are gated strictly (small quality tolerance, exact
+//! stall match).
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the benchmark-report JSON schema (see `docs/ARTIFACTS.md`).
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// The run configuration a report was produced under.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchRunConfig {
+    /// Problem-shape divisor (`1/scale` of the paper shapes).
+    pub scale: usize,
+    /// Worker threads of the parallel suite driver.
+    pub jobs: usize,
+    /// Whether the smoke (CI) configuration was used.
+    pub smoke: bool,
+    /// Wall-clock samples collected per cell.
+    pub runs: usize,
+}
+
+/// One (architecture × suite) cell of the benchmark matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Architecture profile name.
+    pub arch: String,
+    /// Workload-registry suite name.
+    pub suite: String,
+    /// Wall-clock of each full suite pass, milliseconds, in run order.
+    pub runs_ms: Vec<f64>,
+    /// Median of `runs_ms`.
+    pub median_ms: f64,
+    /// Interquartile range of `runs_ms`.
+    pub iqr_ms: f64,
+    /// Geometric-mean speedup over the `-O3` baseline (deterministic).
+    pub geomean_speedup: f64,
+    /// Kernels whose optimized schedule verified (deterministic).
+    pub verified: usize,
+    /// Total kernels in the suite.
+    pub kernels: usize,
+}
+
+impl BenchCell {
+    /// The `arch/suite` key of this cell.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.arch, self.suite)
+    }
+}
+
+/// One opcode's dependency-measured stall count on one architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStall {
+    /// Opcode name (e.g. `IADD3`).
+    pub op: String,
+    /// Measured stall cycles; `None` when the micro-benchmark cannot
+    /// resolve the opcode on this architecture.
+    pub stall: Option<u32>,
+}
+
+/// The deterministic stall table measured on one architecture (the Table 1
+/// reproduction, used as a machine-independent regression signal).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchStalls {
+    /// Architecture profile name.
+    pub arch: String,
+    /// Per-opcode measured stalls, in a fixed opcode order.
+    pub stalls: Vec<OpStall>,
+}
+
+/// The canonical benchmark-report artifact (`BENCH_*.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema version ([`BENCH_REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Producing tool, always `"bench_report"`.
+    pub tool: String,
+    /// Run configuration.
+    pub config: BenchRunConfig,
+    /// Matrix cells, sorted by `arch/suite` key.
+    pub cells: Vec<BenchCell>,
+    /// Deterministic stall tables, sorted by architecture.
+    pub stall_counts: Vec<ArchStalls>,
+}
+
+impl BenchReport {
+    /// Looks up a cell by architecture and suite.
+    #[must_use]
+    pub fn cell(&self, arch: &str, suite: &str) -> Option<&BenchCell> {
+        self.cells
+            .iter()
+            .find(|c| c.arch == arch && c.suite == suite)
+    }
+}
+
+/// Tolerances for [`compare_reports`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareTolerance {
+    /// Maximum allowed relative wall-clock growth: a candidate median above
+    /// `baseline * (1 + time)` is a regression. Machine-dependent, so pick
+    /// per context (e.g. `0.1` for same-machine A/B, much looser against a
+    /// committed baseline from different hardware).
+    pub time: f64,
+    /// Maximum allowed relative drop of the geometric-mean speedup. The
+    /// metric is deterministic, so this stays small.
+    pub quality: f64,
+}
+
+impl Default for CompareTolerance {
+    fn default() -> Self {
+        CompareTolerance {
+            time: 0.1,
+            quality: 0.02,
+        }
+    }
+}
+
+/// Compares a candidate report against a baseline and returns one
+/// human-readable line per regression (empty = no regression). Extra cells
+/// in the candidate (new coverage) are never regressions; cells or
+/// architectures missing from the candidate always are.
+#[must_use]
+pub fn compare_reports(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    tolerance: &CompareTolerance,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for base in &baseline.cells {
+        let key = base.key();
+        let Some(cand) = candidate.cell(&base.arch, &base.suite) else {
+            regressions.push(format!("{key}: cell missing from candidate report"));
+            continue;
+        };
+        let time_limit = base.median_ms * (1.0 + tolerance.time);
+        if cand.median_ms > time_limit {
+            regressions.push(format!(
+                "{key}: median wall clock {:.1} ms exceeds {:.1} ms \
+                 (baseline {:.1} ms + {:.0}% tolerance)",
+                cand.median_ms,
+                time_limit,
+                base.median_ms,
+                tolerance.time * 100.0
+            ));
+        }
+        let quality_floor = base.geomean_speedup * (1.0 - tolerance.quality);
+        if cand.geomean_speedup < quality_floor {
+            regressions.push(format!(
+                "{key}: geomean speedup {:.4}x fell below {:.4}x \
+                 (baseline {:.4}x - {:.0}% tolerance)",
+                cand.geomean_speedup,
+                quality_floor,
+                base.geomean_speedup,
+                tolerance.quality * 100.0
+            ));
+        }
+        if cand.verified < base.verified {
+            regressions.push(format!(
+                "{key}: verified kernels dropped {} -> {}",
+                base.verified, cand.verified
+            ));
+        }
+        if cand.kernels < base.kernels {
+            regressions.push(format!(
+                "{key}: suite coverage shrank {} -> {} kernels",
+                base.kernels, cand.kernels
+            ));
+        }
+    }
+    for base_arch in &baseline.stall_counts {
+        let Some(cand_arch) = candidate
+            .stall_counts
+            .iter()
+            .find(|a| a.arch == base_arch.arch)
+        else {
+            regressions.push(format!(
+                "{}: stall table missing from candidate report",
+                base_arch.arch
+            ));
+            continue;
+        };
+        for base_op in &base_arch.stalls {
+            let cand_stall = cand_arch
+                .stalls
+                .iter()
+                .find(|o| o.op == base_op.op)
+                .map(|o| o.stall);
+            if cand_stall != Some(base_op.stall) {
+                regressions.push(format!(
+                    "{}/{}: stall count changed {:?} -> {:?} \
+                     (deterministic metric; regenerate the baseline if intended)",
+                    base_arch.arch,
+                    base_op.op,
+                    base_op.stall,
+                    cand_stall.flatten()
+                ));
+            }
+        }
+    }
+    regressions
+}
+
+/// Median of a sample set (mean of the two central elements for even sizes).
+/// Returns 0 for an empty set.
+#[must_use]
+pub fn median_ms(samples: &[f64]) -> f64 {
+    percentile_pair(samples).map_or(0.0, |sorted| {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    })
+}
+
+/// Interquartile range (q3 - q1, nearest-rank quartiles) of a sample set.
+/// Returns 0 for fewer than two samples.
+#[must_use]
+pub fn iqr_ms(samples: &[f64]) -> f64 {
+    percentile_pair(samples).map_or(0.0, |sorted| {
+        let n = sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let q1 = sorted[(n - 1) / 4];
+        let q3 = sorted[(3 * (n - 1)).div_ceil(4)];
+        q3 - q1
+    })
+}
+
+fn percentile_pair(samples: &[f64]) -> Option<Vec<f64>> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_REPORT_SCHEMA_VERSION,
+            tool: "bench_report".to_string(),
+            config: BenchRunConfig {
+                scale: 64,
+                jobs: 4,
+                smoke: true,
+                runs: 5,
+            },
+            cells: vec![BenchCell {
+                arch: "ampere".to_string(),
+                suite: "table2".to_string(),
+                runs_ms: vec![150.0, 148.0, 162.0, 152.0, 149.0],
+                median_ms: 150.0,
+                iqr_ms: 4.0,
+                geomean_speedup: 1.009,
+                verified: 6,
+                kernels: 6,
+            }],
+            stall_counts: vec![ArchStalls {
+                arch: "ampere".to_string(),
+                stalls: vec![
+                    OpStall {
+                        op: "IADD3".to_string(),
+                        stall: Some(4),
+                    },
+                    OpStall {
+                        op: "IMAD".to_string(),
+                        stall: Some(5),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_reports_show_no_regression() {
+        let a = report();
+        assert!(compare_reports(&a, &a.clone(), &CompareTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn injected_twenty_percent_slowdown_regresses_at_default_tolerance() {
+        let base = report();
+        let mut slow = base.clone();
+        for cell in &mut slow.cells {
+            cell.median_ms *= 1.2;
+            for run in &mut cell.runs_ms {
+                *run *= 1.2;
+            }
+        }
+        let regressions = compare_reports(&base, &slow, &CompareTolerance::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("median wall clock"));
+        // A looser time tolerance accepts the same slowdown.
+        assert!(compare_reports(
+            &base,
+            &slow,
+            &CompareTolerance {
+                time: 0.5,
+                quality: 0.02
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn quality_and_coverage_regressions_are_caught_regardless_of_time() {
+        let base = report();
+        let loose = CompareTolerance {
+            time: 100.0,
+            quality: 0.02,
+        };
+        let mut worse = base.clone();
+        worse.cells[0].geomean_speedup = 0.9;
+        assert!(compare_reports(&base, &worse, &loose)[0].contains("geomean"));
+        let mut unverified = base.clone();
+        unverified.cells[0].verified = 4;
+        assert!(compare_reports(&base, &unverified, &loose)[0].contains("verified"));
+        let mut shrunk = base.clone();
+        shrunk.cells[0].kernels = 5;
+        shrunk.cells[0].verified = 6; // verified unchanged, coverage shrank
+        assert!(compare_reports(&base, &shrunk, &loose)[0].contains("coverage"));
+        let mut missing = base.clone();
+        missing.cells.clear();
+        assert!(compare_reports(&base, &missing, &loose)[0].contains("missing"));
+    }
+
+    #[test]
+    fn stall_count_drift_is_a_strict_regression() {
+        let base = report();
+        let mut drifted = base.clone();
+        drifted.stall_counts[0].stalls[1].stall = Some(6);
+        let regressions = compare_reports(&base, &drifted, &CompareTolerance::default());
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("IMAD"));
+        let mut gone = base.clone();
+        gone.stall_counts.clear();
+        assert!(!compare_reports(&base, &gone, &CompareTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn median_and_iqr_are_deterministic() {
+        assert_eq!(median_ms(&[]), 0.0);
+        assert_eq!(median_ms(&[3.0]), 3.0);
+        assert_eq!(median_ms(&[4.0, 2.0]), 3.0);
+        assert_eq!(median_ms(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(iqr_ms(&[1.0]), 0.0);
+        assert_eq!(iqr_ms(&[1.0, 2.0, 3.0, 4.0, 5.0]), 2.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let original = report();
+        let json = serde_json::to_string_pretty(&original).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+}

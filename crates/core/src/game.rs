@@ -217,6 +217,21 @@ impl AssemblyGame {
     }
 }
 
+/// The serialized form of an [`AssemblyGame`]'s mutable state (see
+/// [`Env::state_bytes`]): everything `reset`/`step` mutate, with runtimes
+/// stored as exact `f64` bit patterns. Static context (device, launch,
+/// stall table, initial schedule) is *not* serialized — the snapshot must be
+/// restored onto a game constructed for the same kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GameSnapshot {
+    current: String,
+    current_runtime_bits: u64,
+    steps_in_episode: usize,
+    best: String,
+    best_runtime_bits: u64,
+    trace: Vec<Move>,
+}
+
 impl Env for AssemblyGame {
     fn reset(&mut self) -> Matrix {
         self.current = self.initial.clone();
@@ -290,6 +305,62 @@ impl Env for AssemblyGame {
     fn observation_features(&self) -> usize {
         feature_count(&self.analysis)
     }
+
+    /// Serializes the game's mutable state (current/best schedules, their
+    /// runtimes as exact bit patterns, episode progress and move trace) so
+    /// an RL training run over this game can be checkpointed and resumed
+    /// bit-identically.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        let snapshot = GameSnapshot {
+            current: self.current.to_string(),
+            current_runtime_bits: self.current_runtime.to_bits(),
+            steps_in_episode: self.steps_in_episode,
+            best: self.best.to_string(),
+            best_runtime_bits: self.best_runtime.to_bits(),
+            trace: self.trace.clone(),
+        };
+        Some(serde_json::to_string(&snapshot).ok()?.into_bytes())
+    }
+
+    /// Restores a [`Env::state_bytes`] snapshot onto a game constructed for
+    /// the same kernel (same program length, device, launch and protocol).
+    /// Returns `false` — leaving the game unchanged — when the bytes do not
+    /// decode or the schedules do not belong to this kernel.
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let Ok(text) = std::str::from_utf8(state) else {
+            return false;
+        };
+        let Ok(snapshot) = serde_json::from_str::<GameSnapshot>(text) else {
+            return false;
+        };
+        let Ok(current) = snapshot.current.parse::<Program>() else {
+            return false;
+        };
+        let Ok(best) = snapshot.best.parse::<Program>() else {
+            return false;
+        };
+        // The game only ever reorders instructions, so any reachable state
+        // is a permutation of the initial schedule. A snapshot from a
+        // different kernel — even one with the same instruction count —
+        // fails this multiset check instead of being silently adopted.
+        let multiset = |program: &Program| {
+            let mut texts: Vec<String> = program.instructions().map(ToString::to_string).collect();
+            texts.sort_unstable();
+            texts
+        };
+        let initial = multiset(&self.initial);
+        if multiset(&current) != initial || multiset(&best) != initial {
+            return false;
+        }
+        self.current = current;
+        self.current_runtime = f64::from_bits(snapshot.current_runtime_bits);
+        self.steps_in_episode = snapshot.steps_in_episode;
+        self.best = best;
+        self.best_runtime = f64::from_bits(snapshot.best_runtime_bits);
+        self.trace = snapshot.trace;
+        self.refresh_state();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +421,38 @@ mod tests {
         let (_, best_runtime) = game.best();
         assert!(best_runtime <= initial);
         assert!(!game.trace().is_empty() || improved == 0);
+    }
+
+    #[test]
+    fn state_snapshot_round_trips_onto_a_fresh_game() {
+        let mut game = small_game();
+        let _ = game.reset();
+        for _ in 0..4 {
+            let mask = game.action_mask();
+            let Some(action) = mask.iter().position(|&m| m) else {
+                break;
+            };
+            game.step(action);
+        }
+        let state = game.state_bytes().expect("assembly game snapshots");
+        let mut restored = small_game();
+        assert!(restored.restore_state(&state));
+        assert_eq!(restored.trace(), game.trace());
+        assert_eq!(restored.best().1.to_bits(), game.best().1.to_bits());
+        assert_eq!(restored.best().0.to_string(), game.best().0.to_string());
+        assert_eq!(restored.action_mask(), game.action_mask());
+        // The two games continue identically.
+        let mask = game.action_mask();
+        if let Some(action) = mask.iter().position(|&m| m) {
+            let a = game.step(action);
+            let b = restored.step(action);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.done, b.done);
+            assert_eq!(a.observation, b.observation);
+        }
+        // Garbage and foreign states are refused without panicking.
+        assert!(!restored.restore_state(b"\xFF\xFE not json"));
+        assert!(!restored.restore_state(b"{}"));
     }
 
     #[test]

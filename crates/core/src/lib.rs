@@ -39,6 +39,7 @@ mod game;
 mod optimizer;
 mod stall_table;
 mod suite_optimizer;
+mod telemetry;
 
 pub use action::{action_mask, Action, Direction};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
@@ -53,4 +54,8 @@ pub use stall_table::{
 };
 pub use suite_optimizer::{
     load_suite_report, persist_suite_report, suite_report_path, SuiteOptimizer, SuiteReport,
+};
+pub use telemetry::{
+    duration_ms, load_run_manifest, persist_run_manifest, telemetry_path, CacheTelemetry,
+    KernelTelemetry, PhaseTimings, RunManifest, TrainingTelemetry, TELEMETRY_SCHEMA_VERSION,
 };

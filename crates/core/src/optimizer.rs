@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::game::{AssemblyGame, GameConfig, Move};
 use crate::stall_table::StallTable;
+use crate::telemetry::{duration_ms, CacheTelemetry, KernelTelemetry, TrainingTelemetry};
 
 /// The search strategy used to play the assembly game.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +46,19 @@ pub enum Strategy {
         /// Random seed.
         seed: u64,
     },
+}
+
+impl Strategy {
+    /// A short label for reports and telemetry manifests.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Rl(_) => "rl",
+            Strategy::Greedy { .. } => "greedy",
+            Strategy::Random { .. } => "random",
+            Strategy::Evolutionary { .. } => "evolutionary",
+        }
+    }
 }
 
 /// Result of optimizing one kernel.
@@ -152,28 +166,70 @@ impl CuAsmRl {
         space: &ConfigSpace,
         tune_options: &MeasureOptions,
     ) -> (OptimizationReport, Cubin) {
+        let (report, cubin, _telemetry) =
+            self.optimize_spec_instrumented(spec, space, tune_options);
+        (report, cubin)
+    }
+
+    /// [`CuAsmRl::optimize_spec`] plus the structured telemetry of the run:
+    /// wall-clock per phase (autotune / compile / search / verify), the
+    /// winning reward curve, eval-cache hit rates and — when the strategy is
+    /// [`Strategy::Rl`] — the full PPO training series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled cubin does not contain the expected kernel
+    /// (which would be a pipeline bug).
+    pub fn optimize_spec_instrumented(
+        &self,
+        spec: &KernelSpec,
+        space: &ConfigSpace,
+        tune_options: &MeasureOptions,
+    ) -> (OptimizationReport, Cubin, KernelTelemetry) {
+        let run_start = std::time::Instant::now();
+        let autotune_start = std::time::Instant::now();
         let tuner = Autotuner::new(self.gpu.clone()).with_options(tune_options.clone());
         let tuning = tuner.tune(spec, space);
+        let autotune_ms = duration_ms(autotune_start.elapsed());
+        let compile_start = std::time::Instant::now();
         let pipeline = TritonPipeline::new(self.gpu.clone());
         let compiled = pipeline.compile(spec, &tuning.best);
+        let compile_ms = duration_ms(compile_start.elapsed());
         if let Some(hit) = self.lookup(&compiled.name) {
             let mut cubin = compiled.cubin.clone();
             if let Ok(program) = hit.optimized_listing.parse::<Program>() {
                 let _ = cubin.replace_kernel_section(&compiled.name, &program);
             }
-            return (hit, cubin);
+            let mut telemetry = KernelTelemetry {
+                kernel: hit.kernel.clone(),
+                baseline_us: hit.baseline_us,
+                optimized_us: hit.optimized_us,
+                speedup: hit.speedup,
+                verified: hit.verified,
+                from_deploy_cache: true,
+                reward_curve: hit.moves.iter().map(|m| m.reward).collect(),
+                ..KernelTelemetry::default()
+            };
+            telemetry.phases.autotune_ms = autotune_ms;
+            telemetry.phases.compile_ms = compile_ms;
+            telemetry.phases.total_ms = duration_ms(run_start.elapsed());
+            return (hit, cubin, telemetry);
         }
         let program = compiled
             .cubin
             .kernel_program(&compiled.name)
             .expect("compiled cubin must contain the kernel");
-        let report = self.optimize_program(&compiled.name, program, compiled.launch.clone());
+        let (report, mut telemetry) =
+            self.optimize_program_instrumented(&compiled.name, program, compiled.launch.clone());
         let mut cubin = compiled.cubin;
         if let Ok(optimized) = report.optimized_listing.parse::<Program>() {
             let _ = cubin.replace_kernel_section(&compiled.name, &optimized);
         }
         self.store(&report);
-        (report, cubin)
+        telemetry.phases.autotune_ms = autotune_ms;
+        telemetry.phases.compile_ms = compile_ms;
+        telemetry.phases.total_ms = duration_ms(run_start.elapsed());
+        (report, cubin, telemetry)
     }
 
     /// Optimizes an already-compiled SASS schedule.
@@ -183,6 +239,22 @@ impl CuAsmRl {
         program: Program,
         launch: gpusim::LaunchConfig,
     ) -> OptimizationReport {
+        self.optimize_program_instrumented(kernel, program, launch)
+            .0
+    }
+
+    /// [`CuAsmRl::optimize_program`] plus the structured telemetry of the
+    /// search (search/verify wall clock, reward curve, eval-cache counters,
+    /// PPO training series when applicable). The autotune/compile/total
+    /// phase timings are zero here — [`CuAsmRl::optimize_spec_instrumented`]
+    /// fills them in when the full hierarchical pipeline runs.
+    pub fn optimize_program_instrumented(
+        &self,
+        kernel: &str,
+        program: Program,
+        launch: gpusim::LaunchConfig,
+    ) -> (OptimizationReport, KernelTelemetry) {
+        let search_start = std::time::Instant::now();
         let mut game = AssemblyGame::new(
             self.gpu.clone(),
             program,
@@ -191,8 +263,13 @@ impl CuAsmRl {
             self.game_config.clone(),
         );
         let baseline_us = game.initial_runtime_us();
+        let mut training = None;
         let moves = match &self.strategy {
-            Strategy::Rl(config) => run_rl(&mut game, config.clone()),
+            Strategy::Rl(config) => {
+                let (moves, stats) = run_rl(&mut game, config.clone());
+                training = Some(TrainingTelemetry::from_stats(&stats));
+                moves
+            }
             Strategy::Greedy { max_moves } => run_greedy(&mut game, *max_moves),
             Strategy::Random { steps, seed } => run_random(&mut game, *steps, *seed),
             Strategy::Evolutionary {
@@ -201,16 +278,19 @@ impl CuAsmRl {
                 seed,
             } => run_evolutionary(&mut game, *generations, *mutation_length, *seed),
         };
+        let search_ms = duration_ms(search_start.elapsed());
         let (best, optimized_us) = game.best();
         let best = best.clone();
         // Probabilistic testing (§4.1): the optimized schedule must produce
         // the same outputs as the original and run without hazards. The best
         // schedule was measured during the search, so this answers from the
         // game's evaluation cache.
+        let verify_start = std::time::Instant::now();
         let verification = game.cached_measurement(&best);
         let verified = verification.run.sm.hazards == 0
             && verification.run.sm.output_digest == game.initial_digest();
-        OptimizationReport {
+        let verify_ms = duration_ms(verify_start.elapsed());
+        let report = OptimizationReport {
             kernel: kernel.to_string(),
             baseline_us,
             optimized_us,
@@ -218,15 +298,30 @@ impl CuAsmRl {
             verified,
             optimized_listing: best.to_string(),
             moves,
-        }
+        };
+        let mut telemetry = KernelTelemetry {
+            kernel: report.kernel.clone(),
+            baseline_us: report.baseline_us,
+            optimized_us: report.optimized_us,
+            speedup: report.speedup,
+            verified: report.verified,
+            from_deploy_cache: false,
+            reward_curve: report.moves.iter().map(|m| m.reward).collect(),
+            cache: CacheTelemetry::from_stats(game.eval_cache().stats()),
+            training,
+            ..KernelTelemetry::default()
+        };
+        telemetry.phases.search_ms = search_ms;
+        telemetry.phases.verify_ms = verify_ms;
+        (report, telemetry)
     }
 }
 
-fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> Vec<Move> {
+fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> (Vec<Move>, rl::TrainingStats) {
     let features = game.observation_features();
     let actions = game.action_count();
     let mut trainer = PpoTrainer::new(config, features, actions);
-    let _stats = trainer.train(game);
+    let stats = trainer.train(game);
     // Deterministic, seeded inference pass (§5.7) to recover the move trace.
     let mut observation = game.reset();
     let mut moves = Vec::new();
@@ -242,7 +337,7 @@ fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> Vec<Move> {
             break;
         }
     }
-    moves
+    (moves, stats)
 }
 
 fn run_greedy(game: &mut AssemblyGame, max_moves: usize) -> Vec<Move> {

@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::game::GameConfig;
 use crate::optimizer::{CuAsmRl, OptimizationReport, Strategy};
+use crate::telemetry::{persist_run_manifest, KernelTelemetry, RunManifest};
 
 /// Aggregated result of optimizing a kernel suite.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -227,6 +228,17 @@ impl SuiteOptimizer {
         self.optimize_labeled(&suite.specs(scale), suite.name)
     }
 
+    /// [`SuiteOptimizer::optimize_workload`] plus the aggregated
+    /// [`RunManifest`] telemetry of the run.
+    #[must_use]
+    pub fn optimize_workload_instrumented(
+        &self,
+        suite: &WorkloadSuite,
+        scale: usize,
+    ) -> (SuiteReport, RunManifest) {
+        self.optimize_labeled_instrumented(&suite.specs(scale), suite.name)
+    }
+
     /// Optimizes `specs`, sharding the suite across the configured thread
     /// pool and aggregating the reports in suite order.
     ///
@@ -246,8 +258,26 @@ impl SuiteOptimizer {
     /// Panics if a worker thread panics (the panic is propagated).
     #[must_use]
     pub fn optimize_labeled(&self, specs: &[KernelSpec], label: &str) -> SuiteReport {
+        self.optimize_labeled_instrumented(specs, label).0
+    }
+
+    /// [`SuiteOptimizer::optimize_labeled`] plus the aggregated
+    /// [`RunManifest`] telemetry of the run (per-kernel reward curves and
+    /// phase timings, eval-cache hit rates, PPO training series). When a
+    /// cache directory is configured, the manifest is persisted next to the
+    /// suite report (see [`crate::telemetry_path`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the panic is propagated).
+    #[must_use]
+    pub fn optimize_labeled_instrumented(
+        &self,
+        specs: &[KernelSpec],
+        label: &str,
+    ) -> (SuiteReport, RunManifest) {
         let next = AtomicUsize::new(0);
-        let (result_tx, result_rx) = channel::<(usize, OptimizationReport)>();
+        let (result_tx, result_rx) = channel::<(usize, OptimizationReport, KernelTelemetry)>();
         let jobs = self.jobs.min(specs.len()).max(1);
         std::thread::scope(|scope| {
             for _ in 0..jobs {
@@ -263,9 +293,9 @@ impl SuiteOptimizer {
                         .space
                         .clone()
                         .unwrap_or_else(|| spec.kind.config_space());
-                    let (report, _cubin) =
-                        optimizer.optimize_spec(spec, &space, &self.tune_options);
-                    if result_tx.send((index, report)).is_err() {
+                    let (report, _cubin, telemetry) =
+                        optimizer.optimize_spec_instrumented(spec, &space, &self.tune_options);
+                    if result_tx.send((index, report, telemetry)).is_err() {
                         return;
                     }
                 });
@@ -273,14 +303,14 @@ impl SuiteOptimizer {
         });
         drop(result_tx);
 
-        let mut slots: Vec<Option<OptimizationReport>> = vec![None; specs.len()];
-        for (index, report) in result_rx {
-            slots[index] = Some(report);
+        let mut slots: Vec<Option<(OptimizationReport, KernelTelemetry)>> = vec![None; specs.len()];
+        for (index, report, telemetry) in result_rx {
+            slots[index] = Some((report, telemetry));
         }
-        let reports: Vec<OptimizationReport> = slots
+        let (reports, kernel_telemetry): (Vec<OptimizationReport>, Vec<KernelTelemetry>) = slots
             .into_iter()
             .map(|slot| slot.expect("every kernel must produce a report"))
-            .collect();
+            .unzip();
 
         let verified = reports.iter().filter(|r| r.verified).count();
         let geomean_speedup = if reports.is_empty() {
@@ -297,10 +327,20 @@ impl SuiteOptimizer {
             geomean_speedup,
             verified,
         };
+        let manifest = RunManifest::new(
+            self.gpu.name.clone(),
+            label,
+            self.strategy.name(),
+            self.seed,
+            self.jobs,
+            kernel_telemetry,
+            geomean_speedup,
+        );
         if let Some(dir) = &self.cache_dir {
             let _ = persist_suite_report(dir, &suite);
+            let _ = persist_run_manifest(dir, &manifest);
         }
-        suite
+        (suite, manifest)
     }
 }
 
@@ -398,6 +438,37 @@ mod tests {
             a.kernel_seed(&KernelSpec::scaled(KernelKind::Rmsnorm, 16)),
             a.kernel_seed(&KernelSpec::scaled(KernelKind::Rmsnorm, 16))
         );
+    }
+
+    #[test]
+    fn telemetry_manifest_is_aggregated_and_persisted() {
+        let dir = std::env::temp_dir().join(format!(
+            "cuasmrl-suite-telemetry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (suite, manifest) = optimizer(2)
+            .with_cache_dir(&dir)
+            .optimize_labeled_instrumented(&small_suite(), "custom");
+        assert_eq!(manifest.schema_version, crate::TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(manifest.kernels.len(), suite.reports.len());
+        assert_eq!(manifest.strategy, "greedy");
+        assert_eq!(manifest.verified, suite.verified);
+        assert_eq!(manifest.geomean_speedup, suite.geomean_speedup);
+        for (kernel, report) in manifest.kernels.iter().zip(&suite.reports) {
+            assert_eq!(kernel.kernel, report.kernel);
+            assert_eq!(kernel.speedup, report.speedup);
+            assert_eq!(kernel.reward_curve.len(), report.moves.len());
+            assert!(kernel.cache.hits + kernel.cache.misses > 0);
+            assert!(kernel.phases.total_ms >= 0.0);
+        }
+        // The search measures every candidate through the eval cache, so a
+        // greedy probe suite must revisit schedules (hits > 0 overall).
+        assert!(manifest.cache.hits > 0);
+        let loaded = crate::load_run_manifest(&dir, &suite.gpu, &suite.suite)
+            .expect("manifest persisted next to the suite report");
+        assert_eq!(loaded, manifest);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Structured, machine-readable run telemetry.
+//!
+//! Every suite optimization can emit a [`RunManifest`]: a stable-schema JSON
+//! artifact recording, per kernel, the reward curve of the best move trace,
+//! the RL training series (per-update losses/entropy/KL) when the paper's
+//! PPO strategy ran, the schedule-evaluation cache hit rate and the
+//! wall-clock spent in each phase of the hierarchical search (autotune →
+//! compile → assembly-game search → verification). The manifest is written
+//! next to the persisted suite report in the schedule-cache directory, is
+//! uploaded as a build artifact by CI, and is the input the perf-regression
+//! tooling and any future dashboards consume.
+//!
+//! Schema stability: [`TELEMETRY_SCHEMA_VERSION`] is bumped on any
+//! field-level change, and `docs/ARTIFACTS.md` documents the full schema.
+//! Wall-clock fields are observability data — they are the only
+//! non-deterministic values in the manifest, and consumers must not expect
+//! them to be reproducible.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::eval_cache::EvalCacheStats;
+
+/// Version of the telemetry JSON schema (see `docs/ARTIFACTS.md`).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// Eval-cache effectiveness counters for one kernel search or a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheTelemetry {
+    /// Schedule measurements answered from the cache.
+    pub hits: u64,
+    /// Schedule measurements that had to simulate.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when nothing was measured.
+    pub hit_rate: f64,
+}
+
+impl CacheTelemetry {
+    /// Builds the telemetry record from raw cache counters.
+    #[must_use]
+    pub fn from_stats(stats: EvalCacheStats) -> Self {
+        let total = stats.hits + stats.misses;
+        CacheTelemetry {
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / total as f64
+            },
+        }
+    }
+
+    /// Accumulates another record into this one, recomputing the rate.
+    pub fn accumulate(&mut self, other: &CacheTelemetry) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        let total = self.hits + self.misses;
+        self.hit_rate = if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        };
+    }
+}
+
+/// Wall-clock spent in each phase of one hierarchical kernel optimization
+/// (milliseconds). Non-deterministic by nature; informational only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Autotuning the kernel configuration.
+    pub autotune_ms: f64,
+    /// Compiling through the Triton-like pipeline (including the cubin
+    /// interception).
+    pub compile_ms: f64,
+    /// Playing the assembly game (the search itself).
+    pub search_ms: f64,
+    /// Probabilistic verification of the winning schedule.
+    pub verify_ms: f64,
+    /// End-to-end wall clock of the kernel optimization.
+    pub total_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Accumulates another kernel's timings into this aggregate.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.autotune_ms += other.autotune_ms;
+        self.compile_ms += other.compile_ms;
+        self.search_ms += other.search_ms;
+        self.verify_ms += other.verify_ms;
+        self.total_ms += other.total_ms;
+    }
+}
+
+/// Converts a measured [`Duration`] to fractional milliseconds.
+#[must_use]
+pub fn duration_ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// The RL training series of one kernel (present when the search strategy
+/// was [`crate::Strategy::Rl`]): the per-update time series Figures 8 and 12
+/// of the paper plot, re-exported verbatim from [`rl::TrainingStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTelemetry {
+    /// Environment steps collected.
+    pub steps: usize,
+    /// Episodic returns in completion order.
+    pub episodic_returns: Vec<f32>,
+    /// Approximate KL divergence per update.
+    pub approx_kl: Vec<f32>,
+    /// Mean policy entropy per update.
+    pub entropy: Vec<f32>,
+    /// Mean policy loss per update.
+    pub policy_loss: Vec<f32>,
+    /// Mean value loss per update.
+    pub value_loss: Vec<f32>,
+}
+
+impl TrainingTelemetry {
+    /// Builds the telemetry record from PPO training statistics.
+    #[must_use]
+    pub fn from_stats(stats: &rl::TrainingStats) -> Self {
+        TrainingTelemetry {
+            steps: stats.steps,
+            episodic_returns: stats.episodic_returns.clone(),
+            approx_kl: stats.approx_kl.clone(),
+            entropy: stats.entropy.clone(),
+            policy_loss: stats.policy_loss.clone(),
+            value_loss: stats.value_loss.clone(),
+        }
+    }
+}
+
+/// Everything recorded about one kernel's optimization.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelTelemetry {
+    /// Kernel name (cubin symbol).
+    pub kernel: String,
+    /// Runtime of the `-O3` baseline schedule, microseconds.
+    pub baseline_us: f64,
+    /// Runtime of the best schedule found, microseconds.
+    pub optimized_us: f64,
+    /// `baseline_us / optimized_us`.
+    pub speedup: f64,
+    /// Whether the winning schedule passed probabilistic verification.
+    pub verified: bool,
+    /// Whether the result came from the deploy-time schedule cache (§4.2)
+    /// instead of a fresh search.
+    pub from_deploy_cache: bool,
+    /// Per-move rewards of the winning move trace (the reward curve).
+    pub reward_curve: Vec<f32>,
+    /// Eval-cache counters of this kernel's search.
+    pub cache: CacheTelemetry,
+    /// Wall-clock per phase of this kernel's optimization.
+    pub phases: PhaseTimings,
+    /// RL training series, when the strategy was PPO.
+    pub training: Option<TrainingTelemetry>,
+}
+
+/// The aggregate telemetry manifest of one suite optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Telemetry schema version ([`TELEMETRY_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Device profile the suite was optimized for.
+    pub gpu: String,
+    /// Workload-registry suite name (`"custom"` for ad-hoc spec lists).
+    pub suite: String,
+    /// Search strategy label.
+    pub strategy: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-kernel telemetry, in suite order.
+    pub kernels: Vec<KernelTelemetry>,
+    /// Eval-cache counters summed over the suite.
+    pub cache: CacheTelemetry,
+    /// Phase wall-clock summed over the suite.
+    pub phases: PhaseTimings,
+    /// Geometric-mean speedup across the suite.
+    pub geomean_speedup: f64,
+    /// Number of kernels whose schedule verified.
+    pub verified: usize,
+}
+
+impl RunManifest {
+    /// Assembles a manifest from per-kernel telemetry plus run metadata,
+    /// computing the aggregate cache and phase totals.
+    #[must_use]
+    pub fn new(
+        gpu: impl Into<String>,
+        suite: impl Into<String>,
+        strategy: impl Into<String>,
+        seed: u64,
+        jobs: usize,
+        kernels: Vec<KernelTelemetry>,
+        geomean_speedup: f64,
+    ) -> Self {
+        let mut cache = CacheTelemetry::default();
+        let mut phases = PhaseTimings::default();
+        let mut verified = 0;
+        for kernel in &kernels {
+            cache.accumulate(&kernel.cache);
+            phases.accumulate(&kernel.phases);
+            verified += usize::from(kernel.verified);
+        }
+        RunManifest {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            gpu: gpu.into(),
+            suite: suite.into(),
+            strategy: strategy.into(),
+            seed,
+            jobs,
+            kernels,
+            cache,
+            phases,
+            geomean_speedup,
+            verified,
+        }
+    }
+}
+
+/// Path of a run manifest inside a cache/report directory, keyed like the
+/// suite report so different device/suite runs never overwrite each other.
+#[must_use]
+pub fn telemetry_path(dir: &Path, gpu: &str, suite: &str) -> PathBuf {
+    dir.join(format!("{gpu}_{suite}_telemetry.json"))
+}
+
+/// Writes a run manifest into the directory (pretty-printed JSON).
+///
+/// # Errors
+///
+/// Returns an IO error when the directory cannot be created or written.
+pub fn persist_run_manifest(dir: &Path, manifest: &RunManifest) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let text = serde_json::to_string_pretty(manifest)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(telemetry_path(dir, &manifest.gpu, &manifest.suite), text)
+}
+
+/// Loads a previously persisted run manifest.
+#[must_use]
+pub fn load_run_manifest(dir: &Path, gpu: &str, suite: &str) -> Option<RunManifest> {
+    let text = std::fs::read_to_string(telemetry_path(dir, gpu, suite)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_telemetry_computes_rates() {
+        let t = CacheTelemetry::from_stats(EvalCacheStats { hits: 3, misses: 1 });
+        assert_eq!(t.hit_rate, 0.75);
+        let mut total = CacheTelemetry::default();
+        assert_eq!(total.hit_rate, 0.0);
+        total.accumulate(&t);
+        total.accumulate(&CacheTelemetry::from_stats(EvalCacheStats {
+            hits: 0,
+            misses: 4,
+        }));
+        assert_eq!(total.hits, 3);
+        assert_eq!(total.misses, 5);
+        assert_eq!(total.hit_rate, 0.375);
+    }
+
+    #[test]
+    fn manifest_aggregates_and_round_trips_through_json() {
+        let kernel = |name: &str, verified: bool| KernelTelemetry {
+            kernel: name.to_string(),
+            baseline_us: 10.0,
+            optimized_us: 8.0,
+            speedup: 1.25,
+            verified,
+            from_deploy_cache: false,
+            reward_curve: vec![0.5, -0.25, 1.0],
+            cache: CacheTelemetry {
+                hits: 2,
+                misses: 2,
+                hit_rate: 0.5,
+            },
+            phases: PhaseTimings {
+                autotune_ms: 1.0,
+                compile_ms: 2.0,
+                search_ms: 3.0,
+                verify_ms: 0.5,
+                total_ms: 6.5,
+            },
+            training: Some(TrainingTelemetry {
+                steps: 64,
+                episodic_returns: vec![1.0],
+                approx_kl: vec![0.01],
+                entropy: vec![1.5],
+                policy_loss: vec![-0.2],
+                value_loss: vec![0.4],
+            }),
+        };
+        let manifest = RunManifest::new(
+            "a100",
+            "table2",
+            "rl",
+            7,
+            4,
+            vec![kernel("a", true), kernel("b", false)],
+            1.25,
+        );
+        assert_eq!(manifest.schema_version, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(manifest.verified, 1);
+        assert_eq!(manifest.cache.hits, 4);
+        assert_eq!(manifest.phases.total_ms, 13.0);
+        let json = serde_json::to_string_pretty(&manifest).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_persists_keyed_by_gpu_and_suite() {
+        let dir = std::env::temp_dir().join(format!(
+            "cuasmrl-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let a = RunManifest::new("a100", "table2", "greedy", 0, 1, Vec::new(), 1.0);
+        let b = RunManifest::new("a100", "attention", "greedy", 0, 1, Vec::new(), 1.0);
+        persist_run_manifest(&dir, &a).unwrap();
+        persist_run_manifest(&dir, &b).unwrap();
+        assert_eq!(load_run_manifest(&dir, "a100", "table2"), Some(a));
+        assert_eq!(load_run_manifest(&dir, "a100", "attention"), Some(b));
+        assert_eq!(load_run_manifest(&dir, "hopper", "table2"), None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -57,6 +57,40 @@ impl Linear {
         }
     }
 
+    /// Rebuilds a layer from raw parameter vectors (e.g. a checkpoint).
+    /// Returns `None` when the vector lengths disagree with the dimensions.
+    #[must_use]
+    pub fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Option<Self> {
+        if weight.len() != in_features * out_features || bias.len() != out_features {
+            return None;
+        }
+        Some(Linear {
+            in_features,
+            out_features,
+            grad_weight: vec![0.0; weight.len()],
+            grad_bias: vec![0.0; bias.len()],
+            weight,
+            bias,
+        })
+    }
+
+    /// The row-major `[out_features x in_features]` weights.
+    #[must_use]
+    pub fn weight_values(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn bias_values(&self) -> &[f32] {
+        &self.bias
+    }
+
     /// Input dimensionality.
     #[must_use]
     pub fn in_features(&self) -> usize {
@@ -228,6 +262,54 @@ impl ConvEncoder {
             grad_weight: vec![0.0; channels * kernel * features],
             grad_bias: vec![0.0; channels],
         }
+    }
+
+    /// Rebuilds an encoder from raw parameter vectors (e.g. a checkpoint).
+    /// Returns `None` when the vector lengths disagree with the dimensions.
+    #[must_use]
+    pub fn from_parts(
+        channels: usize,
+        kernel: usize,
+        features: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Option<Self> {
+        if weight.len() != channels * kernel * features || bias.len() != channels {
+            return None;
+        }
+        Some(ConvEncoder {
+            channels,
+            kernel,
+            features,
+            grad_weight: vec![0.0; weight.len()],
+            grad_bias: vec![0.0; bias.len()],
+            weight,
+            bias,
+        })
+    }
+
+    /// The `[channels x kernel x features]` row-major weights.
+    #[must_use]
+    pub fn weight_values(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn bias_values(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Convolution window length (instructions).
+    #[must_use]
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Embedding features per input row.
+    #[must_use]
+    pub fn input_features(&self) -> usize {
+        self.features
     }
 
     /// Output dimensionality.
@@ -632,6 +714,44 @@ mod tests {
         assert_eq!(v, vec![0.0, 2.0]);
         let t = tanh(&[0.0]);
         assert_eq!(t, vec![0.0]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates_shapes() {
+        let layer = Linear::new(&mut rng(), 3, 2);
+        let rebuilt = Linear::from_parts(
+            3,
+            2,
+            layer.weight_values().to_vec(),
+            layer.bias_values().to_vec(),
+        )
+        .expect("consistent shapes");
+        let input = [0.25, -1.5, 2.0];
+        let a: Vec<u32> = layer.forward(&input).iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = rebuilt
+            .forward(&input)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(a, b);
+        assert!(Linear::from_parts(3, 2, vec![0.0; 5], vec![0.0; 2]).is_none());
+
+        let enc = ConvEncoder::new(&mut rng(), 2, 3, 4);
+        let rebuilt = ConvEncoder::from_parts(
+            enc.channels(),
+            enc.kernel_size(),
+            enc.input_features(),
+            enc.weight_values().to_vec(),
+            enc.bias_values().to_vec(),
+        )
+        .expect("consistent shapes");
+        let input = Matrix::from_vec(5, 4, (0..20).map(|i| (i as f32).sin()).collect());
+        let (pa, _) = enc.forward(&input);
+        let (pb, _) = rebuilt.forward(&input);
+        let a: Vec<u32> = pa.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = pb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert!(ConvEncoder::from_parts(2, 3, 4, vec![0.0; 7], vec![0.0; 2]).is_none());
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! Versioned binary checkpoints for PPO training runs.
+//!
+//! A [`Checkpoint`] captures everything a [`crate::PpoTrainer`] needs to
+//! continue a training run *bit-identically* after a process restart: the
+//! [`crate::PpoConfig`], the update counter and accumulated
+//! [`crate::TrainingStats`], the complete [`PolicyState`] (all
+//! `Linear`/`ConvEncoder` weights, the three Adam optimizer moments and the
+//! action-sampling RNG state), and one snapshot per environment (the env's
+//! own opaque state bytes plus the observation the next action would be
+//! conditioned on). The resume-equals-uninterrupted contract is enforced by
+//! `crates/rl/tests/checkpoint.rs`, mirroring the `jobs=N ≡ jobs=1`
+//! determinism contract of the suite optimizer.
+//!
+//! # On-disk format (version 1)
+//!
+//! Little-endian throughout; `f32` values are stored as their IEEE-754 bit
+//! patterns so round-trips are exact. Vectors are a `u64` length followed by
+//! the elements; lengths are validated against the remaining input before
+//! any allocation.
+//!
+//! ```text
+//! magic    8 bytes  b"CASRLCKP"
+//! version  u32      1
+//! body     PpoConfig, completed_updates, TrainingStats, PolicyState,
+//!          env snapshots
+//! trailer  u64      FNV-1a-64 checksum of every preceding byte
+//! ```
+//!
+//! Corrupted, truncated or wrong-version inputs are rejected with a typed
+//! [`CheckpointError`] — never a panic.
+
+use std::fmt;
+use std::path::Path;
+
+use nn::Matrix;
+
+use crate::policy::{OptimizerState, PolicyState, RngState};
+use crate::ppo::{PpoConfig, TrainingStats};
+
+/// The 8-byte magic prefix of every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"CASRLCKP";
+
+/// The current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written, read or applied.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The input does not start with [`CHECKPOINT_MAGIC`] — it is not a
+    /// checkpoint at all.
+    BadMagic,
+    /// The input is a checkpoint, but of a format version this build does
+    /// not understand.
+    UnsupportedVersion(u32),
+    /// The input ended before the declared content did.
+    Truncated,
+    /// The trailing checksum does not match the content — the file was
+    /// damaged after being written.
+    ChecksumMismatch,
+    /// The input decodes structurally but is internally inconsistent
+    /// (mismatched weight shapes, impossible lengths, …).
+    Corrupt(String),
+    /// The environment does not support state snapshots
+    /// ([`crate::Env::state_bytes`] returned `None`), so a resumable
+    /// checkpoint cannot be taken or applied.
+    EnvSnapshotUnsupported,
+    /// The environment rejected the checkpointed state
+    /// ([`crate::Env::restore_state`] returned `false`) — it was likely
+    /// constructed for a different problem instance.
+    EnvRejectedState,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::EnvSnapshotUnsupported => {
+                write!(f, "environment does not support state snapshots")
+            }
+            CheckpointError::EnvRejectedState => {
+                write!(f, "environment rejected the checkpointed state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One environment's snapshot inside a [`Checkpoint`]: the env's opaque
+/// state bytes (from [`crate::Env::state_bytes`]), the observation the next
+/// action would be conditioned on (absent before the first update) and the
+/// action-validity mask of that observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvCheckpoint {
+    /// Opaque environment state, produced and consumed by the env itself.
+    pub state: Vec<u8>,
+    /// The pending observation, when training was mid-stream.
+    pub observation: Option<Matrix>,
+    /// Action-validity mask of the pending observation.
+    pub mask: Vec<bool>,
+}
+
+/// A complete, versioned snapshot of a PPO training run at an update
+/// boundary. See the module docs for the serialized layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Training hyperparameters.
+    pub config: PpoConfig,
+    /// Number of policy updates completed so far.
+    pub completed_updates: usize,
+    /// Statistics accumulated over the completed updates.
+    pub stats: TrainingStats,
+    /// Complete policy + optimizer + RNG state.
+    pub policy: PolicyState,
+    /// One snapshot per environment (one entry for sequential training,
+    /// `num_envs` entries for vectorized training).
+    pub envs: Vec<EnvCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint into the version-1 binary format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&CHECKPOINT_MAGIC);
+        w.u32(CHECKPOINT_VERSION);
+        encode_config(&mut w, &self.config);
+        w.u64(self.completed_updates as u64);
+        encode_stats(&mut w, &self.stats);
+        encode_policy(&mut w, &self.policy);
+        w.u64(self.envs.len() as u64);
+        for env in &self.envs {
+            w.byte_vec(&env.state);
+            match &env.observation {
+                Some(obs) => {
+                    w.u8(1);
+                    w.u64(obs.rows() as u64);
+                    w.u64(obs.cols() as u64);
+                    w.f32_vec(obs.data());
+                }
+                None => w.u8(0),
+            }
+            w.bool_vec(&env.mask);
+        }
+        let checksum = fnv1a64(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Decodes a checkpoint from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] on bad magic, unsupported
+    /// versions, truncation, checksum mismatch, or any structural
+    /// inconsistency. Never panics on hostile input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < CHECKPOINT_MAGIC.len() + 4 + 8 {
+            if bytes.len() >= CHECKPOINT_MAGIC.len()
+                && bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+            {
+                return Err(CheckpointError::BadMagic);
+            }
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 8);
+        let mut checksum_bytes = [0u8; 8];
+        checksum_bytes.copy_from_slice(trailer);
+        if fnv1a64(content) != u64::from_le_bytes(checksum_bytes) {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(&content[CHECKPOINT_MAGIC.len()..]);
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let config = decode_config(&mut r)?;
+        let completed_updates = r.usize()?;
+        let stats = decode_stats(&mut r)?;
+        let policy = decode_policy(&mut r)?;
+        let env_count = r.usize()?;
+        if env_count > r.remaining() {
+            return Err(CheckpointError::Corrupt(format!(
+                "impossible env count {env_count}"
+            )));
+        }
+        let mut envs = Vec::with_capacity(env_count);
+        for _ in 0..env_count {
+            let state = r.byte_vec()?;
+            let observation = match r.u8()? {
+                0 => None,
+                1 => {
+                    let rows = r.usize()?;
+                    let cols = r.usize()?;
+                    let data = r.f32_vec()?;
+                    let expected = rows
+                        .checked_mul(cols)
+                        .ok_or_else(|| CheckpointError::Corrupt("observation shape".into()))?;
+                    if data.len() != expected {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "observation is {rows}x{cols} but carries {} values",
+                            data.len()
+                        )));
+                    }
+                    Some(Matrix::from_vec(rows, cols, data))
+                }
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "bad observation flag {other}"
+                    )))
+                }
+            };
+            let mask = r.bool_vec()?;
+            envs.push(EnvCheckpoint {
+                state,
+                observation,
+                mask,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after content",
+                r.remaining()
+            )));
+        }
+        Ok(Checkpoint {
+            config,
+            completed_updates,
+            stats,
+            policy,
+            envs,
+        })
+    }
+
+    /// Writes the checkpoint to a file (atomically: written to a sibling
+    /// temporary file first, then renamed over the target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be written.
+    pub fn write(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and decodes a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be read, or any
+    /// decoding error from [`Checkpoint::from_bytes`].
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn encode_config(w: &mut Writer, config: &PpoConfig) {
+    w.f32(config.learning_rate);
+    w.u8(u8::from(config.anneal_lr));
+    w.f32(config.gamma);
+    w.f32(config.gae_lambda);
+    w.f32(config.clip_coef);
+    w.f32(config.ent_coef);
+    w.f32(config.vf_coef);
+    w.u64(config.rollout_steps as u64);
+    w.u64(config.minibatches as u64);
+    w.u64(config.update_epochs as u64);
+    w.u64(config.total_steps as u64);
+    w.u64(config.channels as u64);
+    w.u64(config.kernel as u64);
+    w.u64(config.seed);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<PpoConfig, CheckpointError> {
+    Ok(PpoConfig {
+        learning_rate: r.f32()?,
+        anneal_lr: r.u8()? != 0,
+        gamma: r.f32()?,
+        gae_lambda: r.f32()?,
+        clip_coef: r.f32()?,
+        ent_coef: r.f32()?,
+        vf_coef: r.f32()?,
+        rollout_steps: r.usize()?,
+        minibatches: r.usize()?,
+        update_epochs: r.usize()?,
+        total_steps: r.usize()?,
+        channels: r.usize()?,
+        kernel: r.usize()?,
+        seed: r.u64()?,
+    })
+}
+
+fn encode_stats(w: &mut Writer, stats: &TrainingStats) {
+    w.u64(stats.steps as u64);
+    w.f32_vec(&stats.episodic_returns);
+    w.f32_vec(&stats.approx_kl);
+    w.f32_vec(&stats.entropy);
+    w.f32_vec(&stats.policy_loss);
+    w.f32_vec(&stats.value_loss);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<TrainingStats, CheckpointError> {
+    Ok(TrainingStats {
+        steps: r.usize()?,
+        episodic_returns: r.f32_vec()?,
+        approx_kl: r.f32_vec()?,
+        entropy: r.f32_vec()?,
+        policy_loss: r.f32_vec()?,
+        value_loss: r.f32_vec()?,
+    })
+}
+
+fn encode_policy(w: &mut Writer, policy: &PolicyState) {
+    w.u64(policy.features as u64);
+    w.u64(policy.channels as u64);
+    w.u64(policy.kernel as u64);
+    w.u64(policy.n_actions as u64);
+    w.f32_vec(&policy.encoder_weight);
+    w.f32_vec(&policy.encoder_bias);
+    w.f32_vec(&policy.actor_weight);
+    w.f32_vec(&policy.actor_bias);
+    w.f32_vec(&policy.critic_weight);
+    w.f32_vec(&policy.critic_bias);
+    for opt in [&policy.encoder_opt, &policy.actor_opt, &policy.critic_opt] {
+        w.f32(opt.learning_rate);
+        w.u64(opt.step);
+        w.f32_vec(&opt.first_moment);
+        w.f32_vec(&opt.second_moment);
+    }
+    for word in policy.rng.key {
+        w.u32(word);
+    }
+    w.u64(policy.rng.counter);
+    for word in policy.rng.nonce {
+        w.u32(word);
+    }
+    for word in policy.rng.buffer {
+        w.u32(word);
+    }
+    w.u32(policy.rng.index);
+}
+
+fn decode_policy(r: &mut Reader<'_>) -> Result<PolicyState, CheckpointError> {
+    let features = r.usize()?;
+    let channels = r.usize()?;
+    let kernel = r.usize()?;
+    let n_actions = r.usize()?;
+    let encoder_weight = r.f32_vec()?;
+    let encoder_bias = r.f32_vec()?;
+    let actor_weight = r.f32_vec()?;
+    let actor_bias = r.f32_vec()?;
+    let critic_weight = r.f32_vec()?;
+    let critic_bias = r.f32_vec()?;
+    let mut opts = Vec::with_capacity(3);
+    for _ in 0..3 {
+        opts.push(OptimizerState {
+            learning_rate: r.f32()?,
+            step: r.u64()?,
+            first_moment: r.f32_vec()?,
+            second_moment: r.f32_vec()?,
+        });
+    }
+    let critic_opt = opts.pop().expect("pushed above");
+    let actor_opt = opts.pop().expect("pushed above");
+    let encoder_opt = opts.pop().expect("pushed above");
+    let mut key = [0u32; 8];
+    for word in &mut key {
+        *word = r.u32()?;
+    }
+    let counter = r.u64()?;
+    let mut nonce = [0u32; 2];
+    for word in &mut nonce {
+        *word = r.u32()?;
+    }
+    let mut buffer = [0u32; 16];
+    for word in &mut buffer {
+        *word = r.u32()?;
+    }
+    let index = r.u32()?;
+    Ok(PolicyState {
+        features,
+        channels,
+        kernel,
+        n_actions,
+        encoder_weight,
+        encoder_bias,
+        actor_weight,
+        actor_bias,
+        critic_weight,
+        critic_bias,
+        encoder_opt,
+        actor_opt,
+        critic_opt,
+        rng: RngState {
+            key,
+            counter,
+            nonce,
+            buffer,
+            index,
+        },
+    })
+}
+
+/// FNV-1a 64-bit hash, the checkpoint trailer checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    fn f32_vec(&mut self, values: &[f32]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.f32(v);
+        }
+    }
+
+    fn byte_vec(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.bytes(bytes);
+    }
+
+    fn bool_vec(&mut self, values: &[bool]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.u8(u8::from(v));
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CheckpointError::Corrupt(format!("length {v} overflows")))
+    }
+
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a length-prefixed `f32` vector, validating the declared length
+    /// against the remaining input before allocating.
+    fn f32_vec(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let len = self.usize()?;
+        if len > self.remaining() / 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(self.f32()?);
+        }
+        Ok(values)
+    }
+
+    fn byte_vec(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let len = self.usize()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn bool_vec(&mut self) -> Result<Vec<bool>, CheckpointError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        bytes
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(CheckpointError::Corrupt(format!("bad bool byte {other}"))),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let policy = crate::ActorCritic::new(3, 4, 8, 3, 5, 1e-3).state();
+        Checkpoint {
+            config: PpoConfig::tiny(),
+            completed_updates: 2,
+            stats: TrainingStats {
+                steps: 128,
+                episodic_returns: vec![1.0, -2.5, 0.125],
+                approx_kl: vec![0.01, 0.02],
+                entropy: vec![1.2, 1.1],
+                policy_loss: vec![-0.5, -0.25],
+                value_loss: vec![0.75, 0.5],
+            },
+            policy,
+            envs: vec![EnvCheckpoint {
+                state: vec![9, 8, 7],
+                observation: Some(Matrix::from_vec(2, 3, vec![0.5; 6])),
+                mask: vec![true, false, true, true, false],
+            }],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let checkpoint = sample_checkpoint();
+        let bytes = checkpoint.to_bytes();
+        let decoded = Checkpoint::from_bytes(&bytes).expect("round trip");
+        assert_eq!(decoded, checkpoint);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Checkpoint::from_bytes(b"not a checkpoint at all, sorry").unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        // Bump the version field and re-seal the checksum so only the
+        // version is wrong.
+        bytes[8] = 99;
+        let content_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..content_len]);
+        bytes[content_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::UnsupportedVersion(99)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panicking() {
+        let bytes = sample_checkpoint().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::ChecksumMismatch
+                        | CheckpointError::Corrupt(_)
+                ),
+                "prefix of {len} bytes gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bits_fail_the_checksum() {
+        let bytes = sample_checkpoint().to_bytes();
+        for position in [9, bytes.len() / 2, bytes.len() - 9] {
+            let mut damaged = bytes.clone();
+            damaged[position] ^= 0x40;
+            let err = Checkpoint::from_bytes(&damaged).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::ChecksumMismatch),
+                "flip at {position} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_error_cleanly() {
+        let mut garbage = CHECKPOINT_MAGIC.to_vec();
+        garbage.extend((0u16..4096).map(|i| (i % 251) as u8));
+        assert!(Checkpoint::from_bytes(&garbage).is_err());
+        assert!(Checkpoint::from_bytes(&[]).is_err());
+        assert!(Checkpoint::from_bytes(&[0xFF; 64]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "cuasmrl-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("run.ckpt");
+        let checkpoint = sample_checkpoint();
+        checkpoint.write(&path).expect("write");
+        assert_eq!(Checkpoint::read(&path).expect("read"), checkpoint);
+        let missing = Checkpoint::read(&dir.join("absent.ckpt")).unwrap_err();
+        assert!(matches!(missing, CheckpointError::Io(_)), "{missing}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -32,6 +32,23 @@ pub trait Env {
 
     /// Number of embedding features per observation row.
     fn observation_features(&self) -> usize;
+
+    /// Serializes the environment's complete internal state for
+    /// checkpointing, or `None` when the environment does not support
+    /// snapshots (the default). An env that returns `Some` here must accept
+    /// the same bytes in [`Env::restore_state`] and then behave
+    /// bit-identically to the env that produced them.
+    fn state_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores internal state previously captured by [`Env::state_bytes`]
+    /// on an env constructed for the same problem instance. Returns `false`
+    /// (leaving the env usable but unchanged in the failure modes it can
+    /// detect) when the bytes are not a state this env can adopt.
+    fn restore_state(&mut self, _state: &[u8]) -> bool {
+        false
+    }
 }
 
 /// Tiny deterministic environments used by unit, contract and determinism
@@ -90,6 +107,29 @@ pub mod test_envs {
         fn observation_features(&self) -> usize {
             3
         }
+
+        fn state_bytes(&self) -> Option<Vec<u8>> {
+            let mut bytes = Vec::with_capacity(16);
+            bytes.extend_from_slice(&(self.horizon as u64).to_le_bytes());
+            bytes.extend_from_slice(&(self.t as u64).to_le_bytes());
+            Some(bytes)
+        }
+
+        fn restore_state(&mut self, state: &[u8]) -> bool {
+            if state.len() != 16 {
+                return false;
+            }
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&state[..8]);
+            let horizon = u64::from_le_bytes(word) as usize;
+            word.copy_from_slice(&state[8..]);
+            let t = u64::from_le_bytes(word) as usize;
+            if horizon != self.horizon {
+                return false; // Constructed for a different instance.
+            }
+            self.t = t;
+            true
+        }
     }
 }
 
@@ -110,5 +150,20 @@ mod tests {
         env.step(0);
         let last = env.step(1);
         assert!(last.done);
+    }
+
+    #[test]
+    fn bandit_state_round_trips_and_rejects_foreign_state() {
+        let mut env = BanditEnv::new(5);
+        let _ = env.reset();
+        env.step(1);
+        env.step(0);
+        let state = env.state_bytes().expect("bandit snapshots");
+        let mut fresh = BanditEnv::new(5);
+        assert!(fresh.restore_state(&state));
+        assert_eq!(fresh.t, 2);
+        // Different horizon or malformed bytes are refused.
+        assert!(!BanditEnv::new(7).restore_state(&state));
+        assert!(!fresh.restore_state(&state[..9]));
     }
 }

@@ -14,6 +14,13 @@
 //! env order on the caller's thread. For a fixed seed the results are
 //! bit-identical for any worker count.
 //!
+//! Training runs are checkpointable: [`PpoTrainer::save_checkpoint`] (and
+//! its vectorized sibling) serializes the complete policy weights, Adam
+//! moments, RNG stream and environment snapshots into a versioned binary
+//! [`Checkpoint`], and [`PpoTrainer::resume_from`] continues the run
+//! bit-identically to one that was never interrupted — enforced by
+//! `tests/checkpoint.rs`.
+//!
 //! The policy is shape-agnostic: [`Env::observation_features`] defines the
 //! row width, and the assembly game uses that freedom to append normalized
 //! GPU-architecture features to every observation row, so one agent can
@@ -38,13 +45,20 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod checkpoint;
 mod env;
 mod policy;
 mod ppo;
 mod vecenv;
 
 pub use buffer::{Advantages, RolloutBuffer, Segment, Transition};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, EnvCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use env::{test_envs, Env, Step};
-pub use policy::{ActionSample, ActorCritic, Sample, UpdateConfig, UpdateStats};
+pub use policy::{
+    ActionSample, ActorCritic, OptimizerState, PolicyState, RngState, Sample, UpdateConfig,
+    UpdateStats,
+};
 pub use ppo::{PpoConfig, PpoTrainer, Rollout, TrainingStats};
 pub use vecenv::{EnvState, ObservationBatch, VecAction, VecEnv, VecStep};

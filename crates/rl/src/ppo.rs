@@ -8,12 +8,16 @@
 //! used for all kernels (§3.7), and §5.5 sweeps the learning rate and batch
 //! size around it.
 
+use std::path::Path;
+
+use nn::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::buffer::{Advantages, RolloutBuffer, Segment, Transition};
+use crate::checkpoint::{Checkpoint, CheckpointError, EnvCheckpoint};
 use crate::env::Env;
 use crate::policy::{ActorCritic, Sample, UpdateConfig};
-use crate::vecenv::{VecAction, VecEnv};
+use crate::vecenv::{EnvState, VecAction, VecEnv};
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,10 +133,26 @@ pub struct Rollout {
 
 /// The PPO trainer: owns the policy and runs collect/update cycles against
 /// an environment.
+///
+/// Training is resumable: the trainer tracks how many updates it has
+/// completed and accumulates its [`TrainingStats`] internally, so a run can
+/// be advanced in slices with [`PpoTrainer::train_updates`] /
+/// [`PpoTrainer::train_vec_updates`], checkpointed at any update boundary
+/// with [`PpoTrainer::save_checkpoint`] and continued in a fresh process via
+/// [`PpoTrainer::resume_from`] — bit-identically to a run that was never
+/// interrupted.
 #[derive(Debug, Clone)]
 pub struct PpoTrainer {
     config: PpoConfig,
     policy: ActorCritic,
+    /// Policy updates completed so far (the resume point).
+    completed_updates: usize,
+    /// Statistics accumulated over the completed updates.
+    stats: TrainingStats,
+    /// The observation the next sequential-training action will be
+    /// conditioned on, carried across update boundaries (and into
+    /// checkpoints) so pausing never perturbs the trajectory.
+    pending_observation: Option<Matrix>,
 }
 
 impl PpoTrainer {
@@ -148,7 +168,13 @@ impl PpoTrainer {
             n_actions,
             config.learning_rate,
         );
-        PpoTrainer { config, policy }
+        PpoTrainer {
+            config,
+            policy,
+            completed_updates: 0,
+            stats: TrainingStats::default(),
+            pending_observation: None,
+        }
     }
 
     /// The training configuration.
@@ -174,14 +200,54 @@ impl PpoTrainer {
         self.policy
     }
 
+    /// Number of policy updates the configuration schedules in total.
+    #[must_use]
+    pub fn total_updates(&self) -> usize {
+        (self.config.total_steps / self.config.rollout_steps).max(1)
+    }
+
+    /// Number of policy updates completed so far.
+    #[must_use]
+    pub fn completed_updates(&self) -> usize {
+        self.completed_updates
+    }
+
+    /// Whether the scheduled training run has completed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.completed_updates >= self.total_updates()
+    }
+
+    /// The statistics accumulated over the completed updates.
+    #[must_use]
+    pub fn stats(&self) -> &TrainingStats {
+        &self.stats
+    }
+
     /// Trains against `env` until `total_steps` environment steps have been
-    /// collected, returning the training statistics.
+    /// collected, returning the training statistics. Resumes from wherever
+    /// the trainer left off (a fresh trainer starts at update 0).
     pub fn train<E: Env>(&mut self, env: &mut E) -> TrainingStats {
-        let mut stats = TrainingStats::default();
-        let mut observation = env.reset();
-        let total_updates = (self.config.total_steps / self.config.rollout_steps).max(1);
-        for update in 0..total_updates {
-            self.anneal(update, total_updates);
+        self.train_updates(env, usize::MAX);
+        self.stats.clone()
+    }
+
+    /// Runs at most `max_updates` more policy updates against `env` and
+    /// returns whether the scheduled run is now complete. This is the
+    /// checkpointing entry point: between calls the trainer is at an update
+    /// boundary, and a checkpoint taken there resumes bit-identically.
+    pub fn train_updates<E: Env>(&mut self, env: &mut E, max_updates: usize) -> bool {
+        let total_updates = self.total_updates();
+        if self.completed_updates >= total_updates || max_updates == 0 {
+            return self.completed_updates >= total_updates;
+        }
+        let mut observation = match self.pending_observation.take() {
+            Some(observation) => observation,
+            None => env.reset(),
+        };
+        let mut ran = 0;
+        while self.completed_updates < total_updates && ran < max_updates {
+            self.anneal(self.completed_updates, total_updates);
             let mut buffer = RolloutBuffer::new();
             while buffer.len() < self.config.rollout_steps {
                 let mask = env.action_mask();
@@ -208,18 +274,21 @@ impl PpoTrainer {
                 } else {
                     step.observation
                 };
-                stats.steps += 1;
+                self.stats.steps += 1;
             }
-            stats
+            self.stats
                 .episodic_returns
                 .extend(buffer.episodic_returns().iter().copied());
 
             let last_value = self.policy.value(&observation);
             let adv =
                 buffer.compute_advantages(self.config.gamma, self.config.gae_lambda, last_value);
-            self.update_policy(&buffer, &adv, &mut stats);
+            self.update_policy(&buffer, &adv);
+            self.completed_updates += 1;
+            ran += 1;
         }
-        stats
+        self.pending_observation = Some(observation);
+        self.completed_updates >= total_updates
     }
 
     /// Trains against a vector of environments until `total_steps`
@@ -233,13 +302,27 @@ impl PpoTrainer {
     /// order on this thread, results for a fixed seed are identical for any
     /// worker count.
     pub fn train_vec<E: Env + Send + 'static>(&mut self, venv: &mut VecEnv<E>) -> TrainingStats {
-        let mut stats = TrainingStats::default();
-        let total_updates = (self.config.total_steps / self.config.rollout_steps).max(1);
-        for update in 0..total_updates {
-            self.anneal(update, total_updates);
+        self.train_vec_updates(venv, usize::MAX);
+        self.stats.clone()
+    }
+
+    /// Runs at most `max_updates` more policy updates against the vectorized
+    /// envs and returns whether the scheduled run is now complete (the
+    /// batched counterpart of [`PpoTrainer::train_updates`]). Between calls
+    /// the trainer is at an update boundary; checkpoint there with
+    /// [`PpoTrainer::save_checkpoint_vec`].
+    pub fn train_vec_updates<E: Env + Send + 'static>(
+        &mut self,
+        venv: &mut VecEnv<E>,
+        max_updates: usize,
+    ) -> bool {
+        let total_updates = self.total_updates();
+        let mut ran = 0;
+        while self.completed_updates < total_updates && ran < max_updates {
+            self.anneal(self.completed_updates, total_updates);
             let rollout = self.collect_rollouts(venv, self.config.rollout_steps);
-            stats.steps += rollout.buffer.len();
-            stats.episodic_returns.extend(
+            self.stats.steps += rollout.buffer.len();
+            self.stats.episodic_returns.extend(
                 rollout
                     .buffer
                     .episodic_returns_segmented(&rollout.segments)
@@ -251,9 +334,11 @@ impl PpoTrainer {
                 self.config.gae_lambda,
                 &rollout.segments,
             );
-            self.update_policy(&rollout.buffer, &adv, &mut stats);
+            self.update_policy(&rollout.buffer, &adv);
+            self.completed_updates += 1;
+            ran += 1;
         }
-        stats
+        self.completed_updates >= total_updates
     }
 
     /// Collects at least `rollout_steps` transitions from the vectorized
@@ -336,13 +421,8 @@ impl PpoTrainer {
     }
 
     /// Normalizes advantages and runs the clipped-PPO epochs over
-    /// minibatches, recording the per-update statistics.
-    fn update_policy(
-        &mut self,
-        buffer: &RolloutBuffer,
-        adv: &Advantages,
-        stats: &mut TrainingStats,
-    ) {
+    /// minibatches, recording the per-update statistics into `self.stats`.
+    fn update_policy(&mut self, buffer: &RolloutBuffer, adv: &Advantages) {
         if buffer.is_empty() {
             return;
         }
@@ -391,11 +471,199 @@ impl PpoTrainer {
             }
         }
         if update_count > 0.0 {
-            stats.approx_kl.push(kl_acc / update_count);
-            stats.entropy.push(entropy_acc / update_count);
-            stats.policy_loss.push(policy_loss_acc / update_count);
-            stats.value_loss.push(value_loss_acc / update_count);
+            self.stats.approx_kl.push(kl_acc / update_count);
+            self.stats.entropy.push(entropy_acc / update_count);
+            self.stats.policy_loss.push(policy_loss_acc / update_count);
+            self.stats.value_loss.push(value_loss_acc / update_count);
         }
+    }
+
+    /// Captures a resumable [`Checkpoint`] of this trainer and the
+    /// environment it is training against (sequential path). Must be called
+    /// at an update boundary — i.e. between [`PpoTrainer::train_updates`]
+    /// calls — for the resume-equals-uninterrupted guarantee to hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::EnvSnapshotUnsupported`] when the env does
+    /// not implement [`Env::state_bytes`].
+    pub fn checkpoint<E: Env>(&self, env: &E) -> Result<Checkpoint, CheckpointError> {
+        let state = env
+            .state_bytes()
+            .ok_or(CheckpointError::EnvSnapshotUnsupported)?;
+        Ok(Checkpoint {
+            config: self.config.clone(),
+            completed_updates: self.completed_updates,
+            stats: self.stats.clone(),
+            policy: self.policy.state(),
+            envs: vec![EnvCheckpoint {
+                state,
+                observation: self.pending_observation.clone(),
+                mask: env.action_mask(),
+            }],
+        })
+    }
+
+    /// Writes a [`PpoTrainer::checkpoint`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot and I/O errors as [`CheckpointError`].
+    pub fn save_checkpoint<E: Env>(&self, env: &E, path: &Path) -> Result<(), CheckpointError> {
+        self.checkpoint(env)?.write(path)
+    }
+
+    /// Rebuilds a trainer from a checkpoint and restores the environment's
+    /// state, so that continuing with [`PpoTrainer::train`] /
+    /// [`PpoTrainer::train_updates`] is bit-identical to the run the
+    /// checkpoint was taken from. `env` must be constructed for the same
+    /// problem instance the checkpointed run was training on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] when the checkpoint is not a
+    /// single-env snapshot or its policy state is inconsistent, and
+    /// [`CheckpointError::EnvRejectedState`] when the env refuses the state
+    /// bytes.
+    pub fn resume_from_checkpoint<E: Env>(
+        checkpoint: &Checkpoint,
+        env: &mut E,
+    ) -> Result<Self, CheckpointError> {
+        let policy =
+            ActorCritic::from_state(&checkpoint.policy).map_err(CheckpointError::Corrupt)?;
+        let [env_checkpoint] = checkpoint.envs.as_slice() else {
+            return Err(CheckpointError::Corrupt(format!(
+                "expected a single-env checkpoint, found {} envs",
+                checkpoint.envs.len()
+            )));
+        };
+        if !env.restore_state(&env_checkpoint.state) {
+            return Err(CheckpointError::EnvRejectedState);
+        }
+        Ok(PpoTrainer {
+            config: checkpoint.config.clone(),
+            policy,
+            completed_updates: checkpoint.completed_updates,
+            stats: checkpoint.stats.clone(),
+            pending_observation: env_checkpoint.observation.clone(),
+        })
+    }
+
+    /// Reads a checkpoint file and resumes from it (see
+    /// [`PpoTrainer::resume_from_checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read, decode and restore errors as [`CheckpointError`].
+    pub fn resume_from<E: Env>(path: &Path, env: &mut E) -> Result<Self, CheckpointError> {
+        let checkpoint = Checkpoint::read(path)?;
+        Self::resume_from_checkpoint(&checkpoint, env)
+    }
+
+    /// Captures a resumable [`Checkpoint`] of this trainer and a vectorized
+    /// environment (the [`PpoTrainer::train_vec_updates`] path): one
+    /// [`EnvCheckpoint`] per env, in env order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::EnvSnapshotUnsupported`] when any env does
+    /// not implement [`Env::state_bytes`].
+    pub fn checkpoint_vec<E: Env + Send + 'static>(
+        &self,
+        venv: &mut VecEnv<E>,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let env_states = venv
+            .snapshot_env_states()
+            .ok_or(CheckpointError::EnvSnapshotUnsupported)?;
+        let envs = env_states
+            .into_iter()
+            .zip(venv.states())
+            .map(|(state, env_state)| EnvCheckpoint {
+                state,
+                observation: Some(env_state.observation.clone()),
+                mask: env_state.mask.clone(),
+            })
+            .collect();
+        Ok(Checkpoint {
+            config: self.config.clone(),
+            completed_updates: self.completed_updates,
+            stats: self.stats.clone(),
+            policy: self.policy.state(),
+            envs,
+        })
+    }
+
+    /// Writes a [`PpoTrainer::checkpoint_vec`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot and I/O errors as [`CheckpointError`].
+    pub fn save_checkpoint_vec<E: Env + Send + 'static>(
+        &self,
+        venv: &mut VecEnv<E>,
+        path: &Path,
+    ) -> Result<(), CheckpointError> {
+        self.checkpoint_vec(venv)?.write(path)
+    }
+
+    /// Rebuilds a trainer from a vectorized-training checkpoint and restores
+    /// every env of `venv` (which must hold the same number of envs,
+    /// constructed for the same problem instances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] on env-count or observation
+    /// inconsistencies and [`CheckpointError::EnvRejectedState`] when an env
+    /// refuses its state bytes.
+    pub fn resume_vec_from_checkpoint<E: Env + Send + 'static>(
+        checkpoint: &Checkpoint,
+        venv: &mut VecEnv<E>,
+    ) -> Result<Self, CheckpointError> {
+        let policy =
+            ActorCritic::from_state(&checkpoint.policy).map_err(CheckpointError::Corrupt)?;
+        if checkpoint.envs.len() != venv.num_envs() {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint holds {} envs but the vector holds {}",
+                checkpoint.envs.len(),
+                venv.num_envs()
+            )));
+        }
+        let mut env_states = Vec::with_capacity(checkpoint.envs.len());
+        let mut states = Vec::with_capacity(checkpoint.envs.len());
+        for (i, env_checkpoint) in checkpoint.envs.iter().enumerate() {
+            let observation = env_checkpoint.observation.clone().ok_or_else(|| {
+                CheckpointError::Corrupt(format!("env {i} is missing its observation"))
+            })?;
+            env_states.push(env_checkpoint.state.clone());
+            states.push(EnvState {
+                observation,
+                mask: env_checkpoint.mask.clone(),
+            });
+        }
+        if !venv.restore_env_states(&env_states, &states) {
+            return Err(CheckpointError::EnvRejectedState);
+        }
+        Ok(PpoTrainer {
+            config: checkpoint.config.clone(),
+            policy,
+            completed_updates: checkpoint.completed_updates,
+            stats: checkpoint.stats.clone(),
+            pending_observation: None,
+        })
+    }
+
+    /// Reads a checkpoint file and resumes vectorized training from it (see
+    /// [`PpoTrainer::resume_vec_from_checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read, decode and restore errors as [`CheckpointError`].
+    pub fn resume_vec_from<E: Env + Send + 'static>(
+        path: &Path,
+        venv: &mut VecEnv<E>,
+    ) -> Result<Self, CheckpointError> {
+        let checkpoint = Checkpoint::read(path)?;
+        Self::resume_vec_from_checkpoint(&checkpoint, venv)
     }
 }
 

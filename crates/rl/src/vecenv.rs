@@ -103,6 +103,19 @@ impl ObservationBatch {
 enum Request {
     Reset(usize),
     Step(usize, usize),
+    /// Capture the env's checkpoint state; replied to on the state channel.
+    Snapshot(usize),
+    /// Adopt previously captured state; replied to on the state channel.
+    Restore(usize, Vec<u8>),
+}
+
+/// Reply to a [`Request::Snapshot`] or [`Request::Restore`].
+struct StateReply {
+    slot: usize,
+    /// Snapshot bytes (`Snapshot` requests on envs that support snapshots).
+    state: Option<Vec<u8>>,
+    /// Whether the operation succeeded.
+    ok: bool,
 }
 
 struct Response {
@@ -118,6 +131,7 @@ struct Response {
 pub struct VecEnv<E: Env + Send + 'static> {
     requests: Vec<Sender<Request>>,
     responses: Receiver<Response>,
+    state_replies: Receiver<StateReply>,
     handles: Vec<JoinHandle<()>>,
     /// Which worker owns each env slot.
     assignment: Vec<usize>,
@@ -157,6 +171,7 @@ impl<E: Env + Send + 'static> VecEnv<E> {
         let assignment: Vec<usize> = (0..n).map(|slot| slot % workers).collect();
 
         let (response_tx, responses) = channel::<Response>();
+        let (state_tx, state_replies) = channel::<StateReply>();
         let mut requests = Vec::with_capacity(workers);
         let mut shards: Vec<Vec<(usize, E)>> = (0..workers).map(|_| Vec::new()).collect();
         for (slot, env) in envs.into_iter().enumerate() {
@@ -167,9 +182,13 @@ impl<E: Env + Send + 'static> VecEnv<E> {
             let (tx, rx) = channel::<Request>();
             requests.push(tx);
             let out = response_tx.clone();
-            handles.push(std::thread::spawn(move || worker_loop(shard, &rx, &out)));
+            let state_out = state_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(shard, &rx, &out, &state_out);
+            }));
         }
         drop(response_tx);
+        drop(state_tx);
 
         let states = vec![
             EnvState {
@@ -181,6 +200,7 @@ impl<E: Env + Send + 'static> VecEnv<E> {
         let mut venv = VecEnv {
             requests,
             responses,
+            state_replies,
             handles,
             assignment,
             states,
@@ -279,9 +299,83 @@ impl<E: Env + Send + 'static> VecEnv<E> {
         }
     }
 
+    /// Captures every env's checkpoint state (via [`Env::state_bytes`]) in
+    /// env order, or `None` when any env does not support snapshots. The
+    /// observations and masks that belong to these states are available from
+    /// [`VecEnv::states`].
+    #[must_use]
+    pub fn snapshot_env_states(&mut self) -> Option<Vec<Vec<u8>>> {
+        for slot in 0..self.num_envs() {
+            self.send(Request::Snapshot(slot));
+        }
+        let mut states: Vec<Option<Vec<u8>>> = vec![None; self.num_envs()];
+        for _ in 0..self.num_envs() {
+            let reply = self
+                .state_replies
+                .recv()
+                .expect("VecEnv worker thread died mid-snapshot");
+            states[reply.slot] = reply.state;
+        }
+        states.into_iter().collect()
+    }
+
+    /// Restores previously captured env states (one per env, in env order)
+    /// together with the matching per-env observations and masks, leaving
+    /// the vector of envs bit-identical to the one the snapshot was taken
+    /// from. Returns `false` if any env rejects its state bytes; in that
+    /// case every env that had already adopted its new state is rolled back
+    /// to the state it held before the call, so a failed restore leaves the
+    /// whole vector observably unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `num_envs()` or a worker
+    /// thread died.
+    pub fn restore_env_states(&mut self, env_states: &[Vec<u8>], states: &[EnvState]) -> bool {
+        assert_eq!(env_states.len(), self.num_envs(), "one state per env");
+        assert_eq!(states.len(), self.num_envs(), "one observation per env");
+        // Capture the pre-restore states so a partial failure can be rolled
+        // back (envs that cannot snapshot also reject restores, so a `None`
+        // here means nothing below will change state anyway).
+        let rollback = self.snapshot_env_states();
+        let apply = |venv: &mut Self, env_states: &[Vec<u8>]| -> Vec<bool> {
+            for (slot, bytes) in env_states.iter().enumerate() {
+                venv.send(Request::Restore(slot, bytes.clone()));
+            }
+            let mut applied = vec![false; venv.num_envs()];
+            for _ in 0..venv.num_envs() {
+                let reply = venv
+                    .state_replies
+                    .recv()
+                    .expect("VecEnv worker thread died mid-restore");
+                applied[reply.slot] = reply.ok;
+            }
+            applied
+        };
+        let applied = apply(self, env_states);
+        if applied.iter().all(|&ok| ok) {
+            self.states = states.to_vec();
+            return true;
+        }
+        if let Some(rollback) = rollback {
+            let restored = apply(self, &rollback);
+            debug_assert!(
+                applied
+                    .iter()
+                    .zip(&restored)
+                    .all(|(&went, &back)| !went || back),
+                "every env that adopted the new state must accept its rollback"
+            );
+        }
+        false
+    }
+
     fn send(&self, request: Request) {
         let slot = match request {
-            Request::Reset(slot) | Request::Step(slot, _) => slot,
+            Request::Reset(slot)
+            | Request::Step(slot, _)
+            | Request::Snapshot(slot)
+            | Request::Restore(slot, _) => slot,
         };
         self.requests[self.assignment[slot]]
             .send(request)
@@ -329,9 +423,34 @@ fn worker_loop<E: Env>(
     mut envs: Vec<(usize, E)>,
     requests: &Receiver<Request>,
     responses: &Sender<Response>,
+    state_replies: &Sender<StateReply>,
 ) {
     while let Ok(request) = requests.recv() {
         let response = match request {
+            Request::Snapshot(slot) => {
+                let env = owned_env(&mut envs, slot);
+                let state = env.state_bytes();
+                let ok = state.is_some();
+                if state_replies.send(StateReply { slot, state, ok }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Request::Restore(slot, bytes) => {
+                let env = owned_env(&mut envs, slot);
+                let ok = env.restore_state(&bytes);
+                if state_replies
+                    .send(StateReply {
+                        slot,
+                        state: None,
+                        ok,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
             Request::Reset(slot) => {
                 let env = owned_env(&mut envs, slot);
                 let observation = env.reset();
@@ -436,6 +555,54 @@ mod tests {
             assert_eq!(batch.observation(i), venv.states()[i].observation);
             assert_eq!(batch.mask(i), vec![true, true, false]);
         }
+    }
+
+    #[test]
+    fn env_states_snapshot_and_restore_across_vecenvs() {
+        let mut venv = VecEnv::new(bandits(3, 4), 2);
+        venv.step(&[VecAction::Step(1); 3]);
+        venv.step(&[VecAction::Step(0); 3]);
+        let env_states = venv.snapshot_env_states().expect("bandits snapshot");
+        let states = venv.states().to_vec();
+        // A freshly constructed vector adopts the snapshot and continues
+        // identically.
+        let mut restored = VecEnv::new(bandits(3, 4), 3);
+        assert!(restored.restore_env_states(&env_states, &states));
+        let a = venv.step(&[VecAction::Step(1); 3]);
+        let b = restored.step(&[VecAction::Step(1); 3]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.reward, y.reward);
+            assert_eq!(x.done, y.done);
+        }
+        // A vector built for a different problem instance refuses the state.
+        let mut mismatched = VecEnv::new(bandits(3, 9), 1);
+        assert!(!mismatched.restore_env_states(&env_states, &states));
+    }
+
+    #[test]
+    fn partially_rejected_restore_rolls_every_env_back() {
+        let mut source = VecEnv::new(bandits(2, 4), 1);
+        source.step(&[VecAction::Step(1); 2]);
+        source.step(&[VecAction::Step(1); 2]);
+        let env_states = source.snapshot_env_states().expect("snapshot");
+        let states = source.states().to_vec();
+        // env 0 matches the snapshot's horizon and would adopt it; env 1
+        // does not and rejects. The whole restore must fail AND leave env 0
+        // exactly where it was (2 steps from done, not 2 steps *taken*).
+        let mut mixed = VecEnv::new(vec![BanditEnv::new(4), BanditEnv::new(9)], 2);
+        mixed.step(&[VecAction::Step(1); 2]);
+        assert!(!mixed.restore_env_states(&env_states, &states));
+        // Had env 0 kept the snapshot state (t = 2 of 4), it would finish
+        // after 2 more steps; from its true state (t = 1 of 4) it needs 3.
+        let results = mixed.step(&[VecAction::Step(1); 2]);
+        assert!(!results[0].done);
+        let results = mixed.step(&[VecAction::Step(1); 2]);
+        assert!(
+            !results[0].done,
+            "env 0 was not rolled back after the failed restore"
+        );
+        let results = mixed.step(&[VecAction::Step(1); 2]);
+        assert!(results[0].done);
     }
 
     #[test]

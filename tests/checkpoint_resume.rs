@@ -1,0 +1,178 @@
+//! End-to-end checkpoint/resume over the real assembly game: killing an RL
+//! training run at an update boundary and resuming it from the checkpoint
+//! must produce bit-identical final policy weights **and** bit-identical
+//! optimized schedules versus the run that was never interrupted. This is
+//! the cross-crate counterpart of `crates/rl/tests/checkpoint.rs` (which
+//! proves the same contract on a synthetic env).
+
+use cuasmrl::{AssemblyGame, GameConfig, StallTable};
+use gpusim::{GpuConfig, MeasureOptions};
+use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
+use rl::{Env, PolicyState, PpoConfig, PpoTrainer};
+
+fn fast_measure() -> MeasureOptions {
+    MeasureOptions {
+        warmup: 0,
+        repeats: 2,
+        noise_std: 0.0,
+        seed: 0,
+    }
+}
+
+fn game() -> AssemblyGame {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+    let config = KernelConfig {
+        block_m: 32,
+        block_n: 32,
+        block_k: 32,
+        num_warps: 4,
+        num_stages: 2,
+    };
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    AssemblyGame::new(
+        GpuConfig::small(),
+        kernel.program,
+        kernel.launch,
+        StallTable::builtin_a100(),
+        GameConfig {
+            episode_length: 8,
+            measure: fast_measure(),
+        },
+    )
+}
+
+fn ppo() -> PpoConfig {
+    PpoConfig {
+        total_steps: 96,
+        rollout_steps: 32,
+        learning_rate: 1e-2,
+        ..PpoConfig::tiny()
+    }
+}
+
+fn policy_bits(state: &PolicyState) -> Vec<u32> {
+    let mut bits: Vec<u32> = Vec::new();
+    for series in [
+        &state.encoder_weight,
+        &state.encoder_bias,
+        &state.actor_weight,
+        &state.actor_bias,
+        &state.critic_weight,
+        &state.critic_bias,
+    ] {
+        bits.extend(series.iter().map(|v| v.to_bits()));
+    }
+    for opt in [&state.encoder_opt, &state.actor_opt, &state.critic_opt] {
+        bits.push(opt.learning_rate.to_bits());
+        bits.push(opt.step as u32);
+        bits.extend(opt.first_moment.iter().map(|v| v.to_bits()));
+        bits.extend(opt.second_moment.iter().map(|v| v.to_bits()));
+    }
+    bits.extend(state.rng.key);
+    bits.push(state.rng.counter as u32);
+    bits.extend(state.rng.buffer);
+    bits.push(state.rng.index);
+    bits
+}
+
+#[test]
+fn killed_and_resumed_rl_training_yields_bit_identical_schedules() {
+    // The uninterrupted control run.
+    let mut control_game = game();
+    let mut control = PpoTrainer::new(
+        ppo(),
+        control_game.observation_features(),
+        control_game.action_count(),
+    );
+    control.train(&mut control_game);
+    let control_policy = policy_bits(&control.policy().state());
+    let (control_best, control_best_us) = control_game.best();
+    let control_listing = control_best.to_string();
+    let total_updates = control.total_updates();
+    assert!(total_updates >= 3);
+
+    for interrupt_after in 1..total_updates {
+        let path = std::env::temp_dir().join(format!(
+            "cuasmrl-game-ckpt-{}-{interrupt_after}.ckpt",
+            std::process::id()
+        ));
+        // Phase 1: train to the boundary, checkpoint, "kill the process"
+        // (drop trainer and game).
+        {
+            let mut interrupted_game = game();
+            let mut trainer = PpoTrainer::new(
+                ppo(),
+                interrupted_game.observation_features(),
+                interrupted_game.action_count(),
+            );
+            assert!(!trainer.train_updates(&mut interrupted_game, interrupt_after));
+            trainer
+                .save_checkpoint(&interrupted_game, &path)
+                .expect("checkpoint the run");
+        }
+        // Phase 2: a fresh process reconstructs the game from the same
+        // kernel and resumes from the checkpoint file.
+        let mut resumed_game = game();
+        let mut resumed =
+            PpoTrainer::resume_from(&path, &mut resumed_game).expect("resume from file");
+        assert_eq!(resumed.completed_updates(), interrupt_after);
+        resumed.train(&mut resumed_game);
+
+        assert_eq!(
+            policy_bits(&resumed.policy().state()),
+            control_policy,
+            "policy weights diverged when killed after update {interrupt_after}"
+        );
+        let (resumed_best, resumed_best_us) = resumed_game.best();
+        assert_eq!(
+            resumed_best.to_string(),
+            control_listing,
+            "optimized schedule diverged when killed after update {interrupt_after}"
+        );
+        assert_eq!(resumed_best_us.to_bits(), control_best_us.to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn resume_rejects_a_game_for_a_different_kernel() {
+    let path = std::env::temp_dir().join(format!(
+        "cuasmrl-game-ckpt-mismatch-{}.ckpt",
+        std::process::id()
+    ));
+    let mut original = game();
+    let mut trainer = PpoTrainer::new(
+        ppo(),
+        original.observation_features(),
+        original.action_count(),
+    );
+    trainer.train_updates(&mut original, 1);
+    trainer.save_checkpoint(&original, &path).expect("save");
+
+    // A game built from a different kernel (different schedule length)
+    // refuses the checkpointed state instead of silently adopting it.
+    let spec = KernelSpec::scaled(KernelKind::Softmax, 16);
+    let config = KernelConfig {
+        block_m: 1,
+        block_n: 256,
+        block_k: 1,
+        num_warps: 4,
+        num_stages: 1,
+    };
+    let kernel = generate(&spec, &config, ScheduleStyle::Baseline);
+    let mut wrong_game = AssemblyGame::new(
+        GpuConfig::small(),
+        kernel.program,
+        kernel.launch,
+        StallTable::builtin_a100(),
+        GameConfig {
+            episode_length: 8,
+            measure: fast_measure(),
+        },
+    );
+    assert!(matches!(
+        PpoTrainer::resume_from(&path, &mut wrong_game),
+        Err(rl::CheckpointError::EnvRejectedState)
+    ));
+    let _ = std::fs::remove_file(&path);
+}

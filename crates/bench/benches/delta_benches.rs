@@ -1,0 +1,100 @@
+//! Criterion benches over the incremental hot paths added by the delta
+//! engine: `sim_delta_vs_full` times one legal-swap evaluation through
+//! [`gpusim::DeltaEngine::simulate_delta`] against the equivalent full
+//! [`gpusim::SmSimulator::run_compiled`] (plus the baseline recording both
+//! share), and `mask_incremental` times the block-local mask update of
+//! [`cuasmrl::IncrementalMasker`] against a from-scratch
+//! [`cuasmrl::action_mask`]. Both run once under `cargo bench -- --test`
+//! (the CI smoke).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::harness_config;
+use cuasmrl::{action_mask, analyze, Action, Direction, IncrementalMasker, StallTable};
+use gpusim::{CompiledProgram, DeltaEngine, GpuConfig, SmSimulator};
+use kernels::{generate, GeneratedKernel, KernelKind, KernelSpec, ScheduleStyle};
+
+fn bench_kernel() -> GeneratedKernel {
+    let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
+    generate(
+        &spec,
+        &harness_config(KernelKind::MatmulLeakyRelu),
+        ScheduleStyle::Baseline,
+    )
+}
+
+/// The first masked-legal swap of the kernel (what the game's inner loop
+/// evaluates), as `(upper_index, movable, analysis)`.
+fn first_legal_swap(kernel: &GeneratedKernel, table: &StallTable) -> usize {
+    let analysis = analyze(&kernel.program, table);
+    let movable = analysis.movable_memory_indices();
+    let mask = action_mask(&kernel.program, &movable, &analysis, table);
+    let id = mask
+        .iter()
+        .position(|&legal| legal)
+        .expect("bench kernel must expose a legal action");
+    let action = Action::from_id(id);
+    let index = movable[action.slot];
+    match action.direction {
+        Direction::Up => index - 1,
+        Direction::Down => index,
+    }
+}
+
+fn bench_sim_delta_vs_full(c: &mut Criterion) {
+    let gpu = GpuConfig::a100();
+    let kernel = bench_kernel();
+    let table = StallTable::for_arch(&gpu.arch);
+    let upper = first_legal_swap(&kernel, &table);
+    let compiled = CompiledProgram::compile(&kernel.program, &gpu);
+    let mut mutated = compiled.clone();
+    mutated.swap_insts(upper, upper + 1);
+
+    let mut engine = DeltaEngine::for_launch(gpu.clone(), &kernel.launch);
+    let baseline = engine.record_baseline(&compiled);
+    c.bench_function("sim_delta_vs_full/delta_swap", |b| {
+        b.iter(|| engine.simulate_delta(&baseline, &mutated, &[upper, upper + 1]))
+    });
+    let simulator = SmSimulator::new(gpu.clone());
+    let warps = gpusim::resident_warps(&gpu, &kernel.launch);
+    let constants = kernel.launch.constant_bank();
+    c.bench_function("sim_delta_vs_full/full_swap", |b| {
+        b.iter(|| simulator.run_compiled(&mutated, warps, 0, &constants, kernel.launch.max_cycles))
+    });
+    c.bench_function("sim_delta_vs_full/record_baseline", |b| {
+        b.iter(|| {
+            let recorded = engine.record_baseline(&compiled);
+            engine.recycle_baseline(recorded);
+        })
+    });
+}
+
+fn bench_mask_incremental(c: &mut Criterion) {
+    let kernel = bench_kernel();
+    let table = StallTable::builtin_a100();
+    let upper = first_legal_swap(&kernel, &table);
+    let mut swapped = kernel.program.clone();
+    swapped
+        .swap_instructions(upper, upper + 1)
+        .expect("legal swap applies");
+    let analysis = analyze(&kernel.program, &table);
+    let movable = analysis.movable_memory_indices();
+    let mask = action_mask(&kernel.program, &movable, &analysis, &table);
+    let swapped_analysis = analyze(&swapped, &table);
+    let swapped_movable = swapped_analysis.movable_memory_indices();
+    let masker = IncrementalMasker::new(&kernel.program, &analysis, &table);
+
+    c.bench_function("mask_incremental/incremental_update", |b| {
+        b.iter(|| {
+            let mut updated = masker.clone();
+            updated.apply_swap(upper);
+            updated.mask_after_swap(upper, &swapped_movable, &swapped_analysis, &movable, &mask)
+        })
+    });
+    c.bench_function("mask_incremental/full_recompute", |b| {
+        b.iter(|| action_mask(&swapped, &swapped_movable, &swapped_analysis, &table))
+    });
+}
+
+criterion_group!(benches, bench_sim_delta_vs_full, bench_mask_incremental);
+criterion_main!(benches);

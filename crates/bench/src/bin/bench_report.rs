@@ -22,9 +22,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bench::{
-    compare_reports, iqr_ms, median_ms, suite_driver, ArchStalls, BenchCell, BenchReport,
-    BenchRunConfig, CompareTolerance, HarnessArgs, OpStall, BENCH_REPORT_SCHEMA_VERSION,
-    SMOKE_SCALE, STALL_TABLE_OPS,
+    compare_reports, delta_sweep, iqr_ms, median_ms, suite_driver, ArchStalls, BenchCell,
+    BenchReport, BenchRunConfig, CompareTolerance, HarnessArgs, OpStall,
+    BENCH_REPORT_SCHEMA_VERSION, SMOKE_SCALE, STALL_TABLE_OPS,
 };
 use cuasmrl::dependency_based_stall;
 
@@ -157,6 +157,10 @@ fn run_mode(args: &[String]) -> ExitCode {
                 last = Some(report);
             }
             let report = last.expect("runs >= 1");
+            // Deterministic delta-engine health sweep for this cell: every
+            // legal single swap of the suite's kernels evaluated once
+            // through the incremental engine (gated by `compare`).
+            let sweep = delta_sweep(&harness.gpu(), &workload, harness.scale);
             cells.push(BenchCell {
                 arch: arch.clone(),
                 suite: suite.clone(),
@@ -166,6 +170,9 @@ fn run_mode(args: &[String]) -> ExitCode {
                 geomean_speedup: report.geomean_speedup,
                 verified: report.verified,
                 kernels: report.reports.len(),
+                delta_spliced: sweep.spliced,
+                delta_resumed: sweep.resumed,
+                delta_fallbacks: sweep.fallbacks,
             });
         }
     }
@@ -217,18 +224,19 @@ fn run_mode(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "{:<24} {:>11} {:>9} {:>9} {:>10}",
-        "cell", "median_ms", "iqr_ms", "geomean", "verified"
+        "{:<24} {:>11} {:>9} {:>9} {:>10} {:>14}",
+        "cell", "median_ms", "iqr_ms", "geomean", "verified", "delta_fallback"
     );
     for cell in &report.cells {
         println!(
-            "{:<24} {:>11.1} {:>9.1} {:>8.3}x {:>7}/{}",
+            "{:<24} {:>11.1} {:>9.1} {:>8.3}x {:>7}/{} {:>13.1}%",
             cell.key(),
             cell.median_ms,
             cell.iqr_ms,
             cell.geomean_speedup,
             cell.verified,
-            cell.kernels
+            cell.kernels,
+            cell.delta_fallback_rate() * 100.0
         );
     }
     println!("wrote {}", out.display());
@@ -289,7 +297,7 @@ fn compare_mode(args: &[String]) -> ExitCode {
         if let Some(cand) = candidate.cell(&base.arch, &base.suite) {
             println!(
                 "{:<24} median {:>8.1} -> {:>8.1} ms ({:+.1}%)  geomean {:.3}x -> {:.3}x  \
-                 verified {}/{} -> {}/{}",
+                 verified {}/{} -> {}/{}  delta fallback {:.1}% -> {:.1}%",
                 base.key(),
                 base.median_ms,
                 cand.median_ms,
@@ -299,7 +307,9 @@ fn compare_mode(args: &[String]) -> ExitCode {
                 base.verified,
                 base.kernels,
                 cand.verified,
-                cand.kernels
+                cand.kernels,
+                base.delta_fallback_rate() * 100.0,
+                cand.delta_fallback_rate() * 100.0
             );
         }
     }

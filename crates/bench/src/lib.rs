@@ -15,7 +15,7 @@ mod report;
 
 pub use report::{
     compare_reports, iqr_ms, median_ms, ArchStalls, BenchCell, BenchReport, BenchRunConfig,
-    CompareTolerance, OpStall, BENCH_REPORT_SCHEMA_VERSION,
+    CompareTolerance, OpStall, BENCH_REPORT_SCHEMA_VERSION, DELTA_FALLBACK_CEILING,
 };
 
 use cuasmrl::{CuAsmRl, GameConfig, OptimizationReport, Strategy, SuiteOptimizer};
@@ -264,6 +264,81 @@ pub fn suite_driver(args: &HarnessArgs, budget_moves: usize) -> SuiteOptimizer {
     } else {
         driver
     }
+}
+
+/// Outcome tallies of a [`delta_sweep`]: every *legal* adjacent swap of a
+/// suite's kernels, evaluated once through the incremental delta engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaSweep {
+    /// Swaps whose evaluation reconverged with the baseline and spliced its
+    /// tail (or were provably unobservable).
+    pub spliced: u64,
+    /// Swaps that re-simulated to completion but resumed past the shared
+    /// prefix (partial reuse).
+    pub resumed: u64,
+    /// Swaps that fell back to a full re-simulation from cycle zero.
+    pub fallbacks: u64,
+}
+
+impl DeltaSweep {
+    /// `fallbacks / total`, 0 when the sweep is empty. The perf-regression
+    /// gate keeps this under 20% on the smoke matrix.
+    #[must_use]
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.spliced + self.resumed + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / total as f64
+        }
+    }
+}
+
+/// Deterministically sweeps the delta engine over every legal single swap of
+/// every kernel in `suite` at problem scale `1/scale` on `gpu`: records a
+/// baseline per kernel, evaluates each masked-legal adjacent swap
+/// incrementally and tallies how each evaluation was obtained. Pure
+/// simulator output — two runs on any machine produce identical tallies —
+/// which makes the fallback rate a machine-independent regression signal
+/// for the engine's reconvergence detection.
+#[must_use]
+pub fn delta_sweep(gpu: &GpuConfig, suite: &WorkloadSuite, scale: usize) -> DeltaSweep {
+    use cuasmrl::{action_mask, analyze, Action, Direction, StallTable};
+    use gpusim::{CompiledProgram, DeltaEngine, DeltaOutcome};
+    let mut sweep = DeltaSweep::default();
+    for entry in &suite.entries {
+        let spec = entry.spec(scale);
+        let kernel = generate(&spec, &harness_config(entry.kind), ScheduleStyle::Baseline);
+        let table = StallTable::for_arch(&gpu.arch);
+        let analysis = analyze(&kernel.program, &table);
+        let movable = analysis.movable_memory_indices();
+        let mask = action_mask(&kernel.program, &movable, &analysis, &table);
+        let compiled = CompiledProgram::compile(&kernel.program, gpu);
+        let mut engine = DeltaEngine::for_launch(gpu.clone(), &kernel.launch);
+        let baseline = engine.record_baseline(&compiled);
+        for (id, &legal) in mask.iter().enumerate() {
+            if !legal {
+                continue;
+            }
+            let action = Action::from_id(id);
+            let index = movable[action.slot];
+            let upper = match action.direction {
+                Direction::Up => index - 1,
+                Direction::Down => index,
+            };
+            let mut mutated = compiled.clone();
+            mutated.swap_insts(upper, upper + 1);
+            let (_, outcome) = engine.simulate_delta(&baseline, &mutated, &[upper, upper + 1]);
+            match outcome {
+                DeltaOutcome::Unchanged | DeltaOutcome::Spliced { .. } => sweep.spliced += 1,
+                DeltaOutcome::Resimulated { resumed_cycle } if resumed_cycle > 0 => {
+                    sweep.resumed += 1;
+                }
+                DeltaOutcome::Resimulated { .. } => sweep.fallbacks += 1,
+            }
+        }
+    }
+    sweep
 }
 
 /// Optimizes one kernel of the suite on the A100-like device, returning the

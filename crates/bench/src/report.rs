@@ -54,6 +54,18 @@ pub struct BenchCell {
     pub verified: usize,
     /// Total kernels in the suite.
     pub kernels: usize,
+    /// Delta-engine sweep: legal single swaps whose incremental evaluation
+    /// spliced the baseline tail (or was provably unobservable).
+    /// Deterministic; absent (zero) in pre-delta reports.
+    #[serde(default)]
+    pub delta_spliced: u64,
+    /// Sweep evaluations that re-simulated but reused the shared prefix.
+    #[serde(default)]
+    pub delta_resumed: u64,
+    /// Sweep evaluations that fell back to a full re-simulation from cycle
+    /// zero. Gated below 20% of the sweep by [`compare_reports`].
+    #[serde(default)]
+    pub delta_fallbacks: u64,
 }
 
 impl BenchCell {
@@ -62,7 +74,30 @@ impl BenchCell {
     pub fn key(&self) -> String {
         format!("{}/{}", self.arch, self.suite)
     }
+
+    /// Total delta-sweep evaluations recorded in this cell (0 for reports
+    /// predating the delta engine).
+    #[must_use]
+    pub fn delta_attempts(&self) -> u64 {
+        self.delta_spliced + self.delta_resumed + self.delta_fallbacks
+    }
+
+    /// `delta_fallbacks / delta_attempts`, 0 when no sweep was recorded.
+    #[must_use]
+    pub fn delta_fallback_rate(&self) -> f64 {
+        let attempts = self.delta_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.delta_fallbacks as f64 / attempts as f64
+        }
+    }
 }
+
+/// Ceiling on a cell's delta-engine fallback rate: reconvergence detection
+/// rotting shows up as full re-simulations, so the smoke matrix gates the
+/// rate strictly (the metric is a deterministic simulator output).
+pub const DELTA_FALLBACK_CEILING: f64 = 0.2;
 
 /// One opcode's dependency-measured stall count on one architecture.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -182,6 +217,25 @@ pub fn compare_reports(
                 base.kernels, cand.kernels
             ));
         }
+        // Delta-engine health: a candidate that recorded a sweep must keep
+        // its fallback rate under the ceiling, and once a baseline carries
+        // sweep data a candidate may not silently drop it.
+        if cand.delta_attempts() > 0 && cand.delta_fallback_rate() >= DELTA_FALLBACK_CEILING {
+            regressions.push(format!(
+                "{key}: delta-engine fallback rate {:.1}% reached the {:.0}% ceiling \
+                 ({} fallbacks / {} evaluations)",
+                cand.delta_fallback_rate() * 100.0,
+                DELTA_FALLBACK_CEILING * 100.0,
+                cand.delta_fallbacks,
+                cand.delta_attempts()
+            ));
+        }
+        if base.delta_attempts() > 0 && cand.delta_attempts() == 0 {
+            regressions.push(format!(
+                "{key}: delta-engine sweep missing from candidate (baseline recorded {})",
+                base.delta_attempts()
+            ));
+        }
     }
     for base_arch in &baseline.stall_counts {
         let Some(cand_arch) = candidate
@@ -277,6 +331,9 @@ mod tests {
                 geomean_speedup: 1.009,
                 verified: 6,
                 kernels: 6,
+                delta_spliced: 12,
+                delta_resumed: 5,
+                delta_fallbacks: 1,
             }],
             stall_counts: vec![ArchStalls {
                 arch: "ampere".to_string(),
@@ -298,6 +355,41 @@ mod tests {
     fn identical_reports_show_no_regression() {
         let a = report();
         assert!(compare_reports(&a, &a.clone(), &CompareTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn delta_fallback_ceiling_gates_the_candidate() {
+        let base = report();
+        // 5 fallbacks of 18 evaluations = 27.8% >= the 20% ceiling.
+        let mut rotted = base.clone();
+        rotted.cells[0].delta_spliced = 9;
+        rotted.cells[0].delta_resumed = 4;
+        rotted.cells[0].delta_fallbacks = 5;
+        let regressions = compare_reports(&base, &rotted, &CompareTolerance::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("fallback rate"));
+        // Dropping the sweep entirely is also a regression.
+        let mut missing = base.clone();
+        missing.cells[0].delta_spliced = 0;
+        missing.cells[0].delta_resumed = 0;
+        missing.cells[0].delta_fallbacks = 0;
+        let regressions = compare_reports(&base, &missing, &CompareTolerance::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("sweep missing"));
+    }
+
+    #[test]
+    fn pre_delta_reports_still_parse_with_zero_sweeps() {
+        // A v1-era cell without the delta fields must decode with zeroed
+        // tallies (schema evolution for the committed baseline history).
+        let json = r#"{
+            "arch": "ampere", "suite": "table2",
+            "runs_ms": [150.0], "median_ms": 150.0, "iqr_ms": 0.0,
+            "geomean_speedup": 1.009, "verified": 6, "kernels": 6
+        }"#;
+        let cell: BenchCell = serde_json::from_str(json).expect("pre-delta cells must decode");
+        assert_eq!(cell.delta_attempts(), 0);
+        assert_eq!(cell.delta_fallback_rate(), 0.0);
     }
 
     #[test]

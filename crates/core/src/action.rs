@@ -73,6 +73,7 @@ impl Action {
 /// to checking each candidate against the raw `sass` structures. Swapped
 /// candidate orders are evaluated through an index remap rather than by
 /// deep-cloning the program per candidate.
+#[derive(Debug, Clone)]
 struct MaskContext {
     defs: Vec<Vec<sass::Register>>,
     uses: Vec<Vec<sass::Register>>,
@@ -254,21 +255,134 @@ pub fn action_mask(
     analysis: &Analysis,
     stalls: &StallTable,
 ) -> Vec<bool> {
-    let ctx = MaskContext::new(program, analysis, stalls);
-    let count = ctx.len();
-    let mut mask = vec![false; movable.len() * 2];
-    for (slot, &index) in movable.iter().enumerate() {
-        if analysis.denylist.contains(&index) {
-            continue;
-        }
-        if index > 0 {
-            mask[slot * 2] = ctx.swap_is_legal(index - 1);
-        }
-        if index + 1 < count {
-            mask[slot * 2 + 1] = ctx.swap_is_legal(index);
+    IncrementalMasker::new(program, analysis, stalls).full_mask(movable, analysis)
+}
+
+/// A retained legality context that survives schedule mutations.
+///
+/// Recomputing a mask from scratch re-decodes every instruction's defs,
+/// uses, control codes and latency lookups. After an adjacent swap, though,
+/// only two context entries change places and only candidates inside the
+/// swap's basic block can change legality — every stall-count walk is
+/// confined to one block, and cross-block candidates are rejected by block
+/// membership alone. [`IncrementalMasker::apply_swap`] therefore permutes
+/// the per-index arrays in O(1) and
+/// [`IncrementalMasker::mask_after_swap`] re-evaluates only the slots whose
+/// instruction lies in the affected block, copying every other slot from
+/// the previous mask.
+///
+/// The incremental path is only valid when the swap did not change the
+/// *global* inputs of the context — the (possibly schedule-inferred) stall
+/// table, the denylist and the block structure. The game checks those
+/// preconditions after re-analysis and falls back to a full rebuild when
+/// any of them moved; `masking_properties` proptests pin incremental ≡ full
+/// recompute over random legal swap sequences.
+#[derive(Debug, Clone)]
+pub struct IncrementalMasker {
+    ctx: MaskContext,
+}
+
+impl IncrementalMasker {
+    /// Decodes the legality context of `program`.
+    #[must_use]
+    pub fn new(program: &Program, analysis: &Analysis, stalls: &StallTable) -> Self {
+        IncrementalMasker {
+            ctx: MaskContext::new(program, analysis, stalls),
         }
     }
-    mask
+
+    /// The full mask over `movable` (exactly [`action_mask`]).
+    #[must_use]
+    pub fn full_mask(&self, movable: &[usize], analysis: &Analysis) -> Vec<bool> {
+        let count = self.ctx.len();
+        let mut mask = vec![false; movable.len() * 2];
+        for (slot, &index) in movable.iter().enumerate() {
+            if analysis.denylist.contains(&index) {
+                continue;
+            }
+            if index > 0 {
+                mask[slot * 2] = self.ctx.swap_is_legal(index - 1);
+            }
+            if index + 1 < count {
+                mask[slot * 2 + 1] = self.ctx.swap_is_legal(index);
+            }
+        }
+        mask
+    }
+
+    /// True when the swap of `upper` and `upper + 1` keeps the context
+    /// incrementally updatable: both instructions live in one basic block
+    /// and neither is a scheduling fence (so the block structure cannot
+    /// move). Accepted game actions always satisfy this — the mask itself
+    /// forbids the rest — but the caller must fall back to a rebuild when
+    /// it does not hold.
+    #[must_use]
+    pub fn swap_stays_incremental(&self, upper: usize) -> bool {
+        let lower = upper + 1;
+        lower < self.ctx.len()
+            && !self.ctx.fence[upper]
+            && !self.ctx.fence[lower]
+            && self
+                .ctx
+                .blocks
+                .iter()
+                .any(|b| b.contains(upper) && b.contains(lower))
+    }
+
+    /// Applies an adjacent swap to the per-index context arrays. Blocks are
+    /// untouched (guarded by [`IncrementalMasker::swap_stays_incremental`]).
+    pub fn apply_swap(&mut self, upper: usize) {
+        let lower = upper + 1;
+        if lower >= self.ctx.len() {
+            return;
+        }
+        self.ctx.defs.swap(upper, lower);
+        self.ctx.uses.swap(upper, lower);
+        self.ctx.stall.swap(upper, lower);
+        self.ctx.required.swap(upper, lower);
+        self.ctx.fence.swap(upper, lower);
+        self.ctx.sets.swap(upper, lower);
+        self.ctx.wait_mask.swap(upper, lower);
+        self.ctx.ldgsts_base.swap(upper, lower);
+    }
+
+    /// The mask after a swap at `upper` was applied with
+    /// [`IncrementalMasker::apply_swap`]: slots whose instruction lies in
+    /// the swap's basic block are re-evaluated, every other slot is copied
+    /// from `prev_mask` (indexed through `prev_movable`, which is sorted).
+    #[must_use]
+    pub fn mask_after_swap(
+        &self,
+        upper: usize,
+        movable: &[usize],
+        analysis: &Analysis,
+        prev_movable: &[usize],
+        prev_mask: &[bool],
+    ) -> Vec<bool> {
+        let count = self.ctx.len();
+        let swap_block = self.ctx.blocks.iter().find(|b| b.contains(upper)).copied();
+        let mut mask = vec![false; movable.len() * 2];
+        for (slot, &index) in movable.iter().enumerate() {
+            if analysis.denylist.contains(&index) {
+                continue;
+            }
+            let affected = swap_block.is_none_or(|b| b.contains(index));
+            if !affected {
+                if let Ok(prev_slot) = prev_movable.binary_search(&index) {
+                    mask[slot * 2] = prev_mask.get(prev_slot * 2).copied().unwrap_or(false);
+                    mask[slot * 2 + 1] = prev_mask.get(prev_slot * 2 + 1).copied().unwrap_or(false);
+                    continue;
+                }
+            }
+            if index > 0 {
+                mask[slot * 2] = self.ctx.swap_is_legal(index - 1);
+            }
+            if index + 1 < count {
+                mask[slot * 2 + 1] = self.ctx.swap_is_legal(index);
+            }
+        }
+        mask
+    }
 }
 
 #[cfg(test)]

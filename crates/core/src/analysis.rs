@@ -105,11 +105,24 @@ pub fn analyze(program: &Program, builtin: &StallTable) -> Analysis {
     let mut denylist = HashSet::new();
     let mut breakdown = ResolutionBreakdown::default();
     let memory_indices: Vec<usize> = program.memory_instruction_indices();
+    // Hoisted per-instruction facts: the reverse scans below visit each
+    // (memory instruction, use, producer candidate) triple, so decoding
+    // defs/stalls/latency classes inside them is quadratic in block size.
+    // Decoding once per instruction keeps the scans allocation-free without
+    // changing a single comparison.
+    let defs: Vec<Vec<Register>> = instructions.iter().map(|inst| inst.defs()).collect();
+    let issue_stall: Vec<u64> = instructions
+        .iter()
+        .map(|inst| u64::from(inst.control().stall()).max(1))
+        .collect();
+    let fixed_latency: Vec<bool> = instructions
+        .iter()
+        .map(|inst| inst.opcode().latency_class() == sass::LatencyClass::Fixed)
+        .collect();
     // Registers that are never written anywhere in the kernel are inputs set
     // up by the driver (e.g. uniform descriptor registers); they carry no
     // intra-kernel dependence.
-    let ever_defined: HashSet<Register> =
-        instructions.iter().flat_map(|inst| inst.defs()).collect();
+    let ever_defined: HashSet<Register> = defs.iter().flatten().copied().collect();
 
     // Pass 1: stall-count inference / denylist construction.
     for &mem_idx in &memory_indices {
@@ -127,10 +140,10 @@ pub fn analyze(program: &Program, builtin: &StallTable) -> Analysis {
             let mut accumulated: u64 = 0;
             let mut found = false;
             for j in (block.start..mem_idx).rev() {
-                accumulated += u64::from(instructions[j].control().stall()).max(1);
-                if instructions[j].defs().contains(&reg) {
+                accumulated += issue_stall[j];
+                if defs[j].contains(&reg) {
                     found = true;
-                    if instructions[j].opcode().latency_class() == sass::LatencyClass::Fixed {
+                    if fixed_latency[j] {
                         let name = instructions[j].opcode().full_name();
                         if builtin.lookup(&name).is_none() {
                             // Infer: the original schedule is valid, so the

@@ -88,6 +88,37 @@ pub fn embed_program(program: &Program, analysis: &Analysis, arch: &ArchSpec) ->
     matrix
 }
 
+/// Re-embeds only the given instruction rows of an existing observation
+/// matrix in place. A row's embedding depends solely on its own instruction
+/// plus the analysis-wide register table, operand padding width and the
+/// architecture block, so after an adjacent swap only the two moved rows
+/// change — provided the register table and padding width are unchanged
+/// (the caller checks this and falls back to [`embed_program`] otherwise).
+/// Rows outside the matrix are ignored.
+pub fn embed_rows_into(
+    matrix: &mut Matrix,
+    program: &Program,
+    rows: &[usize],
+    analysis: &Analysis,
+    arch: &ArchSpec,
+) {
+    let features = feature_count(analysis);
+    debug_assert_eq!(matrix.cols(), features);
+    let arch_row = arch_features(arch);
+    for &r in rows {
+        let Some(inst) = program.instruction(r) else {
+            continue;
+        };
+        if r >= matrix.rows() {
+            continue;
+        }
+        let row = embed_instruction(inst, analysis, features, &arch_row);
+        for (c, v) in row.iter().enumerate() {
+            matrix.set(r, c, *v);
+        }
+    }
+}
+
 /// Number of embedding features for a program analysed with `analysis`.
 #[must_use]
 pub fn feature_count(analysis: &Analysis) -> usize {

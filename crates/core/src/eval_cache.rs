@@ -30,27 +30,62 @@ use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use gpusim::{splitmix64, ArchSpec, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
+use gpusim::{
+    splitmix64, ArchSpec, DeltaOutcome, GpuConfig, LaunchConfig, MeasureOptions, Measurement,
+};
 use sass::Program;
 
 /// Number of independently locked shards.
 const SHARDS: usize = 16;
 
-/// Cache hit/miss counters, for observability and tests.
+/// Cache effectiveness counters, for observability and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalCacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to simulate.
+    /// Lookups that had to simulate (fully or incrementally).
     pub misses: u64,
+    /// Cache misses the delta engine answered without a full re-simulation:
+    /// spliced, provably unchanged, or resumed past the shared prefix.
+    pub delta_hits: u64,
+    /// Delta evaluations that fell back to a full re-simulation from cycle
+    /// zero (no prefix reused, no reconvergence detected).
+    pub delta_fallbacks: u64,
+}
+
+impl EvalCacheStats {
+    /// `delta_fallbacks / (delta_hits + delta_fallbacks)`, 0 when the delta
+    /// engine never ran. The perf-regression gate keeps this under 20% on
+    /// the smoke matrix.
+    #[must_use]
+    pub fn delta_fallback_rate(&self) -> f64 {
+        let attempts = self.delta_hits + self.delta_fallbacks;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.delta_fallbacks as f64 / attempts as f64
+        }
+    }
+}
+
+/// One shard: the memo map plus its own hit/miss tallies. Keeping the
+/// counters under the same lock as the map makes a lookup and its counter
+/// update one consistent operation, and lets [`EvalCache::stats`] aggregate
+/// everything in a single pass over the shards instead of reading counters
+/// that can drift from the maps they describe.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Measurement>,
+    hits: u64,
+    misses: u64,
 }
 
 /// A sharded digest → [`Measurement`] memo (see the module docs).
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    shards: Vec<Mutex<HashMap<u64, Measurement>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    delta_hits: AtomicU64,
+    delta_fallbacks: AtomicU64,
 }
 
 impl EvalCache {
@@ -58,13 +93,13 @@ impl EvalCache {
     #[must_use]
     pub fn new() -> Self {
         EvalCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            delta_hits: AtomicU64::new(0),
+            delta_fallbacks: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Measurement>> {
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
@@ -77,17 +112,46 @@ impl EvalCache {
     where
         F: FnOnce() -> Measurement,
     {
-        if let Some(hit) = self.shard(key).lock().expect("eval-cache shard").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+        if let Some(hit) = self.lookup(key) {
+            return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = simulate();
-        self.shard(key)
-            .lock()
-            .expect("eval-cache shard")
-            .insert(key, value.clone());
+        self.insert_computed(key, value.clone());
         value
+    }
+
+    /// Looks `key` up, counting a hit when present. A `None` result is not
+    /// counted — the caller is expected to simulate and call
+    /// [`EvalCache::insert_computed`], which records the miss.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Measurement> {
+        let mut shard = self.shard(key).lock().expect("eval-cache shard");
+        let hit = shard.map.get(&key).cloned();
+        if hit.is_some() {
+            shard.hits += 1;
+        }
+        hit
+    }
+
+    /// Records a freshly simulated measurement (one miss). A racing
+    /// duplicate insert stores an identical value, so last-write-wins is
+    /// harmless.
+    pub fn insert_computed(&self, key: u64, value: Measurement) {
+        let mut shard = self.shard(key).lock().expect("eval-cache shard");
+        shard.misses += 1;
+        shard.map.insert(key, value);
+    }
+
+    /// Attributes one simulated miss to the delta engine: an incremental
+    /// evaluation (spliced, provably unchanged or prefix-reusing) counts as
+    /// a `delta_hit`, the full re-simulation from cycle zero as a
+    /// `delta_fallback`.
+    pub fn record_delta_outcome(&self, outcome: &DeltaOutcome) {
+        if outcome.is_fallback() {
+            self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.delta_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of cached measurements.
@@ -95,7 +159,7 @@ impl EvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("eval-cache shard").len())
+            .map(|s| s.lock().expect("eval-cache shard").map.len())
             .sum()
     }
 
@@ -105,13 +169,22 @@ impl EvalCache {
         self.len() == 0
     }
 
-    /// Hit/miss counters since construction.
+    /// Aggregates the per-shard counters in one pass (each shard is locked
+    /// exactly once, so the totals are a consistent snapshot of every
+    /// shard), plus the delta-engine tallies.
     #[must_use]
     pub fn stats(&self) -> EvalCacheStats {
-        EvalCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        let mut stats = EvalCacheStats {
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
+            ..EvalCacheStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("eval-cache shard");
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
         }
+        stats
     }
 }
 
@@ -126,13 +199,44 @@ impl fmt::Write for HashWriter<'_> {
     }
 }
 
+/// Digest of one listing item (a label or an instruction line) in its
+/// canonical `Display` round-trip form. Item digests are position-free —
+/// [`combine_item_keys`] folds the listing order in — so a game that only
+/// ever *reorders* instructions computes each line's digest exactly once
+/// and re-derives [`program_key`] from the cached digests in a handful of
+/// integer operations per schedule change.
+#[must_use]
+pub fn item_key(item: &sass::Item) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    match item {
+        sass::Item::Label(name) => {
+            hasher.write_u8(b'L');
+            hasher.write(name.as_bytes());
+        }
+        sass::Item::Instr(inst) => {
+            hasher.write_u8(b'I');
+            write!(HashWriter(&mut hasher), "{inst}").expect("hashing never fails");
+        }
+    }
+    hasher.finish()
+}
+
+/// Order-sensitively folds per-item digests into one schedule digest.
+#[must_use]
+pub fn combine_item_keys(items: impl IntoIterator<Item = u64>) -> u64 {
+    items
+        .into_iter()
+        .fold(0x05ca_1ab1_e0dd_ba11_u64, |acc, item| {
+            splitmix64(acc.rotate_left(17) ^ item)
+        })
+}
+
 /// Digest of a schedule: every label, instruction, operand and control code
-/// in listing order (via the canonical `Display` round-trip form).
+/// in listing order — the fold of [`item_key`] over the listing via
+/// [`combine_item_keys`].
 #[must_use]
 pub fn program_key(program: &Program) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    write!(HashWriter(&mut hasher), "{program}").expect("hashing never fails");
-    hasher.finish()
+    combine_item_keys(program.items().iter().map(item_key))
 }
 
 /// Digest of one GPU architecture profile: every field of the
@@ -218,9 +322,55 @@ mod tests {
         let first = cache.get_or_insert_with(key, || measure(&gpu, &program, &launch, &options()));
         let second = cache.get_or_insert_with(key, || unreachable!("second lookup must hit"));
         assert_eq!(first, second);
-        assert_eq!(cache.stats(), EvalCacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            EvalCacheStats {
+                hits: 1,
+                misses: 1,
+                ..EvalCacheStats::default()
+            }
+        );
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lookup_then_insert_computed_count_like_get_or_insert() {
+        let cache = EvalCache::new();
+        let gpu = GpuConfig::small();
+        let launch = LaunchConfig::default();
+        let program: Program = SAMPLE.parse().unwrap();
+        let key = eval_key(&program, &launch, &gpu, &options());
+        assert!(cache.lookup(key).is_none());
+        let value = measure(&gpu, &program, &launch, &options());
+        cache.insert_computed(key, value.clone());
+        assert_eq!(cache.lookup(key), Some(value));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn delta_outcomes_are_tallied_and_rated() {
+        use gpusim::DeltaOutcome;
+        let cache = EvalCache::new();
+        assert_eq!(cache.stats().delta_fallback_rate(), 0.0);
+        cache.record_delta_outcome(&DeltaOutcome::Unchanged);
+        cache.record_delta_outcome(&DeltaOutcome::Spliced {
+            resumed_cycle: 10,
+            spliced_cycle: 90,
+        });
+        cache.record_delta_outcome(&DeltaOutcome::Spliced {
+            resumed_cycle: 0,
+            spliced_cycle: 50,
+        });
+        // Resuming past the shared prefix is a delta win; re-simulating from
+        // cycle zero is the fallback.
+        cache.record_delta_outcome(&DeltaOutcome::Resimulated { resumed_cycle: 5 });
+        cache.record_delta_outcome(&DeltaOutcome::Resimulated { resumed_cycle: 0 });
+        let stats = cache.stats();
+        assert_eq!(stats.delta_hits, 4);
+        assert_eq!(stats.delta_fallbacks, 1);
+        assert_eq!(stats.delta_fallback_rate(), 0.2);
     }
 
     #[test]

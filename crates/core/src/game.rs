@@ -1,7 +1,8 @@
 //! The assembly game (§3.3–§3.6): the Gym-like environment the RL agent
 //! plays to optimize a SASS schedule.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use gpusim::{measure, GpuConfig, LaunchConfig, MeasureOptions, Measurement};
 use nn::Matrix;
@@ -9,10 +10,12 @@ use rl::{Env, Step};
 use sass::Program;
 use serde::{Deserialize, Serialize};
 
-use crate::action::{action_mask, Action, Direction};
+use crate::action::{Action, Direction, IncrementalMasker};
 use crate::analysis::{analyze, Analysis};
-use crate::embed::{embed_program, feature_count};
-use crate::eval_cache::{combine_keys, context_key, program_key, EvalCache};
+use crate::delta_session::DeltaSession;
+use crate::embed::{embed_program, embed_rows_into, feature_count};
+use crate::eval_cache::program_key;
+use crate::eval_cache::{combine_item_keys, combine_keys, context_key, item_key, EvalCache};
 use crate::stall_table::StallTable;
 
 /// Game configuration.
@@ -64,12 +67,17 @@ pub struct AssemblyGame {
     initial_digest: u64,
     current: Program,
     current_runtime: f64,
-    analysis: Analysis,
-    movable: Vec<usize>,
-    /// Action mask of `current`, recomputed exactly once per schedule change
-    /// (the mask is a pure function of the schedule, and both the env `done`
-    /// check and the search strategies read it every step).
-    mask: Vec<bool>,
+    /// Schedule-pure derived state of `current` (analysis, action mask,
+    /// legality context, observation), shared through the per-kernel
+    /// [`DerivedViews`] memo: revisited schedules re-adopt their views with
+    /// an `Arc` clone instead of re-analyzing.
+    views: Arc<DerivedViews>,
+    /// Memo of derived views keyed by schedule digest, shared across clones
+    /// of this game (episode replays, greedy probes, `VecEnv` workers). The
+    /// views are pure functions of the listing, so sharing cannot change an
+    /// observable result; the map is size-capped, never evicts, and only
+    /// trades recomputation for memory.
+    views_memo: Arc<Mutex<HashMap<u64, Arc<DerivedViews>>>>,
     steps_in_episode: usize,
     best: Program,
     best_runtime: f64,
@@ -82,6 +90,78 @@ pub struct AssemblyGame {
     /// Digest of (device, launch, measurement protocol), combined with the
     /// per-schedule digest into cache keys.
     context_key: u64,
+    /// Incremental re-simulation session mirroring `current`: cache misses
+    /// are answered by delta evaluation against its recorded baseline
+    /// instead of a full simulation from cycle zero.
+    session: DeltaSession,
+    /// Per listing-item digests of `current` (see
+    /// [`crate::eval_cache::item_key`]): reordering instructions only swaps
+    /// entries, so cache keys cost a fold over cached `u64`s instead of
+    /// re-hashing the whole listing per measurement.
+    item_keys: Vec<u64>,
+    /// Listing-item position of each instruction index (labels interleave).
+    item_of_instruction: Vec<usize>,
+    /// Views of the initial schedule, re-adopted by every episode reset
+    /// (the initial schedule never changes, and resets happen once per
+    /// episode).
+    initial_views: Arc<DerivedViews>,
+    initial_item_keys: Vec<u64>,
+}
+
+/// Upper bound on memoized [`DerivedViews`] per kernel; beyond it new
+/// schedules are computed without being remembered (no eviction, so the
+/// working set of the search's most-revisited schedules stays resident).
+const VIEWS_MEMO_CAP: usize = 256;
+
+/// Everything the game derives from the current listing alone: the static
+/// analysis, the movable set, the resized action mask, the retained
+/// legality context and the embedded observation. Pure function of the
+/// schedule text (given the game's fixed stall table and device), hence
+/// freely shareable and memoizable by schedule digest.
+#[derive(Debug)]
+struct DerivedViews {
+    analysis: Analysis,
+    movable: Vec<usize>,
+    mask: Vec<bool>,
+    masker: IncrementalMasker,
+    obs: Matrix,
+}
+
+/// Digests every listing item of `program` and records where each
+/// instruction sits among the items (labels interleave), so swaps can be
+/// mirrored onto the digest list in O(1).
+fn index_item_keys(program: &Program) -> (Vec<u64>, Vec<usize>) {
+    let mut keys = Vec::new();
+    let mut item_of_instruction = Vec::new();
+    for (position, item) in program.items().iter().enumerate() {
+        if matches!(item, sass::Item::Instr(_)) {
+            item_of_instruction.push(position);
+        }
+        keys.push(item_key(item));
+    }
+    (keys, item_of_instruction)
+}
+
+/// Builds the full derived views of one listing from a fresh analysis.
+fn build_views(
+    program: &Program,
+    analysis: Analysis,
+    stalls: &StallTable,
+    gpu: &GpuConfig,
+    action_slots: usize,
+) -> DerivedViews {
+    let movable = analysis.movable_memory_indices();
+    let masker = IncrementalMasker::new(program, &analysis, stalls);
+    let mut mask = masker.full_mask(&movable, &analysis);
+    mask.resize((action_slots * 2).max(1), false);
+    let obs = embed_program(program, &analysis, &gpu.arch);
+    DerivedViews {
+        analysis,
+        movable,
+        mask,
+        masker,
+        obs,
+    }
 }
 
 impl AssemblyGame {
@@ -117,17 +197,32 @@ impl AssemblyGame {
         config: GameConfig,
         cache: Arc<EvalCache>,
     ) -> Self {
-        let analysis = analyze(&program, &stalls);
-        let movable = analysis.movable_memory_indices();
         let ctx_key = context_key(&gpu, &launch, &config.measure);
+        // The session's recorded baseline is the one full simulation the
+        // initial measurement always cost; its report doubles as the
+        // cache entry (bit-identical to `measure`).
+        let session = DeltaSession::new(
+            gpu.clone(),
+            launch.clone(),
+            config.measure.clone(),
+            &program,
+        );
         let measurement = cache
             .get_or_insert_with(combine_keys(ctx_key, program_key(&program)), || {
-                measure(&gpu, &program, &launch, &config.measure)
+                session.initial_measurement()
             });
         let runtime = measurement.mean_us;
         let digest = measurement.run.sm.output_digest;
-        let action_slots = movable.len();
-        let mut game = AssemblyGame {
+        let analysis = analyze(&program, &stalls);
+        let action_slots = analysis.movable_memory_indices().len();
+        let views = Arc::new(build_views(&program, analysis, &stalls, &gpu, action_slots));
+        let (item_keys, item_of_instruction) = index_item_keys(&program);
+        let views_memo = Arc::new(Mutex::new(HashMap::new()));
+        views_memo.lock().expect("views memo").insert(
+            combine_item_keys(item_keys.iter().copied()),
+            Arc::clone(&views),
+        );
+        AssemblyGame {
             gpu,
             launch,
             config,
@@ -137,9 +232,12 @@ impl AssemblyGame {
             initial_digest: digest,
             current: program.clone(),
             current_runtime: runtime,
-            analysis,
-            movable,
-            mask: Vec::new(),
+            initial_views: Arc::clone(&views),
+            initial_item_keys: item_keys.clone(),
+            item_keys,
+            item_of_instruction,
+            views,
+            views_memo,
             steps_in_episode: 0,
             best: program,
             best_runtime: runtime,
@@ -147,9 +245,8 @@ impl AssemblyGame {
             trace: Vec::new(),
             cache,
             context_key: ctx_key,
-        };
-        game.refresh_mask();
-        game
+            session,
+        }
     }
 
     /// The schedule-evaluation cache backing this game.
@@ -180,7 +277,7 @@ impl AssemblyGame {
     /// The static analysis of the initial schedule.
     #[must_use]
     pub fn analysis(&self) -> &Analysis {
-        &self.analysis
+        &self.views.analysis
     }
 
     /// The moves applied since the last reset (inference-mode trace, §5.7).
@@ -189,10 +286,29 @@ impl AssemblyGame {
         &self.trace
     }
 
-    /// Measures a program with the game's protocol, answering revisited
-    /// schedules from the shared evaluation cache.
-    fn measure_program(&self, program: &Program) -> (f64, u64, u64) {
-        let m = self.cached_measurement(program);
+    /// Measures the game's current schedule, answering revisits from the
+    /// shared cache and fresh schedules from the incremental delta session
+    /// (bit-identical to a full `measure`, so cache entries stay
+    /// interchangeable with ones other games computed in full).
+    fn measure_current_schedule(&mut self) -> (f64, u64, u64) {
+        debug_assert_eq!(
+            combine_item_keys(self.item_keys.iter().copied()),
+            program_key(&self.current),
+            "cached item digests must track the current listing"
+        );
+        let key = combine_keys(
+            self.context_key,
+            combine_item_keys(self.item_keys.iter().copied()),
+        );
+        let m = match self.cache.lookup(key) {
+            Some(hit) => hit,
+            None => {
+                let (measurement, outcome) = self.session.measure_current();
+                self.cache.record_delta_outcome(&outcome);
+                self.cache.insert_computed(key, measurement.clone());
+                measurement
+            }
+        };
         (m.mean_us, m.run.sm.hazards, m.run.sm.output_digest)
     }
 
@@ -204,16 +320,121 @@ impl AssemblyGame {
             })
     }
 
-    fn refresh_state(&mut self) {
-        self.analysis = analyze(&self.current, &self.stalls);
-        self.movable = self.analysis.movable_memory_indices();
-        self.refresh_mask();
+    /// The schedule digest of `current`, folded from the cached per-item
+    /// digests (no re-hashing of the listing text).
+    fn current_schedule_key(&self) -> u64 {
+        combine_item_keys(self.item_keys.iter().copied())
     }
 
-    fn refresh_mask(&mut self) {
-        let mut mask = action_mask(&self.current, &self.movable, &self.analysis, &self.stalls);
+    /// Rebuilds every derived view of `current` from scratch: static
+    /// analysis, movable set, legality context, mask and observation. Used
+    /// by checkpoint restore and as the fallback when an accepted swap
+    /// invalidated an incremental precondition.
+    fn refresh_full(&mut self) {
+        let analysis = analyze(&self.current, &self.stalls);
+        self.views = Arc::new(build_views(
+            &self.current,
+            analysis,
+            &self.stalls,
+            &self.gpu,
+            self.action_slots,
+        ));
+    }
+
+    /// Remembers freshly derived views under the current schedule digest
+    /// (bounded by [`VIEWS_MEMO_CAP`]; over budget they are simply not
+    /// remembered).
+    fn memoize_views(&self, key: u64, views: &Arc<DerivedViews>) {
+        let mut memo = self.views_memo.lock().expect("views memo");
+        if memo.len() < VIEWS_MEMO_CAP {
+            memo.insert(key, Arc::clone(views));
+        }
+    }
+
+    /// Refreshes the derived views after an accepted swap of `upper` and
+    /// `upper + 1`: revisited schedules re-adopt their memoized views, new
+    /// ones take the incremental paths when their preconditions verifiably
+    /// hold and fall back to [`AssemblyGame::refresh_full`] otherwise. The
+    /// preconditions are checked against the *fresh* analysis, so the
+    /// result is always identical to a full rebuild (the
+    /// `masking_properties` and `delta_equivalence` suites pin this).
+    fn refresh_after_swap(&mut self, upper: usize) {
+        let key = self.current_schedule_key();
+        let memoized = self
+            .views_memo
+            .lock()
+            .expect("views memo")
+            .get(&key)
+            .map(Arc::clone);
+        if let Some(views) = memoized {
+            self.views = views;
+            return;
+        }
+        let analysis = analyze(&self.current, &self.stalls);
+        let previous = Arc::clone(&self.views);
+        // The incremental mask reuses out-of-block entries, which is only
+        // valid when the swap left the global context inputs unchanged: the
+        // (schedule-inferred) stall table and the denylist (up to the
+        // relabeling of the two swapped indices).
+        let remap = |i: usize| {
+            if i == upper {
+                upper + 1
+            } else if i == upper + 1 {
+                upper
+            } else {
+                i
+            }
+        };
+        let denylist_permuted = analysis.denylist.len() == previous.analysis.denylist.len()
+            && analysis
+                .denylist
+                .iter()
+                .all(|&i| previous.analysis.denylist.contains(&remap(i)));
+        let incremental = denylist_permuted
+            && analysis.stalls == previous.analysis.stalls
+            && previous.masker.swap_stays_incremental(upper);
+        if !incremental {
+            self.refresh_full();
+            self.memoize_views(key, &Arc::clone(&self.views));
+            return;
+        }
+        let movable = analysis.movable_memory_indices();
+        let mut masker = previous.masker.clone();
+        masker.apply_swap(upper);
+        let mut mask = masker.mask_after_swap(
+            upper,
+            &movable,
+            &analysis,
+            &previous.movable,
+            &previous.mask,
+        );
         mask.resize((self.action_slots * 2).max(1), false);
-        self.mask = mask;
+        let mut obs = previous.obs.clone();
+        if analysis.register_table == previous.analysis.register_table
+            && analysis.max_operands == previous.analysis.max_operands
+        {
+            // A row's embedding depends only on its own instruction once
+            // the register table and padding width are fixed: re-embed the
+            // two moved rows in place.
+            embed_rows_into(
+                &mut obs,
+                &self.current,
+                &[upper, upper + 1],
+                &analysis,
+                &self.gpu.arch,
+            );
+        } else {
+            obs = embed_program(&self.current, &analysis, &self.gpu.arch);
+        }
+        let views = Arc::new(DerivedViews {
+            analysis,
+            movable,
+            mask,
+            masker,
+            obs,
+        });
+        self.memoize_views(key, &views);
+        self.views = views;
     }
 }
 
@@ -238,15 +459,20 @@ impl Env for AssemblyGame {
         self.current_runtime = self.initial_runtime;
         self.steps_in_episode = 0;
         self.trace.clear();
-        self.refresh_state();
-        embed_program(&self.current, &self.analysis, &self.gpu.arch)
+        // The initial schedule never changes, so every derived view is a
+        // clone of the cached copies instead of a recomputation, and the
+        // delta session re-adopts its recorded initial baseline.
+        self.session.reset_to_initial();
+        self.item_keys.clone_from(&self.initial_item_keys);
+        self.views = Arc::clone(&self.initial_views);
+        self.views.obs.clone()
     }
 
     fn step(&mut self, action_id: usize) -> Step {
         let action = Action::from_id(action_id);
         self.steps_in_episode += 1;
         let mut reward = 0.0;
-        if let Some(&index) = self.movable.get(action.slot) {
+        if let Some(&index) = self.views.movable.get(action.slot).copied().as_ref() {
             let moved_text = self
                 .current
                 .instruction(index)
@@ -257,13 +483,20 @@ impl Env for AssemblyGame {
                 Direction::Down => (index, index + 1),
             };
             if a != b && self.current.swap_instructions(a, b).is_ok() {
-                let (runtime, hazards, digest) = self.measure_program(&self.current);
+                self.session.apply_swap(a);
+                self.item_keys
+                    .swap(self.item_of_instruction[a], self.item_of_instruction[b]);
+                let (runtime, hazards, digest) = self.measure_current_schedule();
                 // Reward (equation 3): relative improvement scaled by 100.
                 reward = ((self.current_runtime - runtime) / self.initial_runtime * 100.0) as f32;
                 if hazards > 0 || digest != self.initial_digest {
                     // A corrupted schedule (should be prevented by masking):
-                    // revert and punish.
+                    // revert and punish. The schedule is back to its
+                    // pre-step state, so every derived view stays valid.
                     let _ = self.current.swap_instructions(a, b);
+                    self.session.apply_swap(a);
+                    self.item_keys
+                        .swap(self.item_of_instruction[a], self.item_of_instruction[b]);
                     reward = -10.0;
                 } else {
                     self.current_runtime = runtime;
@@ -281,14 +514,15 @@ impl Env for AssemblyGame {
                         self.best_runtime = runtime;
                         self.best = self.current.clone();
                     }
+                    self.session.commit();
+                    self.refresh_after_swap(a);
                 }
-                self.refresh_state();
             }
         }
         let done = self.steps_in_episode >= self.config.episode_length
-            || !self.action_mask().iter().any(|&m| m);
+            || !self.views.mask.iter().any(|&m| m);
         Step {
-            observation: embed_program(&self.current, &self.analysis, &self.gpu.arch),
+            observation: self.views.obs.clone(),
             reward,
             done,
         }
@@ -299,11 +533,11 @@ impl Env for AssemblyGame {
     }
 
     fn action_mask(&self) -> Vec<bool> {
-        self.mask.clone()
+        self.views.mask.clone()
     }
 
     fn observation_features(&self) -> usize {
-        feature_count(&self.analysis)
+        feature_count(&self.views.analysis)
     }
 
     /// Serializes the game's mutable state (current/best schedules, their
@@ -358,7 +592,11 @@ impl Env for AssemblyGame {
         self.best = best;
         self.best_runtime = f64::from_bits(snapshot.best_runtime_bits);
         self.trace = snapshot.trace;
-        self.refresh_state();
+        self.refresh_full();
+        self.session.resync(&self.current);
+        let (item_keys, item_of_instruction) = index_item_keys(&self.current);
+        self.item_keys = item_keys;
+        self.item_of_instruction = item_of_instruction;
         true
     }
 }

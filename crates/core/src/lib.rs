@@ -33,6 +33,7 @@
 
 mod action;
 mod analysis;
+mod delta_session;
 mod embed;
 mod eval_cache;
 mod game;
@@ -41,11 +42,15 @@ mod stall_table;
 mod suite_optimizer;
 mod telemetry;
 
-pub use action::{action_mask, Action, Direction};
+pub use action::{action_mask, Action, Direction, IncrementalMasker};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
-pub use embed::{arch_features, embed_program, feature_count, ARCH_FEATURES, FIXED_FEATURES};
+pub use delta_session::DeltaSession;
+pub use embed::{
+    arch_features, embed_program, embed_rows_into, feature_count, ARCH_FEATURES, FIXED_FEATURES,
+};
 pub use eval_cache::{
-    arch_key, combine_keys, context_key, eval_key, program_key, EvalCache, EvalCacheStats,
+    arch_key, combine_item_keys, combine_keys, context_key, eval_key, item_key, program_key,
+    EvalCache, EvalCacheStats,
 };
 pub use game::{AssemblyGame, GameConfig, Move};
 pub use optimizer::{CuAsmRl, OptimizationReport, Strategy, StrategyComparison};

@@ -24,17 +24,33 @@ use serde::{Deserialize, Serialize};
 use crate::eval_cache::EvalCacheStats;
 
 /// Version of the telemetry JSON schema (see `docs/ARTIFACTS.md`).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the delta-engine counters (`delta_hits`, `delta_fallbacks`,
+/// `delta_fallback_rate`) to [`CacheTelemetry`]. The new fields default to
+/// zero on decode, so v1 manifests remain loadable (pinned by the
+/// `v1_manifests_still_load` test).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Eval-cache effectiveness counters for one kernel search or a whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheTelemetry {
     /// Schedule measurements answered from the cache.
     pub hits: u64,
-    /// Schedule measurements that had to simulate.
+    /// Schedule measurements that had to simulate (fully or incrementally).
     pub misses: u64,
     /// `hits / (hits + misses)`, 0 when nothing was measured.
     pub hit_rate: f64,
+    /// Cache misses the delta engine answered incrementally (spliced or
+    /// provably unchanged) instead of simulating from cycle zero.
+    #[serde(default)]
+    pub delta_hits: u64,
+    /// Delta evaluations that fell back to re-simulating to completion.
+    #[serde(default)]
+    pub delta_fallbacks: u64,
+    /// `delta_fallbacks / (delta_hits + delta_fallbacks)`, 0 when the delta
+    /// engine never ran. CI gates this below 20% on the smoke matrix.
+    #[serde(default)]
+    pub delta_fallback_rate: f64,
 }
 
 impl CacheTelemetry {
@@ -50,10 +66,13 @@ impl CacheTelemetry {
             } else {
                 stats.hits as f64 / total as f64
             },
+            delta_hits: stats.delta_hits,
+            delta_fallbacks: stats.delta_fallbacks,
+            delta_fallback_rate: stats.delta_fallback_rate(),
         }
     }
 
-    /// Accumulates another record into this one, recomputing the rate.
+    /// Accumulates another record into this one, recomputing the rates.
     pub fn accumulate(&mut self, other: &CacheTelemetry) {
         self.hits += other.hits;
         self.misses += other.misses;
@@ -62,6 +81,14 @@ impl CacheTelemetry {
             0.0
         } else {
             self.hits as f64 / total as f64
+        };
+        self.delta_hits += other.delta_hits;
+        self.delta_fallbacks += other.delta_fallbacks;
+        let attempts = self.delta_hits + self.delta_fallbacks;
+        self.delta_fallback_rate = if attempts == 0 {
+            0.0
+        } else {
+            self.delta_fallbacks as f64 / attempts as f64
         };
     }
 }
@@ -256,18 +283,81 @@ mod tests {
 
     #[test]
     fn cache_telemetry_computes_rates() {
-        let t = CacheTelemetry::from_stats(EvalCacheStats { hits: 3, misses: 1 });
+        let t = CacheTelemetry::from_stats(EvalCacheStats {
+            hits: 3,
+            misses: 1,
+            delta_hits: 3,
+            delta_fallbacks: 1,
+        });
         assert_eq!(t.hit_rate, 0.75);
+        assert_eq!(t.delta_fallback_rate, 0.25);
         let mut total = CacheTelemetry::default();
         assert_eq!(total.hit_rate, 0.0);
         total.accumulate(&t);
         total.accumulate(&CacheTelemetry::from_stats(EvalCacheStats {
             hits: 0,
             misses: 4,
+            delta_hits: 0,
+            delta_fallbacks: 3,
         }));
         assert_eq!(total.hits, 3);
         assert_eq!(total.misses, 5);
         assert_eq!(total.hit_rate, 0.375);
+        assert_eq!(total.delta_hits, 3);
+        assert_eq!(total.delta_fallbacks, 4);
+        assert_eq!(total.delta_fallback_rate, 4.0 / 7.0);
+    }
+
+    #[test]
+    fn v1_manifests_still_load() {
+        // A literal schema-v1 manifest as PR 4 wrote it: no delta fields
+        // anywhere. Decoding must succeed with the new counters defaulting
+        // to zero — old CI artifacts and committed baselines stay readable.
+        let v1 = r#"{
+            "schema_version": 1,
+            "gpu": "sim-a100-80gb-pcie",
+            "suite": "table2",
+            "strategy": "greedy",
+            "seed": 7,
+            "jobs": 4,
+            "kernels": [
+                {
+                    "kernel": "k",
+                    "baseline_us": 10.0,
+                    "optimized_us": 8.0,
+                    "speedup": 1.25,
+                    "verified": true,
+                    "from_deploy_cache": false,
+                    "reward_curve": [0.5],
+                    "cache": { "hits": 2, "misses": 2, "hit_rate": 0.5 },
+                    "phases": {
+                        "autotune_ms": 1.0,
+                        "compile_ms": 2.0,
+                        "search_ms": 3.0,
+                        "verify_ms": 0.5,
+                        "total_ms": 6.5
+                    },
+                    "training": null
+                }
+            ],
+            "cache": { "hits": 2, "misses": 2, "hit_rate": 0.5 },
+            "phases": {
+                "autotune_ms": 1.0,
+                "compile_ms": 2.0,
+                "search_ms": 3.0,
+                "verify_ms": 0.5,
+                "total_ms": 6.5
+            },
+            "geomean_speedup": 1.25,
+            "verified": 1
+        }"#;
+        let manifest: RunManifest = serde_json::from_str(v1).expect("v1 manifests must decode");
+        assert_eq!(manifest.schema_version, 1);
+        assert_eq!(manifest.cache.hits, 2);
+        assert_eq!(manifest.cache.delta_hits, 0);
+        assert_eq!(manifest.cache.delta_fallbacks, 0);
+        assert_eq!(manifest.cache.delta_fallback_rate, 0.0);
+        assert_eq!(manifest.kernels[0].cache.delta_hits, 0);
     }
 
     #[test]
@@ -284,6 +374,9 @@ mod tests {
                 hits: 2,
                 misses: 2,
                 hit_rate: 0.5,
+                delta_hits: 1,
+                delta_fallbacks: 1,
+                delta_fallback_rate: 0.5,
             },
             phases: PhaseTimings {
                 autotune_ms: 1.0,

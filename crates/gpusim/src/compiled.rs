@@ -697,6 +697,19 @@ impl CompiledProgram {
         CompiledProgram { insts }
     }
 
+    /// Swaps the instructions at positions `a` and `b`, mirroring
+    /// [`sass::Program::swap_instructions`] on the lowered form. Labels sit
+    /// *between* instructions and branch targets are stored as absolute
+    /// instruction indices, so swapping two lowered instructions yields
+    /// exactly what recompiling the swapped source program would — the
+    /// `compiled_equivalence` suite pins this. Out-of-range indices are
+    /// ignored.
+    pub fn swap_insts(&mut self, a: usize, b: usize) {
+        if a < self.insts.len() && b < self.insts.len() {
+            self.insts.swap(a, b);
+        }
+    }
+
     /// Number of instructions in the compiled program.
     #[must_use]
     pub fn len(&self) -> usize {

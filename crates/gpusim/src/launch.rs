@@ -78,13 +78,36 @@ pub struct KernelRun {
 #[must_use]
 pub fn simulate_launch(config: &GpuConfig, program: &Program, launch: &LaunchConfig) -> KernelRun {
     let simulator = SmSimulator::new(config.clone());
-    let resident_warps = (launch.warps_per_block * launch.blocks_per_sm.max(1))
-        .min(config.arch.max_warps_per_sm)
-        .max(1);
     let constants = launch.constant_bank();
-    let output = simulator.run(program, resident_warps, 0, &constants, launch.max_cycles);
-    let report = output.report;
+    let output = simulator.run(
+        program,
+        resident_warps(config, launch),
+        0,
+        &constants,
+        launch.max_cycles,
+    );
+    kernel_run_from_report(config, launch, output.report)
+}
 
+/// The number of warps co-resident on one SM under `launch` (what
+/// [`simulate_launch`] simulates cycle by cycle).
+#[must_use]
+pub fn resident_warps(config: &GpuConfig, launch: &LaunchConfig) -> usize {
+    (launch.warps_per_block * launch.blocks_per_sm.max(1))
+        .min(config.arch.max_warps_per_sm)
+        .max(1)
+}
+
+/// Scales one resident batch's [`SmReport`] to the grid-level [`KernelRun`]
+/// (waves, runtime, throughput). Pure arithmetic over the report — the delta
+/// engine reuses it to turn a spliced per-SM report into a measurement that
+/// is bit-identical to what [`simulate_launch`] would have produced.
+#[must_use]
+pub fn kernel_run_from_report(
+    config: &GpuConfig,
+    launch: &LaunchConfig,
+    report: SmReport,
+) -> KernelRun {
     let blocks_per_wave = (config.sm_count * launch.blocks_per_sm.max(1)) as u64;
     let waves = launch.grid_blocks.div_ceil(blocks_per_wave).max(1);
     let total_cycles = report.cycles.max(1) * waves;
@@ -163,8 +186,16 @@ pub fn measure(
     launch: &LaunchConfig,
     options: &MeasureOptions,
 ) -> Measurement {
+    measurement_from_run(simulate_launch(config, program, launch), options)
+}
+
+/// Applies the measurement protocol (repeat sampling plus seeded noise) to
+/// an already-simulated launch. [`measure`] is `simulate_launch` followed by
+/// this; the delta engine calls it directly on spliced runs, so the produced
+/// [`Measurement`] is bit-for-bit what the full pipeline yields.
+#[must_use]
+pub fn measurement_from_run(run: KernelRun, options: &MeasureOptions) -> Measurement {
     use rand::{Rng, SeedableRng};
-    let run = simulate_launch(config, program, launch);
     let samples: Vec<f64> = if options.noise_std == 0.0 {
         // Noise-free protocol: the simulator is deterministic, so every
         // repeat observes exactly `runtime_us` (the noisy path multiplies by

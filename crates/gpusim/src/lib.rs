@@ -50,6 +50,7 @@ mod arch;
 mod compiled;
 mod config;
 mod counters;
+mod delta;
 mod exec;
 mod launch;
 mod memory;
@@ -60,8 +61,12 @@ pub use arch::{ArchSpec, BankModel};
 pub use compiled::CompiledProgram;
 pub use config::{CacheConfig, GpuConfig, LatencyModel};
 pub use counters::{MemoryChart, WorkloadAnalysis};
+pub use delta::{DeltaBaseline, DeltaConfig, DeltaEngine, DeltaOutcome};
 pub use exec::{execute, ConstantBank, ExecContext, MemAccess, Outcome};
-pub use launch::{measure, simulate_launch, KernelRun, LaunchConfig, MeasureOptions, Measurement};
+pub use launch::{
+    kernel_run_from_report, measure, measurement_from_run, resident_warps, simulate_launch,
+    KernelRun, LaunchConfig, MeasureOptions, Measurement,
+};
 pub use memory::{default_global_word, splitmix64, MemCounters, MemorySubsystem, ServicePoint};
 pub use regfile::{RegisterFile, ReuseCache, StaleRead};
 pub use sm::{SimOutput, SmReport, SmSimulator};

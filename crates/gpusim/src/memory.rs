@@ -10,10 +10,43 @@
 //!   loads and compute profitable for the RL agent.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CacheConfig, GpuConfig};
+
+/// A SplitMix64 [`Hasher`] for the `u64 → u64` functional memory maps.
+///
+/// The default SipHash is DoS-resistant but costs a large fraction of every
+/// functional load/store on the simulator's hot path; addresses here are
+/// simulator-internal, so a statistically strong mix is all that is needed.
+/// Only the map's bucket placement changes — iteration feeds the
+/// order-insensitive XOR digest, so no observable output moves.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys; fold bytes in 8 at a time.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = splitmix64(self.0 ^ value);
+    }
+}
+
+/// Hash-map state shared by the functional global/shared memory images.
+type AddrMap = HashMap<u64, u64, BuildHasherDefault<AddrHasher>>;
 
 /// Memory-side event counters, aggregated over a simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -120,6 +153,50 @@ impl Cache {
             set.clear();
         }
     }
+
+    /// Allocation-reusing copy of `other` into `self`.
+    fn assign_from(&mut self, other: &Cache) {
+        self.line_bytes = other.line_bytes;
+        self.sets.clone_from(&other.sets);
+        self.ways = other.ways;
+        self.stamp = other.stamp;
+    }
+
+    /// True when `self` and `other` (same geometry) will hit, miss and evict
+    /// identically on every future access sequence. Eviction picks the
+    /// minimum-stamp entry of a set and stamps are globally unique, so only
+    /// the per-set *recency order* of the resident tags matters — absolute
+    /// stamp values (which drift when two runs perform a different number of
+    /// accesses) do not.
+    fn recency_equivalent(&self, other: &Cache) -> bool {
+        if self.sets.len() != other.sets.len() {
+            return false;
+        }
+        self.sets.iter().zip(&other.sets).all(|(a, b)| {
+            if a.len() != b.len() {
+                return false;
+            }
+            // Ways are tiny (<= 4): insertion-sort (stamp, tag) pairs into
+            // fixed stack arrays and compare the tag orders.
+            let order = |set: &[(u64, u64)]| {
+                let mut sorted = [(0u64, 0u64); 8];
+                for (i, &(tag, stamp)) in set.iter().enumerate() {
+                    let mut j = i;
+                    while j > 0 && sorted[j - 1].0 > stamp {
+                        sorted[j] = sorted[j - 1];
+                        j -= 1;
+                    }
+                    sorted[j] = (stamp, tag);
+                }
+                sorted
+            };
+            let (oa, ob) = (order(a), order(b));
+            oa.iter()
+                .zip(ob.iter())
+                .take(a.len())
+                .all(|(x, y)| x.1 == y.1)
+        })
+    }
 }
 
 /// Where a global access was ultimately serviced.
@@ -142,8 +219,8 @@ pub struct MemorySubsystem {
     latency_l2: u64,
     latency_dram: u64,
     latency_shared: u64,
-    global: HashMap<u64, u64>,
-    shared: HashMap<u64, u64>,
+    global: AddrMap,
+    shared: AddrMap,
     counters: MemCounters,
 }
 
@@ -177,8 +254,8 @@ impl MemorySubsystem {
             latency_l2: cfg.arch.latency.l2_hit,
             latency_dram: cfg.arch.latency.dram,
             latency_shared: cfg.arch.latency.shared,
-            global: HashMap::new(),
-            shared: HashMap::new(),
+            global: AddrMap::default(),
+            shared: AddrMap::default(),
             counters: MemCounters::default(),
         }
     }
@@ -280,6 +357,32 @@ impl MemorySubsystem {
         (0..words as u64)
             .map(|i| self.load_global(base + i * 8))
             .collect()
+    }
+
+    /// Allocation-reusing copy of `other` into `self` (cache sets, memory
+    /// images and counters keep their buffers).
+    pub(crate) fn assign_from(&mut self, other: &MemorySubsystem) {
+        self.l1.assign_from(&other.l1);
+        self.l2.assign_from(&other.l2);
+        self.latency_l1 = other.latency_l1;
+        self.latency_l2 = other.latency_l2;
+        self.latency_dram = other.latency_dram;
+        self.latency_shared = other.latency_shared;
+        self.global.clone_from(&other.global);
+        self.shared.clone_from(&other.shared);
+        self.counters = other.counters;
+    }
+
+    /// True when every future access against `self` observes exactly what it
+    /// would against `other`: identical functional contents and
+    /// recency-equivalent cache states (see [`Cache::recency_equivalent`]).
+    /// The traffic counters are monotone tallies and deliberately excluded —
+    /// the delta engine splices them additively.
+    pub(crate) fn equivalent_to(&self, other: &MemorySubsystem) -> bool {
+        self.global == other.global
+            && self.shared == other.shared
+            && self.l1.recency_equivalent(&other.l1)
+            && self.l2.recency_equivalent(&other.l2)
     }
 }
 

@@ -29,7 +29,7 @@ pub struct StaleRead {
     pub ready_at: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Cell {
     /// Value visible once `ready_at` has passed.
     value: u64,
@@ -37,6 +37,18 @@ struct Cell {
     stale: u64,
     /// Cycle at which `value` becomes architecturally visible.
     ready_at: u64,
+}
+
+impl Cell {
+    /// True when reads of this cell at any cycle `>= cycle` behave exactly
+    /// like reads of `other`: either the cells are identical, or both
+    /// in-flight writes have already landed (`ready_at <= cycle`, so the
+    /// stale value and the exact landing time can never be observed again)
+    /// and the visible values agree.
+    fn equivalent_at(self, other: Cell, cycle: u64) -> bool {
+        self.value == other.value
+            && (self == other || (self.ready_at <= cycle && other.ready_at <= cycle))
+    }
 }
 
 /// The register file of one warp.
@@ -148,6 +160,28 @@ impl RegisterFile {
     pub fn hazard_count(&self) -> usize {
         self.hazards.len()
     }
+
+    /// Allocation-reusing copy of `other` into `self` (the register tables
+    /// are fixed-size, so this is three `memcpy`s plus the hazard list).
+    pub(crate) fn assign_from(&mut self, other: &RegisterFile) {
+        self.gpr.clone_from(&other.gpr);
+        self.ur.clone_from(&other.ur);
+        self.pred.clone_from(&other.pred);
+        self.hazards.clone_from(&other.hazards);
+    }
+
+    /// True when every future read (at cycles `>= cycle`) of `self` returns
+    /// exactly what the same read of `other` would. The hazard *list* is a
+    /// monotone tally and is deliberately not compared (see
+    /// [`Cell::equivalent_at`] for the per-register rule).
+    pub(crate) fn equivalent_at(&self, other: &RegisterFile, cycle: u64) -> bool {
+        let files_eq = |a: &[Cell], b: &[Cell]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equivalent_at(*y, cycle))
+        };
+        files_eq(&self.gpr, &other.gpr)
+            && files_eq(&self.ur, &other.ur)
+            && files_eq(&self.pred, &other.pred)
+    }
 }
 
 /// The operand-reuse cache of one warp scheduler slot.
@@ -220,24 +254,38 @@ impl ReuseCache {
             }
         }
         // Count bank conflicts among the *distinct* general-purpose sources,
-        // forgiving collisions satisfied by the reuse cache.
-        let mut seen_banks: Vec<usize> = Vec::new();
-        let mut conflicts = 0u64;
-        let mut distinct: Vec<Register> = Vec::new();
+        // forgiving collisions satisfied by the reuse cache. Source lists
+        // are tiny (operand-bounded), so the dedup and seen-bank scratch
+        // live in fixed stack arrays — this runs once per issued
+        // instruction and must not allocate.
+        const SCRATCH: usize = 16;
+        let mut seen_banks = [0usize; SCRATCH];
+        let mut seen_count = 0usize;
+        let mut distinct = [Register::Rz; SCRATCH];
+        let mut distinct_count = 0usize;
+        let mut overflow: Vec<Register> = Vec::new();
         for &reg in sources {
-            if !distinct.contains(&reg) {
-                distinct.push(reg);
+            let stack = &distinct[..distinct_count];
+            if !stack.contains(&reg) && !overflow.contains(&reg) {
+                if distinct_count < SCRATCH {
+                    distinct[distinct_count] = reg;
+                    distinct_count += 1;
+                } else {
+                    overflow.push(reg);
+                }
             }
         }
-        for &reg in &distinct {
+        let mut conflicts = 0u64;
+        for &reg in distinct[..distinct_count].iter().chain(&overflow) {
             let Some(bank) = self.bank_of(reg) else {
                 continue;
             };
             let cached = same_warp && self.slots[bank] == Some(reg);
-            if seen_banks.contains(&bank) && !cached {
+            if seen_banks[..seen_count].contains(&bank) && !cached {
                 conflicts += 1;
-            } else {
-                seen_banks.push(bank);
+            } else if seen_count < SCRATCH {
+                seen_banks[seen_count] = bank;
+                seen_count += 1;
             }
         }
         // Populate the cache with the operands flagged `.reuse` for the next
@@ -254,6 +302,21 @@ impl ReuseCache {
         }
         self.last_warp = Some(warp);
         conflicts * self.conflict_penalty
+    }
+
+    /// True when `self` and `other` (built for the same [`BankModel`]) will
+    /// charge identical conflicts to every future issue: same cached
+    /// operands and same last-issuing warp.
+    pub(crate) fn state_eq(&self, other: &ReuseCache) -> bool {
+        self.slots == other.slots && self.last_warp == other.last_warp
+    }
+
+    /// Allocation-reusing copy of `other` into `self`.
+    pub(crate) fn assign_from(&mut self, other: &ReuseCache) {
+        self.slots.clone_from(&other.slots);
+        self.last_warp = other.last_warp;
+        self.conflict_penalty = other.conflict_penalty;
+        self.reuse_enabled = other.reuse_enabled;
     }
 }
 

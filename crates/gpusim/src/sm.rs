@@ -112,11 +112,11 @@ pub struct SimOutput {
     pub memory: MemorySubsystem,
 }
 
-#[derive(Debug)]
-struct Warp {
-    pc: usize,
+#[derive(Debug, Clone)]
+pub(crate) struct Warp {
+    pub(crate) pc: usize,
     stall_until: u64,
-    finished: bool,
+    pub(crate) finished: bool,
     at_barrier: bool,
     regs: RegisterFile,
     /// Outstanding completion cycles per scoreboard barrier.
@@ -126,6 +126,20 @@ struct Warp {
     ldgsts_group: Option<(Register, i64)>,
     ldgsts_violations: u64,
     yielded: bool,
+}
+
+/// True when the entries strictly greater than `cycle` in `a` and `b` form
+/// equal multisets. Deadlines at or before `cycle` are *dead*: every wait or
+/// queue-occupancy check they could still gate has already been satisfied,
+/// so they can differ without affecting any future cycle.
+pub(crate) fn live_multiset_eq(a: &[u64], b: &[u64], cycle: u64) -> bool {
+    let live_count = |xs: &[u64]| xs.iter().filter(|&&x| x > cycle).count();
+    if live_count(a) != live_count(b) {
+        return false;
+    }
+    a.iter()
+        .filter(|&&x| x > cycle)
+        .all(|&x| a.iter().filter(|&&y| y == x).count() == b.iter().filter(|&&y| y == x).count())
 }
 
 impl Warp {
@@ -168,6 +182,50 @@ impl Warp {
         for pending in &mut self.barrier_pending {
             pending.retain(|&done| done > cycle);
         }
+    }
+
+    /// Monotone hazard tally attributed to this warp so far (stale reads
+    /// plus LDGSTS ascending-group violations).
+    pub(crate) fn hazard_tally(&self) -> u64 {
+        self.regs.hazard_count() as u64 + self.ldgsts_violations
+    }
+
+    /// Allocation-reusing copy of `other` into `self` (see
+    /// [`SimState::assign_from`]).
+    fn assign_from(&mut self, other: &Warp) {
+        self.pc = other.pc;
+        self.stall_until = other.stall_until;
+        self.finished = other.finished;
+        self.at_barrier = other.at_barrier;
+        self.regs.assign_from(&other.regs);
+        self.barrier_pending.clone_from(&other.barrier_pending);
+        self.ldgsts_group = other.ldgsts_group;
+        self.ldgsts_violations = other.ldgsts_violations;
+        self.yielded = other.yielded;
+    }
+
+    /// True when `self` and `other` are *evolution-equivalent* at `cycle`:
+    /// every eligibility check and issue from `cycle` onwards behaves
+    /// identically. Monotone tallies (the stale-read list, the LDGSTS
+    /// violation count) are excluded — they never feed back into execution —
+    /// and deadlines that can no longer be observed (stall/readiness times
+    /// at or before `cycle`, drained scoreboard completions) are treated as
+    /// dead rather than compared exactly.
+    fn equivalent_at(&self, other: &Warp, cycle: u64) -> bool {
+        let deadline_eq = |a: u64, b: u64| a == b || (a <= cycle && b <= cycle);
+        self.pc == other.pc
+            && self.finished == other.finished
+            && self.at_barrier == other.at_barrier
+            && self.yielded == other.yielded
+            && self.ldgsts_group == other.ldgsts_group
+            && deadline_eq(self.stall_until, other.stall_until)
+            && self.regs.equivalent_at(&other.regs, cycle)
+            && self.barrier_pending.len() == other.barrier_pending.len()
+            && self
+                .barrier_pending
+                .iter()
+                .zip(&other.barrier_pending)
+                .all(|(a, b)| live_multiset_eq(a, b, cycle))
     }
 }
 
@@ -222,7 +280,6 @@ impl SmSimulator {
     /// compile once per (schedule, device) to amortize decoding across
     /// repeated simulations of the same schedule.
     #[must_use]
-    #[allow(clippy::too_many_lines)] // the cycle loop mirrors run_reference
     pub fn run_compiled(
         &self,
         compiled: &CompiledProgram,
@@ -231,259 +288,28 @@ impl SmSimulator {
         constants: &ConstantBank,
         max_cycles: u64,
     ) -> SimOutput {
-        let mut memory = MemorySubsystem::new(&self.config);
-        let mut warp_states: Vec<Warp> = (0..warps.max(1))
-            .map(|w| Warp::new(w, block_id, self.config.arch.scoreboard_count()))
-            .collect();
-        let mut reuse_cache = ReuseCache::for_model(&self.config.arch.banks);
-
-        let mut cycle: u64 = 0;
-        let mut issued: u64 = 0;
-        let mut issue_active_cycles: u64 = 0;
-        let mut eligible_cycles: u64 = 0;
-        let mut lsu_busy: u64 = 0;
-        let mut tensor_busy: u64 = 0;
-        let mut bank_conflict_cycles: u64 = 0;
-        let mut lsu_free_at: u64 = 0;
-        let mut tensor_free_at: u64 = 0;
-        let mut lsu_outstanding: Vec<u64> = Vec::new();
-        let mut last_issued_warp: Option<usize> = None;
-        let mut completed = true;
-        // Reused across issues: register writes, operand values and the
-        // eligible-warp index list — the hot loop never allocates.
-        let mut writes: Vec<(Register, u64)> = Vec::new();
-        let mut values: Vec<u64> = Vec::new();
-        let mut eligible: Vec<usize> = Vec::with_capacity(warp_states.len());
-
+        let mut state = SimState::start(&self.config, warps, block_id);
         if compiled.is_empty() {
-            let report = SmReport {
-                cycles: 0,
-                instructions_issued: 0,
-                issue_active_cycles: 0,
-                eligible_cycles: 0,
-                lsu_busy_cycles: 0,
-                tensor_busy_cycles: 0,
-                bank_conflict_cycles: 0,
-                mem: memory.counters(),
-                hazards: 0,
-                output_digest: memory.global_digest(),
-                completed: true,
+            let report = report_from_state(&state, true);
+            return SimOutput {
+                report,
+                memory: state.memory,
             };
-            return SimOutput { report, memory };
         }
-
-        while warp_states.iter().any(|w| !w.finished) {
-            if cycle >= max_cycles {
+        let mut engine = CycleEngine::new(&self.config, compiled, constants, block_id);
+        let mut completed = true;
+        while !state.all_finished() {
+            if state.cycle >= max_cycles {
                 completed = false;
                 break;
             }
-            // Barrier release: when every unfinished warp is waiting, release
-            // all of them.
-            if warp_states.iter().any(|w| !w.finished && w.at_barrier)
-                && warp_states.iter().all(|w| w.finished || w.at_barrier)
-            {
-                for w in &mut warp_states {
-                    w.at_barrier = false;
-                }
-            }
-            lsu_outstanding.retain(|&done| done > cycle);
-
-            eligible.clear();
-            for (w, warp) in warp_states.iter().enumerate() {
-                if compiled_warp_eligible(
-                    &self.config,
-                    warp,
-                    compiled,
-                    cycle,
-                    tensor_free_at,
-                    lsu_outstanding.len(),
-                ) {
-                    eligible.push(w);
-                }
-            }
-            if !eligible.is_empty() {
-                eligible_cycles += 1;
-            }
-
-            let mut issued_this_cycle = 0usize;
-            let pick_from = &mut eligible;
-            while issued_this_cycle < self.config.arch.issue_width && !pick_from.is_empty() {
-                // Greedy-then-oldest: prefer the warp that issued last cycle
-                // (unless it yielded), otherwise the lowest-index eligible
-                // warp after it.
-                let chosen = match last_issued_warp {
-                    Some(last) if !warp_states[last].yielded && pick_from.contains(&last) => last,
-                    Some(last) => *pick_from
-                        .iter()
-                        .find(|&&w| w > last)
-                        .unwrap_or(&pick_from[0]),
-                    None => pick_from[0],
-                };
-                pick_from.retain(|&w| w != chosen);
-
-                let warp = &mut warp_states[chosen];
-                let inst = &compiled.insts[warp.pc];
-                let ctx = ExecContext {
-                    warp_id: chosen,
-                    block_id,
-                    cycle,
-                    constants,
-                };
-                let effects =
-                    inst.execute(&mut warp.regs, &mut memory, &ctx, &mut writes, &mut values);
-
-                // Register-bank conflicts and the operand-reuse cache.
-                let conflicts = reuse_cache.issue(chosen, &inst.bank_sources, &inst.reuse_regs);
-                bank_conflict_cycles += conflicts;
-
-                let stall = inst.stall + conflicts;
-                warp.stall_until = cycle + stall;
-                warp.yielded = inst.yield_flag;
-
-                // Barrier / synchronisation semantics.
-                if inst.is_bar {
-                    warp.at_barrier = true;
-                } else if inst.is_depbar {
-                    // Wait-for-outstanding-copies: model as stalling the
-                    // warp until its own barriers clear.
-                    let worst = warp
-                        .barrier_pending
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .max()
-                        .unwrap_or(cycle);
-                    warp.stall_until = warp.stall_until.max(worst);
-                }
-
-                if !effects.predicated_off {
-                    if let Some(access) = effects.access {
-                        // Timing of the memory access. Shared-memory and
-                        // constant accesses are served by on-chip pipelines
-                        // with (approximately) fixed latency; only accesses
-                        // that leave the SM queue behind earlier global
-                        // traffic.
-                        let (service_latency, queued) = match access.space {
-                            MemorySpace::Shared => (memory.shared_latency(), false),
-                            MemorySpace::Constant => (self.config.arch.latency.l1_hit, false),
-                            _ => {
-                                let (lat, _) =
-                                    memory.global_access_latency(access.addr, access.bypass_l1);
-                                (lat, true)
-                            }
-                        };
-                        // LSU occupancy: one cycle per 128 bytes of
-                        // warp-wide traffic.
-                        let warp_bytes = access.bytes * 32;
-                        let lsu_cycles = (warp_bytes / self.config.arch.lsu_bytes_per_cycle).max(1);
-                        let queue_wait = if queued {
-                            lsu_free_at.saturating_sub(cycle)
-                        } else {
-                            0
-                        };
-                        lsu_free_at = lsu_free_at.max(cycle) + lsu_cycles;
-                        lsu_busy += lsu_cycles;
-                        let completion = cycle + queue_wait + service_latency;
-                        if queued {
-                            // Only off-SM (global) requests occupy the
-                            // outstanding-request queue; shared-memory
-                            // accesses are serviced by the on-chip pipeline.
-                            lsu_outstanding.push(completion);
-                        }
-
-                        if let Some(rb) = inst.read_barrier {
-                            // Source registers are consumed once the request
-                            // has left the LSU.
-                            warp.barrier_pending[rb as usize].push(
-                                cycle
-                                    + queue_wait
-                                    + lsu_cycles
-                                    + self.config.arch.read_barrier_drain,
-                            );
-                        }
-                        if let Some(wb) = inst.write_barrier {
-                            warp.barrier_pending[wb as usize].push(completion);
-                        }
-                        // Loads deliver their destination registers at
-                        // completion time.
-                        for (reg, value) in &writes {
-                            warp.regs.write(*reg, *value, completion);
-                        }
-                        // LDGSTS ascending-group rule.
-                        if inst.is_ldgsts {
-                            let key = inst.ldgsts_key;
-                            if let (Some((base, offset)), Some((prev_base, prev_offset))) =
-                                (key, warp.ldgsts_group)
-                            {
-                                if base == prev_base && offset < prev_offset {
-                                    warp.ldgsts_violations += 1;
-                                }
-                            }
-                            warp.ldgsts_group = key.or(warp.ldgsts_group);
-                        } else {
-                            warp.ldgsts_group = None;
-                        }
-                    } else {
-                        // Fixed-latency (or barrier-setting non-memory) path.
-                        if inst.is_mma {
-                            tensor_free_at = tensor_free_at.max(cycle) + inst.mma_busy;
-                            tensor_busy += inst.mma_busy;
-                        }
-                        let ready_at = cycle + inst.fixed_latency;
-                        for (reg, value) in &writes {
-                            warp.regs.write(*reg, *value, ready_at);
-                        }
-                        if inst.variable_latency {
-                            // Variable-latency non-memory instructions clear
-                            // their write barrier after their latency.
-                            if let Some(wb) = inst.write_barrier {
-                                warp.barrier_pending[wb as usize].push(ready_at);
-                            }
-                        }
-                    }
-                }
-
-                // Control flow.
-                match effects.flow {
-                    Flow::Finish => warp.finished = true,
-                    Flow::Jump(target) => warp.pc = target,
-                    Flow::Next => {
-                        warp.pc += 1;
-                        if warp.pc >= compiled.len() {
-                            warp.finished = true;
-                        }
-                    }
-                }
-                warp.prune_barriers(cycle);
-
-                issued += 1;
-                issued_this_cycle += 1;
-                last_issued_warp = Some(chosen);
-            }
-            if issued_this_cycle > 0 {
-                issue_active_cycles += 1;
-            }
-            cycle += 1;
+            engine.step(&mut state);
         }
-
-        let hazards: u64 = warp_states
-            .iter()
-            .map(|w| w.regs.hazard_count() as u64 + w.ldgsts_violations)
-            .sum();
-        let report = SmReport {
-            cycles: cycle,
-            instructions_issued: issued,
-            issue_active_cycles,
-            eligible_cycles,
-            lsu_busy_cycles: lsu_busy,
-            tensor_busy_cycles: tensor_busy,
-            bank_conflict_cycles,
-            mem: memory.counters(),
-            hazards,
-            output_digest: memory.global_digest(),
-            completed,
-        };
-        SimOutput { report, memory }
+        let report = report_from_state(&state, completed);
+        SimOutput {
+            report,
+            memory: state.memory,
+        }
     }
 
     /// The original instruction-at-a-time interpreter, kept as the
@@ -804,6 +630,378 @@ impl SmSimulator {
             return false;
         }
         true
+    }
+}
+
+/// The complete mutable state of one compiled-program simulation at a cycle
+/// boundary: per-warp issue state and register files, scoreboard completion
+/// queues, the operand-reuse cache, structural-hazard bookkeeping
+/// (LSU/tensor-pipe occupancy, outstanding global requests), the memory
+/// subsystem (caches, functional contents and traffic counters) and every
+/// aggregate counter of the eventual [`SmReport`].
+///
+/// The state is a plain value: cloning it at a cycle boundary and resuming
+/// with [`CycleEngine::step`] is indistinguishable from having simulated
+/// straight through — this is what makes the epoch snapshots of
+/// [`crate::DeltaEngine`] sound.
+#[derive(Debug, Clone)]
+pub(crate) struct SimState {
+    pub(crate) cycle: u64,
+    pub(crate) issued: u64,
+    pub(crate) issue_active_cycles: u64,
+    pub(crate) eligible_cycles: u64,
+    pub(crate) lsu_busy: u64,
+    pub(crate) tensor_busy: u64,
+    pub(crate) bank_conflict_cycles: u64,
+    pub(crate) lsu_free_at: u64,
+    pub(crate) tensor_free_at: u64,
+    pub(crate) lsu_outstanding: Vec<u64>,
+    pub(crate) last_issued_warp: Option<usize>,
+    pub(crate) warps: Vec<Warp>,
+    pub(crate) reuse: ReuseCache,
+    pub(crate) memory: MemorySubsystem,
+}
+
+impl SimState {
+    /// The cycle-zero state of a fresh simulation on `config` with `warps`
+    /// resident warps for thread block `block_id`.
+    pub(crate) fn start(config: &GpuConfig, warps: usize, block_id: usize) -> Self {
+        let warp_states: Vec<Warp> = (0..warps.max(1))
+            .map(|w| Warp::new(w, block_id, config.arch.scoreboard_count()))
+            .collect();
+        SimState {
+            cycle: 0,
+            issued: 0,
+            issue_active_cycles: 0,
+            eligible_cycles: 0,
+            lsu_busy: 0,
+            tensor_busy: 0,
+            bank_conflict_cycles: 0,
+            lsu_free_at: 0,
+            tensor_free_at: 0,
+            lsu_outstanding: Vec::new(),
+            last_issued_warp: None,
+            warps: warp_states,
+            reuse: ReuseCache::for_model(&config.arch.banks),
+            memory: MemorySubsystem::new(config),
+        }
+    }
+
+    /// True when every warp has executed its `EXIT`.
+    pub(crate) fn all_finished(&self) -> bool {
+        self.warps.iter().all(|w| w.finished)
+    }
+
+    /// Total hazards observed so far (stale reads + LDGSTS violations),
+    /// summed over warps. Monotone, so splicing adjusts it additively.
+    pub(crate) fn hazard_tally(&self) -> u64 {
+        self.warps.iter().map(Warp::hazard_tally).sum()
+    }
+
+    /// Allocation-reusing deep copy: every `Vec` and map in `self` keeps its
+    /// buffers where capacities allow. This is what lets the snapshot pool
+    /// recycle retired states instead of reallocating register files and
+    /// memory images per snapshot.
+    pub(crate) fn assign_from(&mut self, other: &SimState) {
+        self.cycle = other.cycle;
+        self.issued = other.issued;
+        self.issue_active_cycles = other.issue_active_cycles;
+        self.eligible_cycles = other.eligible_cycles;
+        self.lsu_busy = other.lsu_busy;
+        self.tensor_busy = other.tensor_busy;
+        self.bank_conflict_cycles = other.bank_conflict_cycles;
+        self.lsu_free_at = other.lsu_free_at;
+        self.tensor_free_at = other.tensor_free_at;
+        self.lsu_outstanding.clone_from(&other.lsu_outstanding);
+        self.last_issued_warp = other.last_issued_warp;
+        if self.warps.len() == other.warps.len() {
+            for (dst, src) in self.warps.iter_mut().zip(&other.warps) {
+                dst.assign_from(src);
+            }
+        } else {
+            self.warps.clone_from(&other.warps);
+        }
+        self.reuse.assign_from(&other.reuse);
+        self.memory.assign_from(&other.memory);
+    }
+
+    /// True when `self` and `other` (two states of the *same* program suffix
+    /// at the same cycle) are evolution-equivalent: every future cycle
+    /// produces identical issues, identical counter increments and identical
+    /// memory traffic. Aggregate tallies (instruction/cycle counters, memory
+    /// traffic, hazard lists) are excluded — they are outputs, not inputs,
+    /// of the cycle loop — and dead deadlines are forgiven (see
+    /// [`Warp::equivalent_at`]).
+    pub(crate) fn equivalent_to(&self, other: &SimState) -> bool {
+        let cycle = self.cycle;
+        let deadline_eq = |a: u64, b: u64| a == b || (a <= cycle && b <= cycle);
+        self.cycle == other.cycle
+            && self.last_issued_warp == other.last_issued_warp
+            && deadline_eq(self.lsu_free_at, other.lsu_free_at)
+            && deadline_eq(self.tensor_free_at, other.tensor_free_at)
+            && live_multiset_eq(&self.lsu_outstanding, &other.lsu_outstanding, cycle)
+            && self.warps.len() == other.warps.len()
+            && self
+                .warps
+                .iter()
+                .zip(&other.warps)
+                .all(|(a, b)| a.equivalent_at(b, cycle))
+            && self.reuse.state_eq(&other.reuse)
+            && self.memory.equivalent_to(&other.memory)
+    }
+}
+
+/// Builds the aggregate report of a finished (or cycle-limited) simulation
+/// from its final state.
+pub(crate) fn report_from_state(state: &SimState, completed: bool) -> SmReport {
+    SmReport {
+        cycles: state.cycle,
+        instructions_issued: state.issued,
+        issue_active_cycles: state.issue_active_cycles,
+        eligible_cycles: state.eligible_cycles,
+        lsu_busy_cycles: state.lsu_busy,
+        tensor_busy_cycles: state.tensor_busy,
+        bank_conflict_cycles: state.bank_conflict_cycles,
+        mem: state.memory.counters(),
+        hazards: state.hazard_tally(),
+        output_digest: state.memory.global_digest(),
+        completed,
+    }
+}
+
+/// Executes one [`SimState`] cycle at a time over one compiled program.
+///
+/// The scratch buffers (register writes, operand values, the eligible-warp
+/// list) live here so the hot loop never allocates; both
+/// [`SmSimulator::run_compiled`] and the delta engine drive their states
+/// through this single implementation, which is what makes delta results
+/// bit-identical to full runs by construction.
+pub(crate) struct CycleEngine<'a> {
+    config: &'a GpuConfig,
+    compiled: &'a CompiledProgram,
+    constants: &'a ConstantBank,
+    block_id: usize,
+    writes: Vec<(Register, u64)>,
+    values: Vec<u64>,
+    eligible: Vec<usize>,
+}
+
+impl<'a> CycleEngine<'a> {
+    pub(crate) fn new(
+        config: &'a GpuConfig,
+        compiled: &'a CompiledProgram,
+        constants: &'a ConstantBank,
+        block_id: usize,
+    ) -> Self {
+        CycleEngine {
+            config,
+            compiled,
+            constants,
+            block_id,
+            writes: Vec::new(),
+            values: Vec::new(),
+            eligible: Vec::new(),
+        }
+    }
+
+    /// Simulates exactly one cycle: barrier release, queue draining, the
+    /// eligibility scan, up to `issue_width` issues and the cycle increment.
+    /// The caller has already checked liveness and the cycle limit.
+    #[allow(clippy::too_many_lines)] // the cycle body mirrors run_reference
+    pub(crate) fn step(&mut self, state: &mut SimState) {
+        let cycle = state.cycle;
+        // Barrier release: when every unfinished warp is waiting, release
+        // all of them.
+        if state.warps.iter().any(|w| !w.finished && w.at_barrier)
+            && state.warps.iter().all(|w| w.finished || w.at_barrier)
+        {
+            for w in &mut state.warps {
+                w.at_barrier = false;
+            }
+        }
+        state.lsu_outstanding.retain(|&done| done > cycle);
+
+        self.eligible.clear();
+        for (w, warp) in state.warps.iter().enumerate() {
+            if compiled_warp_eligible(
+                self.config,
+                warp,
+                self.compiled,
+                cycle,
+                state.tensor_free_at,
+                state.lsu_outstanding.len(),
+            ) {
+                self.eligible.push(w);
+            }
+        }
+        if !self.eligible.is_empty() {
+            state.eligible_cycles += 1;
+        }
+
+        let mut issued_this_cycle = 0usize;
+        let pick_from = &mut self.eligible;
+        while issued_this_cycle < self.config.arch.issue_width && !pick_from.is_empty() {
+            // Greedy-then-oldest: prefer the warp that issued last cycle
+            // (unless it yielded), otherwise the lowest-index eligible
+            // warp after it.
+            let chosen = match state.last_issued_warp {
+                Some(last) if !state.warps[last].yielded && pick_from.contains(&last) => last,
+                Some(last) => *pick_from
+                    .iter()
+                    .find(|&&w| w > last)
+                    .unwrap_or(&pick_from[0]),
+                None => pick_from[0],
+            };
+            pick_from.retain(|&w| w != chosen);
+
+            let warp = &mut state.warps[chosen];
+            let inst = &self.compiled.insts[warp.pc];
+            let ctx = ExecContext {
+                warp_id: chosen,
+                block_id: self.block_id,
+                cycle,
+                constants: self.constants,
+            };
+            let effects = inst.execute(
+                &mut warp.regs,
+                &mut state.memory,
+                &ctx,
+                &mut self.writes,
+                &mut self.values,
+            );
+
+            // Register-bank conflicts and the operand-reuse cache.
+            let conflicts = state
+                .reuse
+                .issue(chosen, &inst.bank_sources, &inst.reuse_regs);
+            state.bank_conflict_cycles += conflicts;
+
+            let stall = inst.stall + conflicts;
+            warp.stall_until = cycle + stall;
+            warp.yielded = inst.yield_flag;
+
+            // Barrier / synchronisation semantics.
+            if inst.is_bar {
+                warp.at_barrier = true;
+            } else if inst.is_depbar {
+                // Wait-for-outstanding-copies: model as stalling the
+                // warp until its own barriers clear.
+                let worst = warp
+                    .barrier_pending
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .max()
+                    .unwrap_or(cycle);
+                warp.stall_until = warp.stall_until.max(worst);
+            }
+
+            if !effects.predicated_off {
+                if let Some(access) = effects.access {
+                    // Timing of the memory access. Shared-memory and
+                    // constant accesses are served by on-chip pipelines
+                    // with (approximately) fixed latency; only accesses
+                    // that leave the SM queue behind earlier global
+                    // traffic.
+                    let (service_latency, queued) = match access.space {
+                        MemorySpace::Shared => (state.memory.shared_latency(), false),
+                        MemorySpace::Constant => (self.config.arch.latency.l1_hit, false),
+                        _ => {
+                            let (lat, _) = state
+                                .memory
+                                .global_access_latency(access.addr, access.bypass_l1);
+                            (lat, true)
+                        }
+                    };
+                    // LSU occupancy: one cycle per 128 bytes of
+                    // warp-wide traffic.
+                    let warp_bytes = access.bytes * 32;
+                    let lsu_cycles = (warp_bytes / self.config.arch.lsu_bytes_per_cycle).max(1);
+                    let queue_wait = if queued {
+                        state.lsu_free_at.saturating_sub(cycle)
+                    } else {
+                        0
+                    };
+                    state.lsu_free_at = state.lsu_free_at.max(cycle) + lsu_cycles;
+                    state.lsu_busy += lsu_cycles;
+                    let completion = cycle + queue_wait + service_latency;
+                    if queued {
+                        // Only off-SM (global) requests occupy the
+                        // outstanding-request queue; shared-memory
+                        // accesses are serviced by the on-chip pipeline.
+                        state.lsu_outstanding.push(completion);
+                    }
+
+                    if let Some(rb) = inst.read_barrier {
+                        // Source registers are consumed once the request
+                        // has left the LSU.
+                        warp.barrier_pending[rb as usize].push(
+                            cycle + queue_wait + lsu_cycles + self.config.arch.read_barrier_drain,
+                        );
+                    }
+                    if let Some(wb) = inst.write_barrier {
+                        warp.barrier_pending[wb as usize].push(completion);
+                    }
+                    // Loads deliver their destination registers at
+                    // completion time.
+                    for (reg, value) in &self.writes {
+                        warp.regs.write(*reg, *value, completion);
+                    }
+                    // LDGSTS ascending-group rule.
+                    if inst.is_ldgsts {
+                        let key = inst.ldgsts_key;
+                        if let (Some((base, offset)), Some((prev_base, prev_offset))) =
+                            (key, warp.ldgsts_group)
+                        {
+                            if base == prev_base && offset < prev_offset {
+                                warp.ldgsts_violations += 1;
+                            }
+                        }
+                        warp.ldgsts_group = key.or(warp.ldgsts_group);
+                    } else {
+                        warp.ldgsts_group = None;
+                    }
+                } else {
+                    // Fixed-latency (or barrier-setting non-memory) path.
+                    if inst.is_mma {
+                        state.tensor_free_at = state.tensor_free_at.max(cycle) + inst.mma_busy;
+                        state.tensor_busy += inst.mma_busy;
+                    }
+                    let ready_at = cycle + inst.fixed_latency;
+                    for (reg, value) in &self.writes {
+                        warp.regs.write(*reg, *value, ready_at);
+                    }
+                    if inst.variable_latency {
+                        // Variable-latency non-memory instructions clear
+                        // their write barrier after their latency.
+                        if let Some(wb) = inst.write_barrier {
+                            warp.barrier_pending[wb as usize].push(ready_at);
+                        }
+                    }
+                }
+            }
+
+            // Control flow.
+            match effects.flow {
+                Flow::Finish => warp.finished = true,
+                Flow::Jump(target) => warp.pc = target,
+                Flow::Next => {
+                    warp.pc += 1;
+                    if warp.pc >= self.compiled.len() {
+                        warp.finished = true;
+                    }
+                }
+            }
+            warp.prune_barriers(cycle);
+
+            state.issued += 1;
+            issued_this_cycle += 1;
+            state.last_issued_warp = Some(chosen);
+        }
+        if issued_this_cycle > 0 {
+            state.issue_active_cycles += 1;
+        }
+        state.cycle += 1;
     }
 }
 

@@ -410,6 +410,19 @@ pub mod __private {
         }
     }
 
+    /// Looks up and deserializes a named struct field marked
+    /// `#[serde(default)]`: a missing entry yields `T::default()` instead of
+    /// an error (schema-evolution support for added fields).
+    pub fn get_field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize(v),
+            None => Ok(T::default()),
+        }
+    }
+
     /// Fetches the `i`-th element of a tuple-variant sequence.
     pub fn get_element<T: Deserialize>(
         items: &[Value],

@@ -21,10 +21,18 @@ enum Kind {
     UnitStruct,
     /// `struct S(T0, T1, ...);` with the field count.
     TupleStruct(usize),
-    /// `struct S { a: A, b: B }` with the field names.
-    NamedStruct(Vec<String>),
+    /// `struct S { a: A, b: B }` with the parsed fields.
+    NamedStruct(Vec<Field>),
     /// `enum E { ... }`
     Enum(Vec<Variant>),
+}
+
+/// One named field and whether it carries `#[serde(default)]` (the only
+/// field attribute this stand-in honours: a missing entry deserializes to
+/// `Default::default()` instead of erroring, for schema evolution).
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -35,11 +43,11 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derives the vendored `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     generate_serialize(&parsed)
@@ -48,7 +56,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     generate_deserialize(&parsed)
@@ -120,15 +128,16 @@ fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
     }
 }
 
-/// Parses `a: A, b: B, ...`, returning the field names. Types are skipped
+/// Parses `a: A, b: B, ...`, returning the parsed fields. Types are skipped
 /// with angle-bracket depth tracking so commas inside generics don't split
-/// fields.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// fields; `#[serde(default)]` attributes are recorded, every other
+/// attribute is skipped.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attributes_and_visibility(&tokens, &mut pos);
+        let default = consume_field_attributes(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -140,9 +149,47 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             ),
         }
         skip_type(&tokens, &mut pos);
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
     fields
+}
+
+/// Skips attributes and visibility before a named field like
+/// [`skip_attributes_and_visibility`], additionally reporting whether any of
+/// the skipped attributes was `#[serde(default)]`.
+fn consume_field_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if let Some(TokenTree::Group(attr)) = tokens.get(*pos) {
+                    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde")
+                    {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            default |= args.stream().into_iter().any(
+                                |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"),
+                            );
+                        }
+                    }
+                }
+                *pos += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) / pub(in ...)
+                }
+            }
+            _ => break,
+        }
+    }
+    default
 }
 
 /// Advances past one type, stopping after the comma that terminates it (or at
@@ -246,6 +293,7 @@ fn generate_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
                     )
@@ -289,14 +337,16 @@ fn serialize_arm(name: &str, variant: &Variant) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
                     )
                 })
                 .collect();
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
             format!(
                 "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
-                binds = fields.join(", "),
+                binds = binds.join(", "),
                 entries = entries.join(", ")
             )
         }
@@ -320,12 +370,7 @@ fn generate_deserialize(input: &Input) -> String {
             )
         }
         Kind::NamedStruct(fields) => {
-            let items: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::__private::get_field(entries, \"{f}\", \"{name}\")?,")
-                })
-                .collect();
+            let items: Vec<String> = fields.iter().map(|f| deserialize_field(f, name)).collect();
             format!(
                 "let entries = value.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n        ::std::result::Result::Ok({name} {{ {} }})",
                 items.join(" ")
@@ -342,6 +387,16 @@ fn generate_deserialize(input: &Input) -> String {
     format!(
         "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n    fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
     )
+}
+
+/// One `field: ...?,` initializer of a named-fields deserializer.
+fn deserialize_field(field: &Field, context: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!("{f}: ::serde::__private::get_field_or_default(entries, \"{f}\")?,")
+    } else {
+        format!("{f}: ::serde::__private::get_field(entries, \"{f}\", \"{context}\")?,")
+    }
 }
 
 fn deserialize_arm(name: &str, variant: &Variant) -> String {
@@ -372,9 +427,7 @@ fn deserialize_arm(name: &str, variant: &Variant) -> String {
         VariantFields::Named(fields) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::__private::get_field(entries, \"{f}\", \"{context}\")?,")
-                })
+                .map(|f| deserialize_field(f, &context))
                 .collect();
             format!(
                 "\"{vname}\" => {{ let payload = payload.ok_or_else(|| ::serde::Error::custom(\"missing payload for {context}\"))?; let entries = payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{context}\"))?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",

@@ -117,20 +117,22 @@ impl HarnessArgs {
                     Some(Ok(n)) => args.scale = n,
                     _ => usage("--scale requires an integer value"),
                 },
-                // Aliases and case variants are canonicalized here so
-                // `--arch a100` and `--suite TABLE2` are the default
-                // selection, not a cosmetically different one.
+                // Aliases and case variants are canonicalized through the
+                // shared `cuasmrl::cli` resolvers so `--arch a100` and
+                // `--suite TABLE2` are the default selection, not a
+                // cosmetically different one — and so the harness prints
+                // the same diagnostics as the examples and the daemon.
                 "--arch" => match iter.next() {
-                    Some(name) => match gpusim::ArchSpec::by_name(&name) {
-                        Some(arch) => args.arch = arch.name,
-                        None => usage(&format!("unknown architecture `{name}`")),
+                    Some(name) => match cuasmrl::cli::resolve_arch(&name) {
+                        Ok(arch) => args.arch = arch.name,
+                        Err(err) => usage(&err.to_string()),
                     },
                     None => usage("--arch requires a profile name"),
                 },
                 "--suite" => match iter.next() {
-                    Some(name) => match find_suite(&name) {
-                        Some(suite) => args.suite = suite.name.to_string(),
-                        None => usage(&format!("unknown workload suite `{name}`")),
+                    Some(name) => match cuasmrl::cli::resolve_suite(&name) {
+                        Ok(suite) => args.suite = suite.name.to_string(),
+                        Err(err) => usage(&err.to_string()),
                     },
                     None => usage("--suite requires a registry name"),
                 },

@@ -1,0 +1,144 @@
+//! Canonicalizing resolvers for the user-facing selection strings.
+//!
+//! Architecture and workload names arrive as text from many surfaces — the
+//! harness binaries' `--arch`/`--suite` flags, the examples, and the
+//! optimization service's request validation. Each surface used to carry
+//! its own copy of the lookup-plus-error-message logic; this module is the
+//! single source of truth, so alias handling (`a100` → `ampere`,
+//! `TABLE2` → `table2`) and the "unknown name" diagnostics stay identical
+//! everywhere.
+
+use std::fmt;
+
+use gpusim::GpuConfig;
+use kernels::{KernelKind, WorkloadSuite};
+
+/// A selection string that did not resolve, carrying the valid choices so
+/// every surface prints the same diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownName {
+    /// What was being selected (`"architecture"`, `"suite"`, `"kernel"`).
+    pub what: &'static str,
+    /// The string that failed to resolve.
+    pub given: String,
+    /// The accepted canonical names.
+    pub expected: Vec<String>,
+}
+
+impl fmt::Display for UnknownName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} `{}` (expected one of: {})",
+            self.what,
+            self.given,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownName {}
+
+/// Resolves an architecture name or alias (`ampere`, `a100`, `sm80`,
+/// `Hopper`, …) to its device profile. The profile's `name` field is the
+/// canonical spelling: resolving through this function guarantees that
+/// aliases select byte-identical configurations, never cosmetically
+/// different ones.
+///
+/// # Errors
+///
+/// Returns [`UnknownName`] listing the built-in profiles when the name is
+/// not recognized.
+pub fn resolve_arch(name: &str) -> Result<GpuConfig, UnknownName> {
+    GpuConfig::by_name(name).ok_or_else(|| UnknownName {
+        what: "architecture",
+        given: name.to_string(),
+        expected: gpusim::ArchSpec::builtin_names()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    })
+}
+
+/// Resolves a workload-suite name (case-insensitive) against the registry.
+///
+/// # Errors
+///
+/// Returns [`UnknownName`] listing the registered suites when the name is
+/// not recognized.
+pub fn resolve_suite(name: &str) -> Result<WorkloadSuite, UnknownName> {
+    kernels::find_suite(name).ok_or_else(|| UnknownName {
+        what: "suite",
+        given: name.to_string(),
+        expected: kernels::suite_names()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    })
+}
+
+/// Resolves a kernel-kind name (case-insensitive) against the Table-2
+/// catalog, for surfaces that select a single kernel rather than a suite
+/// (the optimization service's requests).
+///
+/// # Errors
+///
+/// Returns [`UnknownName`] listing the kernel names when the name is not
+/// recognized.
+pub fn resolve_kernel(name: &str) -> Result<KernelKind, UnknownName> {
+    KernelKind::by_name(name).ok_or_else(|| UnknownName {
+        what: "kernel",
+        given: name.to_string(),
+        expected: KernelKind::all()
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_aliases_canonicalize_to_one_profile() {
+        let canonical = resolve_arch("ampere").unwrap();
+        for alias in ["a100", "AMPERE", "Ampere"] {
+            let resolved = resolve_arch(alias).unwrap();
+            assert_eq!(resolved.name, canonical.name);
+            assert_eq!(
+                serde_json::to_string(&resolved).unwrap(),
+                serde_json::to_string(&canonical).unwrap(),
+                "alias `{alias}` must select a byte-identical profile"
+            );
+        }
+        let err = resolve_arch("pascal").unwrap_err();
+        assert_eq!(err.what, "architecture");
+        assert!(err.to_string().contains("pascal"));
+        assert!(err.to_string().contains("ampere"));
+    }
+
+    #[test]
+    fn suite_names_canonicalize_case_insensitively() {
+        assert_eq!(resolve_suite("TABLE2").unwrap().name, "table2");
+        assert_eq!(resolve_suite("Attention").unwrap().name, "attention");
+        let err = resolve_suite("nonexistent").unwrap_err();
+        assert_eq!(err.what, "suite");
+        assert!(err.to_string().contains("table2"));
+    }
+
+    #[test]
+    fn kernel_names_resolve_to_kinds() {
+        assert_eq!(
+            resolve_kernel("softmax").unwrap(),
+            kernels::KernelKind::Softmax
+        );
+        assert_eq!(
+            resolve_kernel("MMLEAKYRELU").unwrap(),
+            kernels::KernelKind::MatmulLeakyRelu
+        );
+        let err = resolve_kernel("conv3d").unwrap_err();
+        assert_eq!(err.what, "kernel");
+        assert!(err.to_string().contains("softmax"));
+    }
+}

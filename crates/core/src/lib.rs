@@ -33,11 +33,13 @@
 
 mod action;
 mod analysis;
+pub mod cli;
 mod delta_session;
 mod embed;
 mod eval_cache;
 mod game;
 mod optimizer;
+mod session;
 mod stall_table;
 mod suite_optimizer;
 mod telemetry;
@@ -54,6 +56,7 @@ pub use eval_cache::{
 };
 pub use game::{AssemblyGame, GameConfig, Move};
 pub use optimizer::{CuAsmRl, OptimizationReport, Strategy, StrategyComparison};
+pub use session::SearchSession;
 pub use stall_table::{
     clock_based_iadd3, dependency_based_stall, microbenchmark_table, ClockBenchResult, StallTable,
 };

@@ -140,7 +140,7 @@ impl CuAsmRl {
         serde_json::from_str(&text).ok()
     }
 
-    fn store(&self, report: &OptimizationReport) {
+    pub(crate) fn store(&self, report: &OptimizationReport) {
         if let Some(path) = self.cache_path(&report.kernel) {
             if let Some(parent) = path.parent() {
                 let _ = std::fs::create_dir_all(parent);
@@ -187,14 +187,7 @@ impl CuAsmRl {
         tune_options: &MeasureOptions,
     ) -> (OptimizationReport, Cubin, KernelTelemetry) {
         let run_start = std::time::Instant::now();
-        let autotune_start = std::time::Instant::now();
-        let tuner = Autotuner::new(self.gpu.clone()).with_options(tune_options.clone());
-        let tuning = tuner.tune(spec, space);
-        let autotune_ms = duration_ms(autotune_start.elapsed());
-        let compile_start = std::time::Instant::now();
-        let pipeline = TritonPipeline::new(self.gpu.clone());
-        let compiled = pipeline.compile(spec, &tuning.best);
-        let compile_ms = duration_ms(compile_start.elapsed());
+        let (compiled, autotune_ms, compile_ms) = self.compile_spec(spec, space, tune_options);
         if let Some(hit) = self.lookup(&compiled.name) {
             let mut cubin = compiled.cubin.clone();
             if let Ok(program) = hit.optimized_listing.parse::<Program>() {
@@ -232,6 +225,53 @@ impl CuAsmRl {
         (report, cubin, telemetry)
     }
 
+    /// The autotune + compile front half of the hierarchical search (§3.1):
+    /// grid-searches the configuration space, compiles the winner through
+    /// the Triton-like pipeline and returns the compiled kernel plus the
+    /// wall-clock of both phases.
+    pub(crate) fn compile_spec(
+        &self,
+        spec: &KernelSpec,
+        space: &ConfigSpace,
+        tune_options: &MeasureOptions,
+    ) -> (kernels::CompiledKernel, f64, f64) {
+        let autotune_start = std::time::Instant::now();
+        let tuner = Autotuner::new(self.gpu.clone()).with_options(tune_options.clone());
+        let tuning = tuner.tune(spec, space);
+        let autotune_ms = duration_ms(autotune_start.elapsed());
+        let compile_start = std::time::Instant::now();
+        let pipeline = TritonPipeline::new(self.gpu.clone());
+        let compiled = pipeline.compile(spec, &tuning.best);
+        let compile_ms = duration_ms(compile_start.elapsed());
+        (compiled, autotune_ms, compile_ms)
+    }
+
+    /// Builds the assembly game this optimizer plays for one compiled
+    /// kernel program.
+    pub(crate) fn build_game(
+        &self,
+        program: Program,
+        launch: gpusim::LaunchConfig,
+    ) -> AssemblyGame {
+        AssemblyGame::new(
+            self.gpu.clone(),
+            program,
+            launch,
+            self.stalls.clone(),
+            self.game_config.clone(),
+        )
+    }
+
+    /// The PPO configuration of an [`Strategy::Rl`] optimizer, if that is
+    /// the configured strategy.
+    #[must_use]
+    pub fn rl_config(&self) -> Option<&PpoConfig> {
+        match &self.strategy {
+            Strategy::Rl(config) => Some(config),
+            _ => None,
+        }
+    }
+
     /// Optimizes an already-compiled SASS schedule.
     pub fn optimize_program(
         &self,
@@ -262,7 +302,6 @@ impl CuAsmRl {
             self.stalls.clone(),
             self.game_config.clone(),
         );
-        let baseline_us = game.initial_runtime_us();
         let mut training = None;
         let moves = match &self.strategy {
             Strategy::Rl(config) => {
@@ -279,42 +318,68 @@ impl CuAsmRl {
             } => run_evolutionary(&mut game, *generations, *mutation_length, *seed),
         };
         let search_ms = duration_ms(search_start.elapsed());
-        let (best, optimized_us) = game.best();
-        let best = best.clone();
-        // Probabilistic testing (§4.1): the optimized schedule must produce
-        // the same outputs as the original and run without hazards. The best
-        // schedule was measured during the search, so this answers from the
-        // game's evaluation cache.
-        let verify_start = std::time::Instant::now();
-        let verification = game.cached_measurement(&best);
-        let verified = verification.run.sm.hazards == 0
-            && verification.run.sm.output_digest == game.initial_digest();
-        let verify_ms = duration_ms(verify_start.elapsed());
-        let report = OptimizationReport {
-            kernel: kernel.to_string(),
-            baseline_us,
-            optimized_us,
-            speedup: baseline_us / optimized_us.max(1e-9),
-            verified,
-            optimized_listing: best.to_string(),
-            moves,
-        };
-        let mut telemetry = KernelTelemetry {
-            kernel: report.kernel.clone(),
-            baseline_us: report.baseline_us,
-            optimized_us: report.optimized_us,
-            speedup: report.speedup,
-            verified: report.verified,
-            from_deploy_cache: false,
-            reward_curve: report.moves.iter().map(|m| m.reward).collect(),
-            cache: CacheTelemetry::from_stats(game.eval_cache().stats()),
-            training,
-            ..KernelTelemetry::default()
-        };
-        telemetry.phases.search_ms = search_ms;
-        telemetry.phases.verify_ms = verify_ms;
+        let (report, verify_ms) = finalize_search(kernel, &game, moves);
+        let telemetry = search_telemetry(&report, &game, training, search_ms, verify_ms);
         (report, telemetry)
     }
+}
+
+/// Builds the [`OptimizationReport`] of a finished search: reads the game's
+/// best schedule, runs probabilistic verification (§4.1 — the optimized
+/// schedule must produce the same outputs as the original and run without
+/// hazards; the best schedule was measured during the search, so this
+/// answers from the game's evaluation cache) and returns the report plus the
+/// verification wall-clock.
+pub(crate) fn finalize_search(
+    kernel: &str,
+    game: &AssemblyGame,
+    moves: Vec<Move>,
+) -> (OptimizationReport, f64) {
+    let baseline_us = game.initial_runtime_us();
+    let (best, optimized_us) = game.best();
+    let best = best.clone();
+    let verify_start = std::time::Instant::now();
+    let verification = game.cached_measurement(&best);
+    let verified = verification.run.sm.hazards == 0
+        && verification.run.sm.output_digest == game.initial_digest();
+    let verify_ms = duration_ms(verify_start.elapsed());
+    let report = OptimizationReport {
+        kernel: kernel.to_string(),
+        baseline_us,
+        optimized_us,
+        speedup: baseline_us / optimized_us.max(1e-9),
+        verified,
+        optimized_listing: best.to_string(),
+        moves,
+    };
+    (report, verify_ms)
+}
+
+/// Assembles the [`KernelTelemetry`] of a finished (non-deploy-cache)
+/// search from its report, the game's eval-cache counters and the measured
+/// search/verify wall-clock.
+pub(crate) fn search_telemetry(
+    report: &OptimizationReport,
+    game: &AssemblyGame,
+    training: Option<TrainingTelemetry>,
+    search_ms: f64,
+    verify_ms: f64,
+) -> KernelTelemetry {
+    let mut telemetry = KernelTelemetry {
+        kernel: report.kernel.clone(),
+        baseline_us: report.baseline_us,
+        optimized_us: report.optimized_us,
+        speedup: report.speedup,
+        verified: report.verified,
+        from_deploy_cache: false,
+        reward_curve: report.moves.iter().map(|m| m.reward).collect(),
+        cache: CacheTelemetry::from_stats(game.eval_cache().stats()),
+        training,
+        ..KernelTelemetry::default()
+    };
+    telemetry.phases.search_ms = search_ms;
+    telemetry.phases.verify_ms = verify_ms;
+    telemetry
 }
 
 fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> (Vec<Move>, rl::TrainingStats) {
@@ -322,12 +387,20 @@ fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> (Vec<Move>, rl::Trainin
     let actions = game.action_count();
     let mut trainer = PpoTrainer::new(config, features, actions);
     let stats = trainer.train(game);
-    // Deterministic, seeded inference pass (§5.7) to recover the move trace.
+    let moves = inference_trace(game, trainer.policy());
+    (moves, stats)
+}
+
+/// Deterministic, seeded greedy inference pass (§5.7) recovering the move
+/// trace the trained policy plays. Shared between the one-shot RL search and
+/// the checkpointable [`crate::SearchSession`], so an interrupted-and-resumed
+/// search finishes through the identical code path.
+pub(crate) fn inference_trace(game: &mut AssemblyGame, policy: &rl::ActorCritic) -> Vec<Move> {
     let mut observation = game.reset();
     let mut moves = Vec::new();
     for _ in 0..32 {
         let mask = game.action_mask();
-        let Some(action) = trainer.policy().act_greedy(&observation, &mask) else {
+        let Some(action) = policy.act_greedy(&observation, &mask) else {
             break;
         };
         let step = game.step(action);
@@ -337,7 +410,7 @@ fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> (Vec<Move>, rl::Trainin
             break;
         }
     }
-    (moves, stats)
+    moves
 }
 
 fn run_greedy(game: &mut AssemblyGame, max_moves: usize) -> Vec<Move> {

@@ -1,0 +1,265 @@
+//! Checkpointable kernel-optimization sessions: the warm-restart unit of
+//! the optimization service.
+//!
+//! [`CuAsmRl::optimize_spec_instrumented`] runs the full hierarchical
+//! search in one call; a long-running daemon cannot afford that — a process
+//! restart mid-search would discard hours of PPO training. [`SearchSession`]
+//! splits the same search into resumable pieces: construct it (autotune +
+//! compile + game build + trainer warm-restart from a checkpoint file),
+//! call [`SearchSession::step`] repeatedly (each call trains a bounded
+//! number of PPO updates and checkpoints at the update boundary), and call
+//! [`SearchSession::finish`] once training completes (greedy inference
+//! pass, probabilistic verification, cubin rewrite, deploy-cache store).
+//!
+//! Determinism contract: a session interrupted at any update boundary and
+//! resumed in a fresh process produces a report bit-identical to the
+//! uninterrupted [`CuAsmRl::optimize_spec_instrumented`] run — the serving
+//! extension of the `rl` crate's resume ≡ uninterrupted contract. The
+//! workspace `service` tests enforce this end to end.
+
+use std::path::{Path, PathBuf};
+
+use gpusim::MeasureOptions;
+use kernels::{CompiledKernel, ConfigSpace, KernelSpec};
+use rl::{CheckpointError, Env, PpoTrainer};
+use sass::{Cubin, Program};
+
+use crate::game::AssemblyGame;
+use crate::optimizer::{finalize_search, inference_trace, search_telemetry};
+use crate::optimizer::{CuAsmRl, OptimizationReport};
+use crate::telemetry::{duration_ms, KernelTelemetry, TrainingTelemetry};
+
+/// A resumable hierarchical search for one kernel (see the module docs).
+pub struct SearchSession {
+    optimizer: CuAsmRl,
+    compiled: CompiledKernel,
+    game: AssemblyGame,
+    trainer: PpoTrainer,
+    checkpoint_path: PathBuf,
+    resumed: bool,
+    autotune_ms: f64,
+    compile_ms: f64,
+    search_ms: f64,
+}
+
+impl SearchSession {
+    /// Autotunes and compiles the kernel, builds the assembly game, and
+    /// warm-restarts the PPO trainer: when `checkpoint_path` holds a
+    /// checkpoint from an interrupted session for this kernel, training
+    /// resumes from it bit-identically; otherwise a fresh trainer starts at
+    /// update zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] when `checkpoint_path` exists
+    /// but cannot be decoded (corruption, version skew, foreign kernel) —
+    /// the caller decides whether to discard it. A missing file is a cold
+    /// start, not an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `optimizer` was not built with [`crate::Strategy::Rl`]
+    /// (check [`CuAsmRl::rl_config`] first), or if the compiled cubin does
+    /// not contain the expected kernel (a pipeline bug).
+    pub fn new(
+        optimizer: CuAsmRl,
+        spec: &KernelSpec,
+        space: &ConfigSpace,
+        tune_options: &MeasureOptions,
+        checkpoint_path: impl Into<PathBuf>,
+    ) -> Result<Self, CheckpointError> {
+        let config = optimizer
+            .rl_config()
+            .expect("SearchSession requires Strategy::Rl")
+            .clone();
+        let (compiled, autotune_ms, compile_ms) = optimizer.compile_spec(spec, space, tune_options);
+        let search_start = std::time::Instant::now();
+        let program = compiled
+            .cubin
+            .kernel_program(&compiled.name)
+            .expect("compiled cubin must contain the kernel");
+        let mut game = optimizer.build_game(program, compiled.launch.clone());
+        let features = game.observation_features();
+        let actions = game.action_count();
+        let checkpoint_path = checkpoint_path.into();
+        let (trainer, resumed) =
+            PpoTrainer::resume_from_or_new(&checkpoint_path, &mut game, config, features, actions)?;
+        let search_ms = duration_ms(search_start.elapsed());
+        Ok(SearchSession {
+            optimizer,
+            compiled,
+            game,
+            trainer,
+            checkpoint_path,
+            resumed,
+            autotune_ms,
+            compile_ms,
+            search_ms,
+        })
+    }
+
+    /// The kernel symbol this session is optimizing.
+    #[must_use]
+    pub fn kernel(&self) -> &str {
+        &self.compiled.name
+    }
+
+    /// Whether construction resumed from an existing checkpoint file.
+    #[must_use]
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// PPO updates completed so far (across all processes that worked on
+    /// this checkpoint).
+    #[must_use]
+    pub fn completed_updates(&self) -> usize {
+        self.trainer.completed_updates()
+    }
+
+    /// Total PPO updates the configured training schedule runs.
+    #[must_use]
+    pub fn total_updates(&self) -> usize {
+        self.trainer.total_updates()
+    }
+
+    /// The checkpoint file this session persists its progress to.
+    #[must_use]
+    pub fn checkpoint_path(&self) -> &Path {
+        &self.checkpoint_path
+    }
+
+    /// Trains at most `max_updates` more PPO updates and, when the schedule
+    /// is not yet complete, checkpoints at the update boundary so a process
+    /// restart resumes bit-identically. Returns whether training is now
+    /// complete (after which [`SearchSession::finish`] produces the report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when writing the checkpoint fails.
+    pub fn step(&mut self, max_updates: usize) -> Result<bool, CheckpointError> {
+        let start = std::time::Instant::now();
+        let finished = self.trainer.train_updates(&mut self.game, max_updates);
+        self.search_ms += duration_ms(start.elapsed());
+        if !finished {
+            self.trainer
+                .save_checkpoint(&self.game, &self.checkpoint_path)?;
+        }
+        Ok(finished)
+    }
+
+    /// Completes the search: runs the deterministic greedy inference pass,
+    /// verifies the best schedule, writes the optimized kernel section back
+    /// into the cubin, stores the report in the optimizer's deploy cache
+    /// (§4.2) and removes the checkpoint file. Training that has not
+    /// finished yet is driven to completion first.
+    #[must_use = "the report carries the verification verdict"]
+    pub fn finish(mut self) -> (OptimizationReport, Cubin, KernelTelemetry) {
+        let start = std::time::Instant::now();
+        if !self.trainer.is_finished() {
+            let _ = self.trainer.train_updates(&mut self.game, usize::MAX);
+        }
+        let moves = inference_trace(&mut self.game, self.trainer.policy());
+        self.search_ms += duration_ms(start.elapsed());
+        let (report, verify_ms) = finalize_search(&self.compiled.name, &self.game, moves);
+        let training = Some(TrainingTelemetry::from_stats(self.trainer.stats()));
+        let mut telemetry =
+            search_telemetry(&report, &self.game, training, self.search_ms, verify_ms);
+        telemetry.phases.autotune_ms = self.autotune_ms;
+        telemetry.phases.compile_ms = self.compile_ms;
+        telemetry.phases.total_ms = self.autotune_ms + self.compile_ms + self.search_ms + verify_ms;
+        let mut cubin = self.compiled.cubin;
+        if let Ok(optimized) = report.optimized_listing.parse::<Program>() {
+            let _ = cubin.replace_kernel_section(&self.compiled.name, &optimized);
+        }
+        self.optimizer.store(&report);
+        let _ = std::fs::remove_file(&self.checkpoint_path);
+        (report, cubin, telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use gpusim::GpuConfig;
+    use kernels::{KernelKind, KernelSpec};
+    use rl::PpoConfig;
+
+    fn tiny_setup() -> (KernelSpec, ConfigSpace, MeasureOptions, CuAsmRl) {
+        let spec = KernelSpec::scaled(KernelKind::Softmax, 16);
+        let space = ConfigSpace::small();
+        let tune = MeasureOptions {
+            warmup: 0,
+            repeats: 2,
+            noise_std: 0.0,
+            seed: 0,
+        };
+        let config = PpoConfig {
+            total_steps: 96,
+            rollout_steps: 24,
+            seed: 11,
+            ..PpoConfig::tiny()
+        };
+        let optimizer = CuAsmRl::new(GpuConfig::small(), Strategy::Rl(config));
+        (spec, space, tune, optimizer)
+    }
+
+    fn temp_ckpt(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "cuasmrl-session-{label}-{}-{:?}.ckpt",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn interrupted_session_matches_the_uninterrupted_optimizer_run() {
+        let (spec, space, tune, optimizer) = tiny_setup();
+        // Control: the one-shot optimizer path.
+        let (control, _cubin, control_telemetry) =
+            optimizer.optimize_spec_instrumented(&spec, &space, &tune);
+
+        // Session, interrupted after every step by dropping it and
+        // reconstructing from its checkpoint — a simulated process restart.
+        let path = temp_ckpt("restart");
+        let _ = std::fs::remove_file(&path);
+        let mut finished = false;
+        let mut rounds = 0;
+        while !finished {
+            let mut session =
+                SearchSession::new(optimizer.clone(), &spec, &space, &tune, &path).expect("open");
+            assert_eq!(session.resumed(), rounds > 0);
+            finished = session.step(1).expect("step");
+            if finished {
+                let (report, _cubin, telemetry) = session.finish();
+                assert_eq!(
+                    serde_json::to_string(&report).unwrap(),
+                    serde_json::to_string(&control).unwrap(),
+                    "interrupted session must match the uninterrupted run"
+                );
+                assert_eq!(telemetry.training, control_telemetry.training);
+                assert_eq!(telemetry.reward_curve, control_telemetry.reward_curve);
+            }
+            rounds += 1;
+        }
+        assert!(rounds > 1, "the schedule must span several boundaries");
+        assert!(!path.exists(), "finish() must clean up the checkpoint");
+    }
+
+    #[test]
+    fn finish_drives_remaining_training_to_completion() {
+        let (spec, space, tune, optimizer) = tiny_setup();
+        let (control, _cubin, _telemetry) =
+            optimizer.optimize_spec_instrumented(&spec, &space, &tune);
+        let path = temp_ckpt("finish");
+        let _ = std::fs::remove_file(&path);
+        let session = SearchSession::new(optimizer, &spec, &space, &tune, &path).expect("open");
+        let (report, cubin, _telemetry) = session.finish();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&control).unwrap()
+        );
+        assert!(cubin.kernel_names().iter().any(|n| n == &report.kernel));
+    }
+}

@@ -114,6 +114,35 @@ impl SuiteOptimizer {
         &self.gpu
     }
 
+    /// The configured search strategy.
+    #[must_use]
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The base seed (see [`SuiteOptimizer::kernel_seed`]).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The measurement protocol used while autotuning.
+    #[must_use]
+    pub fn tune_options(&self) -> &MeasureOptions {
+        &self.tune_options
+    }
+
+    /// The autotuning space used for `spec`: the forced override when one
+    /// was set with [`SuiteOptimizer::with_config_space`], otherwise the
+    /// kernel kind's own default space — exactly what the worker pool would
+    /// search for this spec.
+    #[must_use]
+    pub fn config_space_for(&self, spec: &KernelSpec) -> ConfigSpace {
+        self.space
+            .clone()
+            .unwrap_or_else(|| spec.kind.config_space())
+    }
+
     /// Sets the number of worker threads (clamped to at least 1).
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
@@ -202,8 +231,13 @@ impl SuiteOptimizer {
         }
     }
 
-    /// Builds the per-kernel optimizer for one spec.
-    fn kernel_optimizer(&self, spec: &KernelSpec) -> CuAsmRl {
+    /// Builds the per-kernel [`CuAsmRl`] optimizer for one spec: the same
+    /// seeded construction the worker pool uses, exported so other callers
+    /// — the optimization service's request handlers, tests proving
+    /// byte-identity with a direct suite run — execute the identical
+    /// search for a given spec regardless of which surface asked for it.
+    #[must_use]
+    pub fn optimizer_for(&self, spec: &KernelSpec) -> CuAsmRl {
         let strategy = self.seeded_strategy(self.kernel_seed(spec));
         let mut optimizer =
             CuAsmRl::new(self.gpu.clone(), strategy).with_game_config(self.game_config.clone());
@@ -288,11 +322,8 @@ impl SuiteOptimizer {
                     let Some(spec) = specs.get(index) else {
                         return;
                     };
-                    let optimizer = self.kernel_optimizer(spec);
-                    let space = self
-                        .space
-                        .clone()
-                        .unwrap_or_else(|| spec.kind.config_space());
+                    let optimizer = self.optimizer_for(spec);
+                    let space = self.config_space_for(spec);
                     let (report, _cubin, telemetry) =
                         optimizer.optimize_spec_instrumented(spec, &space, &self.tune_options);
                     if result_tx.send((index, report, telemetry)).is_err() {

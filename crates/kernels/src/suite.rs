@@ -48,6 +48,17 @@ impl KernelKind {
         }
     }
 
+    /// Looks a kernel up by its [`KernelKind::name`] (case-insensitive), the
+    /// inverse used wherever kernel kinds arrive as text — request
+    /// validation in the optimization service, config files, CLIs.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<KernelKind> {
+        let wanted = name.to_ascii_lowercase();
+        KernelKind::all()
+            .into_iter()
+            .find(|kind| kind.name().to_ascii_lowercase() == wanted)
+    }
+
     /// True for the compute-bound kernels of Table 2.
     #[must_use]
     pub fn is_compute_bound(&self) -> bool {
@@ -274,6 +285,18 @@ mod tests {
         assert!(spec.shape.k >= 32);
         let cfg = KernelConfig::default_compute();
         assert!(spec.main_loop_iterations(&cfg) >= 1);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_kind_and_rejects_unknown_names() {
+        for kind in KernelKind::all() {
+            assert_eq!(KernelKind::by_name(kind.name()), Some(kind));
+            assert_eq!(
+                KernelKind::by_name(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(KernelKind::by_name("nonexistent"), None);
     }
 
     #[test]

@@ -560,6 +560,37 @@ impl PpoTrainer {
         Self::resume_from_checkpoint(&checkpoint, env)
     }
 
+    /// Warm-restart entry point: resumes from the checkpoint at `path` when
+    /// one exists, otherwise starts a fresh trainer with `config`. Returns
+    /// the trainer and whether it was resumed. A long-running service uses
+    /// this to pick an interrupted training run back up after a process
+    /// restart without special-casing the first run.
+    ///
+    /// A missing checkpoint file is the normal cold-start case, not an
+    /// error. Anything else — a present-but-corrupt file, a wrong-version
+    /// file, an env that refuses the state — is surfaced as the typed
+    /// [`CheckpointError`] so the caller can decide whether to discard the
+    /// checkpoint and start over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`CheckpointError`] except "file not found".
+    pub fn resume_from_or_new<E: Env>(
+        path: &Path,
+        env: &mut E,
+        config: PpoConfig,
+        features: usize,
+        n_actions: usize,
+    ) -> Result<(Self, bool), CheckpointError> {
+        match Self::resume_from(path, env) {
+            Ok(trainer) => Ok((trainer, true)),
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Ok((PpoTrainer::new(config, features, n_actions), false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Captures a resumable [`Checkpoint`] of this trainer and a vectorized
     /// environment (the [`PpoTrainer::train_vec_updates`] path): one
     /// [`EnvCheckpoint`] per env, in env order.

@@ -105,6 +105,40 @@ fn resume_at_every_update_boundary_matches_the_uninterrupted_run() {
 }
 
 #[test]
+fn resume_from_or_new_cold_starts_resumes_and_propagates_corruption() {
+    let path = temp_path("or-new");
+    let _ = std::fs::remove_file(&path);
+
+    // No checkpoint on disk: a fresh trainer, flagged as not resumed.
+    let mut env = BanditEnv::new(8);
+    let (mut trainer, resumed) =
+        PpoTrainer::resume_from_or_new(&path, &mut env, config(), 3, 3).expect("cold start");
+    assert!(!resumed);
+    assert_eq!(trainer.completed_updates(), 0);
+
+    // Train past a boundary, checkpoint, and warm-restart from it.
+    trainer.train_updates(&mut env, 2);
+    trainer.save_checkpoint(&env, &path).expect("save");
+    let mut env2 = BanditEnv::new(8);
+    let (warm, resumed) =
+        PpoTrainer::resume_from_or_new(&path, &mut env2, config(), 3, 3).expect("warm restart");
+    assert!(resumed);
+    assert_eq!(warm.completed_updates(), 2);
+
+    // A present-but-damaged checkpoint is a typed error, not a silent
+    // cold start: the caller decides whether to discard it.
+    let mut bytes = std::fs::read(&path).expect("read checkpoint");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("corrupt checkpoint");
+    let mut env3 = BanditEnv::new(8);
+    let err = PpoTrainer::resume_from_or_new(&path, &mut env3, config(), 3, 3)
+        .expect_err("corruption must surface");
+    assert!(matches!(err, CheckpointError::ChecksumMismatch));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn vectorized_resume_matches_the_uninterrupted_run() {
     let envs = || -> Vec<BanditEnv> { (0..4).map(|_| BanditEnv::new(6)).collect() };
     let mut control_venv = VecEnv::new(envs(), 2);

@@ -1,0 +1,86 @@
+//! A minimal blocking client for the `cuasmrld` wire protocol: one
+//! connection, one request frame, one response frame.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, OptimizeRequest, OptimizeResponse};
+
+/// A client bound to one daemon address. Connections are per-request (the
+/// protocol is one exchange per connection), so a `Client` is cheap to
+/// clone and share across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` with a 60-second per-request
+    /// timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends raw payload bytes as one frame and returns the raw response
+    /// frame. This is the byte-level surface: the determinism tests compare
+    /// these bytes directly, and the rejection tests push malformed
+    /// payloads through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error when the connection, write or read fails.
+    pub fn request_raw(&self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write_frame(&mut stream, payload)?;
+        read_frame(&mut stream)
+    }
+
+    /// Sends a request and returns the raw response frame (already-typed
+    /// requests, byte-level responses — what the repeat-traffic
+    /// byte-identity proof uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error when the exchange fails or the request cannot
+    /// be encoded.
+    pub fn request_bytes(&self, request: &OptimizeRequest) -> io::Result<Vec<u8>> {
+        let payload = serde_json::to_string(request)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        self.request_raw(payload.as_bytes())
+    }
+
+    /// Sends a request and decodes the typed response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error when the exchange fails or the response frame
+    /// is not valid response JSON.
+    pub fn request(&self, request: &OptimizeRequest) -> io::Result<OptimizeResponse> {
+        let raw = self.request_bytes(request)?;
+        let text = String::from_utf8(raw)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        serde_json::from_str(&text)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+}

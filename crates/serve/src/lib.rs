@@ -1,0 +1,54 @@
+//! `cuasmrld`: optimization-as-a-service for the CuAsmRL reproduction.
+//!
+//! This crate turns the offline [`cuasmrl::SuiteOptimizer`] workflow into a
+//! long-running daemon: clients submit kernel-optimization requests
+//! (kernel + architecture + optional shape/seed/deadline) as
+//! length-prefixed JSON over a local TCP socket, a bounded worker pool
+//! runs the searches, and a persistent, memory-capped [`ScheduleStore`]
+//! answers repeat traffic near-free — across process restarts, because the
+//! store is disk-backed and in-flight RL training checkpoints through
+//! [`cuasmrl::SearchSession`].
+//!
+//! The crate splits along the service's seams:
+//!
+//! - [`protocol`] — framing, request/response schemas, canonicalization,
+//!   the error taxonomy ([`ErrorCode`]).
+//! - [`store`] — the versioned, atomically-written schedule store.
+//! - [`server`] — acceptor, admission control, worker pool, telemetry.
+//! - [`client`] — a minimal blocking client.
+//! - [`load`] — the deterministic load generator (`cuasmrld-bench`).
+//!
+//! `docs/SERVICE.md` is the service book: wire format, schemas, admission
+//! semantics, on-disk layout, warm-restart procedure and the operations
+//! runbook.
+//!
+//! ```no_run
+//! use cuasmrld::{Client, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::new("/tmp/cuasmrld-store")).unwrap();
+//! let client = Client::new(server.local_addr());
+//! let response = client
+//!     .request(&OptimizeRequest::table2("softmax", "ampere"))
+//!     .unwrap();
+//! if let OptimizeResponse::Ok(result) = response {
+//!     println!("{}: {:.2}x (from_store: {})", result.kernel, result.report.speedup, result.from_store);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use load::{run_load, LoadReport, LoadSpec};
+pub use protocol::{
+    read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
+    OptimizeResult, RequestDefaults, RequestKey, ServiceError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ServiceStats, SERVICE_SUITE_LABEL};
+pub use store::{ScheduleStore, StoreEntry, StoreError, StoreStats, STORE_SCHEMA_VERSION};

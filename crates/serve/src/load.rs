@@ -1,0 +1,218 @@
+//! The deterministic load generator behind `cuasmrld-bench`.
+//!
+//! Drives N concurrent synthetic clients through a fixed request schedule:
+//! a *cold* round that first exposes every distinct request, then
+//! `repeat_rounds` *warm* rounds replaying the identical requests. The
+//! schedule is a pure function of the [`LoadSpec`] — no randomness, no
+//! clock — so two runs against equal daemon state see identical traffic,
+//! and the warm-phase store-hit rate measures the cache economics the
+//! service book promises. `Busy` answers are retried with bounded backoff
+//! (that is the admission-control contract); every other error counts as a
+//! failure.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::client::Client;
+use crate::protocol::{ErrorCode, OptimizeRequest, OptimizeResponse};
+
+/// The load shape: which requests, how many clients, how many warm rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Kernel names cycled through to form the distinct request set.
+    pub kernels: Vec<String>,
+    /// Architecture every request targets.
+    pub arch: String,
+    /// Scale divisor for the paper shapes.
+    pub scale: usize,
+    /// Base seed carried in every request.
+    pub seed: u64,
+    /// Warm rounds replaying the distinct set after the cold round.
+    pub repeat_rounds: usize,
+    /// Bounded retries per request on `Busy` before counting a failure.
+    pub busy_retries: usize,
+}
+
+impl LoadSpec {
+    /// A small default burst: every Table-2 kernel, two clients, two warm
+    /// rounds.
+    #[must_use]
+    pub fn smoke(arch: impl Into<String>) -> LoadSpec {
+        LoadSpec {
+            clients: 2,
+            kernels: kernels::KernelKind::all()
+                .iter()
+                .map(|kind| kind.name().to_string())
+                .collect(),
+            arch: arch.into(),
+            scale: 16,
+            seed: 0,
+            repeat_rounds: 2,
+            busy_retries: 200,
+        }
+    }
+
+    /// The full deterministic request schedule: one cold round over the
+    /// distinct set, then `repeat_rounds` warm rounds of the same set.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<OptimizeRequest> {
+        let distinct: Vec<OptimizeRequest> = self
+            .kernels
+            .iter()
+            .map(|kernel| {
+                let mut request = OptimizeRequest::table2(kernel.clone(), self.arch.clone());
+                request.scale = Some(self.scale);
+                request.seed = Some(self.seed);
+                request
+            })
+            .collect();
+        let mut schedule = Vec::new();
+        for _ in 0..=self.repeat_rounds {
+            schedule.extend(distinct.iter().cloned());
+        }
+        schedule
+    }
+}
+
+/// Outcome counters of one load run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests attempted (cold + warm).
+    pub sent: usize,
+    /// Successful answers.
+    pub ok: usize,
+    /// Successful answers served from the schedule store.
+    pub from_store: usize,
+    /// Requests that stayed `Busy` through every retry.
+    pub busy_exhausted: usize,
+    /// Typed errors other than `Busy`.
+    pub errors: usize,
+    /// Transport failures.
+    pub io_errors: usize,
+    /// Warm-phase requests (the repeat rounds).
+    pub warm_sent: usize,
+    /// Warm-phase answers served from the store.
+    pub warm_from_store: usize,
+    /// `warm_from_store / warm_sent`, 0 when no warm round ran.
+    pub warm_hit_rate: f64,
+}
+
+impl LoadReport {
+    /// Requests that did not produce a successful answer.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.busy_exhausted + self.errors + self.io_errors
+    }
+}
+
+/// Runs the load spec against the daemon at `addr` (see the module docs).
+/// The cold round runs to completion before the warm rounds start, so the
+/// warm-phase hit rate cleanly measures repeat-traffic economics rather
+/// than racing first exposure.
+#[must_use]
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
+    let client = Client::new(addr);
+    let distinct = {
+        let mut cold = spec.clone();
+        cold.repeat_rounds = 0;
+        cold.schedule()
+    };
+    let mut report = LoadReport::default();
+    run_phase(&client, spec, &distinct, &mut report, false);
+    let warm: Vec<OptimizeRequest> = (0..spec.repeat_rounds)
+        .flat_map(|_| distinct.iter().cloned())
+        .collect();
+    run_phase(&client, spec, &warm, &mut report, true);
+    report.warm_hit_rate = if report.warm_sent == 0 {
+        0.0
+    } else {
+        report.warm_from_store as f64 / report.warm_sent as f64
+    };
+    report
+}
+
+fn run_phase(
+    client: &Client,
+    spec: &LoadSpec,
+    requests: &[OptimizeRequest],
+    report: &mut LoadReport,
+    warm: bool,
+) {
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let from_store = AtomicUsize::new(0);
+    let busy_exhausted = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let io_errors = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..spec.clients.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(index) else {
+                    return;
+                };
+                match send_with_retry(client, request, spec.busy_retries) {
+                    Outcome::Ok { stored } => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        if stored {
+                            from_store.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Outcome::BusyExhausted => {
+                        busy_exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Outcome::Error => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Outcome::Io => {
+                        io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    report.sent += requests.len();
+    report.ok += ok.into_inner();
+    report.busy_exhausted += busy_exhausted.into_inner();
+    report.errors += errors.into_inner();
+    report.io_errors += io_errors.into_inner();
+    let stored = from_store.into_inner();
+    report.from_store += stored;
+    if warm {
+        report.warm_sent += requests.len();
+        report.warm_from_store += stored;
+    }
+}
+
+enum Outcome {
+    Ok { stored: bool },
+    BusyExhausted,
+    Error,
+    Io,
+}
+
+fn send_with_retry(client: &Client, request: &OptimizeRequest, busy_retries: usize) -> Outcome {
+    for attempt in 0..=busy_retries {
+        match client.request(request) {
+            Ok(OptimizeResponse::Ok(result)) => {
+                return Outcome::Ok {
+                    stored: result.from_store,
+                }
+            }
+            Ok(OptimizeResponse::Err(error)) if error.code == ErrorCode::Busy => {
+                if attempt == busy_retries {
+                    return Outcome::BusyExhausted;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(OptimizeResponse::Err(_)) => return Outcome::Error,
+            Err(_) => return Outcome::Io,
+        }
+    }
+    Outcome::BusyExhausted
+}

@@ -1,0 +1,391 @@
+//! The `cuasmrld` wire protocol: length-prefixed JSON frames over a local
+//! TCP socket, plus the request canonicalization that turns wire text into
+//! the exact [`KernelSpec`]/[`gpusim::GpuConfig`] tuple the optimizer runs.
+//!
+//! Framing: every message is a 4-byte big-endian length followed by that
+//! many bytes of UTF-8 JSON. Frames above [`MAX_FRAME_LEN`] are rejected
+//! before allocation. One request/response exchange per connection.
+//!
+//! Versioning: [`PROTOCOL_VERSION`] is carried in every request and
+//! response. A request with a different version is answered with a typed
+//! [`ErrorCode::UnsupportedVersion`] error, never a silent
+//! reinterpretation. `docs/SERVICE.md` documents the full schemas and the
+//! compatibility rules.
+
+use std::io::{self, Read, Write};
+
+use cuasmrl::OptimizationReport;
+use kernels::{KernelSpec, ProblemShape};
+use serde::{Deserialize, Serialize};
+
+/// Version of the request/response JSON schema (see `docs/SERVICE.md`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame's payload, enforced on both read and write so a
+/// malformed length prefix can never trigger a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// A kernel-optimization request.
+///
+/// `kernel` and `arch` accept the same names and aliases as the CLI
+/// surfaces (resolved through [`cuasmrl::cli`]); everything optional
+/// defaults server-side, so the minimal request is just
+/// `{"protocol_version": 1, "kernel": "softmax", "arch": "ampere"}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OptimizeRequest {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Kernel name from the Table-2 catalog (case-insensitive).
+    pub kernel: String,
+    /// Architecture name or alias (`ampere`, `a100`, `sm90`, …).
+    pub arch: String,
+    /// Explicit problem shape; defaults to the paper's Table-2 shape for
+    /// the kernel, scaled by `scale`.
+    #[serde(default)]
+    pub shape: Option<ProblemShape>,
+    /// Divisor applied to the paper shape when `shape` is absent; defaults
+    /// to the server's configured scale.
+    #[serde(default)]
+    pub scale: Option<usize>,
+    /// Base seed for the search; defaults to the server's configured seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Deadline budget in milliseconds, measured from admission. A request
+    /// still queued when its deadline expires is answered with
+    /// [`ErrorCode::DeadlineExceeded`] instead of being computed. `0` means
+    /// "already expired" (admission-control probe); absent means no
+    /// deadline.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+impl OptimizeRequest {
+    /// The minimal request: a Table-2 kernel at the server's default scale
+    /// and seed, no deadline.
+    #[must_use]
+    pub fn table2(kernel: impl Into<String>, arch: impl Into<String>) -> Self {
+        OptimizeRequest {
+            protocol_version: PROTOCOL_VERSION,
+            kernel: kernel.into(),
+            arch: arch.into(),
+            shape: None,
+            scale: None,
+            seed: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Server-side fallbacks for the optional request fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestDefaults {
+    /// Scale divisor applied to paper shapes when the request names none.
+    pub scale: usize,
+    /// Base search seed when the request names none.
+    pub seed: u64,
+}
+
+/// A fully validated request: the exact device profile, kernel spec and
+/// seed the optimizer will run. Two requests that canonicalize to the same
+/// value are the same work — this tuple (not the wire text) keys the
+/// schedule store.
+#[derive(Debug, Clone)]
+pub struct CanonicalRequest {
+    /// Resolved device profile (canonical name, aliases folded).
+    pub gpu: gpusim::GpuConfig,
+    /// Resolved kernel spec (explicit shape, or the scaled paper shape).
+    pub spec: KernelSpec,
+    /// Base search seed.
+    pub seed: u64,
+}
+
+impl OptimizeRequest {
+    /// Validates and canonicalizes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServiceError`] — [`ErrorCode::UnsupportedVersion`]
+    /// on a protocol-version mismatch, [`ErrorCode::BadRequest`] on an
+    /// unknown kernel/architecture name or a degenerate shape.
+    pub fn canonicalize(
+        &self,
+        defaults: &RequestDefaults,
+    ) -> Result<CanonicalRequest, ServiceError> {
+        if self.protocol_version != PROTOCOL_VERSION {
+            return Err(ServiceError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "protocol version {} is not supported (this server speaks {})",
+                    self.protocol_version, PROTOCOL_VERSION
+                ),
+            });
+        }
+        let gpu = cuasmrl::cli::resolve_arch(&self.arch).map_err(ServiceError::bad_request)?;
+        let kind = cuasmrl::cli::resolve_kernel(&self.kernel).map_err(ServiceError::bad_request)?;
+        let spec = match self.shape {
+            Some(shape) => {
+                if [shape.batch, shape.m, shape.n, shape.k].contains(&0) {
+                    return Err(ServiceError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("shape dimensions must be positive, got {shape:?}"),
+                    });
+                }
+                KernelSpec { kind, shape }
+            }
+            None => KernelSpec::paper(kind).scaled_by(self.scale.unwrap_or(defaults.scale)),
+        };
+        Ok(CanonicalRequest {
+            gpu,
+            spec,
+            seed: self.seed.unwrap_or(defaults.seed),
+        })
+    }
+}
+
+/// Identity of a canonical request inside the schedule store: a readable
+/// `arch`/`kernel` prefix plus an FNV-1a digest of the full canonical
+/// tuple. [`RequestKey::file_stem`] names the store entry on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// Canonical architecture name.
+    pub arch: String,
+    /// Canonical kernel name.
+    pub kernel: String,
+    /// Hex FNV-1a-64 digest of [`RequestKey::canonical`].
+    pub digest: String,
+    /// The canonical tuple rendered as text (digest preimage).
+    pub canonical: String,
+}
+
+impl RequestKey {
+    /// Derives the key of a canonical request.
+    #[must_use]
+    pub fn of(request: &CanonicalRequest) -> RequestKey {
+        let shape = &request.spec.shape;
+        let canonical = format!(
+            "arch={};kernel={};batch={};m={};n={};k={};seed={}",
+            request.gpu.name,
+            request.spec.kind.name(),
+            shape.batch,
+            shape.m,
+            shape.n,
+            shape.k,
+            request.seed
+        );
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in canonical.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        RequestKey {
+            arch: request.gpu.name.clone(),
+            kernel: request.spec.kind.name().to_string(),
+            digest: format!("{hash:016x}"),
+            canonical,
+        }
+    }
+
+    /// File-name stem of this key's store entry (and training checkpoint).
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        format!("{}_{}_{}", self.arch, self.kernel, self.digest)
+    }
+}
+
+/// A successful optimization answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizeResult {
+    /// Echo of [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Canonical architecture name the request resolved to.
+    pub arch: String,
+    /// Canonical kernel name the request resolved to.
+    pub kernel: String,
+    /// The request's store key digest (see [`RequestKey`]).
+    pub request_key: String,
+    /// Whether this answer came from the persistent schedule store rather
+    /// than a fresh search.
+    pub from_store: bool,
+    /// The optimization report, bit-identical to what a direct
+    /// [`cuasmrl::SuiteOptimizer`] run produces for the same canonical
+    /// request.
+    pub report: OptimizationReport,
+}
+
+/// Error taxonomy of the service (see `docs/SERVICE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Malformed frame/JSON, unknown kernel or architecture, bad shape.
+    BadRequest,
+    /// `protocol_version` mismatch.
+    UnsupportedVersion,
+    /// Admission control rejected the request: the bounded queue is full.
+    /// Retrying later is the expected client behavior.
+    Busy,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+/// A typed error answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    fn bad_request(err: cuasmrl::cli::UnknownName) -> ServiceError {
+        ServiceError {
+            code: ErrorCode::BadRequest,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One response frame: either a result or a typed error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum OptimizeResponse {
+    /// The request was served.
+    Ok(OptimizeResult),
+    /// The request was rejected or failed; see the [`ErrorCode`].
+    Err(ServiceError),
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns an IO error on a short write, or `InvalidData` when the payload
+/// exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|len| *len <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+            )
+        })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns an IO error on a short read, or `InvalidData` when the length
+/// prefix exceeds [`MAX_FRAME_LEN`] (the payload is not read in that case).
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> RequestDefaults {
+        RequestDefaults { scale: 16, seed: 7 }
+    }
+
+    #[test]
+    fn frames_round_trip_and_oversized_frames_are_refused() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"hello").unwrap();
+        assert_eq!(&buffer[..4], &5u32.to_be_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+
+        let mut oversized = Vec::from((MAX_FRAME_LEN + 1).to_be_bytes());
+        oversized.extend_from_slice(b"x");
+        let err = read_frame(&mut io::Cursor::new(oversized)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn canonicalization_folds_aliases_into_one_key() {
+        let a = OptimizeRequest::table2("softmax", "a100")
+            .canonicalize(&defaults())
+            .unwrap();
+        let b = OptimizeRequest::table2("SOFTMAX", "Ampere")
+            .canonicalize(&defaults())
+            .unwrap();
+        assert_eq!(RequestKey::of(&a), RequestKey::of(&b));
+        assert_eq!(a.spec, KernelSpec::scaled(kernels::KernelKind::Softmax, 16));
+        assert_eq!(a.seed, 7);
+        // Explicit knobs reach the key: different seed, different entry.
+        let mut custom = OptimizeRequest::table2("softmax", "a100");
+        custom.seed = Some(8);
+        let c = custom.canonicalize(&defaults()).unwrap();
+        assert_ne!(RequestKey::of(&a).digest, RequestKey::of(&c).digest);
+        assert!(RequestKey::of(&a).file_stem().contains("softmax"));
+    }
+
+    #[test]
+    fn canonicalization_rejects_bad_requests_with_typed_errors() {
+        let mut wrong_version = OptimizeRequest::table2("softmax", "ampere");
+        wrong_version.protocol_version = 99;
+        assert_eq!(
+            wrong_version.canonicalize(&defaults()).unwrap_err().code,
+            ErrorCode::UnsupportedVersion
+        );
+        let unknown_kernel = OptimizeRequest::table2("conv3d", "ampere");
+        let err = unknown_kernel.canonicalize(&defaults()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("conv3d"));
+        let unknown_arch = OptimizeRequest::table2("softmax", "pascal");
+        assert_eq!(
+            unknown_arch.canonicalize(&defaults()).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        let mut degenerate = OptimizeRequest::table2("softmax", "ampere");
+        degenerate.shape = Some(ProblemShape {
+            batch: 1,
+            m: 0,
+            n: 64,
+            k: 1,
+        });
+        assert_eq!(
+            degenerate.canonicalize(&defaults()).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn minimal_request_json_decodes_with_defaults() {
+        let request: OptimizeRequest =
+            serde_json::from_str(r#"{"protocol_version": 1, "kernel": "bmm", "arch": "hopper"}"#)
+                .unwrap();
+        assert_eq!(request, OptimizeRequest::table2("bmm", "hopper"));
+        let canonical = request.canonicalize(&defaults()).unwrap();
+        assert_eq!(
+            canonical.gpu.name,
+            cuasmrl::cli::resolve_arch("hopper").unwrap().name
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! The `cuasmrld` daemon: a TCP acceptor, a bounded admission queue and a
+//! worker pool multiplexing kernel-optimization requests over the
+//! [`SuiteOptimizer`] machinery.
+//!
+//! Request lifecycle: the acceptor reads one frame, validates and
+//! canonicalizes it, and answers straight from the [`ScheduleStore`] when
+//! the canonical request was served before — repeat traffic never touches
+//! the queue. A store miss is admitted into a bounded queue
+//! ([`ServerConfig::queue_capacity`]); when the queue is full the request
+//! is rejected immediately with a typed `Busy` error (backpressure, not
+//! buffering). Workers dequeue, re-check the deadline and the store, run
+//! the search — through a checkpointing [`SearchSession`] for RL
+//! strategies, so a killed daemon warm-restarts mid-training — persist the
+//! entry, and reply.
+//!
+//! Determinism contract (serving path): the report inside a response is
+//! bit-identical to a direct [`SuiteOptimizer::optimizer_for`] run for the
+//! same canonical request, and two identical requests against the same
+//! store state produce byte-identical response frames. Wall-clock exists
+//! only in the telemetry manifest, never in a response.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cuasmrl::{
+    persist_run_manifest, CuAsmRl, KernelTelemetry, RunManifest, SearchSession, Strategy,
+    SuiteOptimizer,
+};
+use gpusim::MeasureOptions;
+use kernels::KernelSpec;
+
+use crate::protocol::{
+    read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
+    OptimizeResult, RequestDefaults, RequestKey, ServiceError, PROTOCOL_VERSION,
+};
+use crate::store::{ScheduleStore, StoreEntry, StoreStats, STORE_SCHEMA_VERSION};
+
+/// The manifest suite label the daemon's telemetry is filed under (one
+/// manifest per device profile: `{gpu}_service_telemetry.json`).
+pub const SERVICE_SUITE_LABEL: &str = "service";
+
+/// Everything a daemon instance is configured with.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Root of the persistent schedule store (and training checkpoints).
+    pub store_dir: PathBuf,
+    /// In-memory entry cap of the store.
+    pub store_capacity: usize,
+    /// Bounded admission-queue depth; a full queue answers `Busy`.
+    pub queue_capacity: usize,
+    /// Worker threads. `0` is allowed (nothing dequeues) — used by tests to
+    /// exercise admission control deterministically.
+    pub workers: usize,
+    /// Search strategy every request runs (seeded per request).
+    pub strategy: Strategy,
+    /// Default base seed when a request names none.
+    pub seed: u64,
+    /// Default paper-shape scale divisor when a request names none.
+    pub scale: usize,
+    /// PPO updates per [`SearchSession`] step between checkpoints (RL
+    /// strategies only).
+    pub checkpoint_updates: usize,
+    /// Measurement protocol used while autotuning.
+    pub tune_options: MeasureOptions,
+    /// Assembly-game configuration.
+    pub game_config: cuasmrl::GameConfig,
+}
+
+impl ServerConfig {
+    /// A conservative default configuration rooted at `store_dir`.
+    #[must_use]
+    pub fn new(store_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: store_dir.into(),
+            store_capacity: 64,
+            queue_capacity: 32,
+            workers: 2,
+            strategy: Strategy::Greedy { max_moves: 8 },
+            seed: 0,
+            scale: 1,
+            checkpoint_updates: 1,
+            tune_options: MeasureOptions::default(),
+            game_config: cuasmrl::GameConfig::default(),
+        }
+    }
+
+    /// The server-side fallbacks for optional request fields.
+    #[must_use]
+    pub fn defaults(&self) -> RequestDefaults {
+        RequestDefaults {
+            scale: self.scale,
+            seed: self.seed,
+        }
+    }
+
+    /// The [`SuiteOptimizer`] a request resolving to `gpu`/`seed` is served
+    /// through. Exported so tests (and any other consumer) can reproduce a
+    /// daemon answer with a direct run: the byte-identity contract is this
+    /// shared constructor, not a parallel reimplementation.
+    #[must_use]
+    pub fn suite_optimizer(&self, gpu: gpusim::GpuConfig, seed: u64) -> SuiteOptimizer {
+        SuiteOptimizer::new(gpu, self.strategy.clone())
+            .with_seed(seed)
+            .with_tune_options(self.tune_options.clone())
+            .with_game_config(self.game_config.clone())
+    }
+}
+
+/// Aggregate request counters of a running daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Frames that parsed into a well-formed request.
+    pub requests: u64,
+    /// Requests answered from the schedule store.
+    pub store_hits: u64,
+    /// Requests that ran a fresh search.
+    pub computed: u64,
+    /// Requests rejected by admission control (`Busy`).
+    pub busy: u64,
+    /// Requests rejected before admission (`BadRequest` /
+    /// `UnsupportedVersion`).
+    pub rejected: u64,
+    /// Requests whose deadline expired while queued.
+    pub deadline_expired: u64,
+}
+
+struct Job {
+    stream: TcpStream,
+    canonical: CanonicalRequest,
+    key: RequestKey,
+    deadline_ms: Option<u64>,
+    admitted: Instant,
+}
+
+struct Shared {
+    config: ServerConfig,
+    store: ScheduleStore,
+    shutdown: AtomicBool,
+    stats: Mutex<ServiceStats>,
+    telemetry: Mutex<std::collections::HashMap<String, Vec<KernelTelemetry>>>,
+}
+
+impl Shared {
+    fn respond(stream: &mut TcpStream, response: &OptimizeResponse) {
+        if let Ok(payload) = serde_json::to_string(response) {
+            let _ = write_frame(stream, payload.as_bytes());
+        }
+        let _ = stream.flush();
+    }
+
+    fn respond_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String>) {
+        Self::respond(
+            stream,
+            &OptimizeResponse::Err(ServiceError {
+                code,
+                message: message.into(),
+            }),
+        );
+    }
+
+    fn result_from_entry(key: &RequestKey, entry: &StoreEntry, from_store: bool) -> OptimizeResult {
+        OptimizeResult {
+            protocol_version: PROTOCOL_VERSION,
+            arch: entry.arch.clone(),
+            kernel: entry.kernel.clone(),
+            request_key: key.digest.clone(),
+            from_store,
+            report: entry.report.clone(),
+        }
+    }
+
+    /// Folds one kernel's telemetry into the per-device service manifest
+    /// and persists it next to the store entries.
+    fn record_telemetry(&self, gpu: &str, kernel: KernelTelemetry) {
+        let mut per_gpu = self.telemetry.lock().expect("telemetry mutex");
+        let kernels = per_gpu.entry(gpu.to_string()).or_default();
+        kernels.push(kernel);
+        let log_sum: f64 = kernels.iter().map(|k| k.speedup.max(1e-12).ln()).sum();
+        let geomean = (log_sum / kernels.len() as f64).exp();
+        let manifest = RunManifest::new(
+            gpu,
+            SERVICE_SUITE_LABEL,
+            self.config.strategy.name(),
+            self.config.seed,
+            self.config.workers,
+            kernels.clone(),
+            geomean,
+        );
+        if let Err(err) = persist_run_manifest(&self.config.store_dir, &manifest) {
+            eprintln!("cuasmrld: failed to persist telemetry manifest: {err}");
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::shutdown`] detaches the
+/// threads (the process exit reaps them); tests call `shutdown` for an
+/// orderly stop.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    // Keeps the queue alive even with `workers == 0` (admission control
+    // must answer `Busy`, not "disconnected", when nothing dequeues).
+    _queue: Arc<Mutex<Receiver<Job>>>,
+}
+
+impl Server {
+    /// Opens the store, binds the listener and spawns the acceptor and
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error when the store cannot be opened or the address
+    /// cannot be bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let store = ScheduleStore::open(&config.store_dir, config.store_capacity)
+            .map_err(|err| std::io::Error::other(err.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(ServiceStats::default()),
+            telemetry: Mutex::new(std::collections::HashMap::new()),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            _queue: rx,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current request counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        *self.shared.stats.lock().expect("stats mutex")
+    }
+
+    /// Current store counters.
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.shared.store.stats()
+    }
+
+    /// Orderly stop: refuse new connections, let workers finish queued
+    /// jobs, join every thread. In-flight RL training is checkpointed at
+    /// the next update boundary by the session itself, so a subsequent
+    /// daemon warm-restarts from where this one stopped.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of accept() with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<Job>) {
+    for connection in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = connection else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        admit(shared, stream, tx);
+    }
+    // Dropping `tx` here closes the queue; workers drain and exit.
+}
+
+/// Everything that happens to a connection before a worker sees it: frame
+/// read, parse, canonicalize, store lookup, admission control.
+fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
+    let frame = match read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(err) => {
+            Shared::respond_error(
+                &mut stream,
+                ErrorCode::BadRequest,
+                format!("malformed frame: {err}"),
+            );
+            return;
+        }
+    };
+    let request: OptimizeRequest = match std::str::from_utf8(&frame)
+        .map_err(|err| err.to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|err| err.to_string()))
+    {
+        Ok(request) => request,
+        Err(detail) => {
+            Shared::respond_error(
+                &mut stream,
+                ErrorCode::BadRequest,
+                format!("invalid request JSON: {detail}"),
+            );
+            return;
+        }
+    };
+    shared.stats.lock().expect("stats mutex").requests += 1;
+    let canonical = match request.canonicalize(&shared.config.defaults()) {
+        Ok(canonical) => canonical,
+        Err(error) => {
+            shared.stats.lock().expect("stats mutex").rejected += 1;
+            Shared::respond(&mut stream, &OptimizeResponse::Err(error));
+            return;
+        }
+    };
+    let key = RequestKey::of(&canonical);
+    match shared.store.get(&key) {
+        Ok(Some(entry)) => {
+            shared.stats.lock().expect("stats mutex").store_hits += 1;
+            shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
+            Shared::respond(
+                &mut stream,
+                &OptimizeResponse::Ok(Shared::result_from_entry(&key, &entry, true)),
+            );
+            return;
+        }
+        Ok(None) => {}
+        Err(err) => {
+            // A damaged entry is a miss with a warning: the recompute below
+            // overwrites the bad file, which is the recovery path.
+            eprintln!("cuasmrld: {err}; recomputing");
+        }
+    }
+    let job = Job {
+        stream,
+        canonical,
+        key,
+        deadline_ms: request.deadline_ms,
+        admitted: Instant::now(),
+    };
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(mut job)) => {
+            shared.stats.lock().expect("stats mutex").busy += 1;
+            Shared::respond_error(
+                &mut job.stream,
+                ErrorCode::Busy,
+                format!(
+                    "admission queue is full ({} pending); retry later",
+                    shared.config.queue_capacity
+                ),
+            );
+        }
+        Err(TrySendError::Disconnected(mut job)) => {
+            Shared::respond_error(
+                &mut job.stream,
+                ErrorCode::Internal,
+                "server is shutting down",
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("queue mutex");
+            guard.recv()
+        };
+        let Ok(mut job) = job else { break };
+        if let Some(deadline_ms) = job.deadline_ms {
+            let waited = job.admitted.elapsed().as_millis() as u64;
+            if waited >= deadline_ms {
+                shared.stats.lock().expect("stats mutex").deadline_expired += 1;
+                Shared::respond_error(
+                    &mut job.stream,
+                    ErrorCode::DeadlineExceeded,
+                    format!("deadline of {deadline_ms} ms expired while queued"),
+                );
+                continue;
+            }
+        }
+        // Another worker may have computed the same canonical request while
+        // this one was queued: serve the stored answer.
+        if let Ok(Some(entry)) = shared.store.get(&job.key) {
+            shared.stats.lock().expect("stats mutex").store_hits += 1;
+            shared.record_telemetry(&job.canonical.gpu.name, store_hit_telemetry(&entry));
+            Shared::respond(
+                &mut job.stream,
+                &OptimizeResponse::Ok(Shared::result_from_entry(&job.key, &entry, true)),
+            );
+            continue;
+        }
+        match compute(shared, &job.canonical, &job.key) {
+            Ok((report, telemetry)) => {
+                let entry = StoreEntry {
+                    schema_version: STORE_SCHEMA_VERSION,
+                    canonical: job.key.canonical.clone(),
+                    arch: job.key.arch.clone(),
+                    kernel: job.key.kernel.clone(),
+                    seed: job.canonical.seed,
+                    report,
+                };
+                if let Err(err) = shared.store.put(&job.key, entry.clone()) {
+                    eprintln!("cuasmrld: failed to persist store entry: {err}");
+                }
+                shared.stats.lock().expect("stats mutex").computed += 1;
+                shared.record_telemetry(&job.canonical.gpu.name, telemetry);
+                Shared::respond(
+                    &mut job.stream,
+                    &OptimizeResponse::Ok(Shared::result_from_entry(&job.key, &entry, false)),
+                );
+            }
+            Err(message) => {
+                Shared::respond_error(&mut job.stream, ErrorCode::Internal, message);
+            }
+        }
+    }
+}
+
+/// The telemetry record of a store-hit answer: the persisted report's
+/// figures with the `from_deploy_cache` marker and no fresh phase timings.
+fn store_hit_telemetry(entry: &StoreEntry) -> KernelTelemetry {
+    KernelTelemetry {
+        kernel: entry.report.kernel.clone(),
+        baseline_us: entry.report.baseline_us,
+        optimized_us: entry.report.optimized_us,
+        speedup: entry.report.speedup,
+        verified: entry.report.verified,
+        from_deploy_cache: true,
+        reward_curve: entry.report.moves.iter().map(|m| m.reward).collect(),
+        ..KernelTelemetry::default()
+    }
+}
+
+/// Runs the search for one canonical request. RL strategies go through a
+/// checkpointing [`SearchSession`] keyed by the request (warm restart);
+/// everything else runs the one-shot instrumented path. Both paths produce
+/// reports bit-identical to a direct [`SuiteOptimizer::optimizer_for`] run.
+fn compute(
+    shared: &Shared,
+    canonical: &CanonicalRequest,
+    key: &RequestKey,
+) -> Result<(cuasmrl::OptimizationReport, KernelTelemetry), String> {
+    let suite = shared
+        .config
+        .suite_optimizer(canonical.gpu.clone(), canonical.seed);
+    let optimizer: CuAsmRl = suite.optimizer_for(&canonical.spec);
+    let spec: &KernelSpec = &canonical.spec;
+    let space = suite.config_space_for(spec);
+    if optimizer.rl_config().is_none() {
+        let (report, _cubin, telemetry) =
+            optimizer.optimize_spec_instrumented(spec, &space, suite.tune_options());
+        return Ok((report, telemetry));
+    }
+    let checkpoint = shared.store.checkpoint_path(key);
+    let mut session = match SearchSession::new(
+        optimizer.clone(),
+        spec,
+        &space,
+        suite.tune_options(),
+        &checkpoint,
+    ) {
+        Ok(session) => session,
+        Err(err) => {
+            // A damaged or version-skewed checkpoint must not wedge the
+            // request forever: discard it and cold-start once.
+            eprintln!(
+                "cuasmrld: discarding unusable checkpoint {}: {err}",
+                checkpoint.display()
+            );
+            let _ = std::fs::remove_file(&checkpoint);
+            SearchSession::new(optimizer, spec, &space, suite.tune_options(), &checkpoint)
+                .map_err(|err| format!("search session failed to start: {err}"))?
+        }
+    };
+    loop {
+        let finished = session
+            .step(shared.config.checkpoint_updates.max(1))
+            .map_err(|err| format!("training checkpoint failed: {err}"))?;
+        if finished {
+            break;
+        }
+    }
+    let (report, _cubin, telemetry) = session.finish();
+    Ok((report, telemetry))
+}

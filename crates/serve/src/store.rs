@@ -1,0 +1,441 @@
+//! The persistent, memory-capped schedule store behind `cuasmrld`.
+//!
+//! One JSON file per served request, named by the request's
+//! [`RequestKey::file_stem`] (see `docs/SERVICE.md` for the on-disk
+//! layout). Writes are atomic (temp file + rename in the same directory),
+//! so a crash mid-write never leaves a half-entry — the worst case is the
+//! old state. Every entry carries [`STORE_SCHEMA_VERSION`]; decoding is a
+//! typed-error path ([`StoreError`]) mirroring `rl::Checkpoint`: corruption
+//! and version skew surface to the caller, never as a panic.
+//!
+//! In memory the store keeps at most `capacity` decoded entries in an LRU
+//! map; colder entries stay on disk and are decoded back in on demand. The
+//! disk set is the source of truth — a daemon restart reloads it, which is
+//! what makes repeat traffic near-free across restarts.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cuasmrl::OptimizationReport;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::RequestKey;
+
+/// Version of the store's on-disk entry schema. Bumped on any field-level
+/// change; entries with another version decode to
+/// [`StoreError::UnsupportedVersion`].
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// One persisted schedule: the canonical request it answers plus the
+/// optimization report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// [`STORE_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// The canonical request tuple this entry answers (digest preimage).
+    pub canonical: String,
+    /// Canonical architecture name.
+    pub arch: String,
+    /// Canonical kernel name.
+    pub kernel: String,
+    /// Base search seed.
+    pub seed: u64,
+    /// The report, bit-identical to the search that produced it.
+    pub report: OptimizationReport,
+}
+
+/// Typed failures of the store (the service's `rl::CheckpointError`
+/// analogue).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// An entry file exists but does not decode.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Decoder detail.
+        detail: String,
+    },
+    /// An entry file decodes but was written by another schema version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store io error: {err}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store entry {}: {detail}", path.display())
+            }
+            StoreError::UnsupportedVersion { path, found } => write!(
+                f,
+                "store entry {} has schema version {found}, this build reads {STORE_SCHEMA_VERSION}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// Counters of the store's effectiveness, for telemetry and the load
+/// generator's cache-hit economics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups answered (from memory or disk).
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Hits that had to decode the entry back in from disk.
+    pub disk_hits: u64,
+    /// Entries currently decoded in memory.
+    pub entries_in_memory: usize,
+    /// Undecodable entry files skipped when the store was opened.
+    pub skipped_at_open: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, StoreEntry>,
+    recency: VecDeque<String>,
+    stats: StoreStats,
+}
+
+impl Inner {
+    fn touch(&mut self, stem: &str) {
+        if let Some(position) = self.recency.iter().position(|s| s == stem) {
+            self.recency.remove(position);
+        }
+        self.recency.push_back(stem.to_string());
+    }
+
+    fn insert(&mut self, stem: &str, entry: StoreEntry, capacity: usize) {
+        self.entries.insert(stem.to_string(), entry);
+        self.touch(stem);
+        while self.entries.len() > capacity.max(1) {
+            let Some(coldest) = self.recency.pop_front() else {
+                break;
+            };
+            self.entries.remove(&coldest);
+        }
+        self.stats.entries_in_memory = self.entries.len();
+    }
+}
+
+/// The disk-backed, memory-capped schedule store (see the module docs).
+pub struct ScheduleStore {
+    dir: PathBuf,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ScheduleStore {
+    /// Opens (creating if needed) the store rooted at `dir`, reloading up
+    /// to `capacity` existing entries into memory. Entry files that fail to
+    /// decode are skipped and counted in
+    /// [`StoreStats::skipped_at_open`] — one damaged file never takes the
+    /// store down; the entry is recomputed and overwritten on next demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created or
+    /// listed.
+    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> Result<ScheduleStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut inner = Inner {
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            stats: StoreStats::default(),
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            if inner.entries.len() >= capacity.max(1) {
+                break;
+            }
+            match Self::decode_entry(&path) {
+                Ok(entry) => {
+                    let stem = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    inner.insert(&stem, entry, capacity);
+                }
+                Err(_) => inner.stats.skipped_at_open += 1,
+            }
+        }
+        inner.stats.entries_in_memory = inner.entries.len();
+        Ok(ScheduleStore {
+            dir,
+            capacity,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Decodes one entry file with the full typed-error path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be read,
+    /// [`StoreError::Corrupt`] when it is not a valid entry,
+    /// [`StoreError::UnsupportedVersion`] on schema-version skew.
+    pub fn decode_entry(path: &Path) -> Result<StoreEntry, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        let entry: StoreEntry = serde_json::from_str(&text).map_err(|err| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: err.to_string(),
+        })?;
+        if entry.schema_version != STORE_SCHEMA_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                path: path.to_path_buf(),
+                found: entry.schema_version,
+            });
+        }
+        Ok(entry)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a key's entry file.
+    #[must_use]
+    pub fn entry_path(&self, key: &RequestKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.file_stem()))
+    }
+
+    /// Path of a key's in-flight training checkpoint (the warm-restart
+    /// file a [`cuasmrl::SearchSession`] persists between PPO updates).
+    #[must_use]
+    pub fn checkpoint_path(&self, key: &RequestKey) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", key.file_stem()))
+    }
+
+    /// Looks a key up: memory first, then disk (decoding the entry back
+    /// into the LRU map on a disk hit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed decode error when the entry file exists but
+    /// cannot be read — the caller decides whether to recompute (the
+    /// daemon does, overwriting the damaged file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned by a panicking thread.
+    pub fn get(&self, key: &RequestKey) -> Result<Option<StoreEntry>, StoreError> {
+        let stem = key.file_stem();
+        let mut inner = self.inner.lock().expect("store mutex");
+        if let Some(entry) = inner.entries.get(&stem).cloned() {
+            inner.stats.hits += 1;
+            inner.touch(&stem);
+            return Ok(Some(entry));
+        }
+        let path = self.entry_path(key);
+        if !path.exists() {
+            inner.stats.misses += 1;
+            return Ok(None);
+        }
+        match Self::decode_entry(&path) {
+            Ok(entry) => {
+                inner.stats.hits += 1;
+                inner.stats.disk_hits += 1;
+                inner.insert(&stem, entry.clone(), self.capacity);
+                Ok(Some(entry))
+            }
+            Err(err) => {
+                inner.stats.misses += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Persists an entry atomically (temp file + rename) and caches it in
+    /// memory, evicting the least-recently-used entry beyond capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the write or rename fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned by a panicking thread.
+    pub fn put(&self, key: &RequestKey, entry: StoreEntry) -> Result<(), StoreError> {
+        let stem = key.file_stem();
+        let final_path = self.entry_path(key);
+        let temp_path = self.dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+        let text = serde_json::to_string_pretty(&entry).map_err(|err| StoreError::Corrupt {
+            path: final_path.clone(),
+            detail: err.to_string(),
+        })?;
+        std::fs::write(&temp_path, text)?;
+        std::fs::rename(&temp_path, &final_path)?;
+        let mut inner = self.inner.lock().expect("store mutex");
+        inner.insert(&stem, entry, self.capacity);
+        Ok(())
+    }
+
+    /// Current effectiveness counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex was poisoned by a panicking thread.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("store mutex").stats
+    }
+
+    /// Number of entry files on disk (the durable set).
+    #[must_use]
+    pub fn entries_on_disk(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CanonicalRequest, OptimizeRequest, RequestDefaults};
+
+    fn key_for(kernel: &str, seed: u64) -> RequestKey {
+        let mut request = OptimizeRequest::table2(kernel, "ampere");
+        request.seed = Some(seed);
+        let canonical: CanonicalRequest = request
+            .canonicalize(&RequestDefaults { scale: 16, seed: 0 })
+            .unwrap();
+        RequestKey::of(&canonical)
+    }
+
+    fn entry_for(key: &RequestKey, seed: u64) -> StoreEntry {
+        StoreEntry {
+            schema_version: STORE_SCHEMA_VERSION,
+            canonical: key.canonical.clone(),
+            arch: key.arch.clone(),
+            kernel: key.kernel.clone(),
+            seed,
+            report: cuasmrl::OptimizationReport {
+                kernel: key.kernel.clone(),
+                baseline_us: 10.0,
+                optimized_us: 8.0,
+                speedup: 1.25,
+                verified: true,
+                optimized_listing: String::new(),
+                moves: Vec::new(),
+            },
+        }
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "cuasmrld-store-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn entries_survive_reopen_and_damage_is_a_typed_error() {
+        let dir = temp_dir("reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_for("softmax", 1);
+        {
+            let store = ScheduleStore::open(&dir, 8).unwrap();
+            assert!(store.get(&key).unwrap().is_none());
+            store.put(&key, entry_for(&key, 1)).unwrap();
+            assert!(store.get(&key).unwrap().is_some());
+        }
+        // A fresh open (a daemon restart) reloads the durable set.
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        let entry = store.get(&key).unwrap().expect("entry survived restart");
+        assert_eq!(entry.kernel, "softmax");
+        assert_eq!(store.entries_on_disk(), 1);
+
+        // Damage the file: decoding is a typed error, opening skips it.
+        let path = store.entry_path(&key);
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            ScheduleStore::decode_entry(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let reopened = ScheduleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.stats().skipped_at_open, 1);
+        assert!(matches!(
+            reopened.get(&key),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Recomputing overwrites the damage.
+        reopened.put(&key, entry_for(&key, 1)).unwrap();
+        assert!(reopened.get(&key).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_named_not_reinterpreted() {
+        let dir = temp_dir("version");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        let key = key_for("bmm", 2);
+        let mut entry = entry_for(&key, 2);
+        entry.schema_version = 99;
+        // put() writes whatever it is given; decode is where skew surfaces.
+        store.put(&key, entry).unwrap();
+        let fresh = ScheduleStore::open(&dir, 8).unwrap();
+        assert_eq!(fresh.stats().skipped_at_open, 1);
+        assert!(matches!(
+            ScheduleStore::decode_entry(&store.entry_path(&key)),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_cap_evicts_lru_but_disk_keeps_everything() {
+        let dir = temp_dir("lru");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 2).unwrap();
+        let keys: Vec<RequestKey> = (0..4).map(|seed| key_for("rmsnorm", seed)).collect();
+        for (seed, key) in keys.iter().enumerate() {
+            store.put(key, entry_for(key, seed as u64)).unwrap();
+        }
+        assert_eq!(store.stats().entries_in_memory, 2);
+        assert_eq!(store.entries_on_disk(), 4);
+        // The evicted entry still answers — from disk — and is re-cached.
+        let before = store.stats().disk_hits;
+        assert!(store.get(&keys[0]).unwrap().is_some());
+        assert_eq!(store.stats().disk_hits, before + 1);
+        assert!(store.get(&keys[0]).unwrap().is_some());
+        assert_eq!(
+            store.stats().disk_hits,
+            before + 1,
+            "second hit is in-memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,7 +13,7 @@
 //! seeds, ordered aggregation). When `--cache` is given, a second run
 //! answers every kernel from the schedule cache instead of searching again.
 
-use cuasmrl::{load_suite_report, GameConfig, Strategy, SuiteOptimizer};
+use cuasmrl::{cli, load_suite_report, GameConfig, Strategy, SuiteOptimizer};
 use gpusim::{GpuConfig, MeasureOptions};
 
 fn main() {
@@ -28,23 +28,17 @@ fn main() {
             "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
             "--cache" => cache = args.next(),
-            "--arch" => match args.next().and_then(|n| GpuConfig::by_name(&n)) {
-                Some(selected) => gpu = selected,
-                None => {
-                    eprintln!(
-                        "error: unknown --arch (expected one of: {})",
-                        gpusim::ArchSpec::builtin_names().join(", ")
-                    );
+            "--arch" => match cli::resolve_arch(&args.next().unwrap_or_default()) {
+                Ok(selected) => gpu = selected,
+                Err(err) => {
+                    eprintln!("error: {err}");
                     std::process::exit(2);
                 }
             },
-            "--suite" => match args.next().and_then(|n| kernels::find_suite(&n)) {
-                Some(selected) => workload = selected,
-                None => {
-                    eprintln!(
-                        "error: unknown --suite (expected one of: {})",
-                        kernels::suite_names().join(", ")
-                    );
+            "--suite" => match cli::resolve_suite(&args.next().unwrap_or_default()) {
+                Ok(selected) => workload = selected,
+                Err(err) => {
+                    eprintln!("error: {err}");
                     std::process::exit(2);
                 }
             },

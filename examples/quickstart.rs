@@ -1,18 +1,35 @@
 //! Quickstart: optimize one Triton-style kernel end to end.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- [--arch NAME]
 //! ```
+//!
+//! `--arch` accepts any built-in profile name or alias (`ampere`/`a100`,
+//! `turing`, `hopper`), canonicalized by `cuasmrl::cli::resolve_arch`.
 
-use cuasmrl::{CuAsmRl, Strategy};
+use cuasmrl::{cli, CuAsmRl, Strategy};
 use gpusim::{GpuConfig, MeasureOptions};
 use kernels::{ConfigSpace, KernelKind, KernelSpec};
 
 fn main() {
+    let mut gpu = GpuConfig::a100();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--arch" => match cli::resolve_arch(&args.next().unwrap_or_default()) {
+                Ok(selected) => gpu = selected,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+
     // A scaled-down fused GEMM + LeakyReLU so the example runs in seconds;
     // use `KernelSpec::paper(..)` for the full Table-2 shape.
     let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 8);
-    let gpu = GpuConfig::a100();
 
     // Hierarchical search (§3.1): autotune the kernel configuration, compile,
     // intercept the cubin and play the assembly game with greedy search.

@@ -1,0 +1,51 @@
+//! Quickstart for the `cuasmrld` optimization service: start an
+//! in-process daemon on an ephemeral port, send the same request twice,
+//! and watch the second answer come back from the persistent schedule
+//! store. See `docs/SERVICE.md` for the protocol and the runbook.
+//!
+//! ```text
+//! cargo run --release --example service_quickstart
+//! ```
+
+use cuasmrl::GameConfig;
+use cuasmrld::{Client, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
+use gpusim::MeasureOptions;
+
+fn main() {
+    // Fast simulation settings (what `cuasmrld --fast` uses) so the
+    // example finishes in seconds.
+    let fast_measure = MeasureOptions {
+        warmup: 0,
+        repeats: 2,
+        noise_std: 0.0,
+        seed: 0,
+    };
+    let store_dir = std::env::temp_dir().join(format!("cuasmrld-qs-{}", std::process::id()));
+    let mut config = ServerConfig::new(&store_dir);
+    config.scale = 16;
+    config.tune_options = fast_measure.clone();
+    config.game_config = GameConfig {
+        episode_length: 8,
+        measure: fast_measure,
+    };
+    let server = Server::start(config).expect("daemon starts");
+    println!("daemon listening on {}", server.local_addr());
+
+    let client = Client::new(server.local_addr());
+    let request = OptimizeRequest::table2("softmax", "ampere");
+    for attempt in ["first request (fresh search)", "second request (store)"] {
+        match client.request(&request).expect("exchange") {
+            OptimizeResponse::Ok(result) => println!(
+                "{attempt}: kernel={} speedup={:.3}x verified={} from_store={}",
+                result.kernel, result.report.speedup, result.report.verified, result.from_store
+            ),
+            OptimizeResponse::Err(error) => println!("{attempt}: error {error}"),
+        }
+    }
+    println!(
+        "store entries on disk under {}: answers survive a daemon restart",
+        store_dir.display()
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -1,0 +1,337 @@
+//! End-to-end contract tests of the `cuasmrld` optimization service: the
+//! serving-path determinism contract (a daemon answer is byte-identical to
+//! a direct `SuiteOptimizer` run, and repeat answers are byte-identical to
+//! each other — across daemon restarts), admission control, deadlines, and
+//! the typed rejection paths.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cuasmrl::Strategy;
+use cuasmrld::{
+    Client, ErrorCode, OptimizeRequest, OptimizeResponse, ScheduleStore, Server, ServerConfig,
+};
+use gpusim::MeasureOptions;
+
+fn temp_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cuasmrld-e2e-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// A fast daemon configuration: greedy strategy, scaled-down shapes,
+/// noise-free two-repeat measurements.
+fn fast_config(store_dir: &PathBuf) -> ServerConfig {
+    let fast_measure = MeasureOptions {
+        warmup: 0,
+        repeats: 2,
+        noise_std: 0.0,
+        seed: 0,
+    };
+    let mut config = ServerConfig::new(store_dir);
+    config.scale = 16;
+    config.tune_options = fast_measure.clone();
+    config.game_config = cuasmrl::GameConfig {
+        episode_length: 8,
+        measure: fast_measure,
+    };
+    config.strategy = Strategy::Greedy { max_moves: 4 };
+    config
+}
+
+fn expect_ok(response: OptimizeResponse) -> cuasmrld::OptimizeResult {
+    match response {
+        OptimizeResponse::Ok(result) => result,
+        OptimizeResponse::Err(error) => panic!("expected Ok, got {error}"),
+    }
+}
+
+fn expect_err(response: OptimizeResponse) -> cuasmrld::ServiceError {
+    match response {
+        OptimizeResponse::Ok(result) => {
+            panic!("expected a typed error, got Ok for {}", result.kernel)
+        }
+        OptimizeResponse::Err(error) => error,
+    }
+}
+
+#[test]
+fn daemon_answers_match_a_direct_suite_optimizer_run_and_repeat_bytes_are_identical() {
+    let dir = temp_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = fast_config(&dir);
+    let server = Server::start(config.clone()).expect("daemon starts");
+    let client = Client::new(server.local_addr());
+
+    let request = OptimizeRequest::table2("softmax", "a100");
+    let first = expect_ok(client.request(&request).expect("first request"));
+    assert!(!first.from_store, "first exposure must compute");
+    assert_eq!(first.kernel, "softmax");
+    assert!(first.report.verified);
+
+    // The direct run, built through the same exported constructors the
+    // daemon uses: byte-identical reports.
+    let canonical = request.canonicalize(&config.defaults()).expect("canonical");
+    let suite = config.suite_optimizer(canonical.gpu.clone(), canonical.seed);
+    let optimizer = suite.optimizer_for(&canonical.spec);
+    let (direct, _cubin, _telemetry) = optimizer.optimize_spec_instrumented(
+        &canonical.spec,
+        &suite.config_space_for(&canonical.spec),
+        suite.tune_options(),
+    );
+    assert_eq!(
+        serde_json::to_string(&first.report).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "daemon answer must be byte-identical to the direct run"
+    );
+
+    // Repeats are store hits with byte-identical response frames, and the
+    // alias spelling of the same canonical request shares the entry.
+    let repeat_a = client.request_bytes(&request).expect("repeat a");
+    let repeat_b = client.request_bytes(&request).expect("repeat b");
+    assert_eq!(repeat_a, repeat_b, "same request + same store state");
+    let aliased = expect_ok(
+        client
+            .request(&OptimizeRequest::table2("SOFTMAX", "Ampere"))
+            .expect("aliased request"),
+    );
+    assert!(aliased.from_store, "aliases canonicalize onto one entry");
+    assert_eq!(server.stats().computed, 1);
+    assert!(server.stats().store_hits >= 3);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_store_survives_a_daemon_restart_and_recovers_from_corruption() {
+    let dir = temp_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = fast_config(&dir);
+    let request = OptimizeRequest::table2("rmsnorm", "ampere");
+
+    let warm_bytes = {
+        let server = Server::start(config.clone()).expect("first daemon");
+        let client = Client::new(server.local_addr());
+        let first = expect_ok(client.request(&request).expect("compute"));
+        assert!(!first.from_store);
+        let bytes = client.request_bytes(&request).expect("warm repeat");
+        server.shutdown();
+        bytes
+    };
+
+    // Second daemon, same store: the repeat is served from disk without
+    // recomputing, byte-identical to the pre-restart answer.
+    {
+        let server = Server::start(config.clone()).expect("second daemon");
+        let client = Client::new(server.local_addr());
+        let bytes = client.request_bytes(&request).expect("post-restart repeat");
+        assert_eq!(bytes, warm_bytes, "restart must not change the answer");
+        assert_eq!(server.stats().computed, 0);
+        assert_eq!(server.stats().store_hits, 1);
+        server.shutdown();
+    }
+
+    // Corrupt the entry on disk: the next daemon skips it at open,
+    // recomputes on demand, overwrites the damage, and the answer bytes
+    // still match (determinism makes recovery invisible).
+    let canonical = request.canonicalize(&config.defaults()).expect("canonical");
+    let key = cuasmrld::RequestKey::of(&canonical);
+    let store = ScheduleStore::open(&dir, 8).expect("open store");
+    std::fs::write(store.entry_path(&key), "{ damaged").expect("corrupt entry");
+    drop(store);
+    {
+        let server = Server::start(config).expect("third daemon");
+        let client = Client::new(server.local_addr());
+        let recomputed = expect_ok(client.request(&request).expect("recompute"));
+        assert!(!recomputed.from_store, "damage forces a recompute");
+        let bytes = client.request_bytes(&request).expect("healed repeat");
+        assert_eq!(bytes, warm_bytes, "recovery must reproduce the answer");
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rl_requests_run_through_the_checkpointing_session_and_match_the_direct_run() {
+    let dir = temp_dir("rl");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    config.strategy = Strategy::Rl(rl::PpoConfig {
+        total_steps: 96,
+        rollout_steps: 24,
+        ..rl::PpoConfig::tiny()
+    });
+    config.workers = 1;
+    let server = Server::start(config.clone()).expect("daemon starts");
+    let client = Client::new(server.local_addr());
+    let request = OptimizeRequest::table2("softmax", "ampere");
+    let served = expect_ok(client.request(&request).expect("rl request"));
+    assert!(!served.from_store);
+
+    let canonical = request.canonicalize(&config.defaults()).expect("canonical");
+    let suite = config.suite_optimizer(canonical.gpu.clone(), canonical.seed);
+    let optimizer = suite.optimizer_for(&canonical.spec);
+    let (direct, _cubin, _telemetry) = optimizer.optimize_spec_instrumented(
+        &canonical.spec,
+        &suite.config_space_for(&canonical.spec),
+        suite.tune_options(),
+    );
+    assert_eq!(
+        serde_json::to_string(&served.report).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "the checkpointing session must match the one-shot run"
+    );
+    // The session cleans its checkpoint up after finishing.
+    let key = cuasmrld::RequestKey::of(&canonical);
+    let store = ScheduleStore::open(&dir, 8).expect("open store");
+    assert!(!store.checkpoint_path(&key).exists());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_traffic_gets_typed_rejections_not_hangs_or_panics() {
+    let dir = temp_dir("reject");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(fast_config(&dir)).expect("daemon starts");
+    let client = Client::new(server.local_addr()).with_timeout(Duration::from_secs(10));
+
+    // Not JSON at all.
+    let garbage: OptimizeResponse = {
+        let raw = client
+            .request_raw(b"definitely not json")
+            .expect("exchange");
+        serde_json::from_str(std::str::from_utf8(&raw).unwrap()).expect("typed response")
+    };
+    assert_eq!(expect_err(garbage).code, ErrorCode::BadRequest);
+
+    // An oversized length prefix is refused without reading the payload.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        use std::io::Write as _;
+        stream
+            .write_all(&(cuasmrld::MAX_FRAME_LEN + 1).to_be_bytes())
+            .expect("header");
+        let mut response = stream;
+        response
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let frame = cuasmrld::read_frame(&mut response).expect("error frame");
+        let decoded: OptimizeResponse =
+            serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+        assert_eq!(expect_err(decoded).code, ErrorCode::BadRequest);
+    }
+
+    // Wrong protocol version and unknown names.
+    let mut wrong_version = OptimizeRequest::table2("softmax", "ampere");
+    wrong_version.protocol_version = 99;
+    assert_eq!(
+        expect_err(client.request(&wrong_version).expect("exchange")).code,
+        ErrorCode::UnsupportedVersion
+    );
+    let err = expect_err(
+        client
+            .request(&OptimizeRequest::table2("conv3d", "ampere"))
+            .expect("exchange"),
+    );
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    assert!(err.message.contains("conv3d"));
+    assert_eq!(
+        expect_err(
+            client
+                .request(&OptimizeRequest::table2("softmax", "pascal"))
+                .expect("exchange")
+        )
+        .code,
+        ErrorCode::BadRequest
+    );
+    assert_eq!(server.stats().computed, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_full_queue_answers_busy_and_an_expired_deadline_is_rejected_at_dequeue() {
+    // Busy: no workers, a one-slot queue. Once any request occupies the
+    // slot, every further store-missing request is rejected at admission.
+    let dir = temp_dir("busy");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    config.workers = 0;
+    config.queue_capacity = 1;
+    let server = Server::start(config).expect("daemon starts");
+    let probe = Client::new(server.local_addr()).with_timeout(Duration::from_millis(500));
+    let mut saw_busy = false;
+    for seed in 0..3u64 {
+        let mut request = OptimizeRequest::table2("bmm", "ampere");
+        request.seed = Some(seed);
+        match probe.request(&request) {
+            Ok(response) => {
+                assert_eq!(expect_err(response).code, ErrorCode::Busy);
+                saw_busy = true;
+                break;
+            }
+            // A timeout means this request took the queue slot; the next
+            // distinct request must then be rejected.
+            Err(_) => continue,
+        }
+    }
+    assert!(saw_busy, "the one-slot queue must reject the overflow");
+    assert!(server.stats().busy >= 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Deadline: a request admitted with `deadline_ms: 0` has, by
+    // definition, already expired when a worker picks it up.
+    let dir = temp_dir("deadline");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(fast_config(&dir)).expect("daemon starts");
+    let client = Client::new(server.local_addr());
+    let mut request = OptimizeRequest::table2("fused_ff", "ampere");
+    request.deadline_ms = Some(0);
+    assert_eq!(
+        expect_err(client.request(&request).expect("exchange")).code,
+        ErrorCode::DeadlineExceeded
+    );
+    assert_eq!(server.stats().deadline_expired, 1);
+    assert_eq!(server.stats().computed, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_load_generator_proves_zero_failures_and_warm_phase_hit_economics() {
+    let dir = temp_dir("load");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    config.workers = 4;
+    let server = Server::start(config).expect("daemon starts");
+    let mut spec = cuasmrld::LoadSpec::smoke("ampere");
+    spec.clients = 4;
+    spec.repeat_rounds = 3;
+    let report = cuasmrld::run_load(server.local_addr(), &spec);
+    assert_eq!(
+        report.failed(),
+        0,
+        "burst must not drop requests: {report:?}"
+    );
+    assert_eq!(report.sent, 6 * 4);
+    assert_eq!(report.ok, report.sent);
+    assert_eq!(
+        report.warm_hit_rate, 1.0,
+        "every warm repeat must be a store hit: {report:?}"
+    );
+    // Telemetry manifest: one entry per answered request, keyed under the
+    // service suite label.
+    let gpu = cuasmrl::cli::resolve_arch("ampere").unwrap().name;
+    let manifest = cuasmrl::load_run_manifest(&dir, &gpu, cuasmrld::SERVICE_SUITE_LABEL)
+        .expect("service manifest persisted");
+    assert_eq!(manifest.suite, cuasmrld::SERVICE_SUITE_LABEL);
+    assert_eq!(manifest.kernels.len(), report.ok);
+    assert!(manifest.kernels.iter().any(|k| k.from_deploy_cache));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

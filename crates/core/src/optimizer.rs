@@ -10,7 +10,7 @@ use gpusim::{GpuConfig, MeasureOptions};
 use kernels::{Autotuner, ConfigSpace, KernelSpec, TritonPipeline};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rl::{Env, PpoConfig, PpoTrainer};
+use rl::{CancelToken, Env, PpoConfig, PpoTrainer};
 use sass::{Cubin, Program};
 use serde::{Deserialize, Serialize};
 
@@ -186,6 +186,29 @@ impl CuAsmRl {
         space: &ConfigSpace,
         tune_options: &MeasureOptions,
     ) -> (OptimizationReport, Cubin, KernelTelemetry) {
+        let (report, cubin, telemetry, _preempted) =
+            self.optimize_spec_instrumented_with(spec, space, tune_options, &CancelToken::new());
+        (report, cubin, telemetry)
+    }
+
+    /// [`CuAsmRl::optimize_spec_instrumented`] with cooperative preemption:
+    /// the search polls `cancel` at its step/update boundaries and, once the
+    /// token fires, stops early and reports its best-schedule-so-far. The
+    /// returned flag says whether the run was preempted; a preempted report
+    /// is **not** written to the deploy cache (it is a degraded partial
+    /// answer, not the converged one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled cubin does not contain the expected kernel
+    /// (which would be a pipeline bug).
+    pub fn optimize_spec_instrumented_with(
+        &self,
+        spec: &KernelSpec,
+        space: &ConfigSpace,
+        tune_options: &MeasureOptions,
+        cancel: &CancelToken,
+    ) -> (OptimizationReport, Cubin, KernelTelemetry, bool) {
         let run_start = std::time::Instant::now();
         let (compiled, autotune_ms, compile_ms) = self.compile_spec(spec, space, tune_options);
         if let Some(hit) = self.lookup(&compiled.name) {
@@ -206,23 +229,29 @@ impl CuAsmRl {
             telemetry.phases.autotune_ms = autotune_ms;
             telemetry.phases.compile_ms = compile_ms;
             telemetry.phases.total_ms = duration_ms(run_start.elapsed());
-            return (hit, cubin, telemetry);
+            return (hit, cubin, telemetry, false);
         }
         let program = compiled
             .cubin
             .kernel_program(&compiled.name)
             .expect("compiled cubin must contain the kernel");
-        let (report, mut telemetry) =
-            self.optimize_program_instrumented(&compiled.name, program, compiled.launch.clone());
+        let (report, mut telemetry, preempted) = self.optimize_program_instrumented_with(
+            &compiled.name,
+            program,
+            compiled.launch.clone(),
+            cancel,
+        );
         let mut cubin = compiled.cubin;
         if let Ok(optimized) = report.optimized_listing.parse::<Program>() {
             let _ = cubin.replace_kernel_section(&compiled.name, &optimized);
         }
-        self.store(&report);
+        if !preempted {
+            self.store(&report);
+        }
         telemetry.phases.autotune_ms = autotune_ms;
         telemetry.phases.compile_ms = compile_ms;
         telemetry.phases.total_ms = duration_ms(run_start.elapsed());
-        (report, cubin, telemetry)
+        (report, cubin, telemetry, preempted)
     }
 
     /// The autotune + compile front half of the hierarchical search (§3.1):
@@ -294,6 +323,24 @@ impl CuAsmRl {
         program: Program,
         launch: gpusim::LaunchConfig,
     ) -> (OptimizationReport, KernelTelemetry) {
+        let (report, telemetry, _preempted) =
+            self.optimize_program_instrumented_with(kernel, program, launch, &CancelToken::new());
+        (report, telemetry)
+    }
+
+    /// [`CuAsmRl::optimize_program_instrumented`] with cooperative
+    /// preemption (see [`CuAsmRl::optimize_spec_instrumented_with`]). Every
+    /// strategy polls the token at its natural boundary — a PPO update, a
+    /// greedy move, a random step, an evolutionary generation — and a fired
+    /// token makes the search finalize its best-schedule-so-far. The
+    /// returned flag says whether the run was preempted.
+    pub fn optimize_program_instrumented_with(
+        &self,
+        kernel: &str,
+        program: Program,
+        launch: gpusim::LaunchConfig,
+        cancel: &CancelToken,
+    ) -> (OptimizationReport, KernelTelemetry, bool) {
         let search_start = std::time::Instant::now();
         let mut game = AssemblyGame::new(
             self.gpu.clone(),
@@ -303,24 +350,24 @@ impl CuAsmRl {
             self.game_config.clone(),
         );
         let mut training = None;
-        let moves = match &self.strategy {
+        let (moves, preempted) = match &self.strategy {
             Strategy::Rl(config) => {
-                let (moves, stats) = run_rl(&mut game, config.clone());
+                let (moves, stats, preempted) = run_rl(&mut game, config.clone(), cancel);
                 training = Some(TrainingTelemetry::from_stats(&stats));
-                moves
+                (moves, preempted)
             }
-            Strategy::Greedy { max_moves } => run_greedy(&mut game, *max_moves),
-            Strategy::Random { steps, seed } => run_random(&mut game, *steps, *seed),
+            Strategy::Greedy { max_moves } => run_greedy(&mut game, *max_moves, cancel),
+            Strategy::Random { steps, seed } => run_random(&mut game, *steps, *seed, cancel),
             Strategy::Evolutionary {
                 generations,
                 mutation_length,
                 seed,
-            } => run_evolutionary(&mut game, *generations, *mutation_length, *seed),
+            } => run_evolutionary(&mut game, *generations, *mutation_length, *seed, cancel),
         };
         let search_ms = duration_ms(search_start.elapsed());
         let (report, verify_ms) = finalize_search(kernel, &game, moves);
         let telemetry = search_telemetry(&report, &game, training, search_ms, verify_ms);
-        (report, telemetry)
+        (report, telemetry, preempted)
     }
 }
 
@@ -382,13 +429,17 @@ pub(crate) fn search_telemetry(
     telemetry
 }
 
-fn run_rl(game: &mut AssemblyGame, config: PpoConfig) -> (Vec<Move>, rl::TrainingStats) {
+fn run_rl(
+    game: &mut AssemblyGame,
+    config: PpoConfig,
+    cancel: &CancelToken,
+) -> (Vec<Move>, rl::TrainingStats, bool) {
     let features = game.observation_features();
     let actions = game.action_count();
     let mut trainer = PpoTrainer::new(config, features, actions);
-    let stats = trainer.train(game);
+    let finished = trainer.train_updates_until(game, usize::MAX, cancel);
     let moves = inference_trace(game, trainer.policy());
-    (moves, stats)
+    (moves, trainer.stats().clone(), !finished)
 }
 
 /// Deterministic, seeded greedy inference pass (§5.7) recovering the move
@@ -413,10 +464,17 @@ pub(crate) fn inference_trace(game: &mut AssemblyGame, policy: &rl::ActorCritic)
     moves
 }
 
-fn run_greedy(game: &mut AssemblyGame, max_moves: usize) -> Vec<Move> {
+fn run_greedy(
+    game: &mut AssemblyGame,
+    max_moves: usize,
+    cancel: &CancelToken,
+) -> (Vec<Move>, bool) {
     let _ = game.reset();
     let mut best_trace = Vec::new();
     for _ in 0..max_moves {
+        if cancel.is_cancelled() {
+            return (best_trace, true);
+        }
         let mask = game.action_mask();
         // Try each legal action, keep the best improvement.
         let mut best: Option<(usize, f32)> = None;
@@ -437,15 +495,23 @@ fn run_greedy(game: &mut AssemblyGame, max_moves: usize) -> Vec<Move> {
             break;
         }
     }
-    best_trace
+    (best_trace, false)
 }
 
-fn run_random(game: &mut AssemblyGame, steps: usize, seed: u64) -> Vec<Move> {
+fn run_random(
+    game: &mut AssemblyGame,
+    steps: usize,
+    seed: u64,
+    cancel: &CancelToken,
+) -> (Vec<Move>, bool) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let _ = game.reset();
     let mut best_trace = Vec::new();
     let mut best_runtime = game.best().1;
     for _ in 0..steps {
+        if cancel.is_cancelled() {
+            return (best_trace, true);
+        }
         let mask = game.action_mask();
         let legal: Vec<usize> = mask
             .iter()
@@ -466,7 +532,7 @@ fn run_random(game: &mut AssemblyGame, steps: usize, seed: u64) -> Vec<Move> {
             let _ = game.reset();
         }
     }
-    best_trace
+    (best_trace, false)
 }
 
 fn run_evolutionary(
@@ -474,12 +540,16 @@ fn run_evolutionary(
     generations: usize,
     mutation_length: usize,
     seed: u64,
-) -> Vec<Move> {
+    cancel: &CancelToken,
+) -> (Vec<Move>, bool) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut best_sequence: Vec<usize> = Vec::new();
     let mut best_runtime = game.initial_runtime_us();
     let mut best_trace = Vec::new();
     for _ in 0..generations {
+        if cancel.is_cancelled() {
+            return (best_trace, true);
+        }
         // Mutate: replay the best sequence, then append random legal moves.
         let _ = game.reset();
         let mut candidate = Vec::new();
@@ -509,7 +579,7 @@ fn run_evolutionary(
             best_trace = game.trace().to_vec();
         }
     }
-    best_trace
+    (best_trace, false)
 }
 
 /// Per-strategy speedups on one kernel, used by the search-strategy ablation

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use gpusim::MeasureOptions;
 use kernels::{CompiledKernel, ConfigSpace, KernelSpec};
-use rl::{CheckpointError, Env, PpoTrainer};
+use rl::{CancelToken, CheckpointError, Env, PpoTrainer};
 use sass::{Cubin, Program};
 
 use crate::game::AssemblyGame;
@@ -138,8 +138,28 @@ impl SearchSession {
     ///
     /// Returns [`CheckpointError`] when writing the checkpoint fails.
     pub fn step(&mut self, max_updates: usize) -> Result<bool, CheckpointError> {
+        self.step_until(max_updates, &CancelToken::new())
+    }
+
+    /// [`SearchSession::step`] with cooperative preemption: the token is
+    /// polled at every PPO update boundary, so a fired deadline or drain
+    /// signal stops training within one update and the checkpoint written
+    /// here still resumes bit-identically. After a preempted step, either
+    /// re-open the session later (warm restart) or take the degraded
+    /// best-so-far answer with [`SearchSession::finish_preempted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when writing the checkpoint fails.
+    pub fn step_until(
+        &mut self,
+        max_updates: usize,
+        cancel: &CancelToken,
+    ) -> Result<bool, CheckpointError> {
         let start = std::time::Instant::now();
-        let finished = self.trainer.train_updates(&mut self.game, max_updates);
+        let finished = self
+            .trainer
+            .train_updates_until(&mut self.game, max_updates, cancel);
         self.search_ms += duration_ms(start.elapsed());
         if !finished {
             self.trainer
@@ -175,6 +195,29 @@ impl SearchSession {
         self.optimizer.store(&report);
         let _ = std::fs::remove_file(&self.checkpoint_path);
         (report, cubin, telemetry)
+    }
+
+    /// Finalizes a *preempted* session into a degraded best-so-far answer:
+    /// runs the greedy inference pass and probabilistic verification on the
+    /// partially-trained policy and returns the report and telemetry —
+    /// without driving training to completion, without storing the report in
+    /// the deploy cache (it is not the converged answer) and without
+    /// removing the checkpoint file, so a later request for the same kernel
+    /// resumes the training run exactly where it stopped and converges to
+    /// the byte-identical full answer.
+    #[must_use = "the degraded report is the client's answer"]
+    pub fn finish_preempted(mut self) -> (OptimizationReport, KernelTelemetry) {
+        let start = std::time::Instant::now();
+        let moves = inference_trace(&mut self.game, self.trainer.policy());
+        self.search_ms += duration_ms(start.elapsed());
+        let (report, verify_ms) = finalize_search(&self.compiled.name, &self.game, moves);
+        let training = Some(TrainingTelemetry::from_stats(self.trainer.stats()));
+        let mut telemetry =
+            search_telemetry(&report, &self.game, training, self.search_ms, verify_ms);
+        telemetry.phases.autotune_ms = self.autotune_ms;
+        telemetry.phases.compile_ms = self.compile_ms;
+        telemetry.phases.total_ms = self.autotune_ms + self.compile_ms + self.search_ms + verify_ms;
+        (report, telemetry)
     }
 }
 
@@ -245,6 +288,62 @@ mod tests {
         }
         assert!(rounds > 1, "the schedule must span several boundaries");
         assert!(!path.exists(), "finish() must clean up the checkpoint");
+    }
+
+    #[test]
+    fn preempted_session_degrades_then_resumes_to_the_full_answer() {
+        let (spec, space, tune, optimizer) = tiny_setup();
+        let (control, _cubin, _telemetry) =
+            optimizer.optimize_spec_instrumented(&spec, &space, &tune);
+
+        let path = temp_ckpt("preempt");
+        let _ = std::fs::remove_file(&path);
+        let cache_dir = std::env::temp_dir().join(format!(
+            "cuasmrl-session-preempt-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let optimizer = optimizer.with_cache_dir(&cache_dir);
+
+        // Run one update, then a fired token preempts the session.
+        let mut session =
+            SearchSession::new(optimizer.clone(), &spec, &space, &tune, &path).expect("open");
+        assert!(!session.step(1).expect("step"));
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(!session.step_until(usize::MAX, &fired).expect("step"));
+        let updates_at_preemption = session.completed_updates();
+        assert!(updates_at_preemption < session.total_updates());
+        let (degraded, _telemetry) = session.finish_preempted();
+        // The degraded answer is still a valid verified schedule…
+        assert!(degraded.verified);
+        assert!(degraded.speedup >= 1.0);
+        // …and the checkpoint survives for the warm restart.
+        assert!(path.exists(), "preemption must keep the checkpoint");
+        assert!(
+            optimizer.lookup(&degraded.kernel).is_none(),
+            "a degraded report must not enter the deploy cache"
+        );
+
+        // Re-asking resumes from the checkpoint and converges to the
+        // byte-identical full answer.
+        let mut session =
+            SearchSession::new(optimizer.clone(), &spec, &space, &tune, &path).expect("reopen");
+        assert!(session.resumed());
+        assert_eq!(session.completed_updates(), updates_at_preemption);
+        while !session.step(1).expect("step") {}
+        let (report, _cubin, _telemetry) = session.finish();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&control).unwrap(),
+            "resumed run must match the uninterrupted one"
+        );
+        assert!(!path.exists());
+        assert!(
+            optimizer.lookup(&report.kernel).is_some(),
+            "the converged answer does enter the deploy cache"
+        );
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
 
     #[test]

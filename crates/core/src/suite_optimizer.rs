@@ -247,6 +247,26 @@ impl SuiteOptimizer {
         optimizer
     }
 
+    /// Runs the full hierarchical search for one spec under a cancel token —
+    /// the serving path's preemptible entry point. Equivalent to
+    /// [`SuiteOptimizer::optimizer_for`] followed by
+    /// [`CuAsmRl::optimize_spec_instrumented_with`] on the suite's
+    /// per-kernel space and tune options; the returned flag says whether the
+    /// search was preempted (see the optimizer method for the semantics of a
+    /// preempted, degraded report).
+    #[must_use = "the flag says whether the report is a degraded partial answer"]
+    pub fn optimize_spec_preemptible(
+        &self,
+        spec: &KernelSpec,
+        cancel: &rl::CancelToken,
+    ) -> (OptimizationReport, KernelTelemetry, bool) {
+        let optimizer = self.optimizer_for(spec);
+        let space = self.config_space_for(spec);
+        let (report, _cubin, telemetry, preempted) =
+            optimizer.optimize_spec_instrumented_with(spec, &space, self.tune_options(), cancel);
+        (report, telemetry, preempted)
+    }
+
     /// Optimizes the default `table2` workload suite (the paper's Table-2
     /// kernels) at problem scale `1/scale`.
     #[must_use]

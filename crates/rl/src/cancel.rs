@@ -1,0 +1,145 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] carries three independent stop signals — an explicit
+//! [`CancelToken::cancel`] call, any number of *linked* parent flags (a
+//! server-wide drain switch), and an optional wall-clock deadline — folded
+//! into one [`CancelToken::is_cancelled`] check that training and search
+//! loops poll at their natural boundaries (a PPO update, a greedy move, an
+//! evolutionary generation).
+//!
+//! Cancellation is cooperative and *boundary-aligned* by construction: a
+//! loop only observes the token between units of work, so a cancelled
+//! trainer is always at an update boundary — exactly where a checkpoint is
+//! valid. That is what turns preemption into graceful degradation: the
+//! interrupted search can persist its progress and report its
+//! best-so-far answer instead of being killed mid-update.
+//!
+//! Tokens are cheap to clone (clones share the same flags) and compose:
+//! [`CancelToken::child`] derives a request-scoped token that observes its
+//! parent's signals plus its own, so one drain switch preempts every
+//! in-flight request while each request can still be cancelled or
+//! deadlined individually.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A composable stop signal (see the module docs). The default token is
+/// never cancelled until [`CancelToken::cancel`] is called.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    /// This token's own flag; [`CancelToken::cancel`] sets it.
+    own: Arc<AtomicBool>,
+    /// Flags inherited from parent tokens; any of them firing cancels this
+    /// token too.
+    linked: Vec<Arc<AtomicBool>>,
+    /// Optional wall-clock deadline; the token reads as cancelled once the
+    /// deadline has passed.
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Attaches a wall-clock deadline. When the token already carries one,
+    /// the *earlier* of the two wins — deadlines only ever tighten.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> CancelToken {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Derives a child token: it observes every signal of `self` (explicit
+    /// cancels, linked flags, the deadline) plus a fresh flag of its own,
+    /// so cancelling the child never cancels the parent.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        let mut linked = Vec::with_capacity(self.linked.len() + 1);
+        linked.push(Arc::clone(&self.own));
+        linked.extend(self.linked.iter().cloned());
+        CancelToken {
+            own: Arc::new(AtomicBool::new(false)),
+            linked,
+            deadline: self.deadline,
+        }
+    }
+
+    /// Fires this token's own flag: every clone (and every child derived
+    /// from it) reads as cancelled from now on.
+    pub fn cancel(&self) {
+        self.own.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether any stop signal has fired: an explicit cancel on this token
+    /// or a linked parent, or an expired deadline.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.own.load(Ordering::SeqCst) {
+            return true;
+        }
+        if self.linked.iter().any(|flag| flag.load(Ordering::SeqCst)) {
+            return true;
+        }
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// The wall-clock deadline, if one is attached.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_reaches_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn a_child_observes_its_parent_but_not_vice_versa() {
+        let drain = CancelToken::new();
+        let request = drain.child();
+        assert!(!request.is_cancelled());
+        request.cancel();
+        assert!(request.is_cancelled());
+        assert!(!drain.is_cancelled(), "child cancel must not leak upward");
+
+        let second = drain.child();
+        drain.cancel();
+        assert!(second.is_cancelled(), "parent cancel reaches children");
+    }
+
+    #[test]
+    fn deadlines_fire_and_only_tighten() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let far = Instant::now() + Duration::from_secs(3600);
+        assert!(CancelToken::new().with_deadline(past).is_cancelled());
+        assert!(!CancelToken::new().with_deadline(far).is_cancelled());
+        // Re-applying a later deadline cannot loosen the earlier one.
+        let tightened = CancelToken::new().with_deadline(past).with_deadline(far);
+        assert!(tightened.is_cancelled());
+        // A child inherits the parent's deadline.
+        assert!(CancelToken::new()
+            .with_deadline(past)
+            .child()
+            .is_cancelled());
+    }
+}

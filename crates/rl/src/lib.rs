@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod cancel;
 mod checkpoint;
 mod env;
 mod policy;
@@ -52,6 +53,7 @@ mod ppo;
 mod vecenv;
 
 pub use buffer::{Advantages, RolloutBuffer, Segment, Transition};
+pub use cancel::CancelToken;
 pub use checkpoint::{
     Checkpoint, CheckpointError, EnvCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };

@@ -14,6 +14,7 @@ use nn::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::buffer::{Advantages, RolloutBuffer, Segment, Transition};
+use crate::cancel::CancelToken;
 use crate::checkpoint::{Checkpoint, CheckpointError, EnvCheckpoint};
 use crate::env::Env;
 use crate::policy::{ActorCritic, Sample, UpdateConfig};
@@ -237,8 +238,23 @@ impl PpoTrainer {
     /// checkpointing entry point: between calls the trainer is at an update
     /// boundary, and a checkpoint taken there resumes bit-identically.
     pub fn train_updates<E: Env>(&mut self, env: &mut E, max_updates: usize) -> bool {
+        self.train_updates_until(env, max_updates, &CancelToken::new())
+    }
+
+    /// [`PpoTrainer::train_updates`] with cooperative preemption: the token
+    /// is polled at every update boundary, and a fired token makes the loop
+    /// return early with the trainer still at a valid boundary — checkpoint
+    /// it and the run resumes bit-identically to one that was never
+    /// preempted. Updates are never abandoned mid-way; a cancel observed
+    /// during an update takes effect once that update completes.
+    pub fn train_updates_until<E: Env>(
+        &mut self,
+        env: &mut E,
+        max_updates: usize,
+        cancel: &CancelToken,
+    ) -> bool {
         let total_updates = self.total_updates();
-        if self.completed_updates >= total_updates || max_updates == 0 {
+        if self.completed_updates >= total_updates || max_updates == 0 || cancel.is_cancelled() {
             return self.completed_updates >= total_updates;
         }
         let mut observation = match self.pending_observation.take() {
@@ -246,7 +262,8 @@ impl PpoTrainer {
             None => env.reset(),
         };
         let mut ran = 0;
-        while self.completed_updates < total_updates && ran < max_updates {
+        while self.completed_updates < total_updates && ran < max_updates && !cancel.is_cancelled()
+        {
             self.anneal(self.completed_updates, total_updates);
             let mut buffer = RolloutBuffer::new();
             while buffer.len() < self.config.rollout_steps {
@@ -840,5 +857,35 @@ mod tests {
     #[test]
     fn final_return_handles_empty_history() {
         assert_eq!(TrainingStats::default().final_return(5), 0.0);
+    }
+
+    #[test]
+    fn a_cancelled_trainer_stays_at_a_boundary_and_resumes_identically() {
+        let config = PpoConfig {
+            total_steps: 256,
+            rollout_steps: 64,
+            ..PpoConfig::tiny()
+        };
+
+        let mut env = BanditEnv::new(8);
+        let mut uninterrupted = PpoTrainer::new(config.clone(), 3, 3);
+        let reference = uninterrupted.train(&mut env);
+
+        // A pre-fired token runs zero updates and leaves the trainer
+        // untouched.
+        let mut env = BanditEnv::new(8);
+        let mut trainer = PpoTrainer::new(config, 3, 3);
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(!trainer.train_updates_until(&mut env, usize::MAX, &fired));
+        assert_eq!(trainer.completed_updates(), 0);
+
+        // Preempt after one update, then finish: the spliced run matches the
+        // uninterrupted one bit for bit.
+        assert!(!trainer.train_updates_until(&mut env, 1, &CancelToken::new()));
+        assert_eq!(trainer.completed_updates(), 1);
+        assert!(trainer.train_updates_until(&mut env, usize::MAX, &CancelToken::new()));
+        assert_eq!(trainer.stats().episodic_returns, reference.episodic_returns);
+        assert_eq!(trainer.stats().approx_kl, reference.approx_kl);
     }
 }

@@ -1,12 +1,12 @@
 //! The `cuasmrld` daemon binary: parse flags, start the server, publish
-//! the bound address, and park until killed. See `docs/SERVICE.md` for the
-//! operations runbook.
+//! the bound address, and serve until a termination signal triggers a
+//! graceful drain. See `docs/SERVICE.md` for the operations runbook.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cuasmrl::Strategy;
-use cuasmrld::{Server, ServerConfig};
+use cuasmrld::{FaultPlan, Server, ServerConfig};
 use gpusim::MeasureOptions;
 
 const USAGE: &str = "\
@@ -23,8 +23,13 @@ OPTIONS:
   --seed N                 default base seed (default 0)
   --scale N                default paper-shape divisor (default 1)
   --checkpoint-updates N   PPO updates between checkpoints (default 1)
+  --fault-plan PATH        JSON fault-injection plan (chaos testing only)
   --fast                   fast simulation settings (CI smoke): scale 16,
                            zero-noise 2-repeat measurements, short episodes
+
+SIGTERM or SIGINT triggers a graceful drain: stop accepting, answer queued
+work Busy, preempt in-flight searches (checkpoints persist), flush
+telemetry, exit 0.
 ";
 
 fn parse(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
@@ -82,6 +87,12 @@ fn parse(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
                     .parse()
                     .map_err(|_| "--checkpoint-updates must be an integer".to_string())?;
             }
+            "--fault-plan" => {
+                let path = PathBuf::from(value("--fault-plan")?);
+                let plan = FaultPlan::from_file(&path)
+                    .map_err(|err| format!("--fault-plan {}: {err}", path.display()))?;
+                config.fault_plan = Some(plan);
+            }
             "--fast" => fast = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -136,9 +147,21 @@ fn main() -> ExitCode {
             eprintln!("cuasmrld: failed to write addr file {}", path.display());
         }
     }
-    // Serve until the process is killed; the store and RL checkpoints make
-    // the next start a warm restart.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(60));
+    // Serve until a termination signal, then drain: stop accepting, answer
+    // queued work Busy, preempt in-flight searches (their checkpoints
+    // persist), flush telemetry. The store and checkpoints make the next
+    // start a warm restart that completes the same answers byte-identically.
+    if !sigshim::install_term_flag() {
+        eprintln!("cuasmrld: no signal handler on this platform; drain only on kill");
     }
+    while !sigshim::term_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    eprintln!("cuasmrld: termination signal received; draining");
+    let stats = server.shutdown();
+    eprintln!(
+        "cuasmrld: drained (served {} requests, {} preempted, {} panics isolated)",
+        stats.requests, stats.preempted, stats.worker_panics
+    );
+    ExitCode::SUCCESS
 }

@@ -1,11 +1,56 @@
 //! A minimal blocking client for the `cuasmrld` wire protocol: one
-//! connection, one request frame, one response frame.
+//! connection, one request frame, one response frame. For fault-tolerant
+//! callers, [`Client::request_with_retry`] layers bounded, deterministic
+//! backoff over transient failures (`Busy`, `Internal`, connection
+//! errors) — the retry schedule is a pure function of the [`RetryPolicy`],
+//! so chaos tests can assert exactly how a healed request behaves.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, OptimizeRequest, OptimizeResponse};
+use crate::protocol::{
+    read_frame, write_frame, OptimizeRequest, OptimizeResponse, StatusRequest, StatusResult,
+};
+use crate::ErrorCode;
+
+/// A deterministic bounded-backoff retry schedule: attempt `n` (0-based)
+/// sleeps `min(base_delay << n, max_delay)` before retrying. No jitter —
+/// determinism is the point; the daemon's admission queue, not randomness,
+/// spreads load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Four attempts backing off 20 ms → 40 ms → 80 ms (capped at 500 ms) —
+    /// enough to ride out a worker respawn or a queue-full burst without
+    /// stretching test wall-clock.
+    #[must_use]
+    pub fn quick() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+
+    /// The backoff slept after a failed attempt `n` (0-based):
+    /// `min(base_delay * 2^n, max_delay)`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .map_or(self.max_delay, |delay| delay.min(self.max_delay))
+    }
+}
 
 /// A client bound to one daemon address. Connections are per-request (the
 /// protocol is one exchange per connection), so a `Client` is cheap to
@@ -82,5 +127,93 @@ impl Client {
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
         serde_json::from_str(&text)
             .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+
+    /// Sends a request, retrying transient failures — connection/IO errors,
+    /// `Busy` and `Internal` answers — under the policy's deterministic
+    /// bounded backoff. Definitive answers (`Ok`, `BadRequest`,
+    /// `UnsupportedVersion`, `DeadlineExceeded`) return immediately:
+    /// retrying them would change semantics, not heal anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last IO error when every attempt failed at the transport
+    /// level. A final `Busy`/`Internal` answer after exhausting the
+    /// attempts is returned as that typed response, not an error.
+    pub fn request_with_retry(
+        &self,
+        request: &OptimizeRequest,
+        policy: &RetryPolicy,
+    ) -> io::Result<OptimizeResponse> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match self.request(request) {
+                Ok(OptimizeResponse::Err(error))
+                    if matches!(error.code, ErrorCode::Busy | ErrorCode::Internal)
+                        && attempt + 1 < attempts =>
+                {
+                    last = Some(Ok(OptimizeResponse::Err(error)));
+                }
+                Ok(response) => return Ok(response),
+                Err(err) => {
+                    if attempt + 1 == attempts {
+                        return Err(err);
+                    }
+                    last = Some(Err(err));
+                }
+            }
+            std::thread::sleep(policy.backoff(attempt));
+        }
+        last.unwrap_or_else(|| {
+            Err(io::Error::other(
+                "retry policy allowed zero attempts".to_string(),
+            ))
+        })
+    }
+
+    /// Asks the daemon for its live counters (see
+    /// [`StatusRequest`]). Status probes are answered at admission, so this
+    /// works even when the daemon is saturated or draining.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error when the exchange fails, the response is not
+    /// valid JSON, or the daemon answers with a typed error.
+    pub fn status(&self) -> io::Result<StatusResult> {
+        let payload = serde_json::to_string(&StatusRequest::new())
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let raw = self.request_raw(payload.as_bytes())?;
+        let text = String::from_utf8(raw)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        let response: OptimizeResponse = serde_json::from_str(&text)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+        match response {
+            OptimizeResponse::Status(status) => Ok(status),
+            OptimizeResponse::Ok(_) => Err(io::Error::other(
+                "daemon answered a status probe with an optimize result".to_string(),
+            )),
+            OptimizeResponse::Err(error) => Err(io::Error::other(error.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(100),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(20));
+        assert_eq!(policy.backoff(1), Duration::from_millis(40));
+        assert_eq!(policy.backoff(2), Duration::from_millis(80));
+        assert_eq!(policy.backoff(3), Duration::from_millis(100));
+        assert_eq!(policy.backoff(31), Duration::from_millis(100));
+        assert_eq!(policy.backoff(32), Duration::from_millis(100));
     }
 }

@@ -1,0 +1,185 @@
+//! Deterministic fault injection for chaos testing the daemon.
+//!
+//! A [`FaultPlan`] maps *request ordinals* (the daemon's running count of
+//! well-formed optimize requests, starting at 0) to injected [`FaultKind`]s.
+//! Keying on ordinals instead of wall clock or randomness-at-injection-time
+//! makes every chaos run reproducible: the same plan against the same
+//! request sequence fires the same faults at the same requests, so a test
+//! can assert the exact typed error — or the exact healed answer — each
+//! fault produces. Plans can be written out explicitly, derived from a seed
+//! with [`FaultPlan::seeded`] (splitmix64, the repo's standard seed
+//! derivation), or loaded from a JSON file for the `--fault-plan` daemon
+//! flag.
+//!
+//! Injection is config-gated: a daemon without a plan has zero fault-path
+//! code active, and the plan lives in [`crate::ServerConfig`], never in the
+//! wire protocol — clients cannot inject faults.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The schedule-store lookup for this request fails as if the disk read
+    /// errored. The daemon treats it as a miss and recomputes (heal by
+    /// recompute).
+    StoreReadError,
+    /// The schedule-store lookup for this request fails as if the entry
+    /// were corrupt JSON. Same recovery: recompute and overwrite.
+    StoreCorrupt,
+    /// The worker handling this request panics mid-job. The panic is
+    /// isolated, the client gets a typed `Internal` error, and the pool
+    /// survives (heal by retry).
+    WorkerPanic,
+    /// The worker stalls this long before starting the search — long enough
+    /// for a request deadline to expire, forcing the preemption path.
+    SlowWorker {
+        /// Stall duration in milliseconds.
+        stall_ms: u64,
+    },
+}
+
+/// A fault scheduled at one request ordinal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// 0-based index into the daemon's sequence of well-formed optimize
+    /// requests.
+    pub ordinal: u64,
+    /// What goes wrong for that request.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults. Ordinals may repeat; the first match wins.
+    pub faults: Vec<InjectedFault>,
+}
+
+/// splitmix64 — the repo's standard cheap seed-derivation hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with an explicit fault list.
+    #[must_use]
+    pub fn new(faults: Vec<InjectedFault>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// Derives `count` faults over the first `span` request ordinals from a
+    /// seed: ordinal and kind both come out of the splitmix64 stream, so the
+    /// same seed always produces the same plan. Stalls are kept short
+    /// (≤ 200 ms) so seeded plans stay usable in smoke tests.
+    #[must_use]
+    pub fn seeded(seed: u64, count: usize, span: u64) -> FaultPlan {
+        let span = span.max(1);
+        let faults = (0..count as u64)
+            .map(|i| {
+                let ordinal = splitmix64(seed ^ splitmix64(i)) % span;
+                let roll = splitmix64(seed.wrapping_add(i).wrapping_mul(0x9E37)) % 4;
+                let kind = match roll {
+                    0 => FaultKind::StoreReadError,
+                    1 => FaultKind::StoreCorrupt,
+                    2 => FaultKind::WorkerPanic,
+                    _ => FaultKind::SlowWorker {
+                        stall_ms: 50 + splitmix64(seed ^ (i << 8)) % 151,
+                    },
+                };
+                InjectedFault { ordinal, kind }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Loads a plan from a JSON file (the `--fault-plan` daemon flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns the read error, or `InvalidData` when the JSON does not
+    /// decode as a plan.
+    pub fn from_file(path: &Path) -> std::io::Result<FaultPlan> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))
+    }
+
+    /// The fault scheduled at `ordinal`, if any (first match wins).
+    #[must_use]
+    pub fn fault_at(&self, ordinal: u64) -> Option<&FaultKind> {
+        self.faults
+            .iter()
+            .find(|fault| fault.ordinal == ordinal)
+            .map(|fault| &fault.kind)
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan::new(vec![
+            InjectedFault {
+                ordinal: 0,
+                kind: FaultKind::StoreReadError,
+            },
+            InjectedFault {
+                ordinal: 3,
+                kind: FaultKind::SlowWorker { stall_ms: 120 },
+            },
+        ]);
+        let json = serde_json::to_string(&plan).unwrap();
+        let decoded: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(decoded, plan);
+        assert_eq!(plan.fault_at(0), Some(&FaultKind::StoreReadError));
+        assert_eq!(
+            plan.fault_at(3),
+            Some(&FaultKind::SlowWorker { stall_ms: 120 })
+        );
+        assert_eq!(plan.fault_at(1), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::seeded(7, 8, 16);
+        let b = FaultPlan::seeded(7, 8, 16);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, FaultPlan::seeded(8, 8, 16), "different seed differs");
+        assert_eq!(a.faults.len(), 8);
+        for fault in &a.faults {
+            assert!(fault.ordinal < 16);
+            if let FaultKind::SlowWorker { stall_ms } = fault.kind {
+                assert!((50..=200).contains(&stall_ms));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_files_round_trip_and_reject_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cuasmrld-fault-plan-{}.json", std::process::id()));
+        let plan = FaultPlan::seeded(3, 4, 8);
+        std::fs::write(&path, serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(FaultPlan::from_file(&path).unwrap(), plan);
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(
+            FaultPlan::from_file(&path).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,9 +14,12 @@
 //! - [`protocol`] — framing, request/response schemas, canonicalization,
 //!   the error taxonomy ([`ErrorCode`]).
 //! - [`store`] — the versioned, atomically-written schedule store.
-//! - [`server`] — acceptor, admission control, worker pool, telemetry.
-//! - [`client`] — a minimal blocking client.
+//! - [`server`] — acceptor, admission control, worker pool, preemption,
+//!   panic isolation, graceful drain, telemetry.
+//! - [`client`] — a minimal blocking client with deterministic retry.
 //! - [`load`] — the deterministic load generator (`cuasmrld-bench`).
+//! - [`fault`] — deterministic, config-gated fault injection for the chaos
+//!   suite.
 //!
 //! `docs/SERVICE.md` is the service book: wire format, schemas, admission
 //! semantics, on-disk layout, warm-restart procedure and the operations
@@ -39,16 +42,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod load;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use fault::{FaultKind, FaultPlan, InjectedFault};
 pub use load::{run_load, LoadReport, LoadSpec};
 pub use protocol::{
     read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
-    OptimizeResult, RequestDefaults, RequestKey, ServiceError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    OptimizeResult, RequestDefaults, RequestKey, ServiceError, StatusRequest, StatusResult,
+    MAX_DEADLINE_MS, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServiceStats, SERVICE_SUITE_LABEL};
 pub use store::{ScheduleStore, StoreEntry, StoreError, StoreStats, STORE_SCHEMA_VERSION};

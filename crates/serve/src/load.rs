@@ -210,7 +210,7 @@ fn send_with_retry(client: &Client, request: &OptimizeRequest, busy_retries: usi
                 }
                 std::thread::sleep(Duration::from_millis(20));
             }
-            Ok(OptimizeResponse::Err(_)) => return Outcome::Error,
+            Ok(OptimizeResponse::Err(_) | OptimizeResponse::Status(_)) => return Outcome::Error,
             Err(_) => return Outcome::Io,
         }
     }

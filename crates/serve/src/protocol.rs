@@ -18,12 +18,21 @@ use cuasmrl::OptimizationReport;
 use kernels::{KernelSpec, ProblemShape};
 use serde::{Deserialize, Serialize};
 
+use crate::server::ServiceStats;
+use crate::store::StoreStats;
+
 /// Version of the request/response JSON schema (see `docs/SERVICE.md`).
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Upper bound on a frame's payload, enforced on both read and write so a
 /// malformed length prefix can never trigger a giant allocation.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Upper bound on a request's `deadline_ms` (24 hours). Anything above it
+/// is a typo or an overflow probe, not a schedule budget — rejected with
+/// [`ErrorCode::BadRequest`] at decode so `u64::MAX`-style arithmetic never
+/// reaches a worker.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
 
 /// A kernel-optimization request.
 ///
@@ -52,9 +61,12 @@ pub struct OptimizeRequest {
     pub seed: Option<u64>,
     /// Deadline budget in milliseconds, measured from admission. A request
     /// still queued when its deadline expires is answered with
-    /// [`ErrorCode::DeadlineExceeded`] instead of being computed. `0` means
+    /// [`ErrorCode::DeadlineExceeded`] instead of being computed; one
+    /// already running when it expires is preempted at the next search
+    /// boundary and answered with a degraded best-so-far result. `0` means
     /// "already expired" (admission-control probe); absent means no
-    /// deadline.
+    /// deadline. Values above [`MAX_DEADLINE_MS`] are rejected with
+    /// [`ErrorCode::BadRequest`].
     #[serde(default)]
     pub deadline_ms: Option<u64>,
 }
@@ -119,6 +131,16 @@ impl OptimizeRequest {
                     self.protocol_version, PROTOCOL_VERSION
                 ),
             });
+        }
+        if let Some(deadline_ms) = self.deadline_ms {
+            if deadline_ms > MAX_DEADLINE_MS {
+                return Err(ServiceError {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "deadline_ms {deadline_ms} exceeds the maximum of {MAX_DEADLINE_MS} (24h)"
+                    ),
+                });
+            }
         }
         let gpu = cuasmrl::cli::resolve_arch(&self.arch).map_err(ServiceError::bad_request)?;
         let kind = cuasmrl::cli::resolve_kernel(&self.kernel).map_err(ServiceError::bad_request)?;
@@ -206,10 +228,90 @@ pub struct OptimizeResult {
     /// Whether this answer came from the persistent schedule store rather
     /// than a fresh search.
     pub from_store: bool,
+    /// Whether the search was preempted (deadline or drain) before its
+    /// schedule completed: the report is the verified best-schedule-so-far,
+    /// not the converged answer. The training checkpoint is persisted, so
+    /// re-asking the same request later resumes the search and returns the
+    /// full answer. Added after v1 ships as `false` on old answers
+    /// (additive, `#[serde(default)]`).
+    #[serde(default)]
+    pub degraded: bool,
     /// The optimization report, bit-identical to what a direct
     /// [`cuasmrl::SuiteOptimizer`] run produces for the same canonical
-    /// request.
+    /// request (unless `degraded`).
     pub report: OptimizationReport,
+}
+
+/// A status probe: `{"protocol_version": 1, "query": "status"}`. Detected
+/// by its required `query` field (an optimize request has none), answered
+/// at admission without touching the queue — so it works even when the
+/// daemon is saturated or draining.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusRequest {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Must be `"status"` (room for future query kinds, additively).
+    pub query: String,
+}
+
+impl StatusRequest {
+    /// The status probe for the current protocol version.
+    #[must_use]
+    pub fn new() -> StatusRequest {
+        StatusRequest {
+            protocol_version: PROTOCOL_VERSION,
+            query: "status".to_string(),
+        }
+    }
+
+    /// Validates the probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorCode::UnsupportedVersion`] on a version mismatch and
+    /// [`ErrorCode::BadRequest`] on an unknown query kind.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.protocol_version != PROTOCOL_VERSION {
+            return Err(ServiceError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "protocol version {} is not supported (this server speaks {})",
+                    self.protocol_version, PROTOCOL_VERSION
+                ),
+            });
+        }
+        if self.query != "status" {
+            return Err(ServiceError {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown query kind {:?}", self.query),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for StatusRequest {
+    fn default() -> Self {
+        StatusRequest::new()
+    }
+}
+
+/// The answer to a [`StatusRequest`]: the daemon's live counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResult {
+    /// Echo of [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Aggregate request counters since startup.
+    pub stats: ServiceStats,
+    /// Schedule-store counters since startup.
+    pub store: StoreStats,
+    /// Configured worker-thread count.
+    pub workers: usize,
+    /// Configured admission-queue depth.
+    pub queue_capacity: usize,
+    /// Whether the daemon is draining (shutdown in progress: new work is
+    /// answered `Busy`, in-flight searches are being preempted).
+    pub draining: bool,
 }
 
 /// Error taxonomy of the service (see `docs/SERVICE.md`).
@@ -254,11 +356,14 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// One response frame: either a result or a typed error.
+/// One response frame: a result, a status answer, or a typed error.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum OptimizeResponse {
     /// The request was served.
     Ok(OptimizeResult),
+    /// The status probe's answer (additive: only ever sent in reply to a
+    /// [`StatusRequest`], so v1 optimize clients never see it).
+    Status(StatusResult),
     /// The request was rejected or failed; see the [`ErrorCode`].
     Err(ServiceError),
 }
@@ -374,6 +479,94 @@ mod tests {
             degenerate.canonicalize(&defaults()).unwrap_err().code,
             ErrorCode::BadRequest
         );
+    }
+
+    #[test]
+    fn absurd_deadlines_are_rejected_at_decode() {
+        let mut request = OptimizeRequest::table2("softmax", "ampere");
+        request.deadline_ms = Some(MAX_DEADLINE_MS);
+        assert!(request.canonicalize(&defaults()).is_ok());
+        request.deadline_ms = Some(MAX_DEADLINE_MS + 1);
+        let err = request.canonicalize(&defaults()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("deadline_ms"));
+        request.deadline_ms = Some(u64::MAX);
+        assert_eq!(
+            request.canonicalize(&defaults()).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        // Zero stays legal: it is the admission-control probe.
+        request.deadline_ms = Some(0);
+        assert!(request.canonicalize(&defaults()).is_ok());
+    }
+
+    #[test]
+    fn every_error_code_round_trips_through_the_wire_form() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Busy,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+        ] {
+            let error = ServiceError {
+                code,
+                message: format!("probe for {code:?}"),
+            };
+            let json = serde_json::to_string(&OptimizeResponse::Err(error.clone())).unwrap();
+            let decoded: OptimizeResponse = serde_json::from_str(&json).unwrap();
+            let OptimizeResponse::Err(back) = decoded else {
+                panic!("expected an error response, got {json}");
+            };
+            assert_eq!(back, error);
+        }
+    }
+
+    #[test]
+    fn status_requests_are_distinguishable_from_optimize_requests() {
+        // The status probe decodes as a StatusRequest but not as an
+        // OptimizeRequest, and vice versa — `query` is the discriminant.
+        let probe = serde_json::to_string(&StatusRequest::new()).unwrap();
+        let decoded: StatusRequest = serde_json::from_str(&probe).unwrap();
+        assert!(decoded.validate().is_ok());
+        assert!(serde_json::from_str::<OptimizeRequest>(&probe).is_err());
+
+        let optimize = serde_json::to_string(&OptimizeRequest::table2("bmm", "ampere")).unwrap();
+        assert!(serde_json::from_str::<StatusRequest>(&optimize).is_err());
+
+        let mut stale = StatusRequest::new();
+        stale.protocol_version = 99;
+        assert_eq!(
+            stale.validate().unwrap_err().code,
+            ErrorCode::UnsupportedVersion
+        );
+        let mut unknown = StatusRequest::new();
+        unknown.query = "metrics".to_string();
+        assert_eq!(unknown.validate().unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn degraded_defaults_to_false_on_pre_preemption_answers() {
+        // A v1 answer written before the `degraded` field existed must still
+        // decode (additive change).
+        let json = r#"{
+            "protocol_version": 1,
+            "arch": "ampere",
+            "kernel": "softmax",
+            "request_key": "00000000deadbeef",
+            "from_store": true,
+            "report": {
+                "kernel": "softmax",
+                "baseline_us": 10.0,
+                "optimized_us": 10.0,
+                "speedup": 1.0,
+                "verified": true,
+                "optimized_listing": "",
+                "moves": []
+            }
+        }"#;
+        let result: OptimizeResult = serde_json::from_str(json).unwrap();
+        assert!(!result.degraded);
     }
 
     #[test]

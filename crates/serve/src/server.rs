@@ -2,29 +2,43 @@
 //! worker pool multiplexing kernel-optimization requests over the
 //! [`SuiteOptimizer`] machinery.
 //!
-//! Request lifecycle: the acceptor reads one frame, validates and
-//! canonicalizes it, and answers straight from the [`ScheduleStore`] when
-//! the canonical request was served before — repeat traffic never touches
-//! the queue. A store miss is admitted into a bounded queue
-//! ([`ServerConfig::queue_capacity`]); when the queue is full the request
-//! is rejected immediately with a typed `Busy` error (backpressure, not
-//! buffering). Workers dequeue, re-check the deadline and the store, run
-//! the search — through a checkpointing [`SearchSession`] for RL
-//! strategies, so a killed daemon warm-restarts mid-training — persist the
-//! entry, and reply.
+//! Request lifecycle: the acceptor hands each connection to a short-lived
+//! reader thread that reads one frame, validates and canonicalizes it, and
+//! answers straight from the [`ScheduleStore`] when the canonical request
+//! was served before — repeat traffic never touches the queue. A store miss
+//! is admitted into a bounded queue ([`ServerConfig::queue_capacity`]);
+//! when the queue is full the request is rejected immediately with a typed
+//! `Busy` error (backpressure, not buffering). Workers dequeue, re-check
+//! the deadline and the store, run the search — through a checkpointing
+//! [`SearchSession`] for RL strategies, so a killed daemon warm-restarts
+//! mid-training — persist the entry, and reply.
 //!
-//! Determinism contract (serving path): the report inside a response is
-//! bit-identical to a direct [`SuiteOptimizer::optimizer_for`] run for the
-//! same canonical request, and two identical requests against the same
-//! store state produce byte-identical response frames. Wall-clock exists
-//! only in the telemetry manifest, never in a response.
+//! Fault tolerance: every in-flight search carries a [`CancelToken`] tied
+//! to its deadline and the server-wide drain signal, polled at search
+//! boundaries — a request that outlives its deadline is answered with a
+//! typed *degraded* best-so-far result (checkpoint persisted, so re-asking
+//! resumes and converges to the full answer). Worker job execution is
+//! wrapped in `catch_unwind`: a panic is isolated, counted, answered as a
+//! sanitized `Internal` error, and the pool survives. [`Server::shutdown`]
+//! drains gracefully — stop accepting, answer queued work `Busy`, preempt
+//! in-flight searches, flush telemetry. A config-gated
+//! [`FaultPlan`] injects store failures, panics and
+//! stalls at chosen request ordinals so the chaos suite can prove all of
+//! this deterministically.
+//!
+//! Determinism contract (serving path): the report inside a non-degraded
+//! response is bit-identical to a direct [`SuiteOptimizer::optimizer_for`]
+//! run for the same canonical request, and two identical requests against
+//! the same store state produce byte-identical response frames. Wall-clock
+//! exists only in the telemetry manifest, never in a response.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use cuasmrl::{
@@ -33,10 +47,14 @@ use cuasmrl::{
 };
 use gpusim::MeasureOptions;
 use kernels::KernelSpec;
+use rl::CancelToken;
+use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::protocol::{
     read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
-    OptimizeResult, RequestDefaults, RequestKey, ServiceError, PROTOCOL_VERSION,
+    OptimizeResult, RequestDefaults, RequestKey, ServiceError, StatusRequest, StatusResult,
+    PROTOCOL_VERSION,
 };
 use crate::store::{ScheduleStore, StoreEntry, StoreStats, STORE_SCHEMA_VERSION};
 
@@ -65,12 +83,16 @@ pub struct ServerConfig {
     /// Default paper-shape scale divisor when a request names none.
     pub scale: usize,
     /// PPO updates per [`SearchSession`] step between checkpoints (RL
-    /// strategies only).
+    /// strategies only). Also the preemption granularity: deadlines and
+    /// drain signals are observed between steps.
     pub checkpoint_updates: usize,
     /// Measurement protocol used while autotuning.
     pub tune_options: MeasureOptions,
     /// Assembly-game configuration.
     pub game_config: cuasmrl::GameConfig,
+    /// Deterministic fault injection for chaos testing; `None` (the
+    /// default) leaves every fault path inactive.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServerConfig {
@@ -89,6 +111,7 @@ impl ServerConfig {
             checkpoint_updates: 1,
             tune_options: MeasureOptions::default(),
             game_config: cuasmrl::GameConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -114,22 +137,34 @@ impl ServerConfig {
     }
 }
 
-/// Aggregate request counters of a running daemon.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Aggregate request counters of a running daemon, also served over the
+/// wire in a [`StatusResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Frames that parsed into a well-formed request.
+    /// Frames that parsed into a well-formed optimize request.
     pub requests: u64,
     /// Requests answered from the schedule store.
     pub store_hits: u64,
-    /// Requests that ran a fresh search.
+    /// Requests that ran a fresh search to completion.
     pub computed: u64,
-    /// Requests rejected by admission control (`Busy`).
+    /// Requests rejected by admission control (`Busy`), including queued
+    /// work answered `Busy` during a drain.
     pub busy: u64,
     /// Requests rejected before admission (`BadRequest` /
     /// `UnsupportedVersion`).
     pub rejected: u64,
-    /// Requests whose deadline expired while queued.
+    /// Requests whose deadline expired while still queued.
     pub deadline_expired: u64,
+    /// In-flight searches preempted by a deadline or drain signal.
+    pub preempted: u64,
+    /// Degraded (best-so-far) answers sent for preempted searches.
+    pub degraded: u64,
+    /// Worker panics isolated by `catch_unwind` (the pool survived each).
+    pub worker_panics: u64,
+    /// Status probes answered.
+    pub status_served: u64,
+    /// Faults injected by the configured [`FaultPlan`].
+    pub injected_faults: u64,
 }
 
 struct Job {
@@ -138,17 +173,43 @@ struct Job {
     key: RequestKey,
     deadline_ms: Option<u64>,
     admitted: Instant,
+    /// 0-based index in the daemon's sequence of well-formed optimize
+    /// requests — the [`FaultPlan`] key.
+    ordinal: u64,
 }
 
 struct Shared {
     config: ServerConfig,
     store: ScheduleStore,
     shutdown: AtomicBool,
+    /// The server-wide drain signal; every in-flight search holds a child
+    /// of this token.
+    drain: CancelToken,
     stats: Mutex<ServiceStats>,
     telemetry: Mutex<std::collections::HashMap<String, Vec<KernelTelemetry>>>,
 }
 
 impl Shared {
+    /// Stats access that survives a poisoned mutex: a worker panic between
+    /// lock and unlock must not take the counters (or any thread that reads
+    /// them) down with it — the counts themselves are always consistent
+    /// because each update is a single field increment.
+    fn lock_stats(&self) -> MutexGuard<'_, ServiceStats> {
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_telemetry(
+        &self,
+    ) -> MutexGuard<'_, std::collections::HashMap<String, Vec<KernelTelemetry>>> {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn draining(&self) -> bool {
+        self.drain.is_cancelled()
+    }
+
     fn respond(stream: &mut TcpStream, response: &OptimizeResponse) {
         if let Ok(payload) = serde_json::to_string(response) {
             let _ = write_frame(stream, payload.as_bytes());
@@ -173,29 +234,96 @@ impl Shared {
             kernel: entry.kernel.clone(),
             request_key: key.digest.clone(),
             from_store,
+            degraded: false,
             report: entry.report.clone(),
+        }
+    }
+
+    /// The live counters served to a [`StatusRequest`].
+    fn status(&self) -> StatusResult {
+        StatusResult {
+            protocol_version: PROTOCOL_VERSION,
+            stats: *self.lock_stats(),
+            store: self.store.stats(),
+            workers: self.config.workers,
+            queue_capacity: self.config.queue_capacity,
+            draining: self.draining(),
+        }
+    }
+
+    /// The fault scheduled for request `ordinal`, with the injection
+    /// counter bumped — `None` when no plan is configured or the plan has
+    /// nothing for this ordinal.
+    fn fault_for(&self, ordinal: u64) -> Option<FaultKind> {
+        let kind = self.config.fault_plan.as_ref()?.fault_at(ordinal)?.clone();
+        self.lock_stats().injected_faults += 1;
+        Some(kind)
+    }
+
+    /// Store lookup honoring injected store faults: a scheduled
+    /// `StoreReadError`/`StoreCorrupt` for this ordinal makes the lookup
+    /// fail exactly as a real disk error or corrupt entry would — the
+    /// caller recomputes, which is the recovery path either way.
+    fn store_get(&self, key: &RequestKey, fault: Option<&FaultKind>) -> Option<StoreEntry> {
+        match fault {
+            Some(FaultKind::StoreReadError) => {
+                eprintln!("cuasmrld: injected store read error for {}", key.digest);
+                return None;
+            }
+            Some(FaultKind::StoreCorrupt) => {
+                eprintln!("cuasmrld: injected corrupt store entry for {}", key.digest);
+                return None;
+            }
+            _ => {}
+        }
+        match self.store.get(key) {
+            Ok(entry) => entry,
+            Err(err) => {
+                // A damaged entry is a miss with a warning: the recompute
+                // overwrites the bad file, which is the recovery path.
+                eprintln!("cuasmrld: {err}; recomputing");
+                None
+            }
         }
     }
 
     /// Folds one kernel's telemetry into the per-device service manifest
     /// and persists it next to the store entries.
     fn record_telemetry(&self, gpu: &str, kernel: KernelTelemetry) {
-        let mut per_gpu = self.telemetry.lock().expect("telemetry mutex");
+        let mut per_gpu = self.lock_telemetry();
         let kernels = per_gpu.entry(gpu.to_string()).or_default();
         kernels.push(kernel);
+        let kernels = kernels.clone();
+        drop(per_gpu);
+        self.persist_manifest(gpu, &kernels);
+    }
+
+    fn persist_manifest(&self, gpu: &str, kernels: &[KernelTelemetry]) {
         let log_sum: f64 = kernels.iter().map(|k| k.speedup.max(1e-12).ln()).sum();
-        let geomean = (log_sum / kernels.len() as f64).exp();
+        let geomean = (log_sum / kernels.len().max(1) as f64).exp();
         let manifest = RunManifest::new(
             gpu,
             SERVICE_SUITE_LABEL,
             self.config.strategy.name(),
             self.config.seed,
             self.config.workers,
-            kernels.clone(),
+            kernels.to_vec(),
             geomean,
         );
         if let Err(err) = persist_run_manifest(&self.config.store_dir, &manifest) {
             eprintln!("cuasmrld: failed to persist telemetry manifest: {err}");
+        }
+    }
+
+    /// Re-persists every device's telemetry manifest — the drain-time flush
+    /// that guarantees nothing recorded is lost even if an earlier
+    /// incremental persist failed transiently.
+    fn flush_telemetry(&self) {
+        let per_gpu = self.lock_telemetry().clone();
+        for (gpu, kernels) in &per_gpu {
+            if !kernels.is_empty() {
+                self.persist_manifest(gpu, kernels);
+            }
         }
     }
 }
@@ -232,6 +360,7 @@ impl Server {
             config,
             store,
             shutdown: AtomicBool::new(false),
+            drain: CancelToken::new(),
             stats: Mutex::new(ServiceStats::default()),
             telemetry: Mutex::new(std::collections::HashMap::new()),
         });
@@ -261,14 +390,12 @@ impl Server {
         self.local_addr
     }
 
-    /// Current request counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stats mutex was poisoned by a panicking thread.
+    /// Current request counters. Never panics: the accessor recovers a
+    /// poisoned mutex (single-field increments keep the counters consistent
+    /// through any panic).
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        *self.shared.stats.lock().expect("stats mutex")
+        *self.shared.lock_stats()
     }
 
     /// Current store counters.
@@ -277,12 +404,16 @@ impl Server {
         self.shared.store.stats()
     }
 
-    /// Orderly stop: refuse new connections, let workers finish queued
-    /// jobs, join every thread. In-flight RL training is checkpointed at
-    /// the next update boundary by the session itself, so a subsequent
-    /// daemon warm-restarts from where this one stopped.
-    pub fn shutdown(mut self) {
+    /// Graceful drain: stop accepting, answer everything still queued with
+    /// `Busy`, preempt in-flight searches through the drain token (their
+    /// training checkpoints are persisted, and their clients receive typed
+    /// degraded best-so-far answers), flush the telemetry manifests, and
+    /// join every thread. A subsequent daemon on the same store directory
+    /// warm-restarts the preempted searches from their checkpoints.
+    /// Returns the final request counters.
+    pub fn shutdown(mut self) -> ServiceStats {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.drain.cancel();
         // Wake the acceptor out of accept() with a no-op connection.
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
         if let Some(acceptor) = self.acceptor.take() {
@@ -291,27 +422,44 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.shared.flush_telemetry();
+        *self.shared.lock_stats()
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<Job>) {
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job>) {
+    // One short-lived reader thread per connection: a client that stalls
+    // mid-frame (or never finishes its write) ties up only its own thread,
+    // never the acceptor — other requests keep flowing.
+    let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for connection in listener.incoming() {
+        readers.retain(|handle| !handle.is_finished());
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = connection else { continue };
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        admit(shared, stream, tx);
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || admit(&shared, stream, &tx)));
     }
-    // Dropping `tx` here closes the queue; workers drain and exit.
+    for handle in readers {
+        let _ = handle.join();
+    }
+    // Dropping the last `tx` clone here closes the queue; workers drain
+    // and exit.
 }
 
 /// Everything that happens to a connection before a worker sees it: frame
-/// read, parse, canonicalize, store lookup, admission control.
+/// read, parse, status probes, canonicalize, store lookup, admission
+/// control.
 fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
     let frame = match read_frame(&mut stream) {
         Ok(frame) => frame,
         Err(err) => {
+            // Covers truncated prefixes, half frames and oversized lengths:
+            // the reply is best-effort (the peer may already be gone) and
+            // the connection closes cleanly either way.
             Shared::respond_error(
                 &mut stream,
                 ErrorCode::BadRequest,
@@ -320,46 +468,76 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
             return;
         }
     };
-    let request: OptimizeRequest = match std::str::from_utf8(&frame)
-        .map_err(|err| err.to_string())
-        .and_then(|text| serde_json::from_str(text).map_err(|err| err.to_string()))
-    {
-        Ok(request) => request,
-        Err(detail) => {
+    let text = match std::str::from_utf8(&frame) {
+        Ok(text) => text,
+        Err(err) => {
             Shared::respond_error(
                 &mut stream,
                 ErrorCode::BadRequest,
-                format!("invalid request JSON: {detail}"),
+                format!("invalid request JSON: {err}"),
             );
             return;
         }
     };
-    shared.stats.lock().expect("stats mutex").requests += 1;
+    // Status probes are detected by their required `query` field, answered
+    // at admission and never queued — they work even under saturation or
+    // mid-drain.
+    if let Ok(status) = serde_json::from_str::<StatusRequest>(text) {
+        match status.validate() {
+            Ok(()) => {
+                shared.lock_stats().status_served += 1;
+                Shared::respond(&mut stream, &OptimizeResponse::Status(shared.status()));
+            }
+            Err(error) => {
+                shared.lock_stats().rejected += 1;
+                Shared::respond(&mut stream, &OptimizeResponse::Err(error));
+            }
+        }
+        return;
+    }
+    let request: OptimizeRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(err) => {
+            Shared::respond_error(
+                &mut stream,
+                ErrorCode::BadRequest,
+                format!("invalid request JSON: {err}"),
+            );
+            return;
+        }
+    };
+    let ordinal = {
+        let mut stats = shared.lock_stats();
+        stats.requests += 1;
+        stats.requests - 1
+    };
     let canonical = match request.canonicalize(&shared.config.defaults()) {
         Ok(canonical) => canonical,
         Err(error) => {
-            shared.stats.lock().expect("stats mutex").rejected += 1;
+            shared.lock_stats().rejected += 1;
             Shared::respond(&mut stream, &OptimizeResponse::Err(error));
             return;
         }
     };
     let key = RequestKey::of(&canonical);
-    match shared.store.get(&key) {
-        Ok(Some(entry)) => {
-            shared.stats.lock().expect("stats mutex").store_hits += 1;
-            shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
-            Shared::respond(
-                &mut stream,
-                &OptimizeResponse::Ok(Shared::result_from_entry(&key, &entry, true)),
-            );
-            return;
-        }
-        Ok(None) => {}
-        Err(err) => {
-            // A damaged entry is a miss with a warning: the recompute below
-            // overwrites the bad file, which is the recovery path.
-            eprintln!("cuasmrld: {err}; recomputing");
-        }
+    let fault = shared.fault_for(ordinal);
+    if let Some(entry) = shared.store_get(&key, fault.as_ref()) {
+        shared.lock_stats().store_hits += 1;
+        shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
+        Shared::respond(
+            &mut stream,
+            &OptimizeResponse::Ok(Shared::result_from_entry(&key, &entry, true)),
+        );
+        return;
+    }
+    if shared.draining() {
+        shared.lock_stats().busy += 1;
+        Shared::respond_error(
+            &mut stream,
+            ErrorCode::Busy,
+            "server is draining; retry after it restarts",
+        );
+        return;
     }
     let job = Job {
         stream,
@@ -367,11 +545,12 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
         key,
         deadline_ms: request.deadline_ms,
         admitted: Instant::now(),
+        ordinal,
     };
     match tx.try_send(job) {
         Ok(()) => {}
         Err(TrySendError::Full(mut job)) => {
-            shared.stats.lock().expect("stats mutex").busy += 1;
+            shared.lock_stats().busy += 1;
             Shared::respond_error(
                 &mut job.stream,
                 ErrorCode::Busy,
@@ -382,11 +561,8 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
             );
         }
         Err(TrySendError::Disconnected(mut job)) => {
-            Shared::respond_error(
-                &mut job.stream,
-                ErrorCode::Internal,
-                "server is shutting down",
-            );
+            shared.lock_stats().busy += 1;
+            Shared::respond_error(&mut job.stream, ErrorCode::Busy, "server is shutting down");
         }
     }
 }
@@ -394,56 +570,153 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
 fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
         let job = {
-            let guard = rx.lock().expect("queue mutex");
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
             guard.recv()
         };
-        let Ok(mut job) = job else { break };
-        if let Some(deadline_ms) = job.deadline_ms {
-            let waited = job.admitted.elapsed().as_millis() as u64;
-            if waited >= deadline_ms {
-                shared.stats.lock().expect("stats mutex").deadline_expired += 1;
-                Shared::respond_error(
-                    &mut job.stream,
-                    ErrorCode::DeadlineExceeded,
-                    format!("deadline of {deadline_ms} ms expired while queued"),
-                );
-                continue;
-            }
-        }
-        // Another worker may have computed the same canonical request while
-        // this one was queued: serve the stored answer.
-        if let Ok(Some(entry)) = shared.store.get(&job.key) {
-            shared.stats.lock().expect("stats mutex").store_hits += 1;
-            shared.record_telemetry(&job.canonical.gpu.name, store_hit_telemetry(&entry));
-            Shared::respond(
-                &mut job.stream,
-                &OptimizeResponse::Ok(Shared::result_from_entry(&job.key, &entry, true)),
+        let Ok(job) = job else { break };
+        let Job {
+            mut stream,
+            canonical,
+            key,
+            deadline_ms,
+            admitted,
+            ordinal,
+        } = job;
+        // Panic isolation: whatever `handle_job` does — including an
+        // injected panic — the worker thread survives, the client gets a
+        // sanitized typed error, and the pool keeps serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_job(
+                shared,
+                &mut stream,
+                &canonical,
+                &key,
+                deadline_ms,
+                admitted,
+                ordinal,
             );
-            continue;
+        }));
+        if outcome.is_err() {
+            shared.lock_stats().worker_panics += 1;
+            Shared::respond_error(
+                &mut stream,
+                ErrorCode::Internal,
+                "internal error: the worker handling this request failed and was recovered; \
+                 retrying is safe",
+            );
         }
-        match compute(shared, &job.canonical, &job.key) {
-            Ok((report, telemetry)) => {
-                let entry = StoreEntry {
-                    schema_version: STORE_SCHEMA_VERSION,
-                    canonical: job.key.canonical.clone(),
-                    arch: job.key.arch.clone(),
-                    kernel: job.key.kernel.clone(),
-                    seed: job.canonical.seed,
+    }
+}
+
+/// One dequeued job, start to reply. Runs inside the worker's
+/// `catch_unwind` boundary.
+fn handle_job(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    canonical: &CanonicalRequest,
+    key: &RequestKey,
+    deadline_ms: Option<u64>,
+    admitted: Instant,
+    ordinal: u64,
+) {
+    let fault = shared.fault_for(ordinal);
+    if let Some(FaultKind::WorkerPanic) = fault {
+        panic!("injected worker panic (request ordinal {ordinal})");
+    }
+    if shared.draining() {
+        // Drain: everything still queued is answered Busy instead of being
+        // computed — the store keeps no half answers, the client retries
+        // against the restarted daemon.
+        shared.lock_stats().busy += 1;
+        Shared::respond_error(
+            stream,
+            ErrorCode::Busy,
+            "server is draining; retry after it restarts",
+        );
+        return;
+    }
+    if let Some(deadline_ms) = deadline_ms {
+        let waited = admitted.elapsed().as_millis() as u64;
+        if waited >= deadline_ms {
+            shared.lock_stats().deadline_expired += 1;
+            Shared::respond_error(
+                stream,
+                ErrorCode::DeadlineExceeded,
+                format!("deadline of {deadline_ms} ms expired while queued"),
+            );
+            return;
+        }
+    }
+    // Another worker may have computed the same canonical request while
+    // this one was queued: serve the stored answer.
+    if let Some(entry) = shared.store_get(key, fault.as_ref()) {
+        shared.lock_stats().store_hits += 1;
+        shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
+        Shared::respond(
+            stream,
+            &OptimizeResponse::Ok(Shared::result_from_entry(key, &entry, true)),
+        );
+        return;
+    }
+    // The per-job token: fires on the request deadline or the server-wide
+    // drain, whichever comes first.
+    let mut cancel = shared.drain.child();
+    if let Some(deadline_ms) = deadline_ms {
+        cancel = cancel.with_deadline(admitted + Duration::from_millis(deadline_ms));
+    }
+    if let Some(FaultKind::SlowWorker { stall_ms }) = fault {
+        // Injected stall, sliced so a fired token (deadline or drain) cuts
+        // it short — exactly like a real wedged measurement would resolve.
+        let stall_until = Instant::now() + Duration::from_millis(stall_ms);
+        while Instant::now() < stall_until && !cancel.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    match compute(shared, canonical, key, &cancel) {
+        Ok((report, telemetry, false)) => {
+            let entry = StoreEntry {
+                schema_version: STORE_SCHEMA_VERSION,
+                canonical: key.canonical.clone(),
+                arch: key.arch.clone(),
+                kernel: key.kernel.clone(),
+                seed: canonical.seed,
+                report,
+            };
+            if let Err(err) = shared.store.put(key, entry.clone()) {
+                eprintln!("cuasmrld: failed to persist store entry: {err}");
+            }
+            shared.lock_stats().computed += 1;
+            shared.record_telemetry(&canonical.gpu.name, telemetry);
+            Shared::respond(
+                stream,
+                &OptimizeResponse::Ok(Shared::result_from_entry(key, &entry, false)),
+            );
+        }
+        Ok((report, telemetry, true)) => {
+            // Preempted: the degraded best-so-far answer goes to the client
+            // but never into the schedule store — the persisted checkpoint
+            // is the artifact that survives, and a re-ask resumes from it.
+            {
+                let mut stats = shared.lock_stats();
+                stats.preempted += 1;
+                stats.degraded += 1;
+            }
+            shared.record_telemetry(&canonical.gpu.name, telemetry);
+            Shared::respond(
+                stream,
+                &OptimizeResponse::Ok(OptimizeResult {
+                    protocol_version: PROTOCOL_VERSION,
+                    arch: key.arch.clone(),
+                    kernel: key.kernel.clone(),
+                    request_key: key.digest.clone(),
+                    from_store: false,
+                    degraded: true,
                     report,
-                };
-                if let Err(err) = shared.store.put(&job.key, entry.clone()) {
-                    eprintln!("cuasmrld: failed to persist store entry: {err}");
-                }
-                shared.stats.lock().expect("stats mutex").computed += 1;
-                shared.record_telemetry(&job.canonical.gpu.name, telemetry);
-                Shared::respond(
-                    &mut job.stream,
-                    &OptimizeResponse::Ok(Shared::result_from_entry(&job.key, &entry, false)),
-                );
-            }
-            Err(message) => {
-                Shared::respond_error(&mut job.stream, ErrorCode::Internal, message);
-            }
+                }),
+            );
+        }
+        Err(message) => {
+            Shared::respond_error(stream, ErrorCode::Internal, message);
         }
     }
 }
@@ -463,15 +736,20 @@ fn store_hit_telemetry(entry: &StoreEntry) -> KernelTelemetry {
     }
 }
 
-/// Runs the search for one canonical request. RL strategies go through a
-/// checkpointing [`SearchSession`] keyed by the request (warm restart);
-/// everything else runs the one-shot instrumented path. Both paths produce
-/// reports bit-identical to a direct [`SuiteOptimizer::optimizer_for`] run.
+/// Runs the search for one canonical request under a cancel token. RL
+/// strategies go through a checkpointing [`SearchSession`] keyed by the
+/// request (warm restart); everything else runs the one-shot instrumented
+/// path. Both paths produce reports bit-identical to a direct
+/// [`SuiteOptimizer::optimizer_for`] run — unless the token preempts the
+/// search, in which case the returned flag is `true` and the report is the
+/// degraded best-so-far answer (for RL, with the training checkpoint left
+/// on disk for a later resume).
 fn compute(
     shared: &Shared,
     canonical: &CanonicalRequest,
     key: &RequestKey,
-) -> Result<(cuasmrl::OptimizationReport, KernelTelemetry), String> {
+    cancel: &CancelToken,
+) -> Result<(cuasmrl::OptimizationReport, KernelTelemetry, bool), String> {
     let suite = shared
         .config
         .suite_optimizer(canonical.gpu.clone(), canonical.seed);
@@ -479,9 +757,8 @@ fn compute(
     let spec: &KernelSpec = &canonical.spec;
     let space = suite.config_space_for(spec);
     if optimizer.rl_config().is_none() {
-        let (report, _cubin, telemetry) =
-            optimizer.optimize_spec_instrumented(spec, &space, suite.tune_options());
-        return Ok((report, telemetry));
+        let (report, telemetry, preempted) = suite.optimize_spec_preemptible(spec, cancel);
+        return Ok((report, telemetry, preempted));
     }
     let checkpoint = shared.store.checkpoint_path(key);
     let mut session = match SearchSession::new(
@@ -506,12 +783,18 @@ fn compute(
     };
     loop {
         let finished = session
-            .step(shared.config.checkpoint_updates.max(1))
+            .step_until(shared.config.checkpoint_updates.max(1), cancel)
             .map_err(|err| format!("training checkpoint failed: {err}"))?;
         if finished {
             break;
         }
+        if cancel.is_cancelled() {
+            // Preempted at an update boundary: the checkpoint written by
+            // `step_until` is on disk; answer with the best-so-far.
+            let (report, telemetry) = session.finish_preempted();
+            return Ok((report, telemetry, true));
+        }
     }
     let (report, _cubin, telemetry) = session.finish();
-    Ok((report, telemetry))
+    Ok((report, telemetry, false))
 }

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use cuasmrl::OptimizationReport;
 use serde::{Deserialize, Serialize};
@@ -106,6 +106,9 @@ pub struct StoreStats {
     pub entries_in_memory: usize,
     /// Undecodable entry files skipped when the store was opened.
     pub skipped_at_open: usize,
+    /// Orphaned temp files (from a crash mid-write) swept when the store
+    /// was opened.
+    pub tmp_swept: usize,
 }
 
 struct Inner {
@@ -143,11 +146,23 @@ pub struct ScheduleStore {
 }
 
 impl ScheduleStore {
+    /// Locks the inner state, recovering from poison: every mutation under
+    /// this mutex is a single complete insert/touch, so state is consistent
+    /// even if a panicking thread held the lock — a poisoned store must not
+    /// take the daemon's worker pool down with it.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Opens (creating if needed) the store rooted at `dir`, reloading up
     /// to `capacity` existing entries into memory. Entry files that fail to
     /// decode are skipped and counted in
     /// [`StoreStats::skipped_at_open`] — one damaged file never takes the
     /// store down; the entry is recomputed and overwritten on next demand.
+    /// Orphaned temp files left by a crash mid-[`ScheduleStore::put`] are
+    /// swept (they are by construction incomplete — the rename that
+    /// publishes an entry never happened) and counted in
+    /// [`StoreStats::tmp_swept`].
     ///
     /// # Errors
     ///
@@ -161,11 +176,23 @@ impl ScheduleStore {
             recency: VecDeque::new(),
             stats: StoreStats::default(),
         };
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(Result::ok)
-            .map(|entry| entry.path())
-            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
-            .collect();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for dir_entry in std::fs::read_dir(&dir)?.filter_map(Result::ok) {
+            let path = dir_entry.path();
+            let name = dir_entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') && name.contains(".tmp.") {
+                // A crash between write and rename left this orphan; no
+                // entry ever pointed at it, so removal is always safe.
+                if std::fs::remove_file(&path).is_ok() {
+                    inner.stats.tmp_swept += 1;
+                }
+                continue;
+            }
+            if path.extension().is_some_and(|ext| ext == "json") {
+                paths.push(path);
+            }
+        }
         paths.sort();
         for path in paths {
             if inner.entries.len() >= capacity.max(1) {
@@ -239,13 +266,9 @@ impl ScheduleStore {
     /// Propagates the typed decode error when the entry file exists but
     /// cannot be read — the caller decides whether to recompute (the
     /// daemon does, overwriting the damaged file).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex was poisoned by a panicking thread.
     pub fn get(&self, key: &RequestKey) -> Result<Option<StoreEntry>, StoreError> {
         let stem = key.file_stem();
-        let mut inner = self.inner.lock().expect("store mutex");
+        let mut inner = self.lock_inner();
         if let Some(entry) = inner.entries.get(&stem).cloned() {
             inner.stats.hits += 1;
             inner.touch(&stem);
@@ -276,10 +299,6 @@ impl ScheduleStore {
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] when the write or rename fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex was poisoned by a panicking thread.
     pub fn put(&self, key: &RequestKey, entry: StoreEntry) -> Result<(), StoreError> {
         let stem = key.file_stem();
         let final_path = self.entry_path(key);
@@ -290,19 +309,15 @@ impl ScheduleStore {
         })?;
         std::fs::write(&temp_path, text)?;
         std::fs::rename(&temp_path, &final_path)?;
-        let mut inner = self.inner.lock().expect("store mutex");
+        let mut inner = self.lock_inner();
         inner.insert(&stem, entry, self.capacity);
         Ok(())
     }
 
     /// Current effectiveness counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex was poisoned by a panicking thread.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().expect("store mutex").stats
+        self.lock_inner().stats
     }
 
     /// Number of entry files on disk (the durable set).
@@ -436,6 +451,31 @@ mod tests {
             before + 1,
             "second hit is in-memory"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_swept_at_open() {
+        let dir = temp_dir("sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_for("fused_ff", 5);
+        {
+            let store = ScheduleStore::open(&dir, 8).unwrap();
+            store.put(&key, entry_for(&key, 5)).unwrap();
+        }
+        // Plant the debris a crash between write and rename would leave
+        // (put()'s temp naming: `.{stem}.tmp.{pid}`).
+        let orphan = dir.join(format!(".{}.tmp.12345", key.file_stem()));
+        std::fs::write(&orphan, "{ half-written").unwrap();
+
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        assert_eq!(store.stats().tmp_swept, 1, "the orphan was counted");
+        assert!(!orphan.exists(), "the orphan was removed");
+        assert_eq!(store.stats().skipped_at_open, 0, "not counted as damage");
+        let entry = store.get(&key).unwrap().expect("real entry still loads");
+        assert_eq!(entry.kernel, "fused_ff");
+        // A clean reopen sweeps nothing.
+        assert_eq!(ScheduleStore::open(&dir, 8).unwrap().stats().tmp_swept, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

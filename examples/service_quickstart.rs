@@ -40,8 +40,14 @@ fn main() {
                 result.kernel, result.report.speedup, result.report.verified, result.from_store
             ),
             OptimizeResponse::Err(error) => println!("{attempt}: error {error}"),
+            OptimizeResponse::Status(_) => unreachable!("optimize requests never answer status"),
         }
     }
+    let status = client.status().expect("status probe");
+    println!(
+        "status probe: {} requests, {} computed, {} store hits, draining={}",
+        status.stats.requests, status.stats.computed, status.stats.store_hits, status.draining
+    );
     println!(
         "store entries on disk under {}: answers survive a daemon restart",
         store_dir.display()

@@ -46,6 +46,7 @@ fn expect_ok(response: OptimizeResponse) -> cuasmrld::OptimizeResult {
     match response {
         OptimizeResponse::Ok(result) => result,
         OptimizeResponse::Err(error) => panic!("expected Ok, got {error}"),
+        OptimizeResponse::Status(_) => panic!("expected Ok, got a status answer"),
     }
 }
 
@@ -55,6 +56,7 @@ fn expect_err(response: OptimizeResponse) -> cuasmrld::ServiceError {
             panic!("expected a typed error, got Ok for {}", result.kernel)
         }
         OptimizeResponse::Err(error) => error,
+        OptimizeResponse::Status(_) => panic!("expected a typed error, got a status answer"),
     }
 }
 
@@ -298,6 +300,47 @@ fn a_full_queue_answers_busy_and_an_expired_deadline_is_rejected_at_dequeue() {
     );
     assert_eq!(server.stats().deadline_expired, 1);
     assert_eq!(server.stats().computed, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_frame_disconnects_and_stalls_never_wedge_the_daemon() {
+    use std::io::Write as _;
+    let dir = temp_dir("midframe");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(fast_config(&dir)).expect("daemon starts");
+
+    // A connection that promises a payload, sends half of it, and vanishes.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(&100u32.to_be_bytes()).expect("prefix");
+        stream.write_all(b"{\"protocol_ver").expect("half frame");
+    }
+    // A connection that dies inside the 4-byte length prefix itself.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(&[0u8, 0]).expect("half prefix");
+    }
+    // A connection that never writes a byte.
+    drop(TcpStream::connect(server.local_addr()).expect("connect"));
+
+    // A connection that stalls mid-frame WITHOUT closing: it must tie up
+    // only its own reader thread — the request below completes long before
+    // the staller's read timeout expires.
+    let mut staller = TcpStream::connect(server.local_addr()).expect("connect");
+    staller.write_all(&64u32.to_be_bytes()).expect("prefix");
+    staller.write_all(b"{").expect("stalled frame");
+
+    let client = Client::new(server.local_addr()).with_timeout(Duration::from_secs(30));
+    let healthy = expect_ok(
+        client
+            .request(&OptimizeRequest::table2("softmax", "ampere"))
+            .expect("daemon healthy after mid-frame drops"),
+    );
+    assert!(!healthy.degraded);
+    assert!(healthy.report.verified);
+    drop(staller);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

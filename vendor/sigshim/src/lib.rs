@@ -1,0 +1,88 @@
+//! A minimal signal shim: latch `SIGTERM`/`SIGINT` into an atomic flag a
+//! daemon main loop can poll, with no libc crate dependency.
+//!
+//! The service crates (`rl`, `cuasmrl`, `cuasmrld`) all
+//! `#![forbid(unsafe_code)]`; the one place the daemon genuinely needs FFI —
+//! registering a signal handler for graceful drain — lives here instead,
+//! kept to the absolute minimum: the handler does nothing but a relaxed
+//! atomic store (the only thing that is async-signal-safe anyway), and the
+//! daemon polls [`term_requested`] at its own pace.
+//!
+//! On non-Unix targets [`install_term_flag`] is a no-op returning `false`,
+//! so callers degrade to "drain only on explicit shutdown request".
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    // `void (*signal(int, void (*)(int)))(int)` from the platform libc,
+    // which Rust binaries on Unix already link. The returned previous
+    // handler is only checked against SIG_ERR, so `usize` suffices.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn latch(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        let term = unsafe { signal(SIGTERM, latch) };
+        let int = unsafe { signal(SIGINT, latch) };
+        term != SIG_ERR && int != SIG_ERR
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handler that latches [`term_requested`].
+/// Returns whether installation succeeded (always `false` off Unix).
+/// Idempotent; call once at daemon start.
+pub fn install_term_flag() -> bool {
+    imp::install()
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_term_flag`]. Never resets — a drain, once requested, stays
+/// requested.
+#[must_use]
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn a_raised_sigterm_latches_the_flag() {
+        assert!(install_term_flag());
+        assert!(!term_requested());
+        // raise() delivers to the calling thread before returning, and the
+        // installed handler turns what would kill the process into a flag.
+        assert_eq!(unsafe { raise(15) }, 0);
+        assert!(term_requested());
+        assert!(term_requested(), "the latch never resets");
+    }
+}

@@ -22,8 +22,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bench::{
-    compare_reports, delta_sweep, iqr_ms, median_ms, suite_driver, ArchStalls, BenchCell,
-    BenchReport, BenchRunConfig, CompareTolerance, HarnessArgs, OpStall,
+    compare_reports, delta_sweep, edit_sweep, iqr_ms, median_ms, suite_driver, ArchStalls,
+    BenchCell, BenchReport, BenchRunConfig, CompareTolerance, HarnessArgs, OpStall,
     BENCH_REPORT_SCHEMA_VERSION, SMOKE_SCALE, STALL_TABLE_OPS,
 };
 use cuasmrl::dependency_based_stall;
@@ -173,6 +173,38 @@ fn run_mode(args: &[String]) -> ExitCode {
                 delta_spliced: sweep.spliced,
                 delta_resumed: sweep.resumed,
                 delta_fallbacks: sweep.fallbacks,
+            });
+            // Companion cell: the same suite swept through the *rich* edit
+            // set (block moves, reuse toggles, stall retunes, barrier
+            // edits). The wall-clock samples time the sweep itself — the
+            // multi-edit delta splice rate — and the tallies are gated by
+            // the same fallback ceiling as the swap sweep. The quality
+            // fields are fixed (nothing is optimized here), so old
+            // baselines without this cell still compare clean.
+            let mut edit_runs_ms = Vec::with_capacity(runs);
+            let mut edit_tallies = None;
+            for _ in 0..runs {
+                let start = Instant::now();
+                edit_tallies = Some(edit_sweep(&harness.gpu(), &workload, harness.scale));
+                edit_runs_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            let edit_tallies = edit_tallies.expect("runs >= 1");
+            eprintln!(
+                "{arch}/{suite}-edits sweep: {} spliced, {} resumed, {} fallbacks",
+                edit_tallies.spliced, edit_tallies.resumed, edit_tallies.fallbacks
+            );
+            cells.push(BenchCell {
+                arch: arch.clone(),
+                suite: format!("{suite}-edits"),
+                median_ms: median_ms(&edit_runs_ms),
+                iqr_ms: iqr_ms(&edit_runs_ms),
+                runs_ms: edit_runs_ms,
+                geomean_speedup: 1.0,
+                verified: workload.entries.len(),
+                kernels: workload.entries.len(),
+                delta_spliced: edit_tallies.spliced,
+                delta_resumed: edit_tallies.resumed,
+                delta_fallbacks: edit_tallies.fallbacks,
             });
         }
     }

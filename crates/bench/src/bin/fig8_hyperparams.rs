@@ -21,6 +21,7 @@ fn train_once(lr: f32, batch: usize, total_steps: usize) -> rl::TrainingStats {
         GameConfig {
             episode_length: 32,
             measure: harness_measure(),
+            ..GameConfig::default()
         },
     );
     let config = PpoConfig {

@@ -123,8 +123,11 @@ impl HarnessArgs {
                 // cosmetically different one — and so the harness prints
                 // the same diagnostics as the examples and the daemon.
                 "--arch" => match iter.next() {
+                    // Keep the *generation* name, not the device profile's
+                    // (`arch.name` would be e.g. "sim-h100-sxm", which
+                    // `GpuConfig::by_name` does not resolve).
                     Some(name) => match cuasmrl::cli::resolve_arch(&name) {
-                        Ok(arch) => args.arch = arch.name,
+                        Ok(arch) => args.arch = arch.arch.name,
                         Err(err) => usage(&err.to_string()),
                     },
                     None => usage("--arch requires a profile name"),
@@ -256,6 +259,7 @@ pub fn suite_driver(args: &HarnessArgs, budget_moves: usize) -> SuiteOptimizer {
     .with_game_config(GameConfig {
         episode_length: budget_moves.max(32),
         measure: harness_measure(),
+        ..GameConfig::default()
     });
     let driver = match &args.report_dir {
         Some(dir) => driver.with_cache_dir(dir.clone()),
@@ -343,6 +347,56 @@ pub fn delta_sweep(gpu: &GpuConfig, suite: &WorkloadSuite, scale: usize) -> Delt
     sweep
 }
 
+/// The rich-action-space counterpart of [`delta_sweep`]: deterministically
+/// evaluates every masked-legal [`cuasmrl::ScheduleEdit`] of every kernel in
+/// `suite` — adjacent swaps, multi-instruction block moves, reuse-flag
+/// toggles, stall retunes and barrier-wait edits — once through the
+/// incremental delta engine and tallies how each evaluation was obtained.
+/// Content edits touch a single instruction, so their splice rate is the
+/// regression signal for the engine's in-place-edit reconvergence (swaps are
+/// covered by [`delta_sweep`]; this sweep covers everything the richer
+/// action space adds on top).
+#[must_use]
+pub fn edit_sweep(gpu: &GpuConfig, suite: &WorkloadSuite, scale: usize) -> DeltaSweep {
+    use cuasmrl::{analyze, schedule_edits, ActionSpace, StallTable};
+    use gpusim::{CompiledProgram, DeltaEngine, DeltaOutcome};
+    let mut sweep = DeltaSweep::default();
+    for entry in &suite.entries {
+        let spec = entry.spec(scale);
+        let kernel = generate(&spec, &harness_config(entry.kind), ScheduleStyle::Baseline);
+        let table = StallTable::for_arch(&gpu.arch);
+        let analysis = analyze(&kernel.program, &table);
+        let movable = analysis.movable_memory_indices();
+        let edits = schedule_edits(
+            &kernel.program,
+            &movable,
+            &analysis,
+            &table,
+            ActionSpace::Rich,
+        );
+        let compiled = CompiledProgram::compile(&kernel.program, gpu);
+        let mut engine = DeltaEngine::for_launch(gpu.clone(), &kernel.launch);
+        let baseline = engine.record_baseline(&compiled);
+        for edit in edits.into_iter().flatten() {
+            let mut mutated_program = kernel.program.clone();
+            if !edit.apply(&mut mutated_program) {
+                continue;
+            }
+            let mut mutated = compiled.clone();
+            edit.apply_to_compiled(&mut mutated, &mutated_program, gpu);
+            let (_, outcome) = engine.simulate_delta(&baseline, &mutated, &edit.touched_indices());
+            match outcome {
+                DeltaOutcome::Unchanged | DeltaOutcome::Spliced { .. } => sweep.spliced += 1,
+                DeltaOutcome::Resimulated { resumed_cycle } if resumed_cycle > 0 => {
+                    sweep.resumed += 1;
+                }
+                DeltaOutcome::Resimulated { .. } => sweep.fallbacks += 1,
+            }
+        }
+    }
+    sweep
+}
+
 /// Optimizes one kernel of the suite on the A100-like device, returning the
 /// report (used by several figures).
 ///
@@ -361,6 +415,7 @@ pub fn optimize_kernel(kind: KernelKind, scale: usize, budget_moves: usize) -> O
     let game = GameConfig {
         episode_length: budget_moves.max(32),
         measure: harness_measure(),
+        ..GameConfig::default()
     };
     let optimizer = CuAsmRl::new(
         GpuConfig::a100(),

@@ -32,7 +32,19 @@ use gpusim::{
     kernel_run_from_report, measurement_from_run, CompiledProgram, DeltaBaseline, DeltaEngine,
     DeltaOutcome, GpuConfig, LaunchConfig, MeasureOptions, Measurement, SmReport,
 };
-use sass::Program;
+use sass::{Instruction, Item, Program};
+
+/// Position-independent content key of one instruction (its text, control
+/// code and operand flags), used to decide whether a slot still matches the
+/// recorded base after in-place content edits.
+fn content_key(inst: &Instruction) -> u64 {
+    crate::eval_cache::item_key(&Item::Instr(inst.clone()))
+}
+
+/// Content keys of every instruction of `program`, in order.
+fn content_keys(program: &Program) -> Vec<u64> {
+    program.instructions().map(content_key).collect()
+}
 
 /// Re-baseline once this many instruction indices differ from the base.
 ///
@@ -52,6 +64,8 @@ const REBASE_DIFF_LIMIT: usize = 64;
 struct SessionBase {
     compiled: CompiledProgram,
     run: DeltaBaseline,
+    /// Per-position instruction content keys of the base schedule.
+    content: Vec<u64>,
 }
 
 /// The incremental evaluation session of one [`crate::AssemblyGame`].
@@ -69,8 +83,11 @@ pub struct DeltaSession {
     current: CompiledProgram,
     /// `perm[i]` = index in `base.compiled` of the instruction now at `i`.
     perm: Vec<usize>,
+    /// Per-position content keys of the current schedule; in-place content
+    /// edits update them, swaps permute them alongside the instructions.
+    current_content: Vec<u64>,
     /// Sorted positions where `current` differs from the base
-    /// (`perm[i] != i`).
+    /// (`perm[i] != i`, or equal position but edited content).
     diff: Vec<usize>,
     /// Accepted swaps since the last (re-)baseline.
     commits_since_base: usize,
@@ -89,6 +106,7 @@ impl Clone for DeltaSession {
             base: Arc::clone(&self.base),
             current: self.current.clone(),
             perm: self.perm.clone(),
+            current_content: self.current_content.clone(),
             diff: self.diff.clone(),
             commits_since_base: self.commits_since_base,
         }
@@ -109,9 +127,11 @@ impl DeltaSession {
         let mut engine = DeltaEngine::for_launch(gpu.clone(), &launch);
         let compiled = CompiledProgram::compile(program, &gpu);
         let run = engine.record_baseline(&compiled);
+        let content = content_keys(program);
         let base = Arc::new(SessionBase {
             compiled: compiled.clone(),
             run,
+            content: content.clone(),
         });
         let perm = (0..compiled.len()).collect();
         DeltaSession {
@@ -123,6 +143,7 @@ impl DeltaSession {
             base,
             current: compiled,
             perm,
+            current_content: content,
             diff: Vec::new(),
             commits_since_base: 0,
         }
@@ -150,15 +171,38 @@ impl DeltaSession {
         }
         self.current.swap_insts(upper, lower);
         self.perm.swap(upper, lower);
-        for index in [upper, lower] {
-            let differs = self.perm[index] != index;
-            match self.diff.binary_search(&index) {
-                Ok(at) if !differs => {
-                    self.diff.remove(at);
-                }
-                Err(at) if differs => self.diff.insert(at, index),
-                _ => {}
+        self.current_content.swap(upper, lower);
+        self.update_diff_at(upper);
+        self.update_diff_at(lower);
+    }
+
+    /// Mirrors an in-place content edit of the instruction at `index` (stall
+    /// retune, barrier-wait change, reuse toggle) onto the lowered current
+    /// schedule: the one slot is re-lowered and the diff-vs-base bookkeeping
+    /// updated. `inst` is the instruction *after* the edit. O(1) plus a
+    /// binary search.
+    pub fn apply_replace(&mut self, index: usize, inst: &Instruction) {
+        if index >= self.current.len() {
+            return;
+        }
+        self.current.replace_inst(index, inst, &self.gpu);
+        self.current_content[index] = content_key(inst);
+        self.update_diff_at(index);
+    }
+
+    /// Recomputes whether position `index` differs from the base and updates
+    /// the sorted diff set. A position differs when a different instruction
+    /// sits there (`perm` moved) or the same instruction's content was
+    /// edited.
+    fn update_diff_at(&mut self, index: usize) {
+        let differs =
+            self.perm[index] != index || self.current_content[index] != self.base.content[index];
+        match self.diff.binary_search(&index) {
+            Ok(at) if !differs => {
+                self.diff.remove(at);
             }
+            Err(at) if differs => self.diff.insert(at, index),
+            _ => {}
         }
     }
 
@@ -195,6 +239,7 @@ impl DeltaSession {
         let fresh = Arc::new(SessionBase {
             compiled: self.current.clone(),
             run,
+            content: self.current_content.clone(),
         });
         let retired = std::mem::replace(&mut self.base, fresh);
         // The initial base always has at least one other owner
@@ -218,6 +263,7 @@ impl DeltaSession {
         self.current = self.base.compiled.clone();
         self.perm.clear();
         self.perm.extend(0..self.current.len());
+        self.current_content = self.base.content.clone();
         self.diff.clear();
         self.commits_since_base = 0;
     }
@@ -227,6 +273,7 @@ impl DeltaSession {
     /// it and records a fresh baseline.
     pub fn resync(&mut self, program: &Program) {
         self.current = CompiledProgram::compile(program, &self.gpu);
+        self.current_content = content_keys(program);
         self.rebaseline();
     }
 }

@@ -10,7 +10,7 @@ use rl::{Env, Step};
 use sass::Program;
 use serde::{Deserialize, Serialize};
 
-use crate::action::{Action, Direction, IncrementalMasker};
+use crate::action::{Action, ActionSpace, Direction, EditKind, IncrementalMasker, ScheduleEdit};
 use crate::analysis::{analyze, Analysis};
 use crate::delta_session::DeltaSession;
 use crate::embed::{embed_program, embed_rows_into, feature_count};
@@ -25,6 +25,12 @@ pub struct GameConfig {
     pub episode_length: usize,
     /// Measurement protocol for the reward signal.
     pub measure: MeasureOptions,
+    /// The action space offered to the agent. The default reproduces the
+    /// paper's adjacent-swap space byte-identically; [`ActionSpace::Rich`]
+    /// adds block moves, reuse toggles, stall retuning and barrier-wait
+    /// edits.
+    #[serde(default)]
+    pub action_space: ActionSpace,
 }
 
 impl Default for GameConfig {
@@ -37,6 +43,7 @@ impl Default for GameConfig {
                 noise_std: 0.0,
                 seed: 0,
             },
+            action_space: ActionSpace::default(),
         }
     }
 }
@@ -45,10 +52,16 @@ impl Default for GameConfig {
 /// §5.7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Move {
-    /// Instruction index that was moved.
+    /// Instruction index that was moved (its post-edit position; for
+    /// in-place content edits the instruction does not move).
     pub instruction: usize,
-    /// Direction of the move.
+    /// Direction of the move (positional edits; in-place content edits
+    /// record [`Direction::Down`] and are distinguished by `kind`).
     pub direction: Direction,
+    /// The edit family applied (snapshots from before the richer action
+    /// space default to [`EditKind::SwapUp`]).
+    #[serde(default)]
+    pub kind: EditKind,
     /// The moved instruction's text.
     pub text: String,
     /// Reward received for the move.
@@ -123,6 +136,11 @@ struct DerivedViews {
     analysis: Analysis,
     movable: Vec<usize>,
     mask: Vec<bool>,
+    /// Resolved legal edit per flat action id ([`ActionSpace::Rich`] games
+    /// only; empty in the default swap space, whose mask path is untouched).
+    /// `mask[id]` is exactly `edits[id].is_some()`, so legality and
+    /// application can never disagree.
+    edits: Vec<Option<ScheduleEdit>>,
     masker: IncrementalMasker,
     obs: Matrix,
 }
@@ -149,16 +167,24 @@ fn build_views(
     stalls: &StallTable,
     gpu: &GpuConfig,
     action_slots: usize,
+    space: ActionSpace,
 ) -> DerivedViews {
     let movable = analysis.movable_memory_indices();
-    let masker = IncrementalMasker::new(program, &analysis, stalls);
-    let mut mask = masker.full_mask(&movable, &analysis);
-    mask.resize((action_slots * 2).max(1), false);
+    let mut masker = IncrementalMasker::new(program, &analysis, stalls);
+    let (mut mask, edits) = match space {
+        ActionSpace::AdjacentSwap => (masker.full_mask(&movable, &analysis), Vec::new()),
+        ActionSpace::Rich => {
+            let edits = masker.full_edits(&movable, &analysis, space);
+            (edits.iter().map(Option::is_some).collect(), edits)
+        }
+    };
+    mask.resize(space.action_count(action_slots), false);
     let obs = embed_program(program, &analysis, &gpu.arch);
     DerivedViews {
         analysis,
         movable,
         mask,
+        edits,
         masker,
         obs,
     }
@@ -215,7 +241,14 @@ impl AssemblyGame {
         let digest = measurement.run.sm.output_digest;
         let analysis = analyze(&program, &stalls);
         let action_slots = analysis.movable_memory_indices().len();
-        let views = Arc::new(build_views(&program, analysis, &stalls, &gpu, action_slots));
+        let views = Arc::new(build_views(
+            &program,
+            analysis,
+            &stalls,
+            &gpu,
+            action_slots,
+            config.action_space,
+        ));
         let (item_keys, item_of_instruction) = index_item_keys(&program);
         let views_memo = Arc::new(Mutex::new(HashMap::new()));
         views_memo.lock().expect("views memo").insert(
@@ -338,6 +371,7 @@ impl AssemblyGame {
             &self.stalls,
             &self.gpu,
             self.action_slots,
+            self.config.action_space,
         ));
     }
 
@@ -430,11 +464,224 @@ impl AssemblyGame {
             analysis,
             movable,
             mask,
+            edits: Vec::new(),
             masker,
             obs,
         });
         self.memoize_views(key, &views);
         self.views = views;
+    }
+
+    /// Applies `edit` to every mirror of the current schedule: the source
+    /// program, the lowered delta-session form and the per-item digests.
+    /// Returns false (with everything unchanged) when the edit does not fit
+    /// the program — mask-resolved edits always do.
+    fn apply_edit_everywhere(&mut self, edit: &ScheduleEdit) -> bool {
+        match *edit {
+            ScheduleEdit::Swap { .. } | ScheduleEdit::BlockMove { .. } => {
+                let swaps = edit.swap_sequence();
+                if swaps.is_empty()
+                    || swaps
+                        .iter()
+                        .any(|&u| u + 1 >= self.current.instruction_count())
+                {
+                    return false;
+                }
+                for (applied, &upper) in swaps.iter().enumerate() {
+                    if self.current.swap_instructions(upper, upper + 1).is_err() {
+                        // Roll the already-applied prefix back so a
+                        // malformed edit leaves no partial state.
+                        for &undo in swaps[..applied].iter().rev() {
+                            let _ = self.current.swap_instructions(undo, undo + 1);
+                            self.session.apply_swap(undo);
+                            self.item_keys.swap(
+                                self.item_of_instruction[undo],
+                                self.item_of_instruction[undo + 1],
+                            );
+                        }
+                        return false;
+                    }
+                    self.session.apply_swap(upper);
+                    self.item_keys.swap(
+                        self.item_of_instruction[upper],
+                        self.item_of_instruction[upper + 1],
+                    );
+                }
+                true
+            }
+            _ => {
+                if !edit.apply(&mut self.current) {
+                    return false;
+                }
+                let index = edit.index();
+                let inst = self
+                    .current
+                    .instruction(index)
+                    .expect("edit target exists")
+                    .clone();
+                self.session.apply_replace(index, &inst);
+                self.item_keys[self.item_of_instruction[index]] =
+                    item_key(&sass::Item::Instr(inst));
+                true
+            }
+        }
+    }
+
+    /// Refreshes the derived views after an accepted [`ActionSpace::Rich`]
+    /// edit: revisited schedules re-adopt their memoized views, new ones
+    /// take the incremental edit-table path when its preconditions
+    /// verifiably hold against the fresh analysis, and everything else
+    /// falls back to [`AssemblyGame::refresh_full`] (`masking_properties`
+    /// pins incremental ≡ full for every edit kind).
+    fn refresh_after_edit(&mut self, edit: &ScheduleEdit) {
+        let key = self.current_schedule_key();
+        let memoized = self
+            .views_memo
+            .lock()
+            .expect("views memo")
+            .get(&key)
+            .map(Arc::clone);
+        if let Some(views) = memoized {
+            self.views = views;
+            return;
+        }
+        let analysis = analyze(&self.current, &self.stalls);
+        let previous = Arc::clone(&self.views);
+        // Incremental updates reuse out-of-block entries, which is only
+        // valid when the edit left the global context inputs unchanged: the
+        // (schedule-inferred) stall table and the denylist (up to the edit's
+        // relabeling of instruction positions).
+        let denylist_permuted = analysis.denylist.len() == previous.analysis.denylist.len()
+            && analysis.denylist.iter().all(|&i| {
+                previous
+                    .analysis
+                    .denylist
+                    .contains(&edit.old_position_of(i))
+            });
+        let incremental = denylist_permuted
+            && analysis.stalls == previous.analysis.stalls
+            && previous.masker.edit_stays_incremental(edit);
+        if !incremental {
+            self.refresh_full();
+            self.memoize_views(key, &Arc::clone(&self.views));
+            return;
+        }
+        let movable = analysis.movable_memory_indices();
+        let mut masker = previous.masker.clone();
+        masker.apply_edit(edit);
+        let edits = masker.edits_after_edit(
+            edit,
+            &movable,
+            &analysis,
+            self.config.action_space,
+            &previous.movable,
+            &previous.edits,
+        );
+        let mut mask: Vec<bool> = edits.iter().map(Option::is_some).collect();
+        mask.resize(
+            self.config.action_space.action_count(self.action_slots),
+            false,
+        );
+        let mut obs = previous.obs.clone();
+        if analysis.register_table == previous.analysis.register_table
+            && analysis.max_operands == previous.analysis.max_operands
+        {
+            embed_rows_into(
+                &mut obs,
+                &self.current,
+                &edit.touched_indices(),
+                &analysis,
+                &self.gpu.arch,
+            );
+        } else {
+            obs = embed_program(&self.current, &analysis, &self.gpu.arch);
+        }
+        let views = Arc::new(DerivedViews {
+            analysis,
+            movable,
+            mask,
+            edits,
+            masker,
+            obs,
+        });
+        self.memoize_views(key, &views);
+        self.views = views;
+    }
+
+    /// One environment step in the [`ActionSpace::Rich`] space: the flat id
+    /// is looked up in the resolved edit table (so an illegal or
+    /// out-of-range id is a no-op, exactly like an unmasked swap id in the
+    /// default space), the edit is applied to every schedule mirror, priced
+    /// through the delta session, and reverted via its O(1) inverse if the
+    /// simulator reports hazards or an output-digest change.
+    fn step_rich(&mut self, action_id: usize) -> Step {
+        self.steps_in_episode += 1;
+        let mut reward = 0.0;
+        let edit = self.views.edits.get(action_id).copied().flatten();
+        if let Some(edit) = edit {
+            let (_, kind) = self.config.action_space.decode(action_id);
+            let moved_text = self
+                .current
+                .instruction(edit.index())
+                .map(ToString::to_string)
+                .unwrap_or_default();
+            if self.apply_edit_everywhere(&edit) {
+                let (runtime, hazards, digest) = self.measure_current_schedule();
+                reward = ((self.current_runtime - runtime) / self.initial_runtime * 100.0) as f32;
+                if hazards > 0 || digest != self.initial_digest {
+                    // A corrupted schedule (should be prevented by masking):
+                    // revert via the exact inverse edit and punish.
+                    let undone = self.apply_edit_everywhere(&edit.inverse());
+                    debug_assert!(undone, "inverse edit must apply");
+                    reward = -10.0;
+                } else {
+                    self.current_runtime = runtime;
+                    let moved = match edit {
+                        ScheduleEdit::Swap { upper } => match kind {
+                            EditKind::SwapUp => upper,
+                            _ => upper + 1,
+                        },
+                        ScheduleEdit::BlockMove {
+                            index,
+                            direction,
+                            distance,
+                        } => match direction {
+                            Direction::Up => index - distance,
+                            Direction::Down => index + distance,
+                        },
+                        _ => edit.index(),
+                    };
+                    let direction = match edit {
+                        ScheduleEdit::Swap { .. } => match kind {
+                            EditKind::SwapUp => Direction::Up,
+                            _ => Direction::Down,
+                        },
+                        ScheduleEdit::BlockMove { direction, .. } => direction,
+                        _ => Direction::Down,
+                    };
+                    self.trace.push(Move {
+                        instruction: moved,
+                        direction,
+                        kind,
+                        text: moved_text,
+                        reward,
+                    });
+                    if runtime < self.best_runtime {
+                        self.best_runtime = runtime;
+                        self.best = self.current.clone();
+                    }
+                    self.session.commit();
+                    self.refresh_after_edit(&edit);
+                }
+            }
+        }
+        let done = self.steps_in_episode >= self.config.episode_length
+            || !self.views.mask.iter().any(|&m| m);
+        Step {
+            observation: self.views.obs.clone(),
+            reward,
+            done,
+        }
     }
 }
 
@@ -445,6 +692,12 @@ impl AssemblyGame {
 /// restored onto a game constructed for the same kernel.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GameSnapshot {
+    /// The action space the snapshot was taken under. Snapshots only restore
+    /// onto a game configured for the same space (the reachable-state
+    /// invariants differ), and an unknown space version fails decoding —
+    /// both surface as the typed `rl::CheckpointError::EnvRejectedState`.
+    #[serde(default)]
+    action_space: ActionSpace,
     current: String,
     current_runtime_bits: u64,
     steps_in_episode: usize,
@@ -469,6 +722,9 @@ impl Env for AssemblyGame {
     }
 
     fn step(&mut self, action_id: usize) -> Step {
+        if self.config.action_space == ActionSpace::Rich {
+            return self.step_rich(action_id);
+        }
         let action = Action::from_id(action_id);
         self.steps_in_episode += 1;
         let mut reward = 0.0;
@@ -507,6 +763,10 @@ impl Env for AssemblyGame {
                     self.trace.push(Move {
                         instruction: moved,
                         direction: action.direction,
+                        kind: match action.direction {
+                            Direction::Up => EditKind::SwapUp,
+                            Direction::Down => EditKind::SwapDown,
+                        },
                         text: moved_text,
                         reward,
                     });
@@ -529,7 +789,7 @@ impl Env for AssemblyGame {
     }
 
     fn action_count(&self) -> usize {
-        (self.action_slots * 2).max(1)
+        self.config.action_space.action_count(self.action_slots)
     }
 
     fn action_mask(&self) -> Vec<bool> {
@@ -546,6 +806,7 @@ impl Env for AssemblyGame {
     /// bit-identically.
     fn state_bytes(&self) -> Option<Vec<u8>> {
         let snapshot = GameSnapshot {
+            action_space: self.config.action_space,
             current: self.current.to_string(),
             current_runtime_bits: self.current_runtime.to_bits(),
             steps_in_episode: self.steps_in_episode,
@@ -567,18 +828,33 @@ impl Env for AssemblyGame {
         let Ok(snapshot) = serde_json::from_str::<GameSnapshot>(text) else {
             return false;
         };
+        if snapshot.action_space != self.config.action_space {
+            return false;
+        }
         let Ok(current) = snapshot.current.parse::<Program>() else {
             return false;
         };
         let Ok(best) = snapshot.best.parse::<Program>() else {
             return false;
         };
-        // The game only ever reorders instructions, so any reachable state
-        // is a permutation of the initial schedule. A snapshot from a
+        // Any reachable state is a permutation of the initial schedule — in
+        // the richer space additionally with retuned control codes and reuse
+        // flags, which the canonical form strips. A snapshot from a
         // different kernel — even one with the same instruction count —
         // fails this multiset check instead of being silently adopted.
+        let canonical = |inst: &sass::Instruction| match self.config.action_space {
+            ActionSpace::AdjacentSwap => inst.to_string(),
+            ActionSpace::Rich => {
+                let mut inst = inst.clone();
+                *inst.control_mut() = sass::ControlCode::default();
+                for operand in 0..inst.operands().len() {
+                    inst.set_operand_reuse(operand, false);
+                }
+                inst.to_string()
+            }
+        };
         let multiset = |program: &Program| {
-            let mut texts: Vec<String> = program.instructions().map(ToString::to_string).collect();
+            let mut texts: Vec<String> = program.instructions().map(canonical).collect();
             texts.sort_unstable();
             texts
         };
@@ -606,7 +882,7 @@ mod tests {
     use super::*;
     use kernels::{generate, KernelConfig, KernelKind, KernelSpec, ScheduleStyle};
 
-    fn small_game() -> AssemblyGame {
+    fn small_game_in(space: ActionSpace) -> AssemblyGame {
         let spec = KernelSpec::scaled(KernelKind::MatmulLeakyRelu, 16);
         let config = KernelConfig {
             block_m: 32,
@@ -621,8 +897,15 @@ mod tests {
             kernel.program,
             kernel.launch,
             StallTable::builtin_a100(),
-            GameConfig::default(),
+            GameConfig {
+                action_space: space,
+                ..GameConfig::default()
+            },
         )
+    }
+
+    fn small_game() -> AssemblyGame {
+        small_game_in(ActionSpace::default())
     }
 
     #[test]
@@ -691,6 +974,73 @@ mod tests {
         // Garbage and foreign states are refused without panicking.
         assert!(!restored.restore_state(b"\xFF\xFE not json"));
         assert!(!restored.restore_state(b"{}"));
+    }
+
+    /// Mid-walk rich-space snapshots restore exactly — trace (including
+    /// non-swap moves), best schedule, mask and the continuation — and the
+    /// usual rejections (garbage, foreign kernels, wrong space, ids out of
+    /// range) never panic.
+    #[test]
+    fn rich_state_snapshot_round_trips_and_rejects_foreign_states() {
+        let mut game = small_game_in(ActionSpace::Rich);
+        let _ = game.reset();
+        // Walk a mix of edit kinds: take the first legal action of each
+        // kind in turn so the trace records more than plain swaps.
+        for kind_offset in 0..game.config.action_space.kinds_per_slot() {
+            let mask = game.action_mask();
+            let Some(action) = (0..mask.len())
+                .filter(|&id| mask[id])
+                .find(|&id| id % game.config.action_space.kinds_per_slot() == kind_offset)
+            else {
+                continue;
+            };
+            game.step(action);
+        }
+        assert!(!game.trace().is_empty());
+        let state = game.state_bytes().expect("assembly game snapshots");
+        let mut restored = small_game_in(ActionSpace::Rich);
+        assert!(restored.restore_state(&state));
+        assert_eq!(restored.trace(), game.trace());
+        assert_eq!(restored.best().1.to_bits(), game.best().1.to_bits());
+        assert_eq!(restored.best().0.to_string(), game.best().0.to_string());
+        assert_eq!(restored.current.to_string(), game.current.to_string());
+        assert_eq!(restored.action_mask(), game.action_mask());
+        let mask = game.action_mask();
+        if let Some(action) = mask.iter().position(|&m| m) {
+            let a = game.step(action);
+            let b = restored.step(action);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.done, b.done);
+            assert_eq!(a.observation, b.observation);
+        }
+        // Out-of-range action ids are inert, not fatal.
+        let step = game.step(game.action_count() + 123);
+        assert_eq!(step.reward.to_bits(), 0.0f32.to_bits());
+        // Garbage bytes, a snapshot of another kernel, and a snapshot of
+        // another action space are all refused without panicking.
+        assert!(!restored.restore_state(b"\xFF\xFE not json"));
+        let foreign_spec = KernelSpec::scaled(KernelKind::Softmax, 16);
+        let foreign_config = KernelConfig {
+            block_m: 1,
+            block_n: 256,
+            block_k: 1,
+            num_warps: 4,
+            num_stages: 1,
+        };
+        let foreign = generate(&foreign_spec, &foreign_config, ScheduleStyle::Baseline);
+        let mut foreign_game = AssemblyGame::new(
+            GpuConfig::small(),
+            foreign.program,
+            foreign.launch,
+            StallTable::builtin_a100(),
+            GameConfig {
+                action_space: ActionSpace::Rich,
+                ..GameConfig::default()
+            },
+        );
+        assert!(!foreign_game.restore_state(&state));
+        let mut swap_game = small_game();
+        assert!(!swap_game.restore_state(&state));
     }
 
     #[test]

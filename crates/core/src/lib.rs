@@ -44,7 +44,10 @@ mod stall_table;
 mod suite_optimizer;
 mod telemetry;
 
-pub use action::{action_mask, Action, Direction, IncrementalMasker};
+pub use action::{
+    action_mask, schedule_edits, Action, ActionSpace, Direction, EditKind, IncrementalMasker,
+    ScheduleEdit,
+};
 pub use analysis::{analyze, Analysis, Resolution, ResolutionBreakdown};
 pub use delta_session::DeltaSession;
 pub use embed::{

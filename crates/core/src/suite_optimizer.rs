@@ -452,6 +452,7 @@ mod tests {
             .with_game_config(GameConfig {
                 episode_length: 8,
                 measure: fast_measure(),
+                ..GameConfig::default()
             })
     }
 

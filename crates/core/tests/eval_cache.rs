@@ -43,6 +43,7 @@ fn game_with(seed: u64, cache: Arc<EvalCache>) -> AssemblyGame {
         GameConfig {
             episode_length: 8,
             measure: fast_measure(seed),
+            ..GameConfig::default()
         },
         cache,
     )

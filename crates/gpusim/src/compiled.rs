@@ -710,6 +710,39 @@ impl CompiledProgram {
         }
     }
 
+    /// Re-lowers the instruction at `index` from `inst`, mirroring an
+    /// in-place edit of the source program (control-code retuning, reuse-flag
+    /// toggling, ...). The replacement must not change which label the
+    /// instruction branches to: labels are resolved during whole-program
+    /// compilation, so a fresh single-instruction lowering inherits the old
+    /// slot's resolved branch target when its own is still unresolved.
+    /// Out-of-range indices are ignored.
+    pub fn replace_inst(&mut self, index: usize, inst: &Instruction, config: &GpuConfig) {
+        let Some(slot) = self.insts.get_mut(index) else {
+            return;
+        };
+        let mut fresh = CompiledInst::compile(inst, config);
+        if matches!(fresh.branch, BranchTarget::Invalid) {
+            fresh.branch = slot.branch;
+        }
+        *slot = fresh;
+    }
+
+    /// Applies a small batch of edits, each O(1) in program length. This is
+    /// the multi-edit generalisation of [`CompiledProgram::swap_insts`] used
+    /// by the richer action space: a [`CompiledEdit::Swap`] transposes two
+    /// lowered slots and a [`CompiledEdit::Replace`] re-lowers one slot in
+    /// place (see [`CompiledProgram::replace_inst`] for the branch-target
+    /// contract). Edits apply in order; out-of-range indices are ignored.
+    pub fn apply_edits(&mut self, edits: &[CompiledEdit<'_>], config: &GpuConfig) {
+        for edit in edits {
+            match *edit {
+                CompiledEdit::Swap { a, b } => self.swap_insts(a, b),
+                CompiledEdit::Replace { index, inst } => self.replace_inst(index, inst, config),
+            }
+        }
+    }
+
     /// Number of instructions in the compiled program.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -721,4 +754,24 @@ impl CompiledProgram {
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
     }
+}
+
+/// One O(1) mutation of a [`CompiledProgram`], applied by
+/// [`CompiledProgram::apply_edits`].
+#[derive(Debug, Clone, Copy)]
+pub enum CompiledEdit<'a> {
+    /// Transpose the lowered instructions at positions `a` and `b`.
+    Swap {
+        /// First position.
+        a: usize,
+        /// Second position.
+        b: usize,
+    },
+    /// Re-lower position `index` from the (edited) source instruction.
+    Replace {
+        /// Position to re-lower.
+        index: usize,
+        /// The edited source instruction.
+        inst: &'a Instruction,
+    },
 }

@@ -196,6 +196,21 @@ impl ControlCode {
         self.stall = stall;
     }
 
+    /// Adds (`wait = true`) or removes (`wait = false`) one barrier from the
+    /// wait mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `barrier >= NUM_BARRIERS`.
+    pub fn set_wait(&mut self, barrier: u8, wait: bool) {
+        assert!(barrier < NUM_BARRIERS, "barrier index out of range");
+        if wait {
+            self.wait_mask |= 1 << barrier;
+        } else {
+            self.wait_mask &= !(1 << barrier);
+        }
+    }
+
     /// Returns true if the instruction neither waits on nor sets any barrier.
     #[must_use]
     pub fn is_barrier_free(&self) -> bool {

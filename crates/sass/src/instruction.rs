@@ -223,6 +223,29 @@ impl Instruction {
         self.operands.iter().any(Operand::has_reuse)
     }
 
+    /// Sets or clears the `.reuse` operand-cache hint on one operand.
+    ///
+    /// Returns false (leaving the instruction unchanged) when `operand` is
+    /// out of range or names an operand kind that cannot carry a reuse flag
+    /// (immediates, constants, specials, labels, or a memory reference with
+    /// no base register).
+    pub fn set_operand_reuse(&mut self, operand: usize, reuse: bool) -> bool {
+        match self.operands.get_mut(operand) {
+            Some(Operand::Reg(r)) => {
+                r.reuse = reuse;
+                true
+            }
+            Some(Operand::Mem(m)) => match &mut m.base {
+                Some(base) => {
+                    base.reuse = reuse;
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
     /// Returns true if the instruction is architecturally disabled by an
     /// always-false guard (`@!PT`).
     #[must_use]

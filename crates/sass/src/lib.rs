@@ -54,7 +54,7 @@ mod parser;
 mod program;
 mod register;
 
-pub use control::{ArchClass, ControlCode};
+pub use control::{ArchClass, ControlCode, NUM_BARRIERS};
 pub use cubin::{Cubin, Section, SectionKind, Symbol};
 pub use encode::{decode_program, encode_program, is_encoded_program};
 pub use error::SassError;

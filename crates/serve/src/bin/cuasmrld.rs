@@ -111,6 +111,7 @@ fn parse(args: &[String]) -> Result<(ServerConfig, Option<PathBuf>), String> {
         config.game_config = cuasmrl::GameConfig {
             episode_length: 8,
             measure: fast_measure,
+            ..cuasmrl::GameConfig::default()
         };
     }
     Ok((config, addr_file))

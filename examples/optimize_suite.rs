@@ -66,6 +66,7 @@ fn main() {
     .with_game_config(GameConfig {
         episode_length: 32,
         measure,
+        ..GameConfig::default()
     });
     if let Some(dir) = &cache {
         driver = driver.with_cache_dir(dir);

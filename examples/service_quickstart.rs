@@ -27,6 +27,7 @@ fn main() {
     config.game_config = GameConfig {
         episode_length: 8,
         measure: fast_measure,
+        ..GameConfig::default()
     };
     let server = Server::start(config).expect("daemon starts");
     println!("daemon listening on {}", server.local_addr());

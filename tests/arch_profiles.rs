@@ -206,6 +206,7 @@ fn suite_optimization_is_job_count_invariant_per_arch() {
                 .with_game_config(GameConfig {
                     episode_length: 6,
                     measure: fast_measure(),
+                    ..GameConfig::default()
                 })
                 .optimize(&specs)
         };

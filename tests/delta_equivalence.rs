@@ -103,6 +103,7 @@ proptest! {
         let game_config = GameConfig {
             episode_length: 8,
             measure: measure_options(),
+            ..GameConfig::default()
         };
         let mut game = AssemblyGame::new(
             gpu.clone(),
@@ -164,6 +165,7 @@ fn incremental_masks_equal_full_recomputation_along_legal_walks() {
         GameConfig {
             episode_length: 32,
             measure: measure_options(),
+            ..GameConfig::default()
         },
     );
     for seed in 0..4u64 {
@@ -210,6 +212,7 @@ fn shared_cache_and_fresh_cache_games_step_identically() {
     let config = GameConfig {
         episode_length: 8,
         measure: measure_options(),
+        ..GameConfig::default()
     };
     let shared = Arc::new(EvalCache::new());
     let mut warm = AssemblyGame::with_eval_cache(
@@ -278,6 +281,7 @@ fn delta_populated_cache_entries_equal_full_measurements() {
         GameConfig {
             episode_length: 6,
             measure: measure_options(),
+            ..GameConfig::default()
         },
         Arc::clone(&cache),
     );

@@ -97,6 +97,7 @@ fn suite_driver(jobs: usize, seed: u64) -> SuiteOptimizer {
     .with_game_config(GameConfig {
         episode_length: 8,
         measure: fast_measure(),
+        ..GameConfig::default()
     })
 }
 

@@ -37,6 +37,7 @@ fn fast_config(store_dir: &PathBuf) -> ServerConfig {
     config.game_config = cuasmrl::GameConfig {
         episode_length: 8,
         measure: fast_measure,
+        ..cuasmrl::GameConfig::default()
     };
     config.strategy = Strategy::Greedy { max_moves: 4 };
     config

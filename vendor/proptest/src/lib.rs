@@ -32,17 +32,27 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` random cases.
+    /// A configuration running `cases` random cases — unless the
+    /// `PROPTEST_CASES` environment variable is set, which overrides the
+    /// in-code count (mirroring upstream's env hook; the nightly CI deep
+    /// run uses it to raise every property's depth without touching the
+    /// fast per-push defaults).
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
-            cases: DEFAULT_CASES,
+            cases: env_cases().unwrap_or(DEFAULT_CASES),
         }
     }
 }

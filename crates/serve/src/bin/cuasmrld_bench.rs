@@ -23,6 +23,8 @@ OPTIONS:
   --scale N            paper-shape divisor (default 16)
   --seed N             base seed carried in every request (default 0)
   --rounds N           warm repeat rounds (default 2)
+  --pipeline N         in-flight requests per client over one persistent
+                       v2 connection (default 0 = one connection per request)
   --min-hit-rate F     minimum warm-phase store-hit rate in [0,1] (default 0.99)
   --out PATH           also write the JSON report to PATH
 ";
@@ -76,6 +78,11 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 parsed.spec.repeat_rounds = value("--rounds")?
                     .parse()
                     .map_err(|_| "--rounds must be an integer".to_string())?;
+            }
+            "--pipeline" => {
+                parsed.spec.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|_| "--pipeline must be an integer".to_string())?;
             }
             "--min-hit-rate" => {
                 parsed.min_hit_rate = value("--min-hit-rate")?

@@ -11,6 +11,11 @@
 //! derivation), or loaded from a JSON file for the `--fault-plan` daemon
 //! flag.
 //!
+//! Ordinals are assigned at *admission* (arrival order at the frame
+//! parser), before the v2 priority queue reorders anything — so a plan
+//! keyed on ordinals fires at the same requests whether they are served
+//! FIFO, by deadline rank, or out of order across a pipelined session.
+//!
 //! Injection is config-gated: a daemon without a plan has zero fault-path
 //! code active, and the plan lives in [`crate::ServerConfig`], never in the
 //! wire protocol — clients cannot inject faults.

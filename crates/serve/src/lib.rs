@@ -2,22 +2,36 @@
 //!
 //! This crate turns the offline [`cuasmrl::SuiteOptimizer`] workflow into a
 //! long-running daemon: clients submit kernel-optimization requests
-//! (kernel + architecture + optional shape/seed/deadline) as
+//! (kernel + architecture + optional shape/seed/deadline/priority) as
 //! length-prefixed JSON over a local TCP socket, a bounded worker pool
 //! runs the searches, and a persistent, memory-capped [`ScheduleStore`]
 //! answers repeat traffic near-free — across process restarts, because the
 //! store is disk-backed and in-flight RL training checkpoints through
 //! [`cuasmrl::SearchSession`].
 //!
+//! Since protocol v2 a connection is persistent and pipelined: a client
+//! opens one [`Connection`], submits any number of tagged requests without
+//! waiting, and receives each response as it completes — possibly out of
+//! order, routed by `request_id`. Admission is a deterministic
+//! deadline-aware priority queue ([`AdmissionQueue`], ordered by
+//! [`admission_rank`]) instead of FIFO. v1 single-exchange clients keep
+//! working unchanged: the server sniffs the first frame's shape and
+//! answers bare frames in v1 style.
+//!
 //! The crate splits along the service's seams:
 //!
-//! - [`protocol`] — framing, request/response schemas, canonicalization,
-//!   the error taxonomy ([`ErrorCode`]).
+//! - [`protocol`] — framing, request/response schemas (tagged and bare),
+//!   canonicalization, admission ranking, the error taxonomy
+//!   ([`ErrorCode`]).
+//! - [`queue`] — the bounded, deterministic priority admission queue.
 //! - [`store`] — the versioned, atomically-written schedule store.
-//! - [`server`] — acceptor, admission control, worker pool, preemption,
-//!   panic isolation, graceful drain, telemetry.
-//! - [`client`] — a minimal blocking client with deterministic retry.
-//! - [`load`] — the deterministic load generator (`cuasmrld-bench`).
+//! - [`server`] — acceptor, version sniffing, session demultiplexing,
+//!   admission control, worker pool, preemption, panic isolation, graceful
+//!   drain, telemetry.
+//! - [`client`] — the [`Connection`]/[`ClientBuilder`] pipelined client
+//!   API, plus the one-shot [`Client`] facade with deterministic retry.
+//! - [`load`] — the deterministic load generator (`cuasmrld-bench`), with
+//!   a pipelined mode.
 //! - [`fault`] — deterministic, config-gated fault injection for the chaos
 //!   suite.
 //!
@@ -26,15 +40,17 @@
 //! runbook.
 //!
 //! ```no_run
-//! use cuasmrld::{Client, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
+//! use cuasmrld::{ClientBuilder, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
 //!
 //! let server = Server::start(ServerConfig::new("/tmp/cuasmrld-store")).unwrap();
-//! let client = Client::new(server.local_addr());
-//! let response = client
-//!     .request(&OptimizeRequest::table2("softmax", "ampere"))
-//!     .unwrap();
-//! if let OptimizeResponse::Ok(result) = response {
-//!     println!("{}: {:.2}x (from_store: {})", result.kernel, result.report.speedup, result.from_store);
+//! let connection = ClientBuilder::new(server.local_addr()).connect().unwrap();
+//! // Pipeline two requests on one connection; each resolves independently.
+//! let softmax = connection.submit(&OptimizeRequest::table2("softmax", "ampere")).unwrap();
+//! let bmm = connection.submit(&OptimizeRequest::table2("bmm", "ampere")).unwrap();
+//! for handle in [bmm, softmax] {
+//!     if let OptimizeResponse::Ok(result) = handle.wait().unwrap() {
+//!         println!("{}: {:.2}x (from_store: {})", result.kernel, result.report.speedup, result.from_store);
+//!     }
 //! }
 //! ```
 
@@ -45,16 +61,20 @@ pub mod client;
 pub mod fault;
 pub mod load;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, ClientBuilder, Connection, RequestHandle, RetryPolicy};
 pub use fault::{FaultKind, FaultPlan, InjectedFault};
 pub use load::{run_load, LoadReport, LoadSpec};
 pub use protocol::{
-    read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
-    OptimizeResult, RequestDefaults, RequestKey, ServiceError, StatusRequest, StatusResult,
-    MAX_DEADLINE_MS, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    admission_rank, check_version, poll_frame, read_frame, write_frame, CanonicalRequest,
+    ErrorCode, FrameRead, OptimizeRequest, OptimizeResponse, OptimizeResult, RequestBody,
+    RequestDefaults, RequestKey, ServiceError, StatusRequest, StatusResult, TaggedRequest,
+    TaggedResponse, MAX_DEADLINE_MS, MAX_FRAME_LEN, NO_DEADLINE_RANK_MS, PRIORITY_BIAS_MS,
+    PROTOCOL_V1, PROTOCOL_VERSION, UNATTRIBUTED_REQUEST_ID,
 };
+pub use queue::{AdmissionQueue, PushError};
 pub use server::{Server, ServerConfig, ServiceStats, SERVICE_SUITE_LABEL};
 pub use store::{ScheduleStore, StoreEntry, StoreError, StoreStats, STORE_SCHEMA_VERSION};

@@ -9,17 +9,29 @@
 //! service book promises. `Busy` answers are retried with bounded backoff
 //! (that is the admission-control contract); every other error counts as a
 //! failure.
+//!
+//! Two transport modes, same schedule and same accounting:
+//!
+//! - `pipeline <= 1` (default): the classic v1 shape — one connection per
+//!   request, one exchange, close.
+//! - `pipeline >= 2`: each client thread opens one persistent v2
+//!   [`Connection`] and keeps up to `pipeline` requests in flight on it,
+//!   submitting a batch and draining its tagged responses — the mode that
+//!   actually exercises multiplexing, out-of-order completion and the
+//!   per-connection demux path.
 
+use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::client::Client;
+use crate::client::{Client, Connection, RequestHandle};
 use crate::protocol::{ErrorCode, OptimizeRequest, OptimizeResponse};
 
-/// The load shape: which requests, how many clients, how many warm rounds.
+/// The load shape: which requests, how many clients, how many warm rounds,
+/// how deep each client pipelines.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoadSpec {
     /// Concurrent client threads.
@@ -36,11 +48,17 @@ pub struct LoadSpec {
     pub repeat_rounds: usize,
     /// Bounded retries per request on `Busy` before counting a failure.
     pub busy_retries: usize,
+    /// In-flight requests per client thread. `0`/`1` is the classic
+    /// one-connection-per-request mode; `N >= 2` keeps one persistent v2
+    /// session per client with up to `N` pipelined requests on it. Added
+    /// in v2 (additive, `#[serde(default)]`).
+    #[serde(default)]
+    pub pipeline: usize,
 }
 
 impl LoadSpec {
     /// A small default burst: every Table-2 kernel, two clients, two warm
-    /// rounds.
+    /// rounds, no pipelining.
     #[must_use]
     pub fn smoke(arch: impl Into<String>) -> LoadSpec {
         LoadSpec {
@@ -54,6 +72,7 @@ impl LoadSpec {
             seed: 0,
             repeat_rounds: 2,
             busy_retries: 200,
+            pipeline: 0,
         }
     }
 
@@ -100,6 +119,10 @@ pub struct LoadReport {
     pub warm_from_store: usize,
     /// `warm_from_store / warm_sent`, 0 when no warm round ran.
     pub warm_hit_rate: f64,
+    /// The pipeline depth the run used (echo of the spec; 0/1 = one-shot
+    /// mode). Added in v2 (additive, `#[serde(default)]`).
+    #[serde(default)]
+    pub pipeline: usize,
 }
 
 impl LoadReport {
@@ -122,7 +145,10 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
         cold.repeat_rounds = 0;
         cold.schedule()
     };
-    let mut report = LoadReport::default();
+    let mut report = LoadReport {
+        pipeline: spec.pipeline,
+        ..LoadReport::default()
+    };
     run_phase(&client, spec, &distinct, &mut report, false);
     let warm: Vec<OptimizeRequest> = (0..spec.repeat_rounds)
         .flat_map(|_| distinct.iter().cloned())
@@ -136,6 +162,38 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
     report
 }
 
+/// The per-phase counters every client thread tallies into.
+#[derive(Default)]
+struct PhaseCounters {
+    ok: AtomicUsize,
+    from_store: AtomicUsize,
+    busy_exhausted: AtomicUsize,
+    errors: AtomicUsize,
+    io_errors: AtomicUsize,
+}
+
+impl PhaseCounters {
+    fn tally(&self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Ok { stored } => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                if *stored {
+                    self.from_store.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Outcome::BusyExhausted => {
+                self.busy_exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Error => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Io => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn run_phase(
     client: &Client,
     spec: &LoadSpec,
@@ -144,48 +202,92 @@ fn run_phase(
     warm: bool,
 ) {
     let next = AtomicUsize::new(0);
-    let ok = AtomicUsize::new(0);
-    let from_store = AtomicUsize::new(0);
-    let busy_exhausted = AtomicUsize::new(0);
-    let errors = AtomicUsize::new(0);
-    let io_errors = AtomicUsize::new(0);
+    let counters = PhaseCounters::default();
     std::thread::scope(|scope| {
         for _ in 0..spec.clients.max(1) {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(request) = requests.get(index) else {
-                    return;
-                };
-                match send_with_retry(client, request, spec.busy_retries) {
-                    Outcome::Ok { stored } => {
-                        ok.fetch_add(1, Ordering::Relaxed);
-                        if stored {
-                            from_store.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    Outcome::BusyExhausted => {
-                        busy_exhausted.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Outcome::Error => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Outcome::Io => {
-                        io_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
+            if spec.pipeline >= 2 {
+                scope.spawn(|| pipelined_client(client, spec, requests, &next, &counters));
+            } else {
+                scope.spawn(|| oneshot_client(client, spec, requests, &next, &counters));
+            }
         }
     });
     report.sent += requests.len();
-    report.ok += ok.into_inner();
-    report.busy_exhausted += busy_exhausted.into_inner();
-    report.errors += errors.into_inner();
-    report.io_errors += io_errors.into_inner();
-    let stored = from_store.into_inner();
+    report.ok += counters.ok.into_inner();
+    report.busy_exhausted += counters.busy_exhausted.into_inner();
+    report.errors += counters.errors.into_inner();
+    report.io_errors += counters.io_errors.into_inner();
+    let stored = counters.from_store.into_inner();
     report.from_store += stored;
     if warm {
         report.warm_sent += requests.len();
         report.warm_from_store += stored;
+    }
+}
+
+/// The classic v1 shape: claim one index at a time, one connection per
+/// exchange.
+fn oneshot_client(
+    client: &Client,
+    spec: &LoadSpec,
+    requests: &[OptimizeRequest],
+    next: &AtomicUsize,
+    counters: &PhaseCounters,
+) {
+    loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some(request) = requests.get(index) else {
+            return;
+        };
+        counters.tally(&send_with_retry(client, request, spec.busy_retries));
+    }
+}
+
+/// The v2 shape: one persistent session per thread, up to `pipeline`
+/// requests in flight at once — submit the whole batch, then drain its
+/// handles (each resolving whenever the server answers it).
+fn pipelined_client(
+    client: &Client,
+    spec: &LoadSpec,
+    requests: &[OptimizeRequest],
+    next: &AtomicUsize,
+    counters: &PhaseCounters,
+) {
+    let connection = match client.builder().connect() {
+        Ok(connection) => connection,
+        Err(_) => {
+            // Claim and fail this thread's share so the totals still
+            // account for every scheduled request.
+            while requests.get(next.fetch_add(1, Ordering::Relaxed)).is_some() {
+                counters.tally(&Outcome::Io);
+            }
+            return;
+        }
+    };
+    loop {
+        let mut batch: Vec<&OptimizeRequest> = Vec::with_capacity(spec.pipeline);
+        while batch.len() < spec.pipeline {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            match requests.get(index) {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let handles: Vec<io::Result<RequestHandle>> = batch
+            .iter()
+            .map(|request| connection.submit(request))
+            .collect();
+        for (request, handle) in batch.iter().zip(handles) {
+            counters.tally(&wait_with_retry(
+                &connection,
+                request,
+                handle,
+                spec.busy_retries,
+            ));
+        }
     }
 }
 
@@ -196,22 +298,61 @@ enum Outcome {
     Io,
 }
 
+fn classify(response: OptimizeResponse) -> Result<Outcome, ()> {
+    match response {
+        OptimizeResponse::Ok(result) => Ok(Outcome::Ok {
+            stored: result.from_store,
+        }),
+        // `Busy` is the retryable answer — admission control's contract.
+        OptimizeResponse::Err(error) if error.code == ErrorCode::Busy => Err(()),
+        OptimizeResponse::Err(_) | OptimizeResponse::Status(_) => Ok(Outcome::Error),
+    }
+}
+
 fn send_with_retry(client: &Client, request: &OptimizeRequest, busy_retries: usize) -> Outcome {
     for attempt in 0..=busy_retries {
         match client.request(request) {
-            Ok(OptimizeResponse::Ok(result)) => {
-                return Outcome::Ok {
-                    stored: result.from_store,
+            Ok(response) => match classify(response) {
+                Ok(outcome) => return outcome,
+                Err(()) => {
+                    if attempt == busy_retries {
+                        return Outcome::BusyExhausted;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
                 }
-            }
-            Ok(OptimizeResponse::Err(error)) if error.code == ErrorCode::Busy => {
+            },
+            Err(_) => return Outcome::Io,
+        }
+    }
+    Outcome::BusyExhausted
+}
+
+/// The pipelined counterpart of [`send_with_retry`]: wait on the submitted
+/// handle, resubmitting on the same session after a `Busy` answer.
+fn wait_with_retry(
+    connection: &Connection,
+    request: &OptimizeRequest,
+    first: io::Result<RequestHandle>,
+    busy_retries: usize,
+) -> Outcome {
+    let mut handle = first;
+    for attempt in 0..=busy_retries {
+        let response = match handle {
+            Ok(waiting) => match waiting.wait() {
+                Ok(response) => response,
+                Err(_) => return Outcome::Io,
+            },
+            Err(_) => return Outcome::Io,
+        };
+        match classify(response) {
+            Ok(outcome) => return outcome,
+            Err(()) => {
                 if attempt == busy_retries {
                     return Outcome::BusyExhausted;
                 }
                 std::thread::sleep(Duration::from_millis(20));
+                handle = connection.submit(request);
             }
-            Ok(OptimizeResponse::Err(_) | OptimizeResponse::Status(_)) => return Outcome::Error,
-            Err(_) => return Outcome::Io,
         }
     }
     Outcome::BusyExhausted

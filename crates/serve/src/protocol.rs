@@ -4,13 +4,27 @@
 //!
 //! Framing: every message is a 4-byte big-endian length followed by that
 //! many bytes of UTF-8 JSON. Frames above [`MAX_FRAME_LEN`] are rejected
-//! before allocation. One request/response exchange per connection.
+//! before allocation.
 //!
-//! Versioning: [`PROTOCOL_VERSION`] is carried in every request and
-//! response. A request with a different version is answered with a typed
-//! [`ErrorCode::UnsupportedVersion`] error, never a silent
-//! reinterpretation. `docs/SERVICE.md` documents the full schemas and the
-//! compatibility rules.
+//! Connection modes (since protocol v2): the *shape of the first frame*
+//! decides how a connection behaves.
+//!
+//! - A bare [`OptimizeRequest`]/[`StatusRequest`] frame is the v1
+//!   single-exchange protocol: one request, one untagged response, and the
+//!   server closes the connection. Every v1 client keeps working unchanged.
+//! - A [`TaggedRequest`] frame (`{"request_id": N, "body": {...}}`) opens a
+//!   persistent session: the connection stays open across exchanges, the
+//!   client may pipeline multiple in-flight requests, and each response
+//!   comes back as a [`TaggedResponse`] carrying the client-chosen
+//!   `request_id` — possibly out of submission order.
+//!
+//! Versioning: every request and response carries a `protocol_version`.
+//! This server speaks [`PROTOCOL_VERSION`] and still accepts
+//! [`PROTOCOL_V1`]; responses echo the request's version so a v1 client
+//! sees byte-identical v1 answers. Any other version is answered with a
+//! typed [`ErrorCode::UnsupportedVersion`] error, never a silent
+//! reinterpretation. `docs/SERVICE.md` documents the full schemas, the
+//! version-sniffing matrix and the compatibility rules.
 
 use std::io::{self, Read, Write};
 
@@ -22,7 +36,17 @@ use crate::server::ServiceStats;
 use crate::store::StoreStats;
 
 /// Version of the request/response JSON schema (see `docs/SERVICE.md`).
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The original single-exchange protocol version, still accepted: a bare
+/// (untagged) frame carrying it is answered in v1 style — one untagged
+/// response echoing version 1, then the connection closes.
+pub const PROTOCOL_V1: u32 = 1;
+
+/// The `request_id` the server uses when a malformed session frame carries
+/// no salvageable id. Clients must start their ids at 1 so an error tagged
+/// with this id is unambiguously "your frame was unattributable".
+pub const UNATTRIBUTED_REQUEST_ID: u64 = 0;
 
 /// Upper bound on a frame's payload, enforced on both read and write so a
 /// malformed length prefix can never trigger a giant allocation.
@@ -34,15 +58,59 @@ pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 /// reaches a worker.
 pub const MAX_DEADLINE_MS: u64 = 86_400_000;
 
+/// The admission rank of a request with no deadline: one past
+/// [`MAX_DEADLINE_MS`], so every deadlined request outranks every
+/// deadline-free one (at equal priority).
+pub const NO_DEADLINE_RANK_MS: i64 = MAX_DEADLINE_MS as i64 + 1;
+
+/// How many milliseconds of effective deadline one unit of `priority` is
+/// worth: the admission rank is `deadline − priority × PRIORITY_BIAS_MS`,
+/// so `priority: 5` competes like a request whose deadline is 5 s tighter.
+pub const PRIORITY_BIAS_MS: i64 = 1_000;
+
+/// The deterministic admission rank of a request: lower ranks are served
+/// first, ties broken by admission ordinal (arrival order). A pure
+/// function of the request — no wall clock, no randomness — so the same
+/// request set produces the same served order on every replay.
+///
+/// `deadline_ms: None` ranks at [`NO_DEADLINE_RANK_MS`] (behind every
+/// deadlined request); `priority` biases the rank additively by
+/// [`PRIORITY_BIAS_MS`] per unit (positive priority serves earlier).
+#[must_use]
+pub fn admission_rank(deadline_ms: Option<u64>, priority: Option<i32>) -> i64 {
+    let base = deadline_ms.map_or(NO_DEADLINE_RANK_MS, |ms| ms.min(MAX_DEADLINE_MS) as i64);
+    // i32 × 1000 fits comfortably in i64; no overflow is possible.
+    base - i64::from(priority.unwrap_or(0)) * PRIORITY_BIAS_MS
+}
+
+/// Checks a request's `protocol_version` against the accepted set
+/// ({[`PROTOCOL_V1`], [`PROTOCOL_VERSION`]}).
+///
+/// # Errors
+///
+/// Returns [`ErrorCode::UnsupportedVersion`] for any other version.
+pub fn check_version(protocol_version: u32) -> Result<(), ServiceError> {
+    if protocol_version == PROTOCOL_VERSION || protocol_version == PROTOCOL_V1 {
+        return Ok(());
+    }
+    Err(ServiceError::new(
+        ErrorCode::UnsupportedVersion,
+        format!(
+            "protocol version {protocol_version} is not supported \
+             (this server speaks {PROTOCOL_VERSION}, and still accepts {PROTOCOL_V1})"
+        ),
+    ))
+}
+
 /// A kernel-optimization request.
 ///
 /// `kernel` and `arch` accept the same names and aliases as the CLI
 /// surfaces (resolved through [`cuasmrl::cli`]); everything optional
 /// defaults server-side, so the minimal request is just
-/// `{"protocol_version": 1, "kernel": "softmax", "arch": "ampere"}`.
+/// `{"protocol_version": 2, "kernel": "softmax", "arch": "ampere"}`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OptimizeRequest {
-    /// Must equal [`PROTOCOL_VERSION`].
+    /// [`PROTOCOL_VERSION`] or [`PROTOCOL_V1`]; echoed in the response.
     pub protocol_version: u32,
     /// Kernel name from the Table-2 catalog (case-insensitive).
     pub kernel: String,
@@ -69,11 +137,19 @@ pub struct OptimizeRequest {
     /// [`ErrorCode::BadRequest`].
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Additive admission-priority bias: the request is queued as if its
+    /// deadline were `priority ×` [`PRIORITY_BIAS_MS`] ms tighter (see
+    /// [`admission_rank`]). Negative values deprioritize. Priority affects
+    /// *ordering only* — it is not part of the canonical request, so it
+    /// never changes the answer or the store key. Added in v2 as an
+    /// additive field: v1 frames without it decode as `None`.
+    #[serde(default)]
+    pub priority: Option<i32>,
 }
 
 impl OptimizeRequest {
     /// The minimal request: a Table-2 kernel at the server's default scale
-    /// and seed, no deadline.
+    /// and seed, no deadline, no priority.
     #[must_use]
     pub fn table2(kernel: impl Into<String>, arch: impl Into<String>) -> Self {
         OptimizeRequest {
@@ -84,7 +160,14 @@ impl OptimizeRequest {
             scale: None,
             seed: None,
             deadline_ms: None,
+            priority: None,
         }
+    }
+
+    /// This request's deterministic admission rank (see [`admission_rank`]).
+    #[must_use]
+    pub fn rank(&self) -> i64 {
+        admission_rank(self.deadline_ms, self.priority)
     }
 }
 
@@ -100,7 +183,8 @@ pub struct RequestDefaults {
 /// A fully validated request: the exact device profile, kernel spec and
 /// seed the optimizer will run. Two requests that canonicalize to the same
 /// value are the same work — this tuple (not the wire text) keys the
-/// schedule store.
+/// schedule store. Deadline and priority are deliberately absent: they
+/// shape *when* the work runs, never *what* the answer is.
 #[derive(Debug, Clone)]
 pub struct CanonicalRequest {
     /// Resolved device profile (canonical name, aliases folded).
@@ -117,29 +201,21 @@ impl OptimizeRequest {
     /// # Errors
     ///
     /// Returns a typed [`ServiceError`] — [`ErrorCode::UnsupportedVersion`]
-    /// on a protocol-version mismatch, [`ErrorCode::BadRequest`] on an
-    /// unknown kernel/architecture name or a degenerate shape.
+    /// on a protocol-version outside {1, 2}, [`ErrorCode::BadRequest`] on
+    /// an unknown kernel/architecture name or a degenerate shape.
     pub fn canonicalize(
         &self,
         defaults: &RequestDefaults,
     ) -> Result<CanonicalRequest, ServiceError> {
-        if self.protocol_version != PROTOCOL_VERSION {
-            return Err(ServiceError {
-                code: ErrorCode::UnsupportedVersion,
-                message: format!(
-                    "protocol version {} is not supported (this server speaks {})",
-                    self.protocol_version, PROTOCOL_VERSION
-                ),
-            });
-        }
+        check_version(self.protocol_version)?;
         if let Some(deadline_ms) = self.deadline_ms {
             if deadline_ms > MAX_DEADLINE_MS {
-                return Err(ServiceError {
-                    code: ErrorCode::BadRequest,
-                    message: format!(
+                return Err(ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!(
                         "deadline_ms {deadline_ms} exceeds the maximum of {MAX_DEADLINE_MS} (24h)"
                     ),
-                });
+                ));
             }
         }
         let gpu = cuasmrl::cli::resolve_arch(&self.arch).map_err(ServiceError::bad_request)?;
@@ -147,10 +223,10 @@ impl OptimizeRequest {
         let spec = match self.shape {
             Some(shape) => {
                 if [shape.batch, shape.m, shape.n, shape.k].contains(&0) {
-                    return Err(ServiceError {
-                        code: ErrorCode::BadRequest,
-                        message: format!("shape dimensions must be positive, got {shape:?}"),
-                    });
+                    return Err(ServiceError::new(
+                        ErrorCode::BadRequest,
+                        format!("shape dimensions must be positive, got {shape:?}"),
+                    ));
                 }
                 KernelSpec { kind, shape }
             }
@@ -217,7 +293,8 @@ impl RequestKey {
 /// A successful optimization answer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OptimizeResult {
-    /// Echo of [`PROTOCOL_VERSION`].
+    /// Echo of the request's `protocol_version` — a v1 request gets a v1
+    /// answer, byte-identical to what a v1 server produced.
     pub protocol_version: u32,
     /// Canonical architecture name the request resolved to.
     pub arch: String,
@@ -232,7 +309,7 @@ pub struct OptimizeResult {
     /// schedule completed: the report is the verified best-schedule-so-far,
     /// not the converged answer. The training checkpoint is persisted, so
     /// re-asking the same request later resumes the search and returns the
-    /// full answer. Added after v1 ships as `false` on old answers
+    /// full answer. Added after v1 shipped as `false` on old answers
     /// (additive, `#[serde(default)]`).
     #[serde(default)]
     pub degraded: bool,
@@ -242,13 +319,14 @@ pub struct OptimizeResult {
     pub report: OptimizationReport,
 }
 
-/// A status probe: `{"protocol_version": 1, "query": "status"}`. Detected
+/// A status probe: `{"protocol_version": 2, "query": "status"}`. Detected
 /// by its required `query` field (an optimize request has none), answered
 /// at admission without touching the queue — so it works even when the
-/// daemon is saturated or draining.
+/// daemon is saturated or draining. Inside a v2 session, sent as a
+/// [`RequestBody::Status`] tagged frame instead.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatusRequest {
-    /// Must equal [`PROTOCOL_VERSION`].
+    /// [`PROTOCOL_VERSION`] or [`PROTOCOL_V1`]; echoed in the answer.
     pub protocol_version: u32,
     /// Must be `"status"` (room for future query kinds, additively).
     pub query: String,
@@ -268,23 +346,15 @@ impl StatusRequest {
     ///
     /// # Errors
     ///
-    /// Returns [`ErrorCode::UnsupportedVersion`] on a version mismatch and
-    /// [`ErrorCode::BadRequest`] on an unknown query kind.
+    /// Returns [`ErrorCode::UnsupportedVersion`] on a version outside
+    /// {1, 2} and [`ErrorCode::BadRequest`] on an unknown query kind.
     pub fn validate(&self) -> Result<(), ServiceError> {
-        if self.protocol_version != PROTOCOL_VERSION {
-            return Err(ServiceError {
-                code: ErrorCode::UnsupportedVersion,
-                message: format!(
-                    "protocol version {} is not supported (this server speaks {})",
-                    self.protocol_version, PROTOCOL_VERSION
-                ),
-            });
-        }
+        check_version(self.protocol_version)?;
         if self.query != "status" {
-            return Err(ServiceError {
-                code: ErrorCode::BadRequest,
-                message: format!("unknown query kind {:?}", self.query),
-            });
+            return Err(ServiceError::new(
+                ErrorCode::BadRequest,
+                format!("unknown query kind {:?}", self.query),
+            ));
         }
         Ok(())
     }
@@ -299,16 +369,22 @@ impl Default for StatusRequest {
 /// The answer to a [`StatusRequest`]: the daemon's live counters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatusResult {
-    /// Echo of [`PROTOCOL_VERSION`].
+    /// Echo of the probe's `protocol_version`.
     pub protocol_version: u32,
     /// Aggregate request counters since startup.
     pub stats: ServiceStats,
-    /// Schedule-store counters since startup.
+    /// Schedule-store counters since startup (entries in memory and on
+    /// disk, LRU bytes, swept temp files — the saturation picture).
     pub store: StoreStats,
     /// Configured worker-thread count.
     pub workers: usize,
     /// Configured admission-queue depth.
     pub queue_capacity: usize,
+    /// Requests currently waiting in the admission queue. Added in v2
+    /// (additive, `#[serde(default)]`): with `queue_capacity`, the live
+    /// saturation gauge.
+    #[serde(default)]
+    pub queue_depth: usize,
     /// Whether the daemon is draining (shutdown in progress: new work is
     /// answered `Busy`, in-flight searches are being preempted).
     pub draining: bool,
@@ -319,10 +395,11 @@ pub struct StatusResult {
 pub enum ErrorCode {
     /// Malformed frame/JSON, unknown kernel or architecture, bad shape.
     BadRequest,
-    /// `protocol_version` mismatch.
+    /// `protocol_version` outside the accepted set {1, 2}.
     UnsupportedVersion,
     /// Admission control rejected the request: the bounded queue is full.
-    /// Retrying later is the expected client behavior.
+    /// Retrying later is the expected client behavior; the error's
+    /// `queue_depth` hint says how saturated the queue was.
     Busy,
     /// The request's deadline expired before a worker picked it up.
     DeadlineExceeded,
@@ -337,14 +414,35 @@ pub struct ServiceError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// For [`ErrorCode::Busy`]: how many requests were waiting in the
+    /// admission queue when this one was rejected — the saturation hint an
+    /// operator or backoff policy can act on without a status probe. Added
+    /// in v2 (additive, `#[serde(default)]`): v1 errors decode as `None`,
+    /// and non-`Busy` errors carry `None`.
+    #[serde(default)]
+    pub queue_depth: Option<usize>,
 }
 
 impl ServiceError {
-    fn bad_request(err: cuasmrl::cli::UnknownName) -> ServiceError {
+    /// A typed error with no queue-depth hint.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ServiceError {
         ServiceError {
-            code: ErrorCode::BadRequest,
-            message: err.to_string(),
+            code,
+            message: message.into(),
+            queue_depth: None,
         }
+    }
+
+    /// Attaches the admission-queue saturation hint (`Busy` answers).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> ServiceError {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    fn bad_request(err: cuasmrl::cli::UnknownName) -> ServiceError {
+        ServiceError::new(ErrorCode::BadRequest, err.to_string())
     }
 }
 
@@ -366,6 +464,48 @@ pub enum OptimizeResponse {
     Status(StatusResult),
     /// The request was rejected or failed; see the [`ErrorCode`].
     Err(ServiceError),
+}
+
+/// The body of a tagged (v2 session) request frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// A kernel-optimization request.
+    Optimize(OptimizeRequest),
+    /// A status probe.
+    Status(StatusRequest),
+}
+
+/// A v2 session request frame: `{"request_id": N, "body": {...}}`.
+///
+/// `request_id` is chosen by the client and echoed verbatim in the
+/// matching [`TaggedResponse`] — it is how pipelined responses are routed,
+/// so a client must not reuse an id while its request is in flight. Ids
+/// must start at 1 ([`UNATTRIBUTED_REQUEST_ID`] is reserved for server
+/// errors about frames whose id could not be salvaged).
+///
+/// The first tagged frame on a connection is also the version sniff: a
+/// first frame that decodes as a `TaggedRequest` opens a persistent
+/// pipelined session; one that decodes as a bare request gets the v1
+/// single-exchange treatment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaggedRequest {
+    /// Client-chosen correlation id, echoed in the response. Must be ≥ 1.
+    pub request_id: u64,
+    /// The request itself.
+    pub body: RequestBody,
+}
+
+/// A v2 session response frame: the `request_id` of the request it
+/// answers, plus the same [`OptimizeResponse`] a v1 exchange would carry.
+/// Responses may arrive in any order; the id is the only correlation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaggedResponse {
+    /// Echo of the request's `request_id`
+    /// ([`UNATTRIBUTED_REQUEST_ID`] when the offending frame's id could
+    /// not be salvaged).
+    pub request_id: u64,
+    /// The answer.
+    pub response: OptimizeResponse,
 }
 
 /// Writes one length-prefixed frame.
@@ -410,6 +550,67 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// What one poll of a persistent connection's read side produced (see
+/// [`poll_frame`]).
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame.
+    Frame(Vec<u8>),
+    /// No frame started before the idle timeout — check your exit
+    /// conditions and poll again.
+    Idle,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+}
+
+/// Reads one frame from a persistent connection with two timescales: a
+/// short `idle_poll` before the first byte (so session loops notice
+/// shutdown/drain/close promptly without ever splitting a frame), then the
+/// full `frame_budget` once a frame has started. This is the read
+/// primitive of both the server's session loop and the client's response
+/// demultiplexer.
+///
+/// # Errors
+///
+/// Returns an IO error when a started frame stays unfinished past the
+/// budget, the peer disconnects mid-frame, or the length prefix exceeds
+/// [`MAX_FRAME_LEN`] — framing damage, which is connection-fatal (unlike
+/// payload damage, which the server scopes to one `request_id`).
+pub fn poll_frame(
+    stream: &mut std::net::TcpStream,
+    idle_poll: std::time::Duration,
+    frame_budget: std::time::Duration,
+) -> io::Result<FrameRead> {
+    stream.set_read_timeout(Some(idle_poll))?;
+    let mut first = [0u8; 1];
+    match stream.read(&mut first) {
+        Ok(0) => return Ok(FrameRead::Closed),
+        Ok(_) => {}
+        Err(err)
+            if matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            return Ok(FrameRead::Idle)
+        }
+        Err(err) => return Err(err),
+    }
+    stream.set_read_timeout(Some(frame_budget))?;
+    let mut rest = [0u8; 3];
+    stream.read_exact(&mut rest)?;
+    let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +653,22 @@ mod tests {
     }
 
     #[test]
+    fn priority_and_deadline_shape_ordering_but_never_the_canonical_key() {
+        let plain = OptimizeRequest::table2("softmax", "a100");
+        let mut urgent = plain.clone();
+        urgent.priority = Some(50);
+        urgent.deadline_ms = Some(2_000);
+        let a = plain.canonicalize(&defaults()).unwrap();
+        let b = urgent.canonicalize(&defaults()).unwrap();
+        assert_eq!(
+            RequestKey::of(&a),
+            RequestKey::of(&b),
+            "priority/deadline must not change what is computed"
+        );
+        assert_ne!(plain.rank(), urgent.rank());
+    }
+
+    #[test]
     fn canonicalization_rejects_bad_requests_with_typed_errors() {
         let mut wrong_version = OptimizeRequest::table2("softmax", "ampere");
         wrong_version.protocol_version = 99;
@@ -482,6 +699,22 @@ mod tests {
     }
 
     #[test]
+    fn both_wire_versions_canonicalize_and_others_are_refused() {
+        let mut request = OptimizeRequest::table2("softmax", "ampere");
+        assert_eq!(request.protocol_version, PROTOCOL_VERSION);
+        assert!(request.canonicalize(&defaults()).is_ok());
+        request.protocol_version = PROTOCOL_V1;
+        assert!(request.canonicalize(&defaults()).is_ok(), "v1 still speaks");
+        for version in [0, 3, 99] {
+            request.protocol_version = version;
+            assert_eq!(
+                request.canonicalize(&defaults()).unwrap_err().code,
+                ErrorCode::UnsupportedVersion
+            );
+        }
+    }
+
+    #[test]
     fn absurd_deadlines_are_rejected_at_decode() {
         let mut request = OptimizeRequest::table2("softmax", "ampere");
         request.deadline_ms = Some(MAX_DEADLINE_MS);
@@ -501,6 +734,29 @@ mod tests {
     }
 
     #[test]
+    fn admission_ranks_order_deadlines_first_and_priority_biases_additively() {
+        // Tighter deadline, earlier rank; no deadline ranks behind every
+        // deadlined request.
+        assert!(admission_rank(Some(100), None) < admission_rank(Some(5_000), None));
+        assert!(admission_rank(Some(MAX_DEADLINE_MS), None) < admission_rank(None, None));
+        assert_eq!(admission_rank(None, None), NO_DEADLINE_RANK_MS);
+        // One unit of priority is worth exactly PRIORITY_BIAS_MS of
+        // deadline; negative priority deprioritizes.
+        assert_eq!(
+            admission_rank(Some(5_000), Some(3)),
+            admission_rank(Some(5_000 - 3 * PRIORITY_BIAS_MS as u64), None)
+        );
+        assert!(admission_rank(None, Some(1)) < admission_rank(None, None));
+        assert!(admission_rank(None, Some(-1)) > admission_rank(None, None));
+        // A high-priority no-deadline request can outrank a deadlined one —
+        // priority is a real bias, not a secondary key.
+        assert!(admission_rank(None, Some(i32::MAX)) < admission_rank(Some(0), None));
+        // Extreme priorities never overflow.
+        let _ = admission_rank(Some(MAX_DEADLINE_MS), Some(i32::MIN));
+        let _ = admission_rank(Some(0), Some(i32::MAX));
+    }
+
+    #[test]
     fn every_error_code_round_trips_through_the_wire_form() {
         for code in [
             ErrorCode::BadRequest,
@@ -509,10 +765,7 @@ mod tests {
             ErrorCode::DeadlineExceeded,
             ErrorCode::Internal,
         ] {
-            let error = ServiceError {
-                code,
-                message: format!("probe for {code:?}"),
-            };
+            let error = ServiceError::new(code, format!("probe for {code:?}"));
             let json = serde_json::to_string(&OptimizeResponse::Err(error.clone())).unwrap();
             let decoded: OptimizeResponse = serde_json::from_str(&json).unwrap();
             let OptimizeResponse::Err(back) = decoded else {
@@ -520,6 +773,21 @@ mod tests {
             };
             assert_eq!(back, error);
         }
+        // The queue-depth hint survives the round trip too.
+        let busy = ServiceError::new(ErrorCode::Busy, "full").with_queue_depth(17);
+        let json = serde_json::to_string(&busy).unwrap();
+        let back: ServiceError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.queue_depth, Some(17));
+    }
+
+    #[test]
+    fn v1_errors_without_a_queue_depth_still_decode() {
+        // A v1 server's error had no `queue_depth` field; the hint is
+        // additive (same pattern as `degraded` on results).
+        let json = r#"{"code": "Busy", "message": "admission queue is full"}"#;
+        let error: ServiceError = serde_json::from_str(json).unwrap();
+        assert_eq!(error.code, ErrorCode::Busy);
+        assert_eq!(error.queue_depth, None);
     }
 
     #[test]
@@ -540,9 +808,60 @@ mod tests {
             stale.validate().unwrap_err().code,
             ErrorCode::UnsupportedVersion
         );
+        let mut v1 = StatusRequest::new();
+        v1.protocol_version = PROTOCOL_V1;
+        assert!(v1.validate().is_ok(), "v1 probes still validate");
         let mut unknown = StatusRequest::new();
         unknown.query = "metrics".to_string();
         assert_eq!(unknown.validate().unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn tagged_frames_are_distinguishable_from_bare_frames() {
+        // The version sniff: a tagged frame decodes as a TaggedRequest and
+        // as neither bare request; a bare frame decodes as its request and
+        // never as a TaggedRequest.
+        let tagged = TaggedRequest {
+            request_id: 1,
+            body: RequestBody::Optimize(OptimizeRequest::table2("softmax", "ampere")),
+        };
+        let json = serde_json::to_string(&tagged).unwrap();
+        let back: TaggedRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tagged);
+        assert!(serde_json::from_str::<OptimizeRequest>(&json).is_err());
+        assert!(serde_json::from_str::<StatusRequest>(&json).is_err());
+
+        let bare = serde_json::to_string(&OptimizeRequest::table2("bmm", "ampere")).unwrap();
+        assert!(serde_json::from_str::<TaggedRequest>(&bare).is_err());
+        let probe = serde_json::to_string(&StatusRequest::new()).unwrap();
+        assert!(serde_json::from_str::<TaggedRequest>(&probe).is_err());
+
+        // Status probes ride sessions as tagged bodies.
+        let tagged_probe = TaggedRequest {
+            request_id: 2,
+            body: RequestBody::Status(StatusRequest::new()),
+        };
+        let json = serde_json::to_string(&tagged_probe).unwrap();
+        let back: TaggedRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tagged_probe);
+    }
+
+    #[test]
+    fn tagged_responses_round_trip_with_their_request_id() {
+        let response = TaggedResponse {
+            request_id: 42,
+            response: OptimizeResponse::Err(
+                ServiceError::new(ErrorCode::Busy, "queue full").with_queue_depth(3),
+            ),
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        let back: TaggedResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.request_id, 42);
+        let OptimizeResponse::Err(error) = back.response else {
+            panic!("expected the error to survive");
+        };
+        assert_eq!(error.code, ErrorCode::Busy);
+        assert_eq!(error.queue_depth, Some(3));
     }
 
     #[test]
@@ -570,9 +889,24 @@ mod tests {
     }
 
     #[test]
+    fn priority_defaults_to_none_on_v1_request_literals() {
+        // The exact JSON a v1 client sends — no `priority` field — must
+        // decode with `priority: None` (additive, mirroring `degraded`).
+        let request: OptimizeRequest = serde_json::from_str(
+            r#"{"protocol_version": 1, "kernel": "softmax", "arch": "ampere",
+                "shape": null, "scale": null, "seed": 3, "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(request.priority, None);
+        assert_eq!(request.seed, Some(3));
+        assert_eq!(request.deadline_ms, Some(250));
+        assert!(request.canonicalize(&defaults()).is_ok());
+    }
+
+    #[test]
     fn minimal_request_json_decodes_with_defaults() {
         let request: OptimizeRequest =
-            serde_json::from_str(r#"{"protocol_version": 1, "kernel": "bmm", "arch": "hopper"}"#)
+            serde_json::from_str(r#"{"protocol_version": 2, "kernel": "bmm", "arch": "hopper"}"#)
                 .unwrap();
         assert_eq!(request, OptimizeRequest::table2("bmm", "hopper"));
         let canonical = request.canonicalize(&defaults()).unwrap();

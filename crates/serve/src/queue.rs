@@ -1,0 +1,282 @@
+//! The deterministic deadline-aware admission queue behind the daemon's
+//! worker pool — the v2 replacement for the old FIFO channel.
+//!
+//! Ordering: a bounded min-heap on `(rank, ordinal)`. The rank is the
+//! request's [`crate::protocol::admission_rank`] — a pure function of the
+//! request's `deadline_ms` and `priority`, no wall clock — and the ordinal
+//! (admission arrival index) breaks ties, so the pop order of any fixed
+//! set of queued requests is a deterministic function of that set alone:
+//! however arrivals interleave within one admission batch, replays serve
+//! bit-identically.
+//!
+//! Backpressure: [`AdmissionQueue::try_push`] never blocks. A full queue
+//! returns the item along with the current depth so admission control can
+//! answer a typed `Busy` carrying the saturation hint. Pop blocks until an
+//! item or [`AdmissionQueue::close`]; a closed queue drains what it holds
+//! (workers answer the leftovers `Busy` during a drain) and then returns
+//! `None`, which is the workers' exit signal.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why [`AdmissionQueue::try_push`] refused an item; the item comes back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity. Carries the rejected item and the depth at
+    /// rejection time (== capacity) — the `Busy` hint.
+    Full {
+        /// The rejected item.
+        item: T,
+        /// Queue depth when the push was refused.
+        depth: usize,
+    },
+    /// The queue is closed (the daemon is shutting down).
+    Closed(
+        /// The rejected item.
+        T,
+    ),
+}
+
+struct Ranked<T> {
+    rank: i64,
+    ordinal: u64,
+    item: T,
+}
+
+// Manual ordering on (rank, ordinal) only — `T` needs no bounds. Reversed
+// so the std max-heap pops the *smallest* (rank, ordinal) first.
+impl<T> PartialEq for Ranked<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.ordinal == other.ordinal
+    }
+}
+impl<T> Eq for Ranked<T> {}
+impl<T> PartialOrd for Ranked<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Ranked<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.rank, other.ordinal).cmp(&(self.rank, self.ordinal))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Ranked<T>>,
+    closed: bool,
+}
+
+/// The bounded, deterministic priority queue (see the module docs).
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Lock that survives poisoning: every mutation under it is one
+    /// complete push/pop, so the heap is always structurally consistent
+    /// even if a panicking thread held the lock.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// Non-blocking admission: queues the item at `(rank, ordinal)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] (with the current depth) at capacity,
+    /// [`PushError::Closed`] after [`AdmissionQueue::close`]. The item is
+    /// returned either way so the caller can answer its client.
+    pub fn try_push(&self, rank: i64, ordinal: u64, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.heap.len() >= self.capacity {
+            let depth = state.heap.len();
+            return Err(PushError::Full { item, depth });
+        }
+        state.heap.push(Ranked {
+            rank,
+            ordinal,
+            item,
+        });
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns the lowest
+    /// `(rank, ordinal)` one, or `None` once the queue is closed *and*
+    /// drained — a closed queue still hands out its leftovers so the
+    /// drain path can answer them.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(ranked) = state.heap.pop() {
+                return Some(ranked.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// blocked pops drain the remaining items and then return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{admission_rank, NO_DEADLINE_RANK_MS};
+
+    /// Pops everything currently queued (the queue must be closed or the
+    /// test would block at the end).
+    fn drain(queue: &AdmissionQueue<&'static str>) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        while let Some(item) = queue.pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    #[test]
+    fn pop_order_is_rank_then_ordinal_regardless_of_arrival_interleaving() {
+        // Four requests with distinct ranks plus two tied ones; every
+        // arrival permutation of the batch must pop identically.
+        let batch: Vec<(i64, u64, &'static str)> = vec![
+            (admission_rank(Some(60_000), None), 0, "deadline-60s"),
+            (admission_rank(Some(80_000), None), 1, "deadline-80s"),
+            (admission_rank(Some(80_000), Some(5)), 2, "prioritized"),
+            (NO_DEADLINE_RANK_MS, 3, "free-a"),
+            (NO_DEADLINE_RANK_MS, 4, "free-b"),
+        ];
+        let expected = vec![
+            "deadline-60s", // 60 000
+            "prioritized",  // 80 000 − 5 000 = 75 000
+            "deadline-80s", // 80 000
+            "free-a",       // no deadline, ordinal 3
+            "free-b",       // no deadline, ordinal 4
+        ];
+        // Deterministic permutation sweep: rotate + swap covers distinct
+        // interleavings without randomness.
+        for rotation in 0..batch.len() {
+            for swap in 0..batch.len() - 1 {
+                let mut order = batch.clone();
+                order.rotate_left(rotation);
+                order.swap(swap, swap + 1);
+                let queue = AdmissionQueue::new(8);
+                for (rank, ordinal, item) in &order {
+                    queue.try_push(*rank, *ordinal, *item).unwrap();
+                }
+                queue.close();
+                assert_eq!(
+                    drain(&queue),
+                    expected,
+                    "served order must not depend on arrival order (rotation {rotation}, swap {swap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_full_queue_reports_its_depth_and_returns_the_item() {
+        let queue = AdmissionQueue::new(2);
+        queue.try_push(5, 0, "a").unwrap();
+        queue.try_push(3, 1, "b").unwrap();
+        match queue.try_push(1, 2, "c") {
+            Err(PushError::Full { item, depth }) => {
+                assert_eq!(item, "c");
+                assert_eq!(depth, 2);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(queue.depth(), 2);
+        // Popping frees a slot; the freed slot admits again.
+        assert_eq!(queue.pop(), Some("b"));
+        queue.try_push(1, 3, "c").unwrap();
+        queue.close();
+        assert_eq!(drain(&queue), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_signals_exit() {
+        let queue = AdmissionQueue::new(4);
+        queue.try_push(1, 0, "x").unwrap();
+        queue.close();
+        match queue.try_push(1, 1, "y") {
+            Err(PushError::Closed(item)) => assert_eq!(item, "y"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(queue.pop(), Some("x"), "leftovers still drain");
+        assert_eq!(queue.pop(), None, "then the exit signal");
+        assert_eq!(queue.pop(), None, "and it stays closed");
+    }
+
+    #[test]
+    fn blocked_pops_wake_on_push_and_on_close() {
+        let queue = std::sync::Arc::new(AdmissionQueue::<u32>::new(4));
+        let popper = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // The popper may or may not have blocked yet; the push must wake it
+        // either way.
+        queue.try_push(7, 0, 42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+
+        let waiter = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None, "close wakes blocked pops");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let queue = AdmissionQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(1, 0, "only").unwrap();
+        assert!(matches!(
+            queue.try_push(1, 1, "over"),
+            Err(PushError::Full { depth: 1, .. })
+        ));
+    }
+}

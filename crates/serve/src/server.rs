@@ -1,17 +1,31 @@
-//! The `cuasmrld` daemon: a TCP acceptor, a bounded admission queue and a
-//! worker pool multiplexing kernel-optimization requests over the
-//! [`SuiteOptimizer`] machinery.
+//! The `cuasmrld` daemon: a TCP acceptor, a deterministic deadline-aware
+//! admission queue and a worker pool multiplexing kernel-optimization
+//! requests over the [`SuiteOptimizer`] machinery.
 //!
-//! Request lifecycle: the acceptor hands each connection to a short-lived
-//! reader thread that reads one frame, validates and canonicalizes it, and
-//! answers straight from the [`ScheduleStore`] when the canonical request
-//! was served before — repeat traffic never touches the queue. A store miss
-//! is admitted into a bounded queue ([`ServerConfig::queue_capacity`]);
-//! when the queue is full the request is rejected immediately with a typed
-//! `Busy` error (backpressure, not buffering). Workers dequeue, re-check
-//! the deadline and the store, run the search — through a checkpointing
-//! [`SearchSession`] for RL strategies, so a killed daemon warm-restarts
-//! mid-training — persist the entry, and reply.
+//! Connection lifecycle (protocol v2): the acceptor hands each connection
+//! to a reader thread that reads the first frame and *sniffs the protocol
+//! by frame shape*. A bare request frame is served in v1 style — one
+//! untagged response, connection closed — so every v1 client keeps working
+//! byte-for-byte. A tagged frame opens a persistent session: the reader
+//! becomes a demultiplexing loop that keeps decoding tagged frames while
+//! workers answer each one through a shared writer handle, tagged with the
+//! client's `request_id` and possibly out of submission order — a stalled
+//! request never blocks an unrelated pipelined one.
+//!
+//! Request lifecycle: each well-formed optimize request is validated,
+//! canonicalized, and answered straight from the [`ScheduleStore`] when
+//! the canonical request was served before — repeat traffic never touches
+//! the queue. A store miss is admitted into a bounded
+//! [`AdmissionQueue`] ordered by [`crate::protocol::admission_rank`]
+//! (earliest effective deadline first, `priority` biasing additively,
+//! admission ordinal breaking ties) — a deterministic function of the
+//! request set, never of wall clock, so replays serve in identical order.
+//! When the queue is full the request is rejected immediately with a typed
+//! `Busy` error carrying the queue depth (backpressure, not buffering).
+//! Workers pop in rank order, re-check the deadline and the store, run the
+//! search — through a checkpointing [`SearchSession`] for RL strategies,
+//! so a killed daemon warm-restarts mid-training — persist the entry, and
+//! reply through the job's responder.
 //!
 //! Fault tolerance: every in-flight search carries a [`CancelToken`] tied
 //! to its deadline and the server-wide drain signal, polled at search
@@ -19,17 +33,22 @@
 //! typed *degraded* best-so-far result (checkpoint persisted, so re-asking
 //! resumes and converges to the full answer). Worker job execution is
 //! wrapped in `catch_unwind`: a panic is isolated, counted, answered as a
-//! sanitized `Internal` error, and the pool survives. [`Server::shutdown`]
-//! drains gracefully — stop accepting, answer queued work `Busy`, preempt
-//! in-flight searches, flush telemetry. A config-gated
-//! [`FaultPlan`] injects store failures, panics and
-//! stalls at chosen request ordinals so the chaos suite can prove all of
-//! this deterministically.
+//! sanitized `Internal` error, and the pool survives. A malformed frame
+//! mid-session poisons only its `request_id` (a tagged `BadRequest`),
+//! never the connection; only framing-level damage — a truncated or
+//! stalled frame — closes the session. [`Server::shutdown`] drains
+//! gracefully — stop accepting, answer queued work `Busy`, preempt
+//! in-flight searches, flush telemetry. A config-gated [`FaultPlan`]
+//! injects store failures, panics and stalls at chosen request ordinals so
+//! the chaos suite can prove all of this deterministically; ordinals are
+//! assigned at admission (arrival order), before any priority reordering,
+//! so fault plans stay deterministic under the priority queue.
 //!
 //! Determinism contract (serving path): the report inside a non-degraded
 //! response is bit-identical to a direct [`SuiteOptimizer::optimizer_for`]
 //! run for the same canonical request, and two identical requests against
-//! the same store state produce byte-identical response frames. Wall-clock
+//! the same store state produce byte-identical response frames (modulo the
+//! session tag, which echoes the client's own `request_id`). Wall-clock
 //! exists only in the telemetry manifest, never in a response.
 
 use std::io::Write as _;
@@ -37,7 +56,6 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -52,15 +70,25 @@ use serde::{Deserialize, Serialize};
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::protocol::{
-    read_frame, write_frame, CanonicalRequest, ErrorCode, OptimizeRequest, OptimizeResponse,
-    OptimizeResult, RequestDefaults, RequestKey, ServiceError, StatusRequest, StatusResult,
-    PROTOCOL_VERSION,
+    poll_frame, read_frame, write_frame, CanonicalRequest, ErrorCode, FrameRead, OptimizeRequest,
+    OptimizeResponse, OptimizeResult, RequestBody, RequestDefaults, RequestKey, ServiceError,
+    StatusRequest, StatusResult, TaggedRequest, TaggedResponse, UNATTRIBUTED_REQUEST_ID,
 };
+use crate::queue::{AdmissionQueue, PushError};
 use crate::store::{ScheduleStore, StoreEntry, StoreStats, STORE_SCHEMA_VERSION};
 
 /// The manifest suite label the daemon's telemetry is filed under (one
 /// manifest per device profile: `{gpu}_service_telemetry.json`).
 pub const SERVICE_SUITE_LABEL: &str = "service";
+
+/// How often an idle session reader wakes to check for shutdown/drain.
+const SESSION_IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How long a session peer gets to finish a frame it has started writing.
+/// A frame still unfinished past this budget is a wedged or hostile
+/// client; the session closes (framing damage is connection-fatal, unlike
+/// payload damage, which poisons only its `request_id`).
+const SESSION_FRAME_BUDGET: Duration = Duration::from_secs(10);
 
 /// Everything a daemon instance is configured with.
 #[derive(Debug, Clone)]
@@ -151,7 +179,8 @@ pub struct ServiceStats {
     /// work answered `Busy` during a drain.
     pub busy: u64,
     /// Requests rejected before admission (`BadRequest` /
-    /// `UnsupportedVersion`).
+    /// `UnsupportedVersion`), including malformed session frames poisoned
+    /// by `request_id`.
     pub rejected: u64,
     /// Requests whose deadline expired while still queued.
     pub deadline_expired: u64,
@@ -167,20 +196,65 @@ pub struct ServiceStats {
     pub injected_faults: u64,
 }
 
+/// Where a job's answer goes: back onto a v1 one-shot stream, or tagged
+/// with the client's `request_id` through a session's shared writer (many
+/// in-flight jobs hold clones of the same writer, so pipelined responses
+/// interleave safely and out of order).
+enum Responder {
+    /// v1 single-exchange: the response is the untagged frame, then the
+    /// connection closes (the stream drops with the job).
+    V1(TcpStream),
+    /// v2 session: the response is a [`TaggedResponse`] frame written
+    /// under the session's writer lock.
+    V2 {
+        writer: Arc<Mutex<TcpStream>>,
+        request_id: u64,
+    },
+}
+
+impl Responder {
+    /// Best-effort reply — the peer may already be gone, and a failed
+    /// write must never take a worker down.
+    fn send(&mut self, response: &OptimizeResponse) {
+        match self {
+            Responder::V1(stream) => Shared::respond(stream, response),
+            Responder::V2 { writer, request_id } => {
+                let tagged = TaggedResponse {
+                    request_id: *request_id,
+                    response: response.clone(),
+                };
+                if let Ok(payload) = serde_json::to_string(&tagged) {
+                    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ = write_frame(&mut *stream, payload.as_bytes());
+                }
+            }
+        }
+    }
+
+    fn send_error(&mut self, error: ServiceError) {
+        self.send(&OptimizeResponse::Err(error));
+    }
+}
+
 struct Job {
-    stream: TcpStream,
+    responder: Responder,
     canonical: CanonicalRequest,
     key: RequestKey,
     deadline_ms: Option<u64>,
+    /// The request's `protocol_version`, echoed in the answer.
+    wire_version: u32,
     admitted: Instant,
     /// 0-based index in the daemon's sequence of well-formed optimize
-    /// requests — the [`FaultPlan`] key.
+    /// requests — the [`FaultPlan`] key. Assigned at admission in arrival
+    /// order, *before* priority reordering, so fault plans fire at the
+    /// same requests whatever order the queue serves them in.
     ordinal: u64,
 }
 
 struct Shared {
     config: ServerConfig,
     store: ScheduleStore,
+    queue: AdmissionQueue<Job>,
     shutdown: AtomicBool,
     /// The server-wide drain signal; every in-flight search holds a child
     /// of this token.
@@ -220,16 +294,18 @@ impl Shared {
     fn respond_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String>) {
         Self::respond(
             stream,
-            &OptimizeResponse::Err(ServiceError {
-                code,
-                message: message.into(),
-            }),
+            &OptimizeResponse::Err(ServiceError::new(code, message)),
         );
     }
 
-    fn result_from_entry(key: &RequestKey, entry: &StoreEntry, from_store: bool) -> OptimizeResult {
+    fn result_from_entry(
+        key: &RequestKey,
+        entry: &StoreEntry,
+        from_store: bool,
+        wire_version: u32,
+    ) -> OptimizeResult {
         OptimizeResult {
-            protocol_version: PROTOCOL_VERSION,
+            protocol_version: wire_version,
             arch: entry.arch.clone(),
             kernel: entry.kernel.clone(),
             request_key: key.digest.clone(),
@@ -239,14 +315,16 @@ impl Shared {
         }
     }
 
-    /// The live counters served to a [`StatusRequest`].
-    fn status(&self) -> StatusResult {
+    /// The live counters served to a [`StatusRequest`], echoing the
+    /// probe's wire version.
+    fn status(&self, wire_version: u32) -> StatusResult {
         StatusResult {
-            protocol_version: PROTOCOL_VERSION,
+            protocol_version: wire_version,
             stats: *self.lock_stats(),
             store: self.store.stats(),
             workers: self.config.workers,
             queue_capacity: self.config.queue_capacity,
+            queue_depth: self.queue.depth(),
             draining: self.draining(),
         }
     }
@@ -336,9 +414,6 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    // Keeps the queue alive even with `workers == 0` (admission control
-    // must answer `Busy`, not "disconnected", when nothing dequeues).
-    _queue: Arc<Mutex<Receiver<Job>>>,
 }
 
 impl Server {
@@ -354,11 +429,11 @@ impl Server {
             .map_err(|err| std::io::Error::other(err.to_string()))?;
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = AdmissionQueue::new(config.queue_capacity);
         let shared = Arc::new(Shared {
             config,
             store,
+            queue,
             shutdown: AtomicBool::new(false),
             drain: CancelToken::new(),
             stats: Mutex::new(ServiceStats::default()),
@@ -367,20 +442,18 @@ impl Server {
         let workers = (0..shared.config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
+                std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+            std::thread::spawn(move || accept_loop(&shared, &listener))
         };
         Ok(Server {
             local_addr,
             shared,
             acceptor: Some(acceptor),
             workers,
-            _queue: rx,
         })
     }
 
@@ -404,13 +477,21 @@ impl Server {
         self.shared.store.stats()
     }
 
+    /// Requests currently waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
     /// Graceful drain: stop accepting, answer everything still queued with
     /// `Busy`, preempt in-flight searches through the drain token (their
     /// training checkpoints are persisted, and their clients receive typed
     /// degraded best-so-far answers), flush the telemetry manifests, and
-    /// join every thread. A subsequent daemon on the same store directory
-    /// warm-restarts the preempted searches from their checkpoints.
-    /// Returns the final request counters.
+    /// join every thread. Open v2 sessions stop reading (their pending
+    /// answers are still written before the connection drops). A
+    /// subsequent daemon on the same store directory warm-restarts the
+    /// preempted searches from their checkpoints. Returns the final
+    /// request counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.drain.cancel();
@@ -427,10 +508,11 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job>) {
-    // One short-lived reader thread per connection: a client that stalls
-    // mid-frame (or never finishes its write) ties up only its own thread,
-    // never the acceptor — other requests keep flowing.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    // One reader thread per connection: short-lived for v1 exchanges,
+    // session-long for v2. A client that stalls mid-frame (or never
+    // finishes its write) ties up only its own thread, never the acceptor —
+    // other connections keep flowing.
     let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for connection in listener.incoming() {
         readers.retain(|handle| !handle.is_finished());
@@ -440,20 +522,24 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job
         let Ok(stream) = connection else { continue };
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let shared = Arc::clone(shared);
-        let tx = tx.clone();
-        readers.push(std::thread::spawn(move || admit(&shared, stream, &tx)));
+        readers.push(std::thread::spawn(move || {
+            serve_connection(&shared, stream)
+        }));
     }
     for handle in readers {
         let _ = handle.join();
     }
-    // Dropping the last `tx` clone here closes the queue; workers drain
+    // No more pushes can happen once every reader has exited; closing the
+    // queue lets workers drain the leftovers (answered `Busy` mid-drain)
     // and exit.
+    shared.queue.close();
 }
 
-/// Everything that happens to a connection before a worker sees it: frame
-/// read, parse, status probes, canonicalize, store lookup, admission
-/// control.
-fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
+/// First contact with a connection: read the first frame and sniff the
+/// protocol by its shape. A tagged frame opens a persistent v2 session;
+/// a bare frame gets the v1 single-exchange treatment and the connection
+/// closes after one answer.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let frame = match read_frame(&mut stream) {
         Ok(frame) => frame,
         Err(err) => {
@@ -479,14 +565,21 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
             return;
         }
     };
-    // Status probes are detected by their required `query` field, answered
-    // at admission and never queued — they work even under saturation or
-    // mid-drain.
+    if let Ok(tagged) = serde_json::from_str::<TaggedRequest>(text) {
+        serve_session(shared, stream, tagged);
+        return;
+    }
+    // v1 single exchange. Status probes are detected by their required
+    // `query` field, answered at admission and never queued — they work
+    // even under saturation or mid-drain.
     if let Ok(status) = serde_json::from_str::<StatusRequest>(text) {
         match status.validate() {
             Ok(()) => {
                 shared.lock_stats().status_served += 1;
-                Shared::respond(&mut stream, &OptimizeResponse::Status(shared.status()));
+                Shared::respond(
+                    &mut stream,
+                    &OptimizeResponse::Status(shared.status(status.protocol_version)),
+                );
             }
             Err(error) => {
                 shared.lock_stats().rejected += 1;
@@ -506,6 +599,104 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
             return;
         }
     };
+    process_optimize(shared, &request, Responder::V1(stream));
+}
+
+/// The persistent-session read loop: demultiplex tagged frames into
+/// admission until the peer closes, framing breaks, or the daemon drains.
+/// Responses travel through the shared `writer` handle — workers hold
+/// clones of it inside queued jobs, so the loop never waits on a response
+/// and a stalled request never blocks the next frame.
+fn serve_session(shared: &Shared, mut stream: TcpStream, first: TaggedRequest) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    handle_tagged(shared, &writer, first);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || shared.draining() {
+            // Stop reading; queued jobs still hold writer clones, so
+            // pending answers (including drain-time `Busy`) are written
+            // before the connection finally drops.
+            return;
+        }
+        match poll_frame(&mut stream, SESSION_IDLE_POLL, SESSION_FRAME_BUDGET) {
+            Ok(FrameRead::Frame(payload)) => handle_session_frame(shared, &writer, &payload),
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Closed) | Err(_) => return,
+        }
+    }
+}
+
+/// Probe for salvaging the `request_id` out of a frame that failed to
+/// decode as a [`TaggedRequest`] — so a malformed body poisons exactly the
+/// request it belongs to.
+#[derive(Deserialize)]
+struct IdProbe {
+    #[serde(default)]
+    request_id: Option<u64>,
+}
+
+/// One well-framed session payload: decode, or poison only the offending
+/// `request_id` with a tagged `BadRequest` — never the connection.
+fn handle_session_frame(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, payload: &[u8]) {
+    let poisoned = |message: String| -> (u64, String) { (UNATTRIBUTED_REQUEST_ID, message) };
+    let (request_id, message) = match std::str::from_utf8(payload) {
+        Err(err) => poisoned(format!("invalid request JSON: {err}")),
+        Ok(text) => match serde_json::from_str::<TaggedRequest>(text) {
+            Ok(tagged) => {
+                handle_tagged(shared, writer, tagged);
+                return;
+            }
+            Err(err) => (
+                // The frame is not a tagged request, but its id may still
+                // parse: answer *that* request id so the client can fail
+                // exactly one call.
+                serde_json::from_str::<IdProbe>(text)
+                    .ok()
+                    .and_then(|probe| probe.request_id)
+                    .unwrap_or(UNATTRIBUTED_REQUEST_ID),
+                format!("invalid session frame: {err}"),
+            ),
+        },
+    };
+    shared.lock_stats().rejected += 1;
+    let mut responder = Responder::V2 {
+        writer: Arc::clone(writer),
+        request_id,
+    };
+    responder.send_error(ServiceError::new(ErrorCode::BadRequest, message));
+}
+
+/// Routes one decoded tagged request: status probes are answered inline,
+/// optimize requests go through admission with a tagged responder.
+fn handle_tagged(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, tagged: TaggedRequest) {
+    let mut responder = Responder::V2 {
+        writer: Arc::clone(writer),
+        request_id: tagged.request_id,
+    };
+    match tagged.body {
+        RequestBody::Status(probe) => match probe.validate() {
+            Ok(()) => {
+                shared.lock_stats().status_served += 1;
+                responder.send(&OptimizeResponse::Status(
+                    shared.status(probe.protocol_version),
+                ));
+            }
+            Err(error) => {
+                shared.lock_stats().rejected += 1;
+                responder.send_error(error);
+            }
+        },
+        RequestBody::Optimize(request) => process_optimize(shared, &request, responder),
+    }
+}
+
+/// Everything that happens to an optimize request before a worker sees
+/// it, shared by both connection modes: ordinal assignment, validation,
+/// store lookup, admission control. The responder carries the answer back
+/// whichever mode the request arrived in.
+fn process_optimize(shared: &Shared, request: &OptimizeRequest, mut responder: Responder) {
     let ordinal = {
         let mut stats = shared.lock_stats();
         stats.requests += 1;
@@ -515,154 +706,127 @@ fn admit(shared: &Shared, mut stream: TcpStream, tx: &SyncSender<Job>) {
         Ok(canonical) => canonical,
         Err(error) => {
             shared.lock_stats().rejected += 1;
-            Shared::respond(&mut stream, &OptimizeResponse::Err(error));
+            responder.send_error(error);
             return;
         }
     };
+    let wire_version = request.protocol_version;
     let key = RequestKey::of(&canonical);
     let fault = shared.fault_for(ordinal);
     if let Some(entry) = shared.store_get(&key, fault.as_ref()) {
         shared.lock_stats().store_hits += 1;
         shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
-        Shared::respond(
-            &mut stream,
-            &OptimizeResponse::Ok(Shared::result_from_entry(&key, &entry, true)),
-        );
+        responder.send(&OptimizeResponse::Ok(Shared::result_from_entry(
+            &key,
+            &entry,
+            true,
+            wire_version,
+        )));
         return;
     }
     if shared.draining() {
         shared.lock_stats().busy += 1;
-        Shared::respond_error(
-            &mut stream,
+        responder.send_error(ServiceError::new(
             ErrorCode::Busy,
             "server is draining; retry after it restarts",
-        );
+        ));
         return;
     }
+    let rank = request.rank();
     let job = Job {
-        stream,
+        responder,
         canonical,
         key,
         deadline_ms: request.deadline_ms,
+        wire_version,
         admitted: Instant::now(),
         ordinal,
     };
-    match tx.try_send(job) {
+    match shared.queue.try_push(rank, ordinal, job) {
         Ok(()) => {}
-        Err(TrySendError::Full(mut job)) => {
+        Err(PushError::Full {
+            item: mut job,
+            depth,
+        }) => {
             shared.lock_stats().busy += 1;
-            Shared::respond_error(
-                &mut job.stream,
-                ErrorCode::Busy,
-                format!(
-                    "admission queue is full ({} pending); retry later",
-                    shared.config.queue_capacity
-                ),
+            job.responder.send_error(
+                ServiceError::new(
+                    ErrorCode::Busy,
+                    format!("admission queue is full ({depth} pending); retry later"),
+                )
+                .with_queue_depth(depth),
             );
         }
-        Err(TrySendError::Disconnected(mut job)) => {
+        Err(PushError::Closed(mut job)) => {
             shared.lock_stats().busy += 1;
-            Shared::respond_error(&mut job.stream, ErrorCode::Busy, "server is shutting down");
+            job.responder.send_error(ServiceError::new(
+                ErrorCode::Busy,
+                "server is shutting down",
+            ));
         }
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Job>>>) {
-    loop {
-        let job = {
-            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
-            guard.recv()
-        };
-        let Ok(job) = job else { break };
-        let Job {
-            mut stream,
-            canonical,
-            key,
-            deadline_ms,
-            admitted,
-            ordinal,
-        } = job;
+fn worker_loop(shared: &Shared) {
+    while let Some(mut job) = shared.queue.pop() {
         // Panic isolation: whatever `handle_job` does — including an
         // injected panic — the worker thread survives, the client gets a
         // sanitized typed error, and the pool keeps serving.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_job(
-                shared,
-                &mut stream,
-                &canonical,
-                &key,
-                deadline_ms,
-                admitted,
-                ordinal,
-            );
-        }));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_job(shared, &mut job)));
         if outcome.is_err() {
             shared.lock_stats().worker_panics += 1;
-            Shared::respond_error(
-                &mut stream,
+            job.responder.send_error(ServiceError::new(
                 ErrorCode::Internal,
                 "internal error: the worker handling this request failed and was recovered; \
                  retrying is safe",
-            );
+            ));
         }
     }
 }
 
 /// One dequeued job, start to reply. Runs inside the worker's
 /// `catch_unwind` boundary.
-fn handle_job(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    canonical: &CanonicalRequest,
-    key: &RequestKey,
-    deadline_ms: Option<u64>,
-    admitted: Instant,
-    ordinal: u64,
-) {
-    let fault = shared.fault_for(ordinal);
+fn handle_job(shared: &Shared, job: &mut Job) {
+    let fault = shared.fault_for(job.ordinal);
     if let Some(FaultKind::WorkerPanic) = fault {
-        panic!("injected worker panic (request ordinal {ordinal})");
+        panic!("injected worker panic (request ordinal {})", job.ordinal);
     }
     if shared.draining() {
         // Drain: everything still queued is answered Busy instead of being
         // computed — the store keeps no half answers, the client retries
         // against the restarted daemon.
         shared.lock_stats().busy += 1;
-        Shared::respond_error(
-            stream,
+        job.responder.send_error(ServiceError::new(
             ErrorCode::Busy,
             "server is draining; retry after it restarts",
-        );
+        ));
         return;
     }
-    if let Some(deadline_ms) = deadline_ms {
-        let waited = admitted.elapsed().as_millis() as u64;
+    if let Some(deadline_ms) = job.deadline_ms {
+        let waited = job.admitted.elapsed().as_millis() as u64;
         if waited >= deadline_ms {
             shared.lock_stats().deadline_expired += 1;
-            Shared::respond_error(
-                stream,
+            job.responder.send_error(ServiceError::new(
                 ErrorCode::DeadlineExceeded,
                 format!("deadline of {deadline_ms} ms expired while queued"),
-            );
+            ));
             return;
         }
     }
     // Another worker may have computed the same canonical request while
     // this one was queued: serve the stored answer.
-    if let Some(entry) = shared.store_get(key, fault.as_ref()) {
+    if let Some(entry) = shared.store_get(&job.key, fault.as_ref()) {
         shared.lock_stats().store_hits += 1;
-        shared.record_telemetry(&canonical.gpu.name, store_hit_telemetry(&entry));
-        Shared::respond(
-            stream,
-            &OptimizeResponse::Ok(Shared::result_from_entry(key, &entry, true)),
-        );
+        shared.record_telemetry(&job.canonical.gpu.name, store_hit_telemetry(&entry));
+        let result = Shared::result_from_entry(&job.key, &entry, true, job.wire_version);
+        job.responder.send(&OptimizeResponse::Ok(result));
         return;
     }
     // The per-job token: fires on the request deadline or the server-wide
     // drain, whichever comes first.
     let mut cancel = shared.drain.child();
-    if let Some(deadline_ms) = deadline_ms {
-        cancel = cancel.with_deadline(admitted + Duration::from_millis(deadline_ms));
+    if let Some(deadline_ms) = job.deadline_ms {
+        cancel = cancel.with_deadline(job.admitted + Duration::from_millis(deadline_ms));
     }
     if let Some(FaultKind::SlowWorker { stall_ms }) = fault {
         // Injected stall, sliced so a fired token (deadline or drain) cuts
@@ -672,25 +836,23 @@ fn handle_job(
             std::thread::sleep(Duration::from_millis(5));
         }
     }
-    match compute(shared, canonical, key, &cancel) {
+    match compute(shared, &job.canonical, &job.key, &cancel) {
         Ok((report, telemetry, false)) => {
             let entry = StoreEntry {
                 schema_version: STORE_SCHEMA_VERSION,
-                canonical: key.canonical.clone(),
-                arch: key.arch.clone(),
-                kernel: key.kernel.clone(),
-                seed: canonical.seed,
+                canonical: job.key.canonical.clone(),
+                arch: job.key.arch.clone(),
+                kernel: job.key.kernel.clone(),
+                seed: job.canonical.seed,
                 report,
             };
-            if let Err(err) = shared.store.put(key, entry.clone()) {
+            if let Err(err) = shared.store.put(&job.key, entry.clone()) {
                 eprintln!("cuasmrld: failed to persist store entry: {err}");
             }
             shared.lock_stats().computed += 1;
-            shared.record_telemetry(&canonical.gpu.name, telemetry);
-            Shared::respond(
-                stream,
-                &OptimizeResponse::Ok(Shared::result_from_entry(key, &entry, false)),
-            );
+            shared.record_telemetry(&job.canonical.gpu.name, telemetry);
+            let result = Shared::result_from_entry(&job.key, &entry, false, job.wire_version);
+            job.responder.send(&OptimizeResponse::Ok(result));
         }
         Ok((report, telemetry, true)) => {
             // Preempted: the degraded best-so-far answer goes to the client
@@ -701,22 +863,21 @@ fn handle_job(
                 stats.preempted += 1;
                 stats.degraded += 1;
             }
-            shared.record_telemetry(&canonical.gpu.name, telemetry);
-            Shared::respond(
-                stream,
-                &OptimizeResponse::Ok(OptimizeResult {
-                    protocol_version: PROTOCOL_VERSION,
-                    arch: key.arch.clone(),
-                    kernel: key.kernel.clone(),
-                    request_key: key.digest.clone(),
-                    from_store: false,
-                    degraded: true,
-                    report,
-                }),
-            );
+            shared.record_telemetry(&job.canonical.gpu.name, telemetry);
+            let result = OptimizeResult {
+                protocol_version: job.wire_version,
+                arch: job.key.arch.clone(),
+                kernel: job.key.kernel.clone(),
+                request_key: job.key.digest.clone(),
+                from_store: false,
+                degraded: true,
+                report,
+            };
+            job.responder.send(&OptimizeResponse::Ok(result));
         }
         Err(message) => {
-            Shared::respond_error(stream, ErrorCode::Internal, message);
+            job.responder
+                .send_error(ServiceError::new(ErrorCode::Internal, message));
         }
     }
 }

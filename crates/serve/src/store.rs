@@ -109,11 +109,20 @@ pub struct StoreStats {
     /// Orphaned temp files (from a crash mid-write) swept when the store
     /// was opened.
     pub tmp_swept: usize,
+    /// Serialized bytes of the entries currently held in the in-memory LRU
+    /// map — with `entries_in_memory`, the memory-pressure gauge a status
+    /// probe surfaces. Added in v2 (additive, `#[serde(default)]`): stats
+    /// from a v1 daemon decode as 0.
+    #[serde(default)]
+    pub lru_bytes: u64,
 }
 
 struct Inner {
     entries: HashMap<String, StoreEntry>,
     recency: VecDeque<String>,
+    /// Serialized size of each in-memory entry, kept in lockstep with
+    /// `entries` so `stats.lru_bytes` is always the exact LRU footprint.
+    sizes: HashMap<String, u64>,
     stats: StoreStats,
 }
 
@@ -126,6 +135,8 @@ impl Inner {
     }
 
     fn insert(&mut self, stem: &str, entry: StoreEntry, capacity: usize) {
+        let size = serde_json::to_string(&entry).map_or(0, |text| text.len() as u64);
+        self.sizes.insert(stem.to_string(), size);
         self.entries.insert(stem.to_string(), entry);
         self.touch(stem);
         while self.entries.len() > capacity.max(1) {
@@ -133,8 +144,10 @@ impl Inner {
                 break;
             };
             self.entries.remove(&coldest);
+            self.sizes.remove(&coldest);
         }
         self.stats.entries_in_memory = self.entries.len();
+        self.stats.lru_bytes = self.sizes.values().sum();
     }
 }
 
@@ -174,6 +187,7 @@ impl ScheduleStore {
         let mut inner = Inner {
             entries: HashMap::new(),
             recency: VecDeque::new(),
+            sizes: HashMap::new(),
             stats: StoreStats::default(),
         };
         let mut paths: Vec<PathBuf> = Vec::new();
@@ -451,6 +465,39 @@ mod tests {
             before + 1,
             "second hit is in-memory"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_bytes_track_the_in_memory_set_and_default_on_old_stats() {
+        let dir = temp_dir("bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 2).unwrap();
+        assert_eq!(store.stats().lru_bytes, 0);
+        let keys: Vec<RequestKey> = (0..3).map(|seed| key_for("softmax", seed)).collect();
+        store.put(&keys[0], entry_for(&keys[0], 0)).unwrap();
+        let one = store.stats().lru_bytes;
+        assert!(one > 0, "a cached entry has a footprint");
+        store.put(&keys[1], entry_for(&keys[1], 1)).unwrap();
+        let two = store.stats().lru_bytes;
+        assert!(two > one, "a second entry grows the footprint");
+        // The third insert evicts the coldest: the footprint stays at two
+        // entries' worth, not three.
+        store.put(&keys[2], entry_for(&keys[2], 2)).unwrap();
+        assert_eq!(store.stats().entries_in_memory, 2);
+        assert!(
+            store.stats().lru_bytes < two + one,
+            "eviction released bytes"
+        );
+        assert!(store.stats().lru_bytes > one);
+
+        // Stats serialized by a v1 daemon carry no `lru_bytes`; the field
+        // is additive and defaults to 0.
+        let v1 = r#"{"hits": 3, "misses": 1, "disk_hits": 0,
+                     "entries_in_memory": 2, "skipped_at_open": 0, "tmp_swept": 0}"#;
+        let stats: StoreStats = serde_json::from_str(v1).unwrap();
+        assert_eq!(stats.lru_bytes, 0);
+        assert_eq!(stats.hits, 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,14 +1,16 @@
 //! Quickstart for the `cuasmrld` optimization service: start an
-//! in-process daemon on an ephemeral port, send the same request twice,
-//! and watch the second answer come back from the persistent schedule
-//! store. See `docs/SERVICE.md` for the protocol and the runbook.
+//! in-process daemon on an ephemeral port, pipeline a batch of requests
+//! over one persistent protocol-v2 connection, then send the same
+//! request again and watch the answer come back from the persistent
+//! schedule store. See `docs/SERVICE.md` for the protocol and the
+//! runbook.
 //!
 //! ```text
 //! cargo run --release --example service_quickstart
 //! ```
 
 use cuasmrl::GameConfig;
-use cuasmrld::{Client, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
+use cuasmrld::{Client, ClientBuilder, OptimizeRequest, OptimizeResponse, Server, ServerConfig};
 use gpusim::MeasureOptions;
 
 fn main() {
@@ -32,17 +34,42 @@ fn main() {
     let server = Server::start(config).expect("daemon starts");
     println!("daemon listening on {}", server.local_addr());
 
-    let client = Client::new(server.local_addr());
-    let request = OptimizeRequest::table2("softmax", "ampere");
-    for attempt in ["first request (fresh search)", "second request (store)"] {
-        match client.request(&request).expect("exchange") {
+    // Protocol v2: one persistent connection, several requests in flight
+    // at once. Each handle resolves whenever the server answers its id —
+    // waiting order is free.
+    let connection = ClientBuilder::new(server.local_addr())
+        .connect()
+        .expect("session connects");
+    let handles: Vec<_> = ["softmax", "bmm", "rmsnorm"]
+        .iter()
+        .map(|kernel| {
+            connection
+                .submit(&OptimizeRequest::table2(*kernel, "ampere"))
+                .expect("pipelined submit")
+        })
+        .collect();
+    for handle in handles.into_iter().rev() {
+        match handle.wait().expect("pipelined answer") {
             OptimizeResponse::Ok(result) => println!(
-                "{attempt}: kernel={} speedup={:.3}x verified={} from_store={}",
+                "pipelined: kernel={} speedup={:.3}x verified={} from_store={}",
                 result.kernel, result.report.speedup, result.report.verified, result.from_store
             ),
-            OptimizeResponse::Err(error) => println!("{attempt}: error {error}"),
+            OptimizeResponse::Err(error) => println!("pipelined: error {error}"),
             OptimizeResponse::Status(_) => unreachable!("optimize requests never answer status"),
         }
+    }
+    drop(connection);
+
+    // The one-shot facade still works; this repeat is a store hit.
+    let client = Client::new(server.local_addr());
+    let request = OptimizeRequest::table2("softmax", "ampere");
+    match client.request(&request).expect("exchange") {
+        OptimizeResponse::Ok(result) => println!(
+            "repeat request: kernel={} from_store={}",
+            result.kernel, result.from_store
+        ),
+        OptimizeResponse::Err(error) => println!("repeat request: error {error}"),
+        OptimizeResponse::Status(_) => unreachable!("optimize requests never answer status"),
     }
     let status = client.status().expect("status probe");
     println!(

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use cuasmrl::Strategy;
 use cuasmrld::{
-    Client, ErrorCode, FaultKind, FaultPlan, InjectedFault, OptimizeRequest, OptimizeResponse,
-    RetryPolicy, ScheduleStore, Server, ServerConfig, PROTOCOL_VERSION,
+    Client, ClientBuilder, ErrorCode, FaultKind, FaultPlan, InjectedFault, OptimizeRequest,
+    OptimizeResponse, RetryPolicy, ScheduleStore, Server, ServerConfig, PROTOCOL_VERSION,
 };
 use gpusim::MeasureOptions;
 
@@ -313,6 +313,55 @@ fn drain_mid_burst_then_restart_completes_the_workload_byte_identically() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&control_dir);
+}
+
+#[test]
+fn a_slow_worker_stall_on_one_pipelined_request_never_delays_another() {
+    let dir = temp_dir("pipestall");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    // Two workers and a long stall injected at the first request: if the
+    // session serialized its pipeline behind the stalled worker — or the
+    // response demux blocked on in-order completion — B's answer could not
+    // arrive while A is still stalled.
+    config.workers = 2;
+    config.fault_plan = Some(FaultPlan::new(vec![InjectedFault {
+        ordinal: 0,
+        kind: FaultKind::SlowWorker { stall_ms: 2_500 },
+    }]));
+    let server = Server::start(config).expect("daemon starts");
+    let connection = ClientBuilder::new(server.local_addr())
+        .connect()
+        .expect("session connects");
+
+    let slow = connection
+        .submit(&OptimizeRequest::table2("softmax", "ampere"))
+        .expect("submit A");
+    // Give the pool a beat to pick A up, then pipeline B behind it on the
+    // same connection.
+    std::thread::sleep(Duration::from_millis(150));
+    let fast = connection
+        .submit(&OptimizeRequest::table2("bmm", "ampere"))
+        .expect("submit B");
+
+    // B completes while A is still mid-stall: out-of-order delivery on one
+    // session is what keeps one bad request from convoying the rest.
+    let quick = expect_ok(
+        fast.wait_timeout(Duration::from_millis(1_500))
+            .expect("B answers while A stalls"),
+    );
+    assert_eq!(quick.kernel, "bmm");
+    assert!(!quick.degraded);
+
+    // A eventually finishes too — stalled, not lost.
+    let stalled = expect_ok(
+        slow.wait_timeout(Duration::from_secs(30))
+            .expect("A answers"),
+    );
+    assert_eq!(stalled.kernel, "softmax");
+    assert!(!stalled.degraded, "no deadline was set, so no preemption");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,8 +1,10 @@
 //! End-to-end contract tests of the `cuasmrld` optimization service: the
 //! serving-path determinism contract (a daemon answer is byte-identical to
 //! a direct `SuiteOptimizer` run, and repeat answers are byte-identical to
-//! each other — across daemon restarts), admission control, deadlines, and
-//! the typed rejection paths.
+//! each other — across daemon restarts), protocol-v2 sessions (pipelining,
+//! version sniffing, per-`request_id` damage scoping, deadline-rank
+//! admission), admission control, deadlines, and the typed rejection
+//! paths.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -10,7 +12,9 @@ use std::time::Duration;
 
 use cuasmrl::Strategy;
 use cuasmrld::{
-    Client, ErrorCode, OptimizeRequest, OptimizeResponse, ScheduleStore, Server, ServerConfig,
+    Client, ClientBuilder, ErrorCode, FaultKind, FaultPlan, InjectedFault, OptimizeRequest,
+    OptimizeResponse, RequestBody, ScheduleStore, Server, ServerConfig, StatusRequest,
+    TaggedRequest, TaggedResponse,
 };
 use gpusim::MeasureOptions;
 
@@ -344,6 +348,327 @@ fn mid_frame_disconnects_and_stalls_never_wedge_the_daemon() {
     drop(staller);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_v1_client_frame_gets_byte_identical_v1_answers_and_a_single_exchange_close() {
+    let dir = temp_dir("v1compat");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = fast_config(&dir);
+    let server = Server::start(config.clone()).expect("daemon starts");
+    let client = Client::new(server.local_addr());
+
+    // First exposure computes and populates the store; the v1 exchange
+    // below is then a store hit, whose bytes are fully deterministic.
+    let request = OptimizeRequest::table2("softmax", "a100");
+    expect_ok(client.request(&request).expect("warm the store"));
+
+    // The exact frame a v1 client binary sends: version 1, every optional
+    // field serialized as null, no `priority` field (it predates v2).
+    let v1_literal = concat!(
+        r#"{"protocol_version":1,"kernel":"softmax","arch":"a100","#,
+        r#""shape":null,"scale":null,"seed":null,"deadline_ms":null}"#
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    cuasmrld::write_frame(&mut stream, v1_literal.as_bytes()).expect("send v1 frame");
+    let raw = cuasmrld::read_frame(&mut stream).expect("v1 answer");
+
+    // Expected bytes, reconstructed from the shared constructors: the
+    // stored (direct-run) report inside an Ok result echoing version 1 —
+    // exactly what the v1 server answered.
+    let canonical = request.canonicalize(&config.defaults()).expect("canonical");
+    let suite = config.suite_optimizer(canonical.gpu.clone(), canonical.seed);
+    let optimizer = suite.optimizer_for(&canonical.spec);
+    let (direct, _cubin, _telemetry) = optimizer.optimize_spec_instrumented(
+        &canonical.spec,
+        &suite.config_space_for(&canonical.spec),
+        suite.tune_options(),
+    );
+    let key = cuasmrld::RequestKey::of(&canonical);
+    let expected = OptimizeResponse::Ok(cuasmrld::OptimizeResult {
+        protocol_version: 1,
+        arch: key.arch.clone(),
+        kernel: key.kernel.clone(),
+        request_key: key.digest.clone(),
+        from_store: true,
+        degraded: false,
+        report: direct,
+    });
+    assert_eq!(
+        raw,
+        serde_json::to_string(&expected).unwrap().into_bytes(),
+        "a v1 frame must get a byte-identical v1 answer from the v2 server"
+    );
+
+    // The v1 contract's second half: one exchange, then the server closes.
+    use std::io::Read as _;
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        stream.read(&mut probe).expect("clean close"),
+        0,
+        "a bare-frame connection must close after its one exchange"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_answers_are_byte_identical_to_sequential_one_shots_and_resolve_in_any_order() {
+    let dir = temp_dir("pipeline");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    config.workers = 2;
+    let server = Server::start(config).expect("daemon starts");
+    let client = Client::new(server.local_addr());
+
+    // Sequential v1 one-shots: cold round computes, then the warm repeat
+    // records the reference bytes for each kernel.
+    let kernels = ["softmax", "bmm", "rmsnorm", "fused_ff"];
+    let mut warm_bytes = Vec::new();
+    for kernel in kernels {
+        let request = OptimizeRequest::table2(kernel, "ampere");
+        expect_ok(client.request(&request).expect("cold compute"));
+        warm_bytes.push(client.request_bytes(&request).expect("warm one-shot"));
+    }
+
+    // One connection, all four requests in flight before any wait; ids are
+    // issued sequentially from 1 (0 is reserved).
+    let connection = ClientBuilder::new(server.local_addr())
+        .connect()
+        .expect("session connects");
+    let handles: Vec<cuasmrld::RequestHandle> = kernels
+        .iter()
+        .map(|kernel| {
+            connection
+                .submit(&OptimizeRequest::table2(*kernel, "ampere"))
+                .expect("pipelined submit")
+        })
+        .collect();
+    assert_eq!(
+        handles
+            .iter()
+            .map(cuasmrld::RequestHandle::id)
+            .collect::<Vec<u64>>(),
+        vec![1, 2, 3, 4]
+    );
+
+    // Wait in REVERSE submission order: completion routing is by id, so
+    // waiting on the last submission first must work, and every pipelined
+    // answer must be byte-identical to its sequential one-shot.
+    let mut indexed: Vec<(usize, cuasmrld::RequestHandle)> =
+        handles.into_iter().enumerate().collect();
+    indexed.reverse();
+    for (index, handle) in indexed {
+        let response = handle.wait().expect("pipelined answer");
+        assert_eq!(
+            serde_json::to_string(&response).unwrap().into_bytes(),
+            warm_bytes[index],
+            "pipelined answer for {} must match the sequential one-shot",
+            kernels[index]
+        );
+        let result = expect_ok(response);
+        assert!(result.from_store, "warm pipelined traffic hits the store");
+        assert_eq!(result.kernel, kernels[index]);
+    }
+
+    // Status rides the same session as a tagged body and sees the queue
+    // gauge the v2 schema added.
+    let status = connection.status().expect("status over the session");
+    assert_eq!(status.stats.requests, 12, "4 cold + 4 warm + 4 pipelined");
+    assert_eq!(status.queue_depth, 0, "nothing left queued");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_malformed_session_frame_poisons_only_its_request_id_never_the_connection() {
+    let dir = temp_dir("poison");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = fast_config(&dir);
+    config.workers = 1;
+    let server = Server::start(config).expect("daemon starts");
+    let connection = ClientBuilder::new(server.local_addr())
+        .connect()
+        .expect("session connects");
+
+    // A real request keeps the session busy while the damage lands.
+    let first = connection
+        .submit(&OptimizeRequest::table2("softmax", "ampere"))
+        .expect("in-flight request");
+    // Malformed-but-JSON: the id is salvageable, so exactly request 7 is
+    // poisoned with a tagged BadRequest.
+    let poisoned = connection.expect(7);
+    connection
+        .send_raw(br#"{"request_id": 7, "body": {"bogus": true}}"#)
+        .expect("send malformed body");
+    // Not JSON at all: unattributable, answered under the reserved id 0.
+    let unattributed = connection.expect(cuasmrld::UNATTRIBUTED_REQUEST_ID);
+    connection
+        .send_raw(b"definitely not json")
+        .expect("send garbage");
+
+    // Both rejections arrive (out of order with the in-flight compute),
+    // tagged with exactly the ids they poison.
+    assert_eq!(
+        expect_err(poisoned.wait().expect("poisoned answer")).code,
+        ErrorCode::BadRequest
+    );
+    assert_eq!(
+        expect_err(unattributed.wait().expect("unattributed answer")).code,
+        ErrorCode::BadRequest
+    );
+
+    // The connection survived: the in-flight request completes, and fresh
+    // submissions on the same session still serve.
+    let healthy = expect_ok(first.wait().expect("in-flight answer"));
+    assert!(healthy.report.verified);
+    let after = expect_ok(
+        connection
+            .request(&OptimizeRequest::table2("bmm", "ampere"))
+            .expect("post-damage request"),
+    );
+    assert_eq!(after.kernel, "bmm");
+    assert_eq!(server.stats().rejected, 2, "exactly the two damaged frames");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn framing_damage_closes_the_session_while_concurrent_sessions_keep_serving() {
+    use std::io::{Read as _, Write as _};
+    let dir = temp_dir("framing");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(fast_config(&dir)).expect("daemon starts");
+
+    // Session A, spoken raw so the test controls framing exactly. A tagged
+    // status probe opens it as a v2 session.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect A");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let probe = |id: u64| {
+        serde_json::to_string(&TaggedRequest {
+            request_id: id,
+            body: RequestBody::Status(StatusRequest::new()),
+        })
+        .unwrap()
+    };
+    cuasmrld::write_frame(&mut raw, probe(1).as_bytes()).expect("first frame");
+    let frame = cuasmrld::read_frame(&mut raw).expect("tagged answer");
+    let tagged: TaggedResponse =
+        serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+    assert_eq!(tagged.request_id, 1);
+
+    // A frame delivered in two writes with a pause in between (longer than
+    // the server's idle poll) still parses: only ABANDONED frames are
+    // framing damage, slow ones are fine.
+    let second = probe(2);
+    let payload = second.as_bytes();
+    let split = payload.len() / 2;
+    raw.write_all(&u32::try_from(payload.len()).unwrap().to_be_bytes())
+        .expect("prefix");
+    raw.write_all(&payload[..split]).expect("first half");
+    std::thread::sleep(Duration::from_millis(250));
+    raw.write_all(&payload[split..]).expect("second half");
+    let frame = cuasmrld::read_frame(&mut raw).expect("split frame answered");
+    let tagged: TaggedResponse =
+        serde_json::from_str(std::str::from_utf8(&frame).unwrap()).unwrap();
+    assert_eq!(tagged.request_id, 2);
+
+    // A concurrent session whose fate must stay independent of A's.
+    let survivor = ClientBuilder::new(server.local_addr())
+        .connect()
+        .expect("connect B");
+
+    // Truncation: promise 64 bytes, deliver 3, half-close. That is framing
+    // damage — no request_id boundary left to trust — so session A closes.
+    raw.write_all(&64u32.to_be_bytes()).expect("prefix");
+    raw.write_all(b"{\"r").expect("torso");
+    raw.shutdown(std::net::Shutdown::Write).expect("half close");
+    let mut eof = [0u8; 1];
+    assert_eq!(
+        raw.read(&mut eof).expect("server closed A"),
+        0,
+        "a truncated frame is connection-fatal for its own session"
+    );
+
+    // Session B never noticed.
+    let status = survivor.status().expect("session B still serves");
+    assert!(status.stats.status_served >= 2);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_serves_by_deadline_rank_and_the_order_survives_arrival_permutation() {
+    // One worker, and an injected stall on the gate request (ordinal 0)
+    // long enough for the whole batch to pile into the admission queue
+    // while it runs — so pop order, not arrival order, decides service
+    // order. Telemetry appends in served order, which makes the manifest
+    // the order witness. Expected rank order: rmsnorm (60 s) beats bmm
+    // (80 s); fused_ff (80 s + priority 5 ⇒ effectively 75 s) slots
+    // between them; no deadline serves last.
+    let queued: [(&str, Option<u64>, Option<i32>); 4] = [
+        ("rmsnorm", Some(60_000), None),
+        ("bmm", Some(80_000), None),
+        ("fused_ff", Some(80_000), Some(5)),
+        ("mmLeakyReLu", None, None),
+    ];
+    let expected = ["softmax", "rmsnorm", "fused_ff", "bmm", "mmLeakyReLu"];
+    for permutation in 0..2 {
+        let dir = temp_dir(&format!("priority{permutation}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = fast_config(&dir);
+        config.workers = 1;
+        config.fault_plan = Some(FaultPlan::new(vec![InjectedFault {
+            ordinal: 0,
+            kind: FaultKind::SlowWorker { stall_ms: 1_500 },
+        }]));
+        let server = Server::start(config).expect("daemon starts");
+        let connection = ClientBuilder::new(server.local_addr())
+            .connect()
+            .expect("session connects");
+        let gate = connection
+            .submit(&OptimizeRequest::table2("softmax", "ampere"))
+            .expect("gate submit");
+        // Let the single worker pick the gate up before the batch arrives,
+        // so every batch request is queued behind the stall.
+        std::thread::sleep(Duration::from_millis(400));
+        let mut arrival: Vec<usize> = (0..queued.len()).collect();
+        if permutation == 1 {
+            arrival.reverse();
+        }
+        let mut handles = Vec::new();
+        for &index in &arrival {
+            let (kernel, deadline_ms, priority) = queued[index];
+            let mut request = OptimizeRequest::table2(kernel, "ampere");
+            request.deadline_ms = deadline_ms;
+            request.priority = priority;
+            handles.push(connection.submit(&request).expect("batch submit"));
+        }
+        for handle in handles {
+            assert!(!expect_ok(handle.wait().expect("batch answer")).degraded);
+        }
+        expect_ok(gate.wait().expect("gate answer"));
+        server.shutdown();
+
+        let gpu = cuasmrl::cli::resolve_arch("ampere").unwrap().name;
+        let manifest = cuasmrl::load_run_manifest(&dir, &gpu, cuasmrld::SERVICE_SUITE_LABEL)
+            .expect("service manifest persisted");
+        // Manifest entries carry the full spec name (kernel + shape); the
+        // kernel prefix is the order witness.
+        let served: Vec<&str> = manifest.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert_eq!(served.len(), expected.len());
+        for (entry, kernel) in served.iter().zip(expected) {
+            assert!(
+                entry.starts_with(&format!("{kernel}_")),
+                "served order must follow admission rank, independent of \
+                 arrival order (permutation {permutation}): got {served:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

@@ -258,23 +258,139 @@ pub fn telemetry_path(dir: &Path, gpu: &str, suite: &str) -> PathBuf {
     dir.join(format!("{gpu}_{suite}_telemetry.json"))
 }
 
-/// Writes a run manifest into the directory (pretty-printed JSON).
+/// Version of the sealed-manifest envelope ([`persist_run_manifest`]'s
+/// on-disk wrapper). Bumped on any envelope-level change; the manifest's
+/// own schema stays versioned by [`TELEMETRY_SCHEMA_VERSION`].
+pub const MANIFEST_SEAL_VERSION: u32 = 1;
+
+/// FNV-1a-64 over the manifest's compact-JSON serialization — the same
+/// checksum family as the schedule store's entries and journal.
+fn manifest_checksum(manifest: &RunManifest) -> Option<String> {
+    let compact = serde_json::to_string(manifest).ok()?;
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in compact.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Some(format!("{hash:016x}"))
+}
+
+/// The on-disk envelope of a persisted manifest: the manifest plus a
+/// schema-versioned checksum trailer, so a reader can tell silent
+/// corruption from schema skew.
+#[derive(Debug, Serialize, Deserialize)]
+struct SealedManifest {
+    /// [`MANIFEST_SEAL_VERSION`] at write time.
+    seal_version: u32,
+    /// FNV-1a-64 (hex) of the manifest's compact-JSON serialization.
+    checksum: String,
+    /// The manifest itself.
+    manifest: RunManifest,
+}
+
+/// Why a persisted manifest could not be loaded ([`load_run_manifest_checked`]).
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The file exists but is not a decodable manifest (of either the
+    /// sealed-envelope or the legacy bare layout).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Decoder detail.
+        detail: String,
+    },
+    /// The envelope decodes but the manifest's content does not match its
+    /// recorded checksum — silent corruption.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Corrupt { path, detail } => {
+                write!(f, "corrupt telemetry manifest {}: {detail}", path.display())
+            }
+            ManifestError::ChecksumMismatch { path } => write!(
+                f,
+                "telemetry manifest {} fails its checksum",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Writes a run manifest into the directory: a sealed envelope
+/// (checksum trailer, [`MANIFEST_SEAL_VERSION`]) published atomically via
+/// temp file + rename, so a crash mid-persist leaves the previous
+/// manifest intact — never a torn one.
 ///
 /// # Errors
 ///
 /// Returns an IO error when the directory cannot be created or written.
 pub fn persist_run_manifest(dir: &Path, manifest: &RunManifest) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let text = serde_json::to_string_pretty(manifest)
+    let sealed = SealedManifest {
+        seal_version: MANIFEST_SEAL_VERSION,
+        checksum: manifest_checksum(manifest).unwrap_or_default(),
+        manifest: manifest.clone(),
+    };
+    let text = serde_json::to_string_pretty(&sealed)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    std::fs::write(telemetry_path(dir, &manifest.gpu, &manifest.suite), text)
+    let path = telemetry_path(dir, &manifest.gpu, &manifest.suite);
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let temp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+    std::fs::write(&temp, text)?;
+    std::fs::rename(&temp, &path)
 }
 
-/// Loads a previously persisted run manifest.
+/// Loads a previously persisted run manifest with the full typed-error
+/// path: `Ok(None)` when no manifest exists, [`ManifestError`] when one
+/// exists but is damaged. Reads both the sealed envelope (verifying its
+/// checksum) and the legacy bare layout older builds wrote.
+///
+/// # Errors
+///
+/// [`ManifestError::Corrupt`] when the file decodes as neither layout,
+/// [`ManifestError::ChecksumMismatch`] when the envelope's checksum fails.
+pub fn load_run_manifest_checked(
+    dir: &Path,
+    gpu: &str,
+    suite: &str,
+) -> Result<Option<RunManifest>, ManifestError> {
+    let path = telemetry_path(dir, gpu, suite);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(None);
+    };
+    if let Ok(sealed) = serde_json::from_str::<SealedManifest>(&text) {
+        if manifest_checksum(&sealed.manifest).as_deref() == Some(sealed.checksum.as_str()) {
+            return Ok(Some(sealed.manifest));
+        }
+        return Err(ManifestError::ChecksumMismatch { path });
+    }
+    // Legacy bare manifests (pre-seal) have no checksum to verify; a
+    // `kernels` array distinguishes a real one from arbitrary JSON.
+    match serde_json::from_str::<RunManifest>(&text) {
+        Ok(manifest) => Ok(Some(manifest)),
+        Err(err) => Err(ManifestError::Corrupt {
+            path,
+            detail: err.to_string(),
+        }),
+    }
+}
+
+/// Loads a previously persisted run manifest, treating damage as absence
+/// (the checked variant, [`load_run_manifest_checked`], distinguishes).
 #[must_use]
 pub fn load_run_manifest(dir: &Path, gpu: &str, suite: &str) -> Option<RunManifest> {
-    let text = std::fs::read_to_string(telemetry_path(dir, gpu, suite)).ok()?;
-    serde_json::from_str(&text).ok()
+    load_run_manifest_checked(dir, gpu, suite).ok().flatten()
 }
 
 #[cfg(test)]
@@ -427,5 +543,88 @@ mod tests {
         assert_eq!(load_run_manifest(&dir, "a100", "attention"), Some(b));
         assert_eq!(load_run_manifest(&dir, "hopper", "table2"), None);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn seal_test_dir(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "cuasmrl-telemetry-seal-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn persisted_manifests_are_sealed_and_verified() {
+        let dir = seal_test_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = RunManifest::new("a100", "service", "greedy", 0, 1, Vec::new(), 1.0);
+        persist_run_manifest(&dir, &manifest).unwrap();
+        // The envelope is on disk…
+        let raw = std::fs::read_to_string(telemetry_path(&dir, "a100", "service")).unwrap();
+        assert!(raw.contains("\"seal_version\""));
+        assert!(raw.contains("\"checksum\""));
+        // …and both loaders see through it.
+        assert_eq!(
+            load_run_manifest_checked(&dir, "a100", "service").unwrap(),
+            Some(manifest.clone())
+        );
+        assert_eq!(load_run_manifest(&dir, "a100", "service"), Some(manifest));
+        // No temp debris left behind by the atomic publish.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp file was renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_bare_manifests_still_load_without_a_seal() {
+        let dir = seal_test_dir("legacy");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = RunManifest::new("a100", "service", "greedy", 0, 1, Vec::new(), 1.0);
+        // What an older build wrote: the bare manifest, no envelope.
+        std::fs::write(
+            telemetry_path(&dir, "a100", "service"),
+            serde_json::to_string_pretty(&manifest).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            load_run_manifest_checked(&dir, "a100", "service").unwrap(),
+            Some(manifest)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_manifests_are_typed_errors_not_silence() {
+        let dir = seal_test_dir("damage");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = telemetry_path(&dir, "a100", "service");
+
+        // Structural damage → Corrupt.
+        std::fs::write(&path, "{ torn-off mid-write").unwrap();
+        assert!(matches!(
+            load_run_manifest_checked(&dir, "a100", "service"),
+            Err(ManifestError::Corrupt { .. })
+        ));
+        assert_eq!(load_run_manifest(&dir, "a100", "service"), None);
+
+        // Content damage under a valid envelope → ChecksumMismatch.
+        let manifest = RunManifest::new("a100", "service", "greedy", 0, 1, Vec::new(), 1.0);
+        persist_run_manifest(&dir, &manifest).unwrap();
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        let tampered = sealed.replace("\"geomean_speedup\": 1.0", "\"geomean_speedup\": 99.0");
+        assert_ne!(sealed, tampered, "tamper target present");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(matches!(
+            load_run_manifest_checked(&dir, "a100", "service"),
+            Err(ManifestError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(load_run_manifest(&dir, "a100", "service"), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,6 +26,9 @@ OPTIONS:
   --pipeline N         in-flight requests per client over one persistent
                        v2 connection (default 0 = one connection per request)
   --min-hit-rate F     minimum warm-phase store-hit rate in [0,1] (default 0.99)
+  --verify-store       fail (exit 1) if the daemon reports any checksum
+                       failures or journal replays after the run — the
+                       durability assertion for a clean (fault-free) burst
   --out PATH           also write the JSON report to PATH
 ";
 
@@ -34,6 +37,7 @@ struct Args {
     addr_file: Option<PathBuf>,
     spec: LoadSpec,
     min_hit_rate: f64,
+    verify_store: bool,
     out: Option<PathBuf>,
 }
 
@@ -43,6 +47,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         addr_file: None,
         spec: LoadSpec::smoke("ampere"),
         min_hit_rate: 0.99,
+        verify_store: false,
         out: None,
     };
     let mut iter = args.iter();
@@ -89,6 +94,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--min-hit-rate must be a number".to_string())?;
             }
+            "--verify-store" => parsed.verify_store = true,
             "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -157,6 +163,14 @@ fn main() -> ExitCode {
         eprintln!(
             "cuasmrld-bench: warm store-hit rate {:.3} below required {:.3}",
             report.warm_hit_rate, args.min_hit_rate
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.verify_store && (report.checksum_failures > 0 || report.journal_replays > 0) {
+        eprintln!(
+            "cuasmrld-bench: durability counters nonzero on a clean burst: \
+             {} checksum failure(s), {} journal replay(s)",
+            report.checksum_failures, report.journal_replays
         );
         return ExitCode::FAILURE;
     }

@@ -24,7 +24,13 @@
 //!   canonicalization, admission ranking, the error taxonomy
 //!   ([`ErrorCode`]).
 //! - [`queue`] — the bounded, deterministic priority admission queue.
-//! - [`store`] — the versioned, atomically-written schedule store.
+//! - [`store`] — the versioned, checksummed, write-ahead-journaled
+//!   schedule store (crash-consistent since durability v2).
+//! - [`io`] — the injectable [`StoreIo`] layer with deterministic
+//!   [`CrashPoint`] injection for the durability suite.
+//! - [`journal`] — the store's checksummed append-only write-ahead
+//!   journal.
+//! - [`mod@fsck`] — the offline verify/repair walk behind `cuasmrld-fsck`.
 //! - [`server`] — acceptor, version sniffing, session demultiplexing,
 //!   admission control, worker pool, preemption, panic isolation, graceful
 //!   drain, telemetry.
@@ -59,14 +65,22 @@
 
 pub mod client;
 pub mod fault;
+pub mod fsck;
+pub mod io;
+pub mod journal;
 pub mod load;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, ClientBuilder, Connection, RequestHandle, RetryPolicy};
+pub use client::{
+    Client, ClientBuilder, Connection, ConnectionFailure, RequestHandle, RetryPolicy,
+};
 pub use fault::{FaultKind, FaultPlan, InjectedFault};
+pub use fsck::{fsck, EntryVerdict, FsckReport, FSCK_SCHEMA_VERSION, QUARANTINE_DIR};
+pub use io::{is_simulated_crash, CrashEffect, CrashPoint, CrashPointIo, IoOp, RealIo, StoreIo};
+pub use journal::{Journal, JournalOp, JournalReplay, JOURNAL_FILE, JOURNAL_FORMAT_VERSION};
 pub use load::{run_load, LoadReport, LoadSpec};
 pub use protocol::{
     admission_rank, check_version, poll_frame, read_frame, write_frame, CanonicalRequest,
@@ -77,4 +91,6 @@ pub use protocol::{
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use server::{Server, ServerConfig, ServiceStats, SERVICE_SUITE_LABEL};
-pub use store::{ScheduleStore, StoreEntry, StoreError, StoreStats, STORE_SCHEMA_VERSION};
+pub use store::{
+    decode_entry_bytes, ScheduleStore, StoreEntry, StoreError, StoreStats, STORE_SCHEMA_VERSION,
+};

@@ -123,6 +123,23 @@ pub struct LoadReport {
     /// mode). Added in v2 (additive, `#[serde(default)]`).
     #[serde(default)]
     pub pipeline: usize,
+    /// The daemon's cumulative content-checksum failure counters probed at
+    /// the end of the run: [`crate::ServiceStats::checksum_failures`]
+    /// (serving-path heals) plus [`crate::StoreStats::checksum_failures`]
+    /// (open-scan and lookup detections — a serving-path heal appears in
+    /// both, so treat this as a detector, not an exact census). Nonzero
+    /// during a fault-free burst means silent data corruption —
+    /// `cuasmrld-bench --verify-store` fails on it. Added in durability v2
+    /// (additive, `#[serde(default)]`).
+    #[serde(default)]
+    pub checksum_failures: u64,
+    /// The daemon's cumulative journal-replay count
+    /// ([`crate::StoreStats::journal_replayed`]) probed at the end of the
+    /// run: entry writes a previous crash lost and the write-ahead journal
+    /// restored at open. Expected after a kill burst, alarming during a
+    /// clean one. Added in durability v2 (additive, `#[serde(default)]`).
+    #[serde(default)]
+    pub journal_replays: u64,
 }
 
 impl LoadReport {
@@ -159,6 +176,13 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
     } else {
         report.warm_from_store as f64 / report.warm_sent as f64
     };
+    // Best-effort end-of-run durability probe: cumulative daemon counters,
+    // so a clean burst can assert they are zero. A failed probe leaves
+    // them zero rather than failing a run that otherwise succeeded.
+    if let Ok(status) = client.status() {
+        report.checksum_failures = status.stats.checksum_failures + status.store.checksum_failures;
+        report.journal_replays = status.store.journal_replayed;
+    }
     report
 }
 

@@ -904,6 +904,40 @@ mod tests {
     }
 
     #[test]
+    fn status_results_decode_pre_durability_literals_without_new_counters() {
+        // The exact JSON a pre-durability-v2 daemon serializes: no
+        // `checksum_failures` in the service stats, none of the journal
+        // counters in the store stats. All the new fields are additive
+        // (`#[serde(default)]`) and must decode as zero.
+        let json = r#"{
+            "protocol_version": 2,
+            "stats": {
+                "requests": 7, "store_hits": 4, "computed": 3, "busy": 0,
+                "rejected": 1, "deadline_expired": 0, "preempted": 0,
+                "degraded": 0, "worker_panics": 0, "status_served": 2,
+                "injected_faults": 0
+            },
+            "store": {
+                "hits": 4, "misses": 3, "disk_hits": 1,
+                "entries_in_memory": 3, "skipped_at_open": 0, "tmp_swept": 0
+            },
+            "workers": 2,
+            "queue_capacity": 16,
+            "queue_depth": 0,
+            "draining": false
+        }"#;
+        let status: StatusResult = serde_json::from_str(json).unwrap();
+        assert_eq!(status.stats.requests, 7);
+        assert_eq!(status.stats.checksum_failures, 0);
+        assert_eq!(status.store.hits, 4);
+        assert_eq!(status.store.checksum_failures, 0);
+        assert_eq!(status.store.journal_replayed, 0);
+        assert_eq!(status.store.journal_torn, 0);
+        assert_eq!(status.store.generation, 0);
+        assert_eq!(status.store.lru_bytes, 0);
+    }
+
+    #[test]
     fn minimal_request_json_decodes_with_defaults() {
         let request: OptimizeRequest =
             serde_json::from_str(r#"{"protocol_version": 2, "kernel": "bmm", "arch": "hopper"}"#)

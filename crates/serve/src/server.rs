@@ -60,8 +60,8 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use cuasmrl::{
-    persist_run_manifest, CuAsmRl, KernelTelemetry, RunManifest, SearchSession, Strategy,
-    SuiteOptimizer,
+    load_run_manifest_checked, persist_run_manifest, CuAsmRl, KernelTelemetry, ManifestError,
+    RunManifest, SearchSession, Strategy, SuiteOptimizer,
 };
 use gpusim::MeasureOptions;
 use kernels::KernelSpec;
@@ -194,6 +194,15 @@ pub struct ServiceStats {
     pub status_served: u64,
     /// Faults injected by the configured [`FaultPlan`].
     pub injected_faults: u64,
+    /// Content-checksum failures healed while serving: store entries that
+    /// failed [`StoreEntry`]'s checksum on a lookup (healed by recompute)
+    /// plus telemetry manifests that failed theirs at startup seeding
+    /// (healed by rebuild). A nonzero count on a fault-free run means the
+    /// disk is silently corrupting data — see the SERVICE.md runbook.
+    /// Additive since durability v2 (`#[serde(default)]`): stats from an
+    /// older daemon decode as 0.
+    #[serde(default)]
+    pub checksum_failures: u64,
 }
 
 /// Where a job's answer goes: back onto a v1 one-shot stream, or tagged
@@ -359,6 +368,12 @@ impl Shared {
             Err(err) => {
                 // A damaged entry is a miss with a warning: the recompute
                 // overwrites the bad file, which is the recovery path.
+                // Checksum mismatches are the silent-corruption signal and
+                // get their own service-level counter on top of the
+                // store's.
+                if matches!(err, crate::store::StoreError::ChecksumMismatch { .. }) {
+                    self.lock_stats().checksum_failures += 1;
+                }
                 eprintln!("cuasmrld: {err}; recomputing");
                 None
             }
@@ -366,14 +381,39 @@ impl Shared {
     }
 
     /// Folds one kernel's telemetry into the per-device service manifest
-    /// and persists it next to the store entries.
+    /// and persists it next to the store entries. The first fold for a
+    /// device seeds from the manifest a previous run persisted, so a
+    /// restarted daemon keeps accumulating instead of silently zeroing
+    /// history.
     fn record_telemetry(&self, gpu: &str, kernel: KernelTelemetry) {
         let mut per_gpu = self.lock_telemetry();
+        if !per_gpu.contains_key(gpu) {
+            let seeded = self.seed_telemetry(gpu);
+            per_gpu.insert(gpu.to_string(), seeded);
+        }
         let kernels = per_gpu.entry(gpu.to_string()).or_default();
         kernels.push(kernel);
         let kernels = kernels.clone();
         drop(per_gpu);
         self.persist_manifest(gpu, &kernels);
+    }
+
+    /// The kernels a previous run already persisted for `gpu`. A corrupt
+    /// or checksum-failing manifest is skipped and rebuilt from scratch —
+    /// never a panic, never a silent zero: the damage is logged, and a
+    /// checksum catch counts into [`ServiceStats::checksum_failures`].
+    fn seed_telemetry(&self, gpu: &str) -> Vec<KernelTelemetry> {
+        match load_run_manifest_checked(&self.config.store_dir, gpu, SERVICE_SUITE_LABEL) {
+            Ok(Some(manifest)) => manifest.kernels,
+            Ok(None) => Vec::new(),
+            Err(err) => {
+                if matches!(err, ManifestError::ChecksumMismatch { .. }) {
+                    self.lock_stats().checksum_failures += 1;
+                }
+                eprintln!("cuasmrld: telemetry manifest for {gpu} is damaged ({err}); rebuilding");
+                Vec::new()
+            }
+        }
     }
 
     fn persist_manifest(&self, gpu: &str, kernels: &[KernelTelemetry]) {
@@ -844,8 +884,11 @@ fn handle_job(shared: &Shared, job: &mut Job) {
                 arch: job.key.arch.clone(),
                 kernel: job.key.kernel.clone(),
                 seed: job.canonical.seed,
+                generation: 0, // stamped by the store's put()
+                checksum: String::new(),
                 report,
-            };
+            }
+            .seal();
             if let Err(err) = shared.store.put(&job.key, entry.clone()) {
                 eprintln!("cuasmrld: failed to persist store entry: {err}");
             }

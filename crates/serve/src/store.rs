@@ -1,32 +1,47 @@
-//! The persistent, memory-capped schedule store behind `cuasmrld`.
+//! The persistent, memory-capped, crash-consistent schedule store behind
+//! `cuasmrld`.
 //!
 //! One JSON file per served request, named by the request's
 //! [`RequestKey::file_stem`] (see `docs/SERVICE.md` for the on-disk
-//! layout). Writes are atomic (temp file + rename in the same directory),
-//! so a crash mid-write never leaves a half-entry — the worst case is the
-//! old state. Every entry carries [`STORE_SCHEMA_VERSION`]; decoding is a
-//! typed-error path ([`StoreError`]) mirroring `rl::Checkpoint`: corruption
-//! and version skew surface to the caller, never as a panic.
+//! layout). Since durability v2 every mutation of the durable set is
+//! write-ahead journaled ([`crate::journal`]) before the entry file is
+//! touched, every write goes through the injectable [`StoreIo`] layer
+//! with fsync, and every entry carries a content checksum verified on
+//! every read path. The resulting guarantee — proven by the crash-point
+//! sweep in `tests/durability.rs` — is that a kill at *any* I/O boundary
+//! leaves a store that reopens to either the pre-write or the post-write
+//! bytes of the interrupted mutation, never a third state.
+//!
+//! Every entry carries [`STORE_SCHEMA_VERSION`]; decoding is a
+//! typed-error path ([`StoreError`]) mirroring `rl::Checkpoint`:
+//! corruption, checksum mismatch and version skew surface to the caller,
+//! never as a panic. The daemon heals all three the same way — treat as a
+//! miss, recompute, overwrite — counting checksum mismatches in
+//! [`StoreStats::checksum_failures`].
 //!
 //! In memory the store keeps at most `capacity` decoded entries in an LRU
-//! map; colder entries stay on disk and are decoded back in on demand. The
-//! disk set is the source of truth — a daemon restart reloads it, which is
-//! what makes repeat traffic near-free across restarts.
+//! map; colder entries stay on disk and are decoded back in on demand.
+//! The disk set is the source of truth — a daemon restart reloads it
+//! (applying the journal first), which is what makes repeat traffic
+//! near-free across restarts.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use cuasmrl::OptimizationReport;
 use serde::{Deserialize, Serialize};
 
+use crate::io::{RealIo, StoreIo};
+use crate::journal::{fnv1a64, Journal, JournalOp};
 use crate::protocol::RequestKey;
 
 /// Version of the store's on-disk entry schema. Bumped on any field-level
 /// change; entries with another version decode to
-/// [`StoreError::UnsupportedVersion`].
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+/// [`StoreError::UnsupportedVersion`]. v2 added the `generation` stamp
+/// and the `checksum` trailer field.
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 /// One persisted schedule: the canonical request it answers plus the
 /// optimization report.
@@ -42,8 +57,44 @@ pub struct StoreEntry {
     pub kernel: String,
     /// Base search seed.
     pub seed: u64,
+    /// Journal generation at write time — provenance, not content:
+    /// excluded from the checksum, stamped by [`ScheduleStore::put`].
+    /// `cuasmrld-fsck` flags entries from a *future* generation
+    /// (`stale-generation`), the signature of a store directory mixed
+    /// from different machines or restored from a newer backup.
+    #[serde(default)]
+    pub generation: u64,
+    /// FNV-1a-64 (hex) over the entry's content fields — see
+    /// [`StoreEntry::content_checksum`]. Verified on every read path;
+    /// a mismatch decodes to [`StoreError::ChecksumMismatch`].
+    #[serde(default)]
+    pub checksum: String,
     /// The report, bit-identical to the search that produced it.
     pub report: OptimizationReport,
+}
+
+impl StoreEntry {
+    /// The checksum of the entry's content fields (everything except the
+    /// checksum itself and the `generation` provenance stamp), as 16 hex
+    /// digits of FNV-1a-64.
+    #[must_use]
+    pub fn content_checksum(&self) -> String {
+        let report = serde_json::to_string(&self.report).unwrap_or_default();
+        let preimage = format!(
+            "v{};canonical={};arch={};kernel={};seed={};report={report}",
+            self.schema_version, self.canonical, self.arch, self.kernel, self.seed
+        );
+        format!("{:016x}", fnv1a64(preimage.as_bytes()))
+    }
+
+    /// Stamps the entry with its own content checksum. Every entry the
+    /// daemon persists is sealed; an unsealed entry fails every read with
+    /// [`StoreError::ChecksumMismatch`].
+    #[must_use]
+    pub fn seal(mut self) -> StoreEntry {
+        self.checksum = self.content_checksum();
+        self
+    }
 }
 
 /// Typed failures of the store (the service's `rl::CheckpointError`
@@ -66,6 +117,18 @@ pub enum StoreError {
         /// The version found in the file.
         found: u32,
     },
+    /// An entry file decodes but its content does not match its recorded
+    /// checksum — silent corruption (bit rot, torn-then-patched bytes)
+    /// that structural decoding alone cannot see. The daemon heals it by
+    /// recompute-and-overwrite.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// The checksum recorded in the entry.
+        recorded: String,
+        /// The checksum computed from the entry's content.
+        computed: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -78,6 +141,15 @@ impl fmt::Display for StoreError {
             StoreError::UnsupportedVersion { path, found } => write!(
                 f,
                 "store entry {} has schema version {found}, this build reads {STORE_SCHEMA_VERSION}",
+                path.display()
+            ),
+            StoreError::ChecksumMismatch {
+                path,
+                recorded,
+                computed,
+            } => write!(
+                f,
+                "store entry {} fails its checksum (recorded {recorded}, computed {computed})",
                 path.display()
             ),
         }
@@ -115,6 +187,26 @@ pub struct StoreStats {
     /// from a v1 daemon decode as 0.
     #[serde(default)]
     pub lru_bytes: u64,
+    /// Entries whose content failed its recorded checksum on a read path
+    /// (get or open). Each is healed by recompute; a spike means the disk
+    /// is silently corrupting data — see the SERVICE.md runbook. Additive
+    /// since durability v2.
+    #[serde(default)]
+    pub checksum_failures: u64,
+    /// Journal records applied at open because the entry files did not
+    /// reflect them (a kill interrupted the covered mutation). Additive
+    /// since durability v2.
+    #[serde(default)]
+    pub journal_replayed: u64,
+    /// Torn journal tails (or damaged headers) truncated at open — each is
+    /// one in-flight mutation that a kill made absent-not-torn. Additive
+    /// since durability v2.
+    #[serde(default)]
+    pub journal_torn: u64,
+    /// Current journal generation (a gauge, bumped on every rotation).
+    /// Additive since durability v2.
+    #[serde(default)]
+    pub generation: u64,
 }
 
 struct Inner {
@@ -124,6 +216,9 @@ struct Inner {
     /// `entries` so `stats.lru_bytes` is always the exact LRU footprint.
     sizes: HashMap<String, u64>,
     stats: StoreStats,
+    /// The write-ahead journal, under the same lock as the maps so every
+    /// append is strictly ordered with the mutation it covers.
+    journal: Journal,
 }
 
 impl Inner {
@@ -134,20 +229,36 @@ impl Inner {
         self.recency.push_back(stem.to_string());
     }
 
+    /// Inserts into the LRU map, keeping `lru_bytes` incremental and
+    /// underflow-proof: replacing an entry (e.g. a heal-by-recompute of a
+    /// corrupt one with a different serialized size) releases the *old*
+    /// size, and every release saturates — a healed-then-evicted entry can
+    /// never drive the gauge below zero.
     fn insert(&mut self, stem: &str, entry: StoreEntry, capacity: usize) {
         let size = serde_json::to_string(&entry).map_or(0, |text| text.len() as u64);
-        self.sizes.insert(stem.to_string(), size);
+        if let Some(old) = self.sizes.insert(stem.to_string(), size) {
+            self.stats.lru_bytes = self.stats.lru_bytes.saturating_sub(old);
+        }
+        self.stats.lru_bytes += size;
         self.entries.insert(stem.to_string(), entry);
         self.touch(stem);
         while self.entries.len() > capacity.max(1) {
             let Some(coldest) = self.recency.pop_front() else {
                 break;
             };
-            self.entries.remove(&coldest);
-            self.sizes.remove(&coldest);
+            self.forget(&coldest);
         }
         self.stats.entries_in_memory = self.entries.len();
-        self.stats.lru_bytes = self.sizes.values().sum();
+    }
+
+    /// Drops one stem from the in-memory maps (not the disk), releasing
+    /// its tracked bytes.
+    fn forget(&mut self, stem: &str) {
+        self.entries.remove(stem);
+        if let Some(old) = self.sizes.remove(stem) {
+            self.stats.lru_bytes = self.stats.lru_bytes.saturating_sub(old);
+        }
+        self.stats.entries_in_memory = self.entries.len();
     }
 }
 
@@ -155,10 +266,17 @@ impl Inner {
 pub struct ScheduleStore {
     dir: PathBuf,
     capacity: usize,
+    io: Arc<dyn StoreIo>,
     inner: Mutex<Inner>,
 }
 
 impl ScheduleStore {
+    /// Journal appends between automatic rotations. Entries are compacted
+    /// into their per-entry files eagerly at put time, so rotation only
+    /// retires redundant records; this bound caps how much redundant
+    /// journal a healthy store carries.
+    pub const JOURNAL_ROTATE_EVERY: u64 = 64;
+
     /// Locks the inner state, recovering from poison: every mutation under
     /// this mutex is a single complete insert/touch, so state is consistent
     /// even if a panicking thread held the lock — a poisoned store must not
@@ -167,52 +285,119 @@ impl ScheduleStore {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Opens (creating if needed) the store rooted at `dir`, reloading up
-    /// to `capacity` existing entries into memory. Entry files that fail to
-    /// decode are skipped and counted in
-    /// [`StoreStats::skipped_at_open`] — one damaged file never takes the
-    /// store down; the entry is recomputed and overwritten on next demand.
-    /// Orphaned temp files left by a crash mid-[`ScheduleStore::put`] are
-    /// swept (they are by construction incomplete — the rename that
-    /// publishes an entry never happened) and counted in
-    /// [`StoreStats::tmp_swept`].
+    /// Opens (creating if needed) the store rooted at `dir` with the
+    /// production filesystem I/O. See [`ScheduleStore::open_with_io`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created,
+    /// listed, or its journal recovered.
+    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> Result<ScheduleStore, StoreError> {
+        Self::open_with_io(dir, capacity, Arc::new(RealIo))
+    }
+
+    /// Opens the store through an injectable [`StoreIo`] — the durability
+    /// suite passes a [`crate::CrashPointIo`] here to kill the store at
+    /// every I/O boundary.
+    ///
+    /// Open is also recovery: orphaned temp files left by a crash
+    /// mid-write are swept (counted in [`StoreStats::tmp_swept`]), the
+    /// write-ahead journal is replayed — rewriting any entry file a kill
+    /// left behind its covering record ([`StoreStats::journal_replayed`]),
+    /// truncating a torn tail ([`StoreStats::journal_torn`]) — and then
+    /// rotated to a fresh generation. Entry files that fail to decode are
+    /// skipped and counted in [`StoreStats::skipped_at_open`] (checksum
+    /// mismatches additionally in [`StoreStats::checksum_failures`]) — one
+    /// damaged file never takes the store down; the entry is recomputed
+    /// and overwritten on next demand.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] when the directory cannot be created or
-    /// listed.
-    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> Result<ScheduleStore, StoreError> {
+    /// listed, or journal recovery cannot write.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        capacity: usize,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<ScheduleStore, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let mut stats = StoreStats::default();
+
+        // 1. Sweep crash debris: a temp file is by construction
+        // unpublished (the rename never happened), so removal is always
+        // safe.
+        for path in list_dir(&dir)? {
+            let name = file_name(&path);
+            if name.starts_with('.') && name.contains(".tmp.") && io.remove(&path).is_ok() {
+                stats.tmp_swept += 1;
+            }
+        }
+
+        // 2. Recover the journal: replay records the entry files do not
+        // reflect, then rotate to a fresh generation (which also truncates
+        // any torn tail).
+        let (mut journal, replay) = Journal::open(&dir, Arc::clone(&io))?;
+        if replay.torn_tail || replay.damaged_header {
+            stats.journal_torn += 1;
+        }
+        let mut last_op_per_stem: Vec<&JournalOp> = Vec::new();
+        for op in &replay.ops {
+            last_op_per_stem.retain(|seen| seen.stem() != op.stem());
+            last_op_per_stem.push(op);
+        }
+        for op in last_op_per_stem {
+            match op {
+                JournalOp::Put { stem, entry } => {
+                    let path = dir.join(format!("{stem}.json"));
+                    let desired = serde_json::to_string_pretty(entry).unwrap_or_default();
+                    let current = match io.read(&path) {
+                        Ok(bytes) => Some(bytes),
+                        Err(err) if err.kind() == std::io::ErrorKind::NotFound => None,
+                        Err(err) => return Err(err.into()),
+                    };
+                    if current.as_deref() != Some(desired.as_bytes()) {
+                        let temp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+                        io.write(&temp, desired.as_bytes())?;
+                        io.rename(&temp, &path)?;
+                        stats.journal_replayed += 1;
+                    }
+                }
+                JournalOp::Remove { stem } => {
+                    let path = dir.join(format!("{stem}.json"));
+                    match io.remove(&path) {
+                        Ok(()) => stats.journal_replayed += 1,
+                        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(err) => return Err(err.into()),
+                    }
+                }
+            }
+        }
+        journal.rotate()?;
+        stats.generation = journal.generation();
+
+        // 3. Reload the durable set into the LRU map, up to capacity.
         let mut inner = Inner {
             entries: HashMap::new(),
             recency: VecDeque::new(),
             sizes: HashMap::new(),
-            stats: StoreStats::default(),
+            stats,
+            journal,
         };
-        let mut paths: Vec<PathBuf> = Vec::new();
-        for dir_entry in std::fs::read_dir(&dir)?.filter_map(Result::ok) {
-            let path = dir_entry.path();
-            let name = dir_entry.file_name();
-            let name = name.to_string_lossy();
-            if name.starts_with('.') && name.contains(".tmp.") {
-                // A crash between write and rename left this orphan; no
-                // entry ever pointed at it, so removal is always safe.
-                if std::fs::remove_file(&path).is_ok() {
-                    inner.stats.tmp_swept += 1;
-                }
-                continue;
-            }
-            if path.extension().is_some_and(|ext| ext == "json") {
-                paths.push(path);
-            }
-        }
+        let mut paths: Vec<PathBuf> = list_dir(&dir)?
+            .into_iter()
+            .filter(|path| is_entry_file(path))
+            .collect();
         paths.sort();
         for path in paths {
             if inner.entries.len() >= capacity.max(1) {
                 break;
             }
-            match Self::decode_entry(&path) {
+            match io
+                .read(&path)
+                .map_err(StoreError::from)
+                .and_then(|bytes| decode_entry_bytes(&path, &bytes))
+            {
                 Ok(entry) => {
                     let stem = path
                         .file_stem()
@@ -220,13 +405,19 @@ impl ScheduleStore {
                         .unwrap_or_default();
                     inner.insert(&stem, entry, capacity);
                 }
-                Err(_) => inner.stats.skipped_at_open += 1,
+                Err(err) => {
+                    if matches!(err, StoreError::ChecksumMismatch { .. }) {
+                        inner.stats.checksum_failures += 1;
+                    }
+                    inner.stats.skipped_at_open += 1;
+                }
             }
         }
         inner.stats.entries_in_memory = inner.entries.len();
         Ok(ScheduleStore {
             dir,
             capacity,
+            io,
             inner: Mutex::new(inner),
         })
     }
@@ -237,20 +428,12 @@ impl ScheduleStore {
     ///
     /// [`StoreError::Io`] when the file cannot be read,
     /// [`StoreError::Corrupt`] when it is not a valid entry,
-    /// [`StoreError::UnsupportedVersion`] on schema-version skew.
+    /// [`StoreError::UnsupportedVersion`] on schema-version skew,
+    /// [`StoreError::ChecksumMismatch`] when the content does not match
+    /// its recorded checksum.
     pub fn decode_entry(path: &Path) -> Result<StoreEntry, StoreError> {
-        let text = std::fs::read_to_string(path)?;
-        let entry: StoreEntry = serde_json::from_str(&text).map_err(|err| StoreError::Corrupt {
-            path: path.to_path_buf(),
-            detail: err.to_string(),
-        })?;
-        if entry.schema_version != STORE_SCHEMA_VERSION {
-            return Err(StoreError::UnsupportedVersion {
-                path: path.to_path_buf(),
-                found: entry.schema_version,
-            });
-        }
-        Ok(entry)
+        let bytes = std::fs::read(path)?;
+        decode_entry_bytes(path, &bytes)
     }
 
     /// The store's root directory.
@@ -279,7 +462,9 @@ impl ScheduleStore {
     ///
     /// Propagates the typed decode error when the entry file exists but
     /// cannot be read — the caller decides whether to recompute (the
-    /// daemon does, overwriting the damaged file).
+    /// daemon does, overwriting the damaged file). A
+    /// [`StoreError::ChecksumMismatch`] is additionally counted in
+    /// [`StoreStats::checksum_failures`].
     pub fn get(&self, key: &RequestKey) -> Result<Option<StoreEntry>, StoreError> {
         let stem = key.file_stem();
         let mut inner = self.lock_inner();
@@ -289,11 +474,18 @@ impl ScheduleStore {
             return Ok(Some(entry));
         }
         let path = self.entry_path(key);
-        if !path.exists() {
-            inner.stats.misses += 1;
-            return Ok(None);
-        }
-        match Self::decode_entry(&path) {
+        let bytes = match self.io.read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                inner.stats.misses += 1;
+                return Ok(None);
+            }
+            Err(err) => {
+                inner.stats.misses += 1;
+                return Err(err.into());
+            }
+        };
+        match decode_entry_bytes(&path, &bytes) {
             Ok(entry) => {
                 inner.stats.hits += 1;
                 inner.stats.disk_hits += 1;
@@ -301,31 +493,104 @@ impl ScheduleStore {
                 Ok(Some(entry))
             }
             Err(err) => {
+                if matches!(err, StoreError::ChecksumMismatch { .. }) {
+                    inner.stats.checksum_failures += 1;
+                }
                 inner.stats.misses += 1;
                 Err(err)
             }
         }
     }
 
-    /// Persists an entry atomically (temp file + rename) and caches it in
-    /// memory, evicting the least-recently-used entry beyond capacity.
+    /// Persists an entry atomically-or-absent and caches it in memory,
+    /// evicting the least-recently-used entry beyond capacity.
+    ///
+    /// The write is journaled first (fsynced), then published via temp
+    /// file + rename: a kill during the append leaves a torn tail that
+    /// truncates away (absent), a kill anywhere after it is replayed from
+    /// the journal at the next open (post-write). The entry is stamped
+    /// with the current journal generation; its content checksum (see
+    /// [`StoreEntry::seal`]) is written exactly as given — planting an
+    /// unsealed or skewed entry is how the tests prove the read paths
+    /// catch damage.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] when the write or rename fails.
-    pub fn put(&self, key: &RequestKey, entry: StoreEntry) -> Result<(), StoreError> {
+    /// Returns [`StoreError::Io`] when the journal append, write or
+    /// rename fails.
+    pub fn put(&self, key: &RequestKey, mut entry: StoreEntry) -> Result<(), StoreError> {
         let stem = key.file_stem();
         let final_path = self.entry_path(key);
         let temp_path = self.dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+        let mut inner = self.lock_inner();
+        entry.generation = inner.journal.generation();
         let text = serde_json::to_string_pretty(&entry).map_err(|err| StoreError::Corrupt {
             path: final_path.clone(),
             detail: err.to_string(),
         })?;
-        std::fs::write(&temp_path, text)?;
-        std::fs::rename(&temp_path, &final_path)?;
-        let mut inner = self.lock_inner();
+        inner.journal.append(&JournalOp::Put {
+            stem: stem.clone(),
+            entry: entry.clone(),
+        })?;
+        self.io.write(&temp_path, text.as_bytes())?;
+        self.io.rename(&temp_path, &final_path)?;
         inner.insert(&stem, entry, self.capacity);
+        if inner.journal.appends_since_rotate() >= Self::JOURNAL_ROTATE_EVERY {
+            inner.journal.rotate()?;
+            inner.stats.generation = inner.journal.generation();
+        }
         Ok(())
+    }
+
+    /// Removes an entry from the durable set (journaled first, so a kill
+    /// between the append and the file removal replays the removal at the
+    /// next open) and drops it from memory. Returns whether anything was
+    /// there to remove.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the journal append or the removal
+    /// fails (a missing file is not a failure).
+    pub fn remove(&self, key: &RequestKey) -> Result<bool, StoreError> {
+        let stem = key.file_stem();
+        let path = self.entry_path(key);
+        let mut inner = self.lock_inner();
+        inner
+            .journal
+            .append(&JournalOp::Remove { stem: stem.clone() })?;
+        let on_disk = match self.io.remove(&path) {
+            Ok(()) => true,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => false,
+            Err(err) => return Err(err.into()),
+        };
+        let in_memory = inner.entries.contains_key(&stem);
+        inner.forget(&stem);
+        if let Some(position) = inner.recency.iter().position(|s| s == &stem) {
+            inner.recency.remove(position);
+        }
+        Ok(on_disk || in_memory)
+    }
+
+    /// Forces a journal rotation. Entries are compacted into their
+    /// per-entry files eagerly at put time, so this only retires the
+    /// redundant records and bumps the generation — the periodic
+    /// "compaction" of the WAL design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the rotation cannot write.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock_inner();
+        inner.journal.rotate()?;
+        inner.stats.generation = inner.journal.generation();
+        Ok(())
+    }
+
+    /// The current journal generation (what new entries are stamped
+    /// with).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.lock_inner().journal.generation()
     }
 
     /// Current effectiveness counters.
@@ -337,20 +602,70 @@ impl ScheduleStore {
     /// Number of entry files on disk (the durable set).
     #[must_use]
     pub fn entries_on_disk(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|entries| {
-                entries
-                    .filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
-                    .count()
-            })
+        list_dir(&self.dir)
+            .map(|paths| paths.iter().filter(|path| is_entry_file(path)).count())
             .unwrap_or(0)
     }
+}
+
+/// Decodes entry bytes with the full typed-error path (see
+/// [`ScheduleStore::decode_entry`]).
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`], [`StoreError::UnsupportedVersion`] or
+/// [`StoreError::ChecksumMismatch`], in that precedence order.
+pub fn decode_entry_bytes(path: &Path, bytes: &[u8]) -> Result<StoreEntry, StoreError> {
+    let text = std::str::from_utf8(bytes).map_err(|err| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: format!("unexpected EOF or non-UTF-8 bytes: {err}"),
+    })?;
+    let entry: StoreEntry = serde_json::from_str(text).map_err(|err| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: err.to_string(),
+    })?;
+    if entry.schema_version != STORE_SCHEMA_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: entry.schema_version,
+        });
+    }
+    let computed = entry.content_checksum();
+    if entry.checksum != computed {
+        return Err(StoreError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            recorded: entry.checksum.clone(),
+            computed,
+        });
+    }
+    Ok(entry)
+}
+
+/// Whether a path is a store entry file: `.json`, but not a service
+/// telemetry manifest (those share the directory — see
+/// `docs/ARTIFACTS.md` — and have their own sealed format).
+fn is_entry_file(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "json")
+        && !file_name(path).ends_with("_telemetry.json")
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn list_dir(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    Ok(std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::JOURNAL_FILE;
     use crate::protocol::{CanonicalRequest, OptimizeRequest, RequestDefaults};
 
     fn key_for(kernel: &str, seed: u64) -> RequestKey {
@@ -369,6 +684,8 @@ mod tests {
             arch: key.arch.clone(),
             kernel: key.kernel.clone(),
             seed,
+            generation: 0,
+            checksum: String::new(),
             report: cuasmrl::OptimizationReport {
                 kernel: key.kernel.clone(),
                 baseline_us: 10.0,
@@ -379,6 +696,15 @@ mod tests {
                 moves: Vec::new(),
             },
         }
+        .seal()
+    }
+
+    /// An entry whose serialized size is inflated by `padding` bytes of
+    /// listing, for the LRU accounting tests.
+    fn padded_entry_for(key: &RequestKey, seed: u64, padding: usize) -> StoreEntry {
+        let mut entry = entry_for(key, seed);
+        entry.report.optimized_listing = "x".repeat(padding);
+        entry.seal()
     }
 
     fn temp_dir(label: &str) -> PathBuf {
@@ -405,6 +731,9 @@ mod tests {
         let entry = store.get(&key).unwrap().expect("entry survived restart");
         assert_eq!(entry.kernel, "softmax");
         assert_eq!(store.entries_on_disk(), 1);
+        // The restart rotated the journal: the put's record is retired, so
+        // damage below cannot be silently healed from stale evidence.
+        assert!(store.generation() >= 2);
 
         // Damage the file: decoding is a typed error, opening skips it.
         let path = store.entry_path(&key);
@@ -441,6 +770,35 @@ mod tests {
             ScheduleStore::decode_entry(&store.entry_path(&key)),
             Err(StoreError::UnsupportedVersion { found: 99, .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_typed_error_and_counted() {
+        let dir = temp_dir("checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        let key = key_for("softmax", 7);
+        // An unsealed entry (planted damage: content changed after the
+        // checksum was recorded).
+        let mut entry = entry_for(&key, 7);
+        entry.report.speedup = 9.99;
+        store.put(&key, entry).unwrap();
+        drop(store);
+
+        // A fresh open skips it, counting the mismatch distinctly.
+        let fresh = ScheduleStore::open(&dir, 8).unwrap();
+        assert_eq!(fresh.stats().skipped_at_open, 1);
+        assert_eq!(fresh.stats().checksum_failures, 1);
+        // The read path reports the same typed error and counts again.
+        assert!(matches!(
+            fresh.get(&key),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(fresh.stats().checksum_failures, 2);
+        // Healing: recompute-and-overwrite with a sealed entry.
+        fresh.put(&key, entry_for(&key, 7)).unwrap();
+        assert!(fresh.get(&key).unwrap().is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -491,13 +849,79 @@ mod tests {
         );
         assert!(store.stats().lru_bytes > one);
 
-        // Stats serialized by a v1 daemon carry no `lru_bytes`; the field
-        // is additive and defaults to 0.
+        // Stats serialized by a v1 daemon carry no `lru_bytes` (nor the
+        // durability-v2 counters); the fields are additive and default.
         let v1 = r#"{"hits": 3, "misses": 1, "disk_hits": 0,
                      "entries_in_memory": 2, "skipped_at_open": 0, "tmp_swept": 0}"#;
         let stats: StoreStats = serde_json::from_str(v1).unwrap();
         assert_eq!(stats.lru_bytes, 0);
+        assert_eq!(stats.checksum_failures, 0);
+        assert_eq!(stats.journal_replayed, 0);
+        assert_eq!(stats.journal_torn, 0);
+        assert_eq!(stats.generation, 0);
         assert_eq!(stats.hits, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite regression: healing a corrupt entry by recompute
+    /// replaces an in-memory entry with one of a *different* serialized
+    /// size; evicting the healed entry must release the new size, never
+    /// underflow the gauge with the old one.
+    #[test]
+    fn evicting_a_healed_entry_never_underflows_lru_bytes() {
+        let dir = temp_dir("heal-underflow");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 2).unwrap();
+        let hot = key_for("softmax", 1);
+        let cold = key_for("bmm", 2);
+
+        // A fat entry, then plant corruption over it on disk: recorded
+        // checksum no longer matches the (still fat) content. Compact
+        // first so the journal holds no record to silently heal it from.
+        store.put(&hot, padded_entry_for(&hot, 1, 4096)).unwrap();
+        store.compact().unwrap();
+        let mut damaged = padded_entry_for(&hot, 1, 4096);
+        damaged.checksum = "0000000000000000".to_string();
+        let text = serde_json::to_string_pretty(&damaged).unwrap();
+        std::fs::write(store.entry_path(&hot), text).unwrap();
+        drop(store);
+
+        // Reopen: the damaged entry is skipped (mismatched sizes now live
+        // only on disk), then healed by a recompute that is much smaller.
+        let store = ScheduleStore::open(&dir, 2).unwrap();
+        assert_eq!(store.stats().checksum_failures, 1);
+        assert!(matches!(
+            store.get(&hot),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        store.put(&hot, entry_for(&hot, 1)).unwrap(); // the heal: small
+        let healed_footprint = store.stats().lru_bytes;
+
+        // Evict the healed entry by filling the cap with other keys.
+        store.put(&cold, entry_for(&cold, 2)).unwrap();
+        let third = key_for("rmsnorm", 3);
+        store.put(&third, padded_entry_for(&third, 3, 128)).unwrap();
+        assert_eq!(store.stats().entries_in_memory, 2);
+        let after = store.stats().lru_bytes;
+        assert!(after > 0, "gauge never wraps or zeroes out");
+        assert!(
+            after < u64::MAX / 2,
+            "gauge did not underflow (got {after})"
+        );
+        // The gauge equals the exact footprint of the two survivors.
+        let survivors = serde_json::to_string(&store.get(&cold).unwrap().unwrap())
+            .unwrap()
+            .len() as u64
+            + serde_json::to_string(&store.get(&third).unwrap().unwrap())
+                .unwrap()
+                .len() as u64;
+        assert_eq!(store.stats().lru_bytes, survivors);
+        assert!(
+            healed_footprint
+                >= serde_json::to_string(&store.get(&hot).unwrap().unwrap())
+                    .unwrap()
+                    .len() as u64
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -523,6 +947,83 @@ mod tests {
         assert_eq!(entry.kernel, "fused_ff");
         // A clean reopen sweeps nothing.
         assert_eq!(ScheduleStore::open(&dir, 8).unwrap().stats().tmp_swept, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_journal_replays_a_lost_entry_write_at_open() {
+        let dir = temp_dir("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_for("softmax", 3);
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        store.put(&key, entry_for(&key, 3)).unwrap();
+        let good = std::fs::read(store.entry_path(&key)).unwrap();
+        // Simulate a kill after the journal append but before the entry
+        // file survived: delete the published file without rotating.
+        std::fs::remove_file(store.entry_path(&key)).unwrap();
+        drop(store);
+
+        let reopened = ScheduleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.stats().journal_replayed, 1);
+        assert_eq!(
+            std::fs::read(reopened.entry_path(&key)).unwrap(),
+            good,
+            "replay rewrote the exact post-write bytes"
+        );
+        assert!(reopened.get(&key).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_is_journaled_and_replayed() {
+        let dir = temp_dir("remove");
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = key_for("bmm", 4);
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        store.put(&key, entry_for(&key, 4)).unwrap();
+        assert!(store.remove(&key).unwrap());
+        assert!(!store.remove(&key).unwrap(), "second removal is a no-op");
+        assert!(store.get(&key).unwrap().is_none());
+        assert_eq!(store.entries_on_disk(), 0);
+        drop(store);
+
+        // Simulate the kill window: re-plant the entry file as if the
+        // journaled removal never reached it, then reopen — the Remove
+        // record replays.
+        let store = ScheduleStore::open(&dir, 8).unwrap();
+        drop(store); // rotation retired the records; plant under a fresh journal
+        let dir2 = temp_dir("remove2");
+        let _ = std::fs::remove_dir_all(&dir2);
+        let store = ScheduleStore::open(&dir2, 8).unwrap();
+        store.put(&key, entry_for(&key, 4)).unwrap();
+        let saved = std::fs::read(store.entry_path(&key)).unwrap();
+        assert!(store.remove(&key).unwrap());
+        // The kill window: the file comes back (removal "lost").
+        std::fs::write(store.entry_path(&key), &saved).unwrap();
+        drop(store);
+        let reopened = ScheduleStore::open(&dir2, 8).unwrap();
+        assert_eq!(reopened.stats().journal_replayed, 1);
+        assert!(reopened.get(&key).unwrap().is_none());
+        assert_eq!(reopened.entries_on_disk(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn rotation_is_periodic_and_compact_is_explicit() {
+        let dir = temp_dir("rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ScheduleStore::open(&dir, 4).unwrap();
+        let opened_at = store.generation();
+        store
+            .put(&key_for("softmax", 1), entry_for(&key_for("softmax", 1), 1))
+            .unwrap();
+        assert_eq!(store.generation(), opened_at, "no rotation mid-window");
+        store.compact().unwrap();
+        assert_eq!(store.generation(), opened_at + 1);
+        // The journal file is back to a bare header after compaction.
+        let journal_len = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        assert_eq!(journal_len, 20, "header only: 8 magic + 4 version + 8 gen");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,266 @@
+//! The durability crash-point sweep: kill the store at EVERY I/O boundary
+//! of a full write/evict/remove/compact cycle, under every crash effect
+//! (before / torn / after), and prove that recovery — plain reopen or
+//! `cuasmrld-fsck --repair` — always lands every key on a state the store
+//! legitimately passed through: absent, the first written value, or the
+//! second. Never a third state.
+//!
+//! The op list is not hard-coded: a recording run enumerates the cycle's
+//! actual I/O sequence ([`CrashPointIo::recording`]), so the sweep stays
+//! exhaustive when the store's I/O pattern changes.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cuasmrld::{
+    decode_entry_bytes, fsck, is_simulated_crash, CanonicalRequest, CrashEffect, CrashPoint,
+    CrashPointIo, OptimizeRequest, RequestDefaults, RequestKey, ScheduleStore, StoreEntry,
+    StoreError, StoreIo, STORE_SCHEMA_VERSION,
+};
+
+fn key_for(kernel: &str, seed: u64) -> RequestKey {
+    let mut request = OptimizeRequest::table2(kernel, "ampere");
+    request.seed = Some(seed);
+    let canonical: CanonicalRequest = request
+        .canonicalize(&RequestDefaults { scale: 16, seed: 0 })
+        .unwrap();
+    RequestKey::of(&canonical)
+}
+
+/// A deterministic sealed entry; `seed` also varies the content so the two
+/// values a key passes through have distinct checksums.
+fn entry_for(key: &RequestKey, seed: u64) -> StoreEntry {
+    StoreEntry {
+        schema_version: STORE_SCHEMA_VERSION,
+        canonical: key.canonical.clone(),
+        arch: key.arch.clone(),
+        kernel: key.kernel.clone(),
+        seed,
+        generation: 0,
+        checksum: String::new(),
+        report: cuasmrl::OptimizationReport {
+            kernel: key.kernel.clone(),
+            baseline_us: 10.0,
+            optimized_us: 8.0,
+            speedup: 1.25,
+            verified: true,
+            optimized_listing: format!("; schedule for seed {seed}"),
+            moves: Vec::new(),
+        },
+    }
+    .seal()
+}
+
+fn temp_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cuasmrld-durability-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+struct Cycle {
+    a: RequestKey,
+    b: RequestKey,
+    c: RequestKey,
+    /// The two values key B passes through (put, remove, re-put).
+    b_first: StoreEntry,
+    b_second: StoreEntry,
+    a_value: StoreEntry,
+    c_value: StoreEntry,
+}
+
+impl Cycle {
+    fn new() -> Cycle {
+        let a = key_for("softmax", 1);
+        let b = key_for("bmm", 2);
+        let c = key_for("rmsnorm", 3);
+        Cycle {
+            b_first: entry_for(&b, 2),
+            b_second: entry_for(&b, 22),
+            a_value: entry_for(&a, 1),
+            c_value: entry_for(&c, 3),
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// One full store lifetime: open (capacity 2, so the third put evicts
+    /// from memory), three puts, a disk-path get, a journaled remove, a
+    /// re-put of the removed key, and an explicit compaction.
+    fn run(&self, dir: &Path, io: Arc<dyn StoreIo>) -> Result<(), StoreError> {
+        let store = ScheduleStore::open_with_io(dir, 2, io)?;
+        store.put(&self.a, self.a_value.clone())?;
+        store.put(&self.b, self.b_first.clone())?;
+        store.put(&self.c, self.c_value.clone())?;
+        // A was evicted from memory by the third put: this get takes the
+        // disk read path, adding a read boundary to the sweep.
+        let read_back = store.get(&self.a)?;
+        assert!(read_back.is_some(), "a published entry reads back");
+        store.remove(&self.b)?;
+        store.put(&self.b, self.b_second.clone())?;
+        store.compact()
+    }
+
+    /// Asserts every key sits on a state the cycle legitimately passed
+    /// through: absent, or a decodable entry whose content checksum is one
+    /// of the values written for that key.
+    fn assert_no_third_state(&self, dir: &Path, label: &str) {
+        let legal: [(&RequestKey, Vec<&str>); 3] = [
+            (&self.a, vec![self.a_value.checksum.as_str()]),
+            (
+                &self.b,
+                vec![
+                    self.b_first.checksum.as_str(),
+                    self.b_second.checksum.as_str(),
+                ],
+            ),
+            (&self.c, vec![self.c_value.checksum.as_str()]),
+        ];
+        for (key, checksums) in legal {
+            let path = dir.join(format!("{}.json", key.file_stem()));
+            let bytes = match std::fs::read(&path) {
+                // Absent is the pre-write state: legal.
+                Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+                Err(err) => panic!("{label}: {} unreadable: {err}", path.display()),
+                Ok(bytes) => bytes,
+            };
+            let entry = decode_entry_bytes(&path, &bytes).unwrap_or_else(|err| {
+                panic!(
+                    "{label}: {} does not decode after recovery: {err}",
+                    path.display()
+                )
+            });
+            assert!(
+                checksums.contains(&entry.checksum.as_str()),
+                "{label}: {} holds a third state (checksum {}, legal {:?})",
+                path.display(),
+                entry.checksum,
+                checksums
+            );
+        }
+    }
+}
+
+/// Recovery path (a): just reopen the store — open is recovery (sweep,
+/// replay, rotate).
+fn recover_by_reopen(cycle: &Cycle, dir: &Path, label: &str) {
+    let store = ScheduleStore::open(dir, 2)
+        .unwrap_or_else(|err| panic!("{label}: reopen after crash failed: {err}"));
+    cycle.assert_no_third_state(dir, label);
+    // The reopened store serves every surviving key.
+    for key in [&cycle.a, &cycle.b, &cycle.c] {
+        if dir.join(format!("{}.json", key.file_stem())).exists() {
+            let entry = store
+                .get(key)
+                .unwrap_or_else(|err| panic!("{label}: get after recovery failed: {err}"));
+            assert!(entry.is_some(), "{label}: present entry must serve");
+        }
+    }
+}
+
+/// Recovery path (b): offline `cuasmrld-fsck --repair`, then reopen.
+fn recover_by_fsck(cycle: &Cycle, dir: &Path, label: &str) {
+    let report = fsck(dir, true).unwrap_or_else(|err| panic!("{label}: fsck failed: {err}"));
+    assert_eq!(
+        report.unrepairable, 0,
+        "{label}: fsck left unrepairable damage: {report:?}"
+    );
+    cycle.assert_no_third_state(dir, label);
+    let store = ScheduleStore::open(dir, 2)
+        .unwrap_or_else(|err| panic!("{label}: reopen after fsck failed: {err}"));
+    drop(store);
+    cycle.assert_no_third_state(dir, label);
+}
+
+#[test]
+fn the_sweep_covers_every_io_boundary_and_recovery_never_invents_state() {
+    // 1. Enumerate the cycle's I/O sequence with a recording run.
+    let cycle = Cycle::new();
+    let record_dir = temp_dir("record");
+    let _ = std::fs::remove_dir_all(&record_dir);
+    let recorder = Arc::new(CrashPointIo::recording());
+    cycle
+        .run(&record_dir, Arc::clone(&recorder) as Arc<dyn StoreIo>)
+        .expect("the clean cycle completes");
+    let ops = recorder.ops();
+    let _ = std::fs::remove_dir_all(&record_dir);
+    assert!(
+        ops.len() >= 12,
+        "the cycle must exercise a real I/O sequence, got {ops:?}"
+    );
+    // Every mutation kind the StoreIo trait defines shows up — the sweep
+    // genuinely enumerates the whole surface.
+    for kind in ["read", "write", "append", "rename", "remove"] {
+        assert!(
+            ops.iter().any(|op| op.kind == kind),
+            "cycle never performed a {kind}; ops: {ops:?}"
+        );
+    }
+
+    // 2. The sweep proper: for every ordinal x every crash effect, run the
+    // cycle to its deterministic death, then recover — alternating between
+    // the two recovery paths so both are exercised across the whole op
+    // range — and assert the pre-or-post-write guarantee.
+    let effects = [CrashEffect::Before, CrashEffect::Torn, CrashEffect::After];
+    let mut scenarios = 0usize;
+    for ordinal in 0..ops.len() as u64 {
+        for (which, effect) in effects.into_iter().enumerate() {
+            let label = format!(
+                "ordinal {ordinal} ({}) {effect}",
+                ops[ordinal as usize].kind
+            );
+            let dir = temp_dir(&format!("sweep-{ordinal}-{which}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let io = Arc::new(CrashPointIo::crash_at(CrashPoint { ordinal, effect }));
+            let result = cycle.run(&dir, Arc::clone(&io) as Arc<dyn StoreIo>);
+            let err = result.expect_err(&format!("{label}: the crash point must fire"));
+            match err {
+                StoreError::Io(err) => {
+                    assert!(is_simulated_crash(&err), "{label}: unexpected error {err}")
+                }
+                other => panic!("{label}: unexpected error {other}"),
+            }
+            assert!(io.crashed(), "{label}: the crash point must fire");
+            // Alternate the recovery path; both sides of the alternation
+            // cover every ordinal because the three effects split between
+            // them at every position.
+            if (ordinal as usize + which).is_multiple_of(2) {
+                recover_by_reopen(&cycle, &dir, &label);
+            } else {
+                recover_by_fsck(&cycle, &dir, &label);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            scenarios += 1;
+        }
+    }
+    assert_eq!(scenarios, ops.len() * 3);
+}
+
+#[test]
+fn a_completed_cycle_recovers_to_its_full_post_state() {
+    // The degenerate sweep point: a crash point beyond the op list never
+    // fires, so recovery sees the complete post-state — every key present
+    // with its final value.
+    let cycle = Cycle::new();
+    let dir = temp_dir("post");
+    let _ = std::fs::remove_dir_all(&dir);
+    cycle.run(&dir, Arc::new(cuasmrld::RealIo)).unwrap();
+    let store = ScheduleStore::open(&dir, 2).unwrap();
+    let a = store.get(&cycle.a).unwrap().expect("a survives");
+    assert_eq!(a.checksum, cycle.a_value.checksum);
+    let b = store.get(&cycle.b).unwrap().expect("b survives");
+    assert_eq!(
+        b.checksum, cycle.b_second.checksum,
+        "b holds its re-put value"
+    );
+    let c = store.get(&cycle.c).unwrap().expect("c survives");
+    assert_eq!(c.checksum, cycle.c_value.checksum);
+    drop(store);
+    // And fsck agrees the recovered directory is healthy.
+    let report = fsck(&dir, false).unwrap();
+    assert!(report.healthy(), "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
